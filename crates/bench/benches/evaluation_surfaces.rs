@@ -1,0 +1,33 @@
+//! Benches regenerating the §VI evaluation artifacts: the grid surfaces
+//! (Figs. 12/13/15/16/18/19 come from one sweep), the utilization
+//! staircases (Fig. 14) and the asymmetry-vs-size CDFs (Fig. 17). Also
+//! includes the Fig. 1 tree-packing demonstration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omcf_sim::experiments::{evaluation, fig1, Config};
+use omcf_sim::Scale;
+use std::hint::black_box;
+
+fn cfg() -> Config {
+    Config { scale: Scale::Micro, seed: 2004 }
+}
+
+fn bench_surfaces(c: &mut Criterion) {
+    let mut g = c.benchmark_group("evaluation");
+    g.sample_size(10);
+    g.bench_function("fig12_13_15_16_18_19_grid", |b| {
+        b.iter(|| black_box(evaluation::evaluation(&cfg())))
+    });
+    g.bench_function("fig14_staircases", |b| b.iter(|| black_box(evaluation::fig14(&cfg()))));
+    g.bench_function("fig17_asymmetry_vs_size", |b| {
+        b.iter(|| black_box(evaluation::fig17(&cfg())))
+    });
+    g.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    c.bench_function("fig1_tree_packing", |b| b.iter(|| black_box(fig1::fig1())));
+}
+
+criterion_group!(benches, bench_surfaces, bench_fig1);
+criterion_main!(benches);

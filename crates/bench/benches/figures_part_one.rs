@@ -1,0 +1,59 @@
+//! Benches regenerating the Scenario A figures: tree-rate CDFs (Figs. 2/3
+//! and arbitrary-routing 7/8), link utilization (Figs. 4/9), and the
+//! tree-budget sweeps (Figs. 5/6 and 10/11).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omcf_sim::experiments::{part_one, Config, RoutingMode};
+use omcf_sim::Scale;
+use std::hint::black_box;
+
+fn cfg() -> Config {
+    Config { scale: Scale::Micro, seed: 2004 }
+}
+
+fn bench_rate_cdfs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rate_cdfs");
+    g.sample_size(10);
+    g.bench_function("fig2_maxflow_rate_cdf", |b| b.iter(|| black_box(part_one::fig2(&cfg()))));
+    g.bench_function("fig3_mcf_rate_cdf", |b| b.iter(|| black_box(part_one::fig3(&cfg()))));
+    g.bench_function("fig7_maxflow_rate_cdf_arbitrary", |b| {
+        b.iter(|| {
+            black_box(part_one::fig2_impl(&cfg(), RoutingMode::Arbitrary, "fig7"))
+        })
+    });
+    g.bench_function("fig8_mcf_rate_cdf_arbitrary", |b| {
+        b.iter(|| {
+            black_box(part_one::fig3_impl(&cfg(), RoutingMode::Arbitrary, "fig8"))
+        })
+    });
+    g.finish();
+}
+
+fn bench_link_utilization(c: &mut Criterion) {
+    let mut g = c.benchmark_group("link_utilization");
+    g.sample_size(10);
+    g.bench_function("fig4_link_utilization", |b| b.iter(|| black_box(part_one::fig4(&cfg()))));
+    g.bench_function("fig9_link_utilization_arbitrary", |b| {
+        b.iter(|| {
+            black_box(part_one::fig4_impl(&cfg(), RoutingMode::Arbitrary, "fig9"))
+        })
+    });
+    g.finish();
+}
+
+fn bench_limited_trees(c: &mut Criterion) {
+    let mut g = c.benchmark_group("limited_trees");
+    g.sample_size(10);
+    g.bench_function("fig5_6_random_and_online", |b| {
+        b.iter(|| black_box(part_one::fig5_6(&cfg())))
+    });
+    g.bench_function("fig10_11_random_and_online_arbitrary", |b| {
+        b.iter(|| {
+            black_box(part_one::limited_trees(&cfg(), RoutingMode::Arbitrary, "fig10-11"))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rate_cdfs, bench_link_utilization, bench_limited_trees);
+criterion_main!(benches);

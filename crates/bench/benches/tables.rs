@@ -1,0 +1,35 @@
+//! Benches regenerating the ratio-sweep tables:
+//! Table II (`MaxFlow`, fixed IP), Table IV (`MaxConcurrentFlow`, fixed
+//! IP), Table VII and Table VIII (their §V arbitrary-routing
+//! counterparts).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omcf_sim::experiments::{part_one, Config};
+use omcf_sim::Scale;
+use std::hint::black_box;
+
+fn cfg() -> Config {
+    Config { scale: Scale::Micro, seed: 2004 }
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+
+    g.bench_function("table2_maxflow_fixed_ip", |b| {
+        b.iter(|| black_box(part_one::table2(&cfg())))
+    });
+    g.bench_function("table4_mcf_fixed_ip", |b| {
+        b.iter(|| black_box(part_one::table4(&cfg())))
+    });
+    g.bench_function("table7_maxflow_arbitrary", |b| {
+        b.iter(|| black_box(part_one::table7(&cfg())))
+    });
+    g.bench_function("table8_mcf_arbitrary", |b| {
+        b.iter(|| black_box(part_one::table8(&cfg())))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

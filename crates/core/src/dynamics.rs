@@ -1,0 +1,290 @@
+//! Long-running online system with session joins **and leaves**.
+//!
+//! The paper motivates the online algorithm with "new sessions may join
+//! and existing sessions may terminate over time" (§I) but only evaluates
+//! arrivals. [`OnlineSystem`] completes the picture: it maintains the
+//! exponential link lengths incrementally, and because every arrival's
+//! contribution to a length is an exact multiplicative factor
+//! `(1 + ρ·n_e(t)·dem/c_e)`, a departure can *divide the factor back out*,
+//! restoring the lengths to exactly the state they would have had without
+//! the session's own contribution. Loads are additive and reversed the
+//! same way.
+//!
+//! Rates are assigned as in Table VI: session `i` gets
+//! `dem(i)/max(1, l_max^i)` where `l_max^i` is the current maximum
+//! congestion along its tree. (Unlike the batch variant we floor the
+//! divisor at 1: in a live system a session's rate should not exceed its
+//! demand merely because links are idle — idle headroom is future
+//! capacity, not extra entitlement. The batch scaling of
+//! [`crate::online::online_min_congestion`] is recovered by dividing by
+//! `l_max^i` directly, exposed as [`OnlineSystem::saturating_rates`].)
+
+use omcf_overlay::{OverlayTree, Session, SessionSet, TreeOracle};
+use omcf_overlay::{DynamicOracle, FixedIpOracle};
+use omcf_topology::Graph;
+
+/// Identifier of a live session inside an [`OnlineSystem`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct LiveId(u64);
+
+/// Routing regime for new arrivals.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JoinRouting {
+    /// Overlay hops ride frozen IP shortest paths.
+    FixedIp,
+    /// Overlay hops take the shortest path under the live lengths (§V).
+    Arbitrary,
+}
+
+struct Live {
+    id: LiveId,
+    session: Session,
+    tree: OverlayTree,
+    /// `(edge index, multiplicity)` of the tree's embedding.
+    edges: Vec<(usize, u32)>,
+}
+
+/// A continuously running overlay network accepting joins and leaves.
+///
+/// ```
+/// use omcf_core::{JoinRouting, OnlineSystem};
+/// use omcf_overlay::Session;
+/// use omcf_topology::{canned, NodeId};
+///
+/// let g = canned::grid(4, 4, 10.0);
+/// let mut sys = OnlineSystem::new(&g, 25.0, JoinRouting::FixedIp);
+/// let id = sys.join(Session::new(vec![NodeId(0), NodeId(15)], 1.0));
+/// assert_eq!(sys.live_count(), 1);
+/// assert!(sys.leave(id));
+/// assert_eq!(sys.live_count(), 0);
+/// ```
+pub struct OnlineSystem {
+    g: Graph,
+    rho: f64,
+    routing: JoinRouting,
+    lengths: Vec<f64>,
+    load: Vec<f64>,
+    live: Vec<Live>,
+    next_id: u64,
+}
+
+impl OnlineSystem {
+    /// Creates an empty system with step size `rho` over graph `g`.
+    #[must_use]
+    pub fn new(g: &Graph, rho: f64, routing: JoinRouting) -> Self {
+        assert!(rho > 0.0 && rho.is_finite());
+        let lengths = g.edge_ids().map(|e| 1.0 / g.capacity(e)).collect();
+        Self {
+            g: g.clone(),
+            rho,
+            routing,
+            lengths,
+            load: vec![0.0; g.edge_count()],
+            live: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Number of live sessions.
+    #[must_use]
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Admits a session: routes it on the minimum overlay spanning tree
+    /// under the current lengths and charges the links. Returns its id.
+    pub fn join(&mut self, session: Session) -> LiveId {
+        let set = SessionSet::new(vec![session.clone()]);
+        let tree = match self.routing {
+            JoinRouting::FixedIp => {
+                FixedIpOracle::new(&self.g, &set).min_tree(0, &self.lengths)
+            }
+            JoinRouting::Arbitrary => {
+                DynamicOracle::new(&self.g, &set).min_tree(0, &self.lengths)
+            }
+        };
+        let edges: Vec<(usize, u32)> =
+            tree.edge_multiplicities().into_iter().map(|(e, n)| (e.idx(), n)).collect();
+        for &(e, n) in &edges {
+            let add = f64::from(n) * session.demand / self.g.capacity(omcf_topology::EdgeId(e as u32));
+            self.load[e] += add;
+            self.lengths[e] *= 1.0 + self.rho * add;
+            assert!(self.lengths[e].is_finite(), "length overflow; lower rho");
+        }
+        let id = LiveId(self.next_id);
+        self.next_id += 1;
+        self.live.push(Live { id, session, tree, edges });
+        id
+    }
+
+    /// Removes a session, exactly reversing its length factors and load
+    /// contributions. Returns `false` if the id is unknown (already left).
+    pub fn leave(&mut self, id: LiveId) -> bool {
+        let Some(pos) = self.live.iter().position(|l| l.id == id) else {
+            return false;
+        };
+        let live = self.live.swap_remove(pos);
+        for &(e, n) in &live.edges {
+            let add = f64::from(n) * live.session.demand
+                / self.g.capacity(omcf_topology::EdgeId(e as u32));
+            self.load[e] -= add;
+            if self.load[e].abs() < 1e-12 {
+                self.load[e] = 0.0;
+            }
+            self.lengths[e] /= 1.0 + self.rho * add;
+        }
+        true
+    }
+
+    /// The tree a live session is using.
+    #[must_use]
+    pub fn tree_of(&self, id: LiveId) -> Option<&OverlayTree> {
+        self.live.iter().find(|l| l.id == id).map(|l| &l.tree)
+    }
+
+    /// Current maximum congestion indicator `l_max^i` of a live session.
+    #[must_use]
+    pub fn l_max(&self, id: LiveId) -> Option<f64> {
+        let live = self.live.iter().find(|l| l.id == id)?;
+        Some(live.edges.iter().map(|&(e, _)| self.load[e]).fold(0.0, f64::max))
+    }
+
+    /// Demand-capped feasible rates: `dem / max(1, l_max)` per live
+    /// session, in join order.
+    #[must_use]
+    pub fn rates(&self) -> Vec<(LiveId, f64)> {
+        self.live
+            .iter()
+            .map(|l| {
+                let lm = l.edges.iter().map(|&(e, _)| self.load[e]).fold(0.0, f64::max);
+                (l.id, l.session.demand / lm.max(1.0))
+            })
+            .collect()
+    }
+
+    /// Capacity-saturating rates `dem / l_max` (the paper's Table VI
+    /// scaling, which can exceed demand on an idle network).
+    #[must_use]
+    pub fn saturating_rates(&self) -> Vec<(LiveId, f64)> {
+        self.live
+            .iter()
+            .map(|l| {
+                let lm = l.edges.iter().map(|&(e, _)| self.load[e]).fold(0.0, f64::max);
+                let rate = if lm > 0.0 { l.session.demand / lm } else { l.session.demand };
+                (l.id, rate)
+            })
+            .collect()
+    }
+
+    /// Current per-edge lengths (test/diagnostic access).
+    #[must_use]
+    pub fn lengths(&self) -> &[f64] {
+        &self.lengths
+    }
+
+    /// Current maximum link congestion of the *scaled* allocation from
+    /// [`Self::rates`]: guaranteed ≤ 1.
+    #[must_use]
+    pub fn max_scaled_congestion(&self) -> f64 {
+        let rates: std::collections::HashMap<LiveId, f64> = self.rates().into_iter().collect();
+        let mut per_edge = vec![0.0f64; self.g.edge_count()];
+        for l in &self.live {
+            let scale = rates[&l.id] / l.session.demand;
+            for &(e, n) in &l.edges {
+                per_edge[e] += scale * f64::from(n) * l.session.demand
+                    / self.g.capacity(omcf_topology::EdgeId(e as u32));
+            }
+        }
+        per_edge.into_iter().fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omcf_topology::{canned, NodeId};
+
+    fn two_party(a: u32, b: u32) -> Session {
+        Session::new(vec![NodeId(a), NodeId(b)], 1.0)
+    }
+
+    #[test]
+    fn join_then_leave_restores_lengths_exactly() {
+        let g = canned::grid(4, 4, 10.0);
+        let mut sys = OnlineSystem::new(&g, 25.0, JoinRouting::FixedIp);
+        let initial = sys.lengths().to_vec();
+        let id = sys.join(two_party(0, 15));
+        assert_ne!(sys.lengths(), initial.as_slice());
+        assert!(sys.leave(id));
+        for (a, b) in sys.lengths().iter().zip(&initial) {
+            assert!((a - b).abs() <= 1e-12 * b, "length not restored: {a} vs {b}");
+        }
+        assert_eq!(sys.live_count(), 0);
+    }
+
+    #[test]
+    fn departures_free_capacity_for_newcomers() {
+        // Theta graph, arbitrary routing: with sessions on all three paths,
+        // a newcomer shares; after one leaves, the newcomer's l_max drops.
+        let g = canned::theta(4.0);
+        let mut sys = OnlineSystem::new(&g, 50.0, JoinRouting::Arbitrary);
+        let a = sys.join(two_party(0, 4));
+        let b = sys.join(two_party(0, 4));
+        let c = sys.join(two_party(0, 4));
+        // Three sessions, three disjoint paths: all have l_max = 1/4.
+        for id in [a, b, c] {
+            assert!((sys.l_max(id).unwrap() - 0.25).abs() < 1e-12);
+        }
+        let d = sys.join(two_party(0, 4)); // must share a path: l_max doubles
+        assert!((sys.l_max(d).unwrap() - 0.5).abs() < 1e-12);
+        sys.leave(a);
+        // d's path may still be shared, but total load dropped.
+        assert!(sys.l_max(d).unwrap() <= 0.5 + 1e-12);
+        let e = sys.join(two_party(0, 4)); // takes the freed path
+        let _ = e;
+        assert_eq!(sys.live_count(), 4);
+        assert!(sys.max_scaled_congestion() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn rates_capped_at_demand() {
+        let g = canned::path(3, 100.0);
+        let mut sys = OnlineSystem::new(&g, 10.0, JoinRouting::FixedIp);
+        let id = sys.join(two_party(0, 2));
+        let rates = sys.rates();
+        assert_eq!(rates, vec![(id, 1.0)], "idle network: rate = demand");
+        let sat = sys.saturating_rates();
+        assert!((sat[0].1 - 100.0).abs() < 1e-9, "saturating rate fills the link");
+    }
+
+    #[test]
+    fn leave_unknown_id_is_noop() {
+        let g = canned::path(3, 1.0);
+        let mut sys = OnlineSystem::new(&g, 10.0, JoinRouting::FixedIp);
+        let id = sys.join(two_party(0, 2));
+        assert!(sys.leave(id));
+        assert!(!sys.leave(id), "second leave must report failure");
+    }
+
+    #[test]
+    fn interleaved_churn_stays_feasible() {
+        let g = canned::grid(5, 5, 5.0);
+        let mut sys = OnlineSystem::new(&g, 30.0, JoinRouting::FixedIp);
+        let mut ids = Vec::new();
+        for round in 0..30u32 {
+            let a = round % 25;
+            let b = (round * 7 + 3) % 25;
+            if a != b {
+                ids.push(sys.join(two_party(a, b)));
+            }
+            if round % 3 == 2 {
+                let id = ids.remove(0);
+                assert!(sys.leave(id));
+            }
+        }
+        assert!(sys.max_scaled_congestion() <= 1.0 + 1e-9);
+        assert_eq!(sys.live_count(), ids.len());
+        // All lengths stay positive and finite through churn.
+        assert!(sys.lengths().iter().all(|l| *l > 0.0 && l.is_finite()));
+    }
+}

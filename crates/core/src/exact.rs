@@ -1,0 +1,402 @@
+//! Exact reference solver for tiny instances.
+//!
+//! M1/M2 have exponentially many tree variables, which is why the paper
+//! solves them with an FPTAS. On *small* sessions the tree set is
+//! enumerable — Cayley gives `m^{m-2}` labeled spanning trees, generated
+//! here from Prüfer sequences — and the LPs can be solved exactly with a
+//! dense simplex. This module exists purely as ground truth for tests and
+//! benchmarks: it certifies that the FPTAS objective lands within its
+//! guaranteed ratio of the true optimum, independently of the internal
+//! dual bound.
+//!
+//! Feasible only for fixed IP routing (the tree column is determined by
+//! its overlay edges) and sessions of ≤ 7 members (7⁵ = 16807 columns per
+//! session).
+
+use crate::ratio::ApproxParams;
+use omcf_numerics::simplex::{solve_lp, LpOutcome};
+use omcf_overlay::{FixedIpOracle, OverlayHop, OverlayTree, TreeOracle};
+use omcf_topology::{EdgeId, Graph};
+
+/// All labeled spanning trees over `m ≥ 2` vertices, as edge lists of
+/// vertex-index pairs, generated via Prüfer decoding (`m^{m-2}` trees).
+#[must_use]
+pub fn all_labeled_trees(m: usize) -> Vec<Vec<(usize, usize)>> {
+    assert!((2..=7).contains(&m), "tree enumeration practical for 2..=7 vertices");
+    if m == 2 {
+        return vec![vec![(0, 1)]];
+    }
+    let seq_len = m - 2;
+    let total = m.pow(seq_len as u32);
+    let mut out = Vec::with_capacity(total);
+    let mut prufer = vec![0usize; seq_len];
+    for code in 0..total {
+        let mut c = code;
+        for p in prufer.iter_mut() {
+            *p = c % m;
+            c /= m;
+        }
+        out.push(prufer_decode(&prufer, m));
+    }
+    out
+}
+
+/// Decodes a Prüfer sequence into its tree's edge list.
+fn prufer_decode(prufer: &[usize], m: usize) -> Vec<(usize, usize)> {
+    let mut degree = vec![1usize; m];
+    for &p in prufer {
+        degree[p] += 1;
+    }
+    let mut edges = Vec::with_capacity(m - 1);
+    // Min-leaf extraction; m ≤ 7 so a linear scan is fine.
+    let mut deg = degree;
+    let mut used = vec![false; m];
+    for &p in prufer {
+        let leaf = (0..m).find(|&v| deg[v] == 1 && !used[v]).expect("a leaf exists");
+        edges.push((leaf, p));
+        used[leaf] = true;
+        deg[p] -= 1;
+        // Re-allow p if it became a leaf (used flag only marks consumed
+        // leaves).
+    }
+    let mut last: Vec<usize> = (0..m).filter(|&v| !used[v] && deg[v] == 1).collect();
+    assert_eq!(last.len(), 2, "Prüfer decode must end with two leaves");
+    edges.push((last.remove(0), last.remove(0)));
+    edges
+}
+
+/// Materializes every spanning tree of session `i` under fixed routes.
+#[must_use]
+pub fn all_session_trees(oracle: &FixedIpOracle, session_idx: usize) -> Vec<OverlayTree> {
+    let session = oracle.sessions().session(session_idx);
+    let routes = oracle.routes(session_idx);
+    all_labeled_trees(session.size())
+        .into_iter()
+        .map(|edges| OverlayTree {
+            session: session_idx,
+            hops: edges
+                .into_iter()
+                .map(|(a, b)| OverlayHop {
+                    a,
+                    b,
+                    path: routes.route(session.members[a], session.members[b]).clone(),
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Column data shared by the exact LPs.
+struct Columns {
+    /// Per tree: (session, edge multiplicities).
+    trees: Vec<(usize, Vec<(EdgeId, u32)>)>,
+    /// Covered edges, in constraint order.
+    covered: Vec<EdgeId>,
+}
+
+fn build_columns(oracle: &FixedIpOracle) -> Columns {
+    let k = oracle.sessions().len();
+    let mut trees = Vec::new();
+    for i in 0..k {
+        for t in all_session_trees(oracle, i) {
+            trees.push((i, t.edge_multiplicities()));
+        }
+    }
+    let mut covered: Vec<EdgeId> =
+        trees.iter().flat_map(|(_, m)| m.iter().map(|(e, _)| *e)).collect();
+    covered.sort_unstable();
+    covered.dedup();
+    Columns { trees, covered }
+}
+
+/// Exact optimum of M1 (receiver-weighted maximum flow) by explicit LP.
+#[must_use]
+pub fn exact_m1_objective(g: &Graph, oracle: &FixedIpOracle) -> f64 {
+    let sessions = oracle.sessions();
+    let smax = sessions.max_size();
+    let cols = build_columns(oracle);
+    let n_cols = cols.trees.len();
+    let n_rows = cols.covered.len();
+    let edge_pos = |e: EdgeId| cols.covered.binary_search(&e).expect("covered edge");
+    let mut a = vec![0.0f64; n_rows * n_cols];
+    for (j, (_, mults)) in cols.trees.iter().enumerate() {
+        for (e, n) in mults {
+            a[edge_pos(*e) * n_cols + j] = f64::from(*n);
+        }
+    }
+    let b: Vec<f64> = cols.covered.iter().map(|&e| g.capacity(e)).collect();
+    let c: Vec<f64> = cols
+        .trees
+        .iter()
+        .map(|(i, _)| sessions.session(*i).receivers() as f64 / (smax as f64 - 1.0))
+        .collect();
+    match solve_lp(&a, &b, &c) {
+        LpOutcome::Optimal { value, .. } => value,
+        LpOutcome::Unbounded => unreachable!("capacity rows bound every column"),
+    }
+}
+
+/// Exact optimum of M2 (maximum concurrent flow `f*`) by explicit LP.
+///
+/// Variables: tree flows plus `f`; constraints: capacities, and per
+/// session `f·dem(i) − Σ_t f_t^i ≤ 0`.
+#[must_use]
+pub fn exact_m2_throughput(g: &Graph, oracle: &FixedIpOracle) -> f64 {
+    let sessions = oracle.sessions();
+    let k = sessions.len();
+    let cols = build_columns(oracle);
+    let n_tree = cols.trees.len();
+    let n_cols = n_tree + 1; // + f
+    let n_rows = cols.covered.len() + k;
+    let edge_pos = |e: EdgeId| cols.covered.binary_search(&e).expect("covered edge");
+    let mut a = vec![0.0f64; n_rows * n_cols];
+    for (j, (i, mults)) in cols.trees.iter().enumerate() {
+        for (e, n) in mults {
+            a[edge_pos(*e) * n_cols + j] = f64::from(*n);
+        }
+        // Coupling row of session i: −Σ f_t^i + f·dem ≤ 0.
+        a[(cols.covered.len() + i) * n_cols + j] = -1.0;
+    }
+    for i in 0..k {
+        a[(cols.covered.len() + i) * n_cols + n_tree] = sessions.session(i).demand;
+    }
+    let mut b: Vec<f64> = cols.covered.iter().map(|&e| g.capacity(e)).collect();
+    b.extend(std::iter::repeat_n(0.0, k));
+    let mut c = vec![0.0f64; n_cols];
+    c[n_tree] = 1.0;
+    match solve_lp(&a, &b, &c) {
+        LpOutcome::Optimal { value, .. } => value,
+        LpOutcome::Unbounded => unreachable!("f is capacity-bounded"),
+    }
+}
+
+/// Convenience: certify a MaxFlow run against the exact optimum. Returns
+/// `(fptas_objective, exact_objective)`.
+#[must_use]
+pub fn certify_m1(g: &Graph, oracle: &FixedIpOracle, params: ApproxParams) -> (f64, f64) {
+    let out = crate::m1::max_flow(g, oracle, params);
+    (out.objective, exact_m1_objective(g, oracle))
+}
+
+/// Exact optimum of the **integral** problem M2I: each session routes its
+/// whole demand on exactly one tree; minimize the maximum congestion.
+/// Solved by brute force over all tree combinations (`Π_i m_i^{m_i−2}`),
+/// so only for instances with `Σ_i (m_i−2)·log m_i` small — the ground
+/// truth for the rounding/online guarantees (Theorems 3 and 4).
+///
+/// Returns `(min_max_congestion, chosen tree index per session)`.
+#[must_use]
+pub fn exact_m2i_min_congestion(g: &Graph, oracle: &FixedIpOracle) -> (f64, Vec<usize>) {
+    let sessions = oracle.sessions();
+    let k = sessions.len();
+    let per_session: Vec<Vec<OverlayTree>> =
+        (0..k).map(|i| all_session_trees(oracle, i)).collect();
+    let combos: usize = per_session.iter().map(Vec::len).product();
+    assert!(combos <= 2_000_000, "M2I brute force infeasible: {combos} combinations");
+    // Pre-extract multiplicity vectors scaled by demand/capacity.
+    let loads: Vec<Vec<Vec<(usize, f64)>>> = per_session
+        .iter()
+        .enumerate()
+        .map(|(i, trees)| {
+            let dem = sessions.session(i).demand;
+            trees
+                .iter()
+                .map(|t| {
+                    t.edge_multiplicities()
+                        .into_iter()
+                        .map(|(e, n)| (e.idx(), f64::from(n) * dem / g.capacity(e)))
+                        .collect()
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut best = f64::INFINITY;
+    let mut best_choice = vec![0usize; k];
+    let mut choice = vec![0usize; k];
+    let mut edge_load = vec![0.0f64; g.edge_count()];
+
+    fn recurse(
+        i: usize,
+        k: usize,
+        loads: &[Vec<Vec<(usize, f64)>>],
+        choice: &mut Vec<usize>,
+        edge_load: &mut Vec<f64>,
+        best: &mut f64,
+        best_choice: &mut Vec<usize>,
+    ) {
+        if i == k {
+            let current = edge_load.iter().cloned().fold(0.0, f64::max);
+            if current < *best {
+                *best = current;
+                best_choice.clone_from(choice);
+            }
+            return;
+        }
+        for (j, tree_load) in loads[i].iter().enumerate() {
+            choice[i] = j;
+            for &(e, add) in tree_load {
+                edge_load[e] += add;
+            }
+            recurse(i + 1, k, loads, choice, edge_load, best, best_choice);
+            for &(e, add) in tree_load {
+                edge_load[e] -= add;
+            }
+        }
+    }
+    recurse(0, k, &loads, &mut choice, &mut edge_load, &mut best, &mut best_choice);
+    (best, best_choice)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::m2::max_concurrent_flow;
+    use omcf_overlay::{Session, SessionSet};
+    use omcf_topology::{canned, NodeId};
+
+    #[test]
+    fn tree_enumeration_counts_match_cayley() {
+        for m in 2..=6 {
+            let trees = all_labeled_trees(m);
+            let expected = if m == 2 { 1 } else { m.pow(m as u32 - 2) };
+            assert_eq!(trees.len(), expected, "m = {m}");
+            // Every tree spans: m−1 edges, connected (union-find).
+            for t in &trees {
+                assert_eq!(t.len(), m - 1);
+                let mut parent: Vec<usize> = (0..m).collect();
+                fn find(p: &mut Vec<usize>, x: usize) -> usize {
+                    if p[x] != x {
+                        let r = find(p, p[x]);
+                        p[x] = r;
+                    }
+                    p[x]
+                }
+                for &(u, v) in t {
+                    let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+                    assert_ne!(ru, rv, "cycle in decoded tree {t:?}");
+                    parent[ru] = rv;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tree_enumeration_has_no_duplicates() {
+        let mut keys: Vec<Vec<(usize, usize)>> = all_labeled_trees(5)
+            .into_iter()
+            .map(|mut t| {
+                for e in &mut t {
+                    if e.0 > e.1 {
+                        *e = (e.1, e.0);
+                    }
+                }
+                t.sort_unstable();
+                t
+            })
+            .collect();
+        keys.sort();
+        let before = keys.len();
+        keys.dedup();
+        assert_eq!(keys.len(), before);
+    }
+
+    #[test]
+    fn fptas_within_ratio_of_exact_m1() {
+        let g = canned::grid(3, 3, 10.0);
+        let sessions = SessionSet::new(vec![
+            Session::new(vec![NodeId(0), NodeId(4), NodeId(8)], 1.0),
+            Session::new(vec![NodeId(2), NodeId(6)], 1.0),
+        ]);
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let params = ApproxParams::for_m1(0.9);
+        let (fptas, exact) = certify_m1(&g, &oracle, params);
+        assert!(fptas <= exact + 1e-7, "fptas {fptas} above exact {exact}");
+        assert!(
+            fptas >= params.ratio * exact - 1e-9,
+            "fptas {fptas} below guarantee on exact {exact}"
+        );
+    }
+
+    #[test]
+    fn fptas_within_ratio_of_exact_m2() {
+        let g = canned::ring(8, 12.0);
+        let sessions = SessionSet::new(vec![
+            Session::new(vec![NodeId(0), NodeId(4)], 1.0),
+            Session::new(vec![NodeId(2), NodeId(6), NodeId(7)], 1.0),
+        ]);
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let exact = exact_m2_throughput(&g, &oracle);
+        let params = ApproxParams::for_m2(0.9);
+        let out = max_concurrent_flow(&g, &oracle, params);
+        assert!(out.throughput <= exact + 1e-7, "fptas {} above exact {exact}", out.throughput);
+        assert!(
+            out.throughput >= params.ratio * exact - 1e-9,
+            "fptas {} below guarantee on exact {exact}",
+            out.throughput
+        );
+    }
+
+    #[test]
+    fn exact_m1_matches_known_value_on_theta_pair() {
+        // Two-member session on the path graph: only one tree (the route),
+        // value = bottleneck.
+        let g = canned::path(4, 7.0);
+        let sessions = SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(3)], 1.0)]);
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let exact = exact_m1_objective(&g, &oracle);
+        assert!((exact - 7.0).abs() < 1e-9, "exact {exact}");
+    }
+
+    #[test]
+    fn m2i_optimum_bounds_online_and_rounding() {
+        // Two 2-member sessions on a ring: the integral optimum's
+        // congestion lower-bounds whatever one-tree solutions achieve.
+        let g = canned::ring(6, 10.0);
+        let sessions = SessionSet::new(vec![
+            Session::new(vec![NodeId(0), NodeId(3)], 5.0),
+            Session::new(vec![NodeId(1), NodeId(4)], 5.0),
+        ]);
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let (opt_congestion, choice) = exact_m2i_min_congestion(&g, &oracle);
+        assert_eq!(choice.len(), 2);
+        // Each 2-member session has exactly one tree (its fixed route), so
+        // the optimum is forced: both routes are 3 hops and overlap on...
+        // whatever they overlap on; congestion is ≥ demand/capacity = 0.5.
+        assert!(opt_congestion >= 0.5 - 1e-9);
+        // The online algorithm's *unscaled* congestion is within its
+        // competitive factor of the optimum.
+        let online = crate::online::online_min_congestion(&g, &oracle, 10.0);
+        assert!(online.l_max_global >= opt_congestion - 1e-9);
+    }
+
+    #[test]
+    fn m2i_picks_disjoint_trees_when_available() {
+        // Two sessions with two route choices each... with fixed IP
+        // routing each pair has one route, so use 3-member sessions on a
+        // grid where tree choice matters.
+        let g = canned::grid(3, 3, 10.0);
+        let sessions = SessionSet::new(vec![
+            Session::new(vec![NodeId(0), NodeId(2), NodeId(8)], 1.0),
+            Session::new(vec![NodeId(6), NodeId(4), NodeId(2)], 1.0),
+        ]);
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let (opt, _) = exact_m2i_min_congestion(&g, &oracle);
+        assert!(opt > 0.0 && opt.is_finite());
+        // Sanity: optimum cannot beat the fractional concurrent optimum's
+        // congestion 1/f*.
+        let frac = exact_m2_throughput(&g, &oracle);
+        assert!(opt >= 1.0 / frac - 1e-9, "integral {opt} below fractional bound {}", 1.0 / frac);
+    }
+
+    #[test]
+    fn exact_m2_single_session_equals_m1() {
+        let g = canned::grid(3, 3, 5.0);
+        let sessions =
+            SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(4), NodeId(8)], 1.0)]);
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let m1 = exact_m1_objective(&g, &oracle);
+        let m2 = exact_m2_throughput(&g, &oracle);
+        assert!((m1 - m2).abs() < 1e-7, "m1 {m1} vs m2 {m2}");
+    }
+}

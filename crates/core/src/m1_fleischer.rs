@@ -1,0 +1,207 @@
+//! Fleischer's improvement to the `MaxFlow` FPTAS.
+//!
+//! Table I recomputes the minimum overlay spanning tree of **every**
+//! session in every iteration — `k` oracle calls per augmentation — to
+//! find the globally shortest tree. Fleischer (the paper's reference \[12\]) observed that it
+//! suffices to work against a *lower bound* `α̂` on the global minimum:
+//! keep augmenting within one session while its tree's normalized length
+//! stays below `(1+ε)·α̂`, move on when it does not, and raise
+//! `α̂ ← (1+ε)·α̂` once a full sweep over the sessions routes nothing.
+//! Augmentations then cost one oracle call each (plus `k` calls per α̂
+//! phase), instead of `k` per augmentation — a large saving whenever the
+//! instance does many augmentations per phase (many covered edges).
+//! The price is an extra `(1+ε)` factor in the guarantee.
+//!
+//! Feasibility scaling uses the *measured* divisor
+//! `max_e log_{1+ε}(d_e^final/δ)` — each time a capacity's worth of flow
+//! crosses `e`, `d_e` grows by at least `(1+ε)` (Lemma 2's argument), so
+//! this scaling is always feasible and never looser than the analytic
+//! bound; feasibility is asserted after scaling.
+
+use crate::lengths::ScaledLengths;
+use crate::m1::MaxFlowOutcome;
+use crate::ratio::{ln_delta_m1, ApproxParams};
+use crate::solution::summarize;
+use omcf_overlay::{TreeOracle, TreeStore};
+use omcf_topology::Graph;
+
+/// Runs the Fleischer-style `MaxFlow` over all sessions of the oracle.
+/// Produces the same kind of outcome as [`crate::m1::max_flow`], typically
+/// with far fewer MST operations at equal accuracy on non-trivial
+/// instances.
+#[must_use]
+pub fn max_flow_fleischer<O: TreeOracle + ?Sized>(
+    g: &Graph,
+    oracle: &O,
+    params: ApproxParams,
+) -> MaxFlowOutcome {
+    let sessions = oracle.sessions();
+    let k = sessions.len();
+    let eps = params.eps;
+    let smax = sessions.max_size();
+    assert!(smax >= 2);
+    let u = oracle.max_route_hops().max(1);
+    let ln_delta = ln_delta_m1(eps, smax, u);
+    let ln_top = ((1.0 + eps) * (1.0 + eps) * (smax as f64 - 1.0) * u as f64).ln() + 2.0;
+    let mut lengths = ScaledLengths::new(&vec![1.0; g.edge_count()], ln_delta, ln_top);
+
+    let caps: Vec<f64> = g.edge_ids().map(|e| g.capacity(e)).collect();
+    let mut store = TreeStore::new(k);
+    let mut mst_ops = 0u64;
+    let mut iterations = 0u64;
+    let mut dual_bound = f64::INFINITY;
+
+    let norm = |i: usize| (smax as f64 - 1.0) / (sessions.session(i).receivers() as f64);
+
+    // Initialize α̂ at the true global minimum (one sweep).
+    let mut alpha_hat = f64::INFINITY;
+    for i in 0..k {
+        let tree = oracle.min_tree(i, lengths.stored());
+        mst_ops += 1;
+        alpha_hat = alpha_hat.min(tree.length(lengths.stored()) * norm(i));
+    }
+    let stored_one = lengths.stored_one();
+    dual_bound = dual_bound.min(lengths.weighted_sum_stored(&caps) / alpha_hat);
+
+    while alpha_hat < stored_one {
+        let target = alpha_hat * (1.0 + eps);
+        for i in 0..k {
+            loop {
+                let tree = oracle.min_tree(i, lengths.stored());
+                mst_ops += 1;
+                let len = tree.length(lengths.stored()) * norm(i);
+                if len > target || len >= stored_one {
+                    break;
+                }
+                iterations += 1;
+                let c = tree.bottleneck(g);
+                let mults = tree.edge_multiplicities();
+                store.add(tree, c);
+                for (e, n) in mults {
+                    let factor = 1.0 + eps * f64::from(n) * c / g.capacity(e);
+                    lengths.scale_edge(e.idx(), factor);
+                }
+            }
+        }
+        // Lengths only grow, so once session i's minimum exceeded `target`
+        // at its turn it still does at the end of the sweep — the global
+        // minimum is now above `target` and the bump is always sound.
+        alpha_hat = target;
+    }
+
+    // One static sweep for an exact weak-duality witness: lengths are
+    // final, so the minimum normalized tree length is the true α and
+    // D1/α ≥ OPT.
+    {
+        let mut final_min = f64::INFINITY;
+        for i in 0..k {
+            let tree = oracle.min_tree(i, lengths.stored());
+            mst_ops += 1;
+            final_min = final_min.min(tree.length(lengths.stored()) * norm(i));
+        }
+        let bound = lengths.weighted_sum_stored(&caps) / final_min;
+        if bound < dual_bound {
+            dual_bound = bound;
+        }
+    }
+
+    // Measured feasibility divisor (≥ 1 by construction).
+    let log1p = (1.0 + eps).ln();
+    let divisor = g
+        .edge_ids()
+        .map(|e| (lengths.ln_true(e.idx()) - ln_delta) / log1p)
+        .fold(1.0f64, f64::max);
+    store.scale_all(1.0 / divisor);
+    store.assert_feasible(g, 1e-9);
+
+    let summary = summarize(&store, sessions, g);
+    let objective: f64 = (0..k).map(|i| summary.session_rates[i] / norm(i)).sum();
+    MaxFlowOutcome { store, summary, objective, dual_bound, mst_ops, iterations, eps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::m1::max_flow;
+    use omcf_overlay::{DynamicOracle, FixedIpOracle, Session, SessionSet};
+    use omcf_topology::{canned, NodeId};
+
+    fn grid_setup() -> (Graph, SessionSet) {
+        let g = canned::grid(4, 4, 50.0);
+        let sessions = SessionSet::new(vec![
+            Session::new(vec![NodeId(0), NodeId(5), NodeId(15)], 1.0),
+            Session::new(vec![NodeId(3), NodeId(12)], 1.0),
+            Session::new(vec![NodeId(1), NodeId(14), NodeId(7)], 1.0),
+        ]);
+        (g, sessions)
+    }
+
+    #[test]
+    fn matches_table_i_objective() {
+        let (g, sessions) = grid_setup();
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let base = max_flow(&g, &oracle, ApproxParams::for_m1(0.9));
+        let fle = max_flow_fleischer(&g, &oracle, ApproxParams::for_m1(0.9));
+        fle.store.assert_feasible(&g, 1e-9);
+        assert!(
+            fle.objective >= base.objective * 0.93,
+            "fleischer {} vs table-I {}",
+            fle.objective,
+            base.objective
+        );
+        assert!(
+            fle.objective <= fle.dual_bound * (1.0 + 1e-9),
+            "objective {} above dual bound {}",
+            fle.objective,
+            fle.dual_bound
+        );
+    }
+
+    #[test]
+    fn saves_oracle_calls_on_wide_instances() {
+        // Fleischer's amortization wins when many augmentations happen per
+        // α̂ phase — i.e., many covered edges and several sessions.
+        let g = canned::grid(6, 6, 20.0);
+        let sessions = SessionSet::new(vec![
+            Session::new(vec![NodeId(0), NodeId(7), NodeId(14), NodeId(21)], 1.0),
+            Session::new(vec![NodeId(5), NodeId(10), NodeId(30)], 1.0),
+            Session::new(vec![NodeId(35), NodeId(22), NodeId(3)], 1.0),
+            Session::new(vec![NodeId(2), NodeId(33)], 1.0),
+            Session::new(vec![NodeId(6), NodeId(29), NodeId(17)], 1.0),
+        ]);
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let base = max_flow(&g, &oracle, ApproxParams::for_m1(0.9));
+        let fle = max_flow_fleischer(&g, &oracle, ApproxParams::for_m1(0.9));
+        assert!(
+            (fle.mst_ops as f64) < 0.8 * base.mst_ops as f64,
+            "fleischer {} ops vs table-I {} ops",
+            fle.mst_ops,
+            base.mst_ops
+        );
+        assert!(fle.objective >= base.objective * 0.9);
+    }
+
+    #[test]
+    fn saturates_theta_like_table_i() {
+        let g = canned::theta(5.0);
+        let sessions = SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(4)], 1.0)]);
+        let oracle = DynamicOracle::new(&g, &sessions);
+        let out = max_flow_fleischer(&g, &oracle, ApproxParams::for_m1(0.92));
+        assert!(
+            out.summary.session_rates[0] >= 0.9 * 15.0,
+            "rate {}",
+            out.summary.session_rates[0]
+        );
+        assert!(out.summary.session_rates[0] <= 15.0 + 1e-9);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (g, sessions) = grid_setup();
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let a = max_flow_fleischer(&g, &oracle, ApproxParams::for_m1(0.91));
+        let b = max_flow_fleischer(&g, &oracle, ApproxParams::for_m1(0.91));
+        assert_eq!(a.summary.session_rates, b.summary.session_rates);
+        assert_eq!(a.mst_ops, b.mst_ops);
+    }
+}

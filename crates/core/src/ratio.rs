@@ -1,0 +1,127 @@
+//! Approximation-ratio bookkeeping: ε and δ.
+//!
+//! The experiments sweep an *approximation ratio* `r ∈ {0.90, …, 0.99}`;
+//! the FPTAS is parameterized by `ε`. Lemma 3 guarantees `MaxFlow`
+//! a `1/(1−ε)²` gap (result ≥ (1−ε)²·OPT), Lemma 5 gives
+//! `MaxConcurrentFlow` `(1−ε)³`; we invert those forms exactly:
+//! `ε_M1(r) = 1 − √r`, `ε_M2(r) = 1 − ∛r`.
+
+/// Solver accuracy parameters derived from a target approximation ratio.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ApproxParams {
+    /// Requested ratio `r ∈ (0, 1)`: the result is guaranteed ≥ `r · OPT`.
+    pub ratio: f64,
+    /// The ε driving the length-update schedule.
+    pub eps: f64,
+}
+
+impl ApproxParams {
+    /// Parameters for the `MaxFlow` FPTAS (M1): `ε = 1 − √r`.
+    #[must_use]
+    pub fn for_m1(ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio < 1.0, "ratio must be in (0, 1), got {ratio}");
+        Self { ratio, eps: 1.0 - ratio.sqrt() }
+    }
+
+    /// Parameters for the `MaxConcurrentFlow` FPTAS (M2): `ε = 1 − ∛r`.
+    #[must_use]
+    pub fn for_m2(ratio: f64) -> Self {
+        assert!(ratio > 0.0 && ratio < 1.0, "ratio must be in (0, 1), got {ratio}");
+        Self { ratio, eps: 1.0 - ratio.cbrt() }
+    }
+
+    /// Direct construction from ε (ratio recorded as the M1 guarantee).
+    #[must_use]
+    pub fn from_eps(eps: f64) -> Self {
+        assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1), got {eps}");
+        Self { ratio: (1.0 - eps) * (1.0 - eps), eps }
+    }
+}
+
+/// `ln δ` for M1 (Lemma 3): `δ = (1+ε)^{1−1/ε} / ((|S_max|−1)·U)^{1/ε}`.
+///
+/// Computed in the log domain — the value itself underflows `f64` for tight
+/// ratios.
+#[must_use]
+pub fn ln_delta_m1(eps: f64, smax: usize, max_route_hops: usize) -> f64 {
+    assert!(smax >= 2, "need |S_max| >= 2");
+    let u = max_route_hops.max(1) as f64;
+    let inv = 1.0 / eps;
+    (1.0 - inv) * (1.0 + eps).ln() - inv * ((smax as f64 - 1.0) * u).ln()
+}
+
+/// `ln δ` for M2 (Lemma 5): `δ = (|E|/(1−ε))^{−1/ε}`.
+#[must_use]
+pub fn ln_delta_m2(eps: f64, edge_count: usize) -> f64 {
+    assert!(edge_count >= 1);
+    -(1.0 / eps) * (edge_count as f64 / (1.0 - eps)).ln()
+}
+
+/// Final primal scaling divisor for M1 (Lemma 2):
+/// `log_{1+ε}((1+ε)/δ)`.
+#[must_use]
+pub fn m1_scale_divisor(eps: f64, ln_delta: f64) -> f64 {
+    ((1.0 + eps).ln() - ln_delta) / (1.0 + eps).ln()
+}
+
+/// Final primal scaling divisor for M2 (Lemma 4): `log_{1+ε}(1/δ)`.
+#[must_use]
+pub fn m2_scale_divisor(eps: f64, ln_delta: f64) -> f64 {
+    -ln_delta / (1.0 + eps).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m1_eps_inverts_square() {
+        let p = ApproxParams::for_m1(0.9025);
+        assert!((p.eps - 0.05).abs() < 1e-12);
+        let q = ApproxParams::for_m1(0.99);
+        assert!((1.0 - q.eps).powi(2) >= 0.99 - 1e-12);
+    }
+
+    #[test]
+    fn m2_eps_inverts_cube() {
+        let p = ApproxParams::for_m2(0.857375); // 0.95^3
+        assert!((p.eps - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_delta_m1_matches_direct_formula_when_representable() {
+        let eps = 0.1;
+        let direct = (1.0f64 + eps).powf(1.0 - 1.0 / eps) / (6.0 * 10.0f64).powf(1.0 / eps);
+        let viacln = ln_delta_m1(eps, 7, 10);
+        assert!((viacln - direct.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_delta_m2_matches_direct() {
+        let eps = 0.2;
+        let direct = (300.0f64 / 0.8).powf(-5.0);
+        assert!((ln_delta_m2(eps, 300) - direct.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tighter_ratio_means_smaller_delta() {
+        let loose = ln_delta_m1(ApproxParams::for_m1(0.90).eps, 7, 10);
+        let tight = ln_delta_m1(ApproxParams::for_m1(0.99).eps, 7, 10);
+        assert!(tight < loose);
+    }
+
+    #[test]
+    fn scale_divisors_positive_and_monotone() {
+        let eps = 0.05;
+        let d1 = m1_scale_divisor(eps, ln_delta_m1(eps, 7, 10));
+        assert!(d1 > 1.0);
+        let d2 = m2_scale_divisor(eps, ln_delta_m2(eps, 300));
+        assert!(d2 > 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be in")]
+    fn rejects_ratio_one() {
+        let _ = ApproxParams::for_m1(1.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! `Random-MinCongestion` — Table V randomized rounding.
+//!
+//! Starting from a fractional `MaxConcurrentFlow` solution, each session
+//! selects a small number of trees at random — tree `t_j^i` with
+//! probability proportional to its fractional flow `f_j^i` — and routes its
+//! whole demand over them. Theorem 3 (Raghavan–Thompson Chernoff argument)
+//! bounds the resulting congestion by `OPT + √(3·OPT·ln(|E|/q))` with
+//! probability `1 − q`. Scaling each session by its observed maximum
+//! congestion `l_max^i` restores feasibility, exactly as in the online
+//! algorithm.
+//!
+//! The paper's §IV-D experiment draws `n` trees per session (a session
+//! limited to `n` trees is `n` sub-commodities of demand `dem/n`),
+//! repeats the lottery 100 times and reports averages; [`random_min_congestion`]
+//! implements one lottery, [`rounding_trials`] the averaged protocol.
+
+use crate::m2::McfOutcome;
+use omcf_numerics::{Rng64, Summary};
+use omcf_overlay::{SessionSet, TreeStore};
+use omcf_topology::Graph;
+
+/// Result of one rounding lottery.
+#[derive(Clone, Debug)]
+pub struct RoundingOutcome {
+    /// Feasible flow after per-session `l_max` scaling.
+    pub store: TreeStore,
+    /// Per-session scaled rates.
+    pub session_rates: Vec<f64>,
+    /// Aggregate receiving rate Σ (|S_i|−1)·rate_i.
+    pub overall_throughput: f64,
+    /// Distinct trees actually chosen per session (≤ the requested limit;
+    /// the same tree may be drawn twice — the paper observes exactly this).
+    pub trees_used: Vec<usize>,
+}
+
+/// One rounding lottery: draw `trees_per_session` trees per session from
+/// the fractional M2 solution, route `dem/trees_per_session` on each draw,
+/// then scale each session by its maximum congestion.
+#[must_use]
+pub fn random_min_congestion(
+    g: &Graph,
+    sessions: &SessionSet,
+    fractional: &McfOutcome,
+    trees_per_session: usize,
+    rng: &mut impl Rng64,
+) -> RoundingOutcome {
+    assert!(trees_per_session >= 1, "need at least one tree per session");
+    let k = sessions.len();
+    let mut store = TreeStore::new(k);
+
+    // Draw trees: probability ∝ fractional flow (Table V line 4).
+    for i in 0..k {
+        let candidates: Vec<_> = fractional.store.trees(i).collect();
+        assert!(!candidates.is_empty(), "fractional solution has no trees for session {i}");
+        let weights: Vec<f64> = candidates.iter().map(|t| t.flow).collect();
+        let share = sessions.session(i).demand / trees_per_session as f64;
+        for _ in 0..trees_per_session {
+            let pick = rng.weighted_index(&weights);
+            store.add(candidates[pick].tree.clone(), share);
+        }
+    }
+
+    // Congestion per edge from the integral routing (Table V line 5), then
+    // per-session l_max scaling (lines 6–8).
+    let edge_flows = store.edge_flows(g);
+    let congestion: Vec<f64> =
+        g.edge_ids().zip(&edge_flows).map(|(e, f)| f / g.capacity(e)).collect();
+    let mut session_rates = Vec::with_capacity(k);
+    let mut trees_used = Vec::with_capacity(k);
+    for i in 0..k {
+        let mut l_max = 0.0f64;
+        for stored in store.trees(i) {
+            for (e, _) in stored.tree.edge_multiplicities() {
+                l_max = l_max.max(congestion[e.idx()]);
+            }
+        }
+        let scale = if l_max > 0.0 { 1.0 / l_max } else { 0.0 };
+        trees_used.push(store.tree_count(i));
+        session_rates.push(sessions.session(i).demand * scale);
+    }
+    for (i, rate) in session_rates.iter().enumerate() {
+        let total = store.session_total(i);
+        if total > 0.0 {
+            store.scale_session(i, rate / total);
+        }
+    }
+    store.assert_feasible(g, 1e-9);
+
+    let overall_throughput = session_rates
+        .iter()
+        .enumerate()
+        .map(|(i, r)| sessions.session(i).receivers() as f64 * r)
+        .sum();
+    RoundingOutcome { store, session_rates, overall_throughput, trees_used }
+}
+
+/// Averaged statistics over `trials` independent lotteries (the paper runs
+/// 100).
+#[derive(Clone, Debug)]
+pub struct TrialStats {
+    /// Mean and spread of overall throughput.
+    pub throughput: Summary,
+    /// Per-session mean scaled rate.
+    pub mean_session_rates: Vec<f64>,
+    /// Per-session mean number of distinct trees used.
+    pub mean_trees_used: Vec<f64>,
+}
+
+/// Runs `trials` lotteries and aggregates (§IV-D protocol).
+#[must_use]
+pub fn rounding_trials(
+    g: &Graph,
+    sessions: &SessionSet,
+    fractional: &McfOutcome,
+    trees_per_session: usize,
+    trials: usize,
+    rng: &mut impl Rng64,
+) -> TrialStats {
+    assert!(trials >= 1);
+    let k = sessions.len();
+    let mut throughputs = Vec::with_capacity(trials);
+    let mut rate_acc = vec![0.0f64; k];
+    let mut tree_acc = vec![0.0f64; k];
+    for _ in 0..trials {
+        let out = random_min_congestion(g, sessions, fractional, trees_per_session, rng);
+        throughputs.push(out.overall_throughput);
+        for i in 0..k {
+            rate_acc[i] += out.session_rates[i];
+            tree_acc[i] += out.trees_used[i] as f64;
+        }
+    }
+    let n = trials as f64;
+    TrialStats {
+        throughput: Summary::of(&throughputs),
+        mean_session_rates: rate_acc.into_iter().map(|v| v / n).collect(),
+        mean_trees_used: tree_acc.into_iter().map(|v| v / n).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::m2::max_concurrent_flow;
+    use crate::ratio::ApproxParams;
+    use omcf_numerics::Xoshiro256pp;
+    use omcf_overlay::{DynamicOracle, FixedIpOracle, Session};
+    use omcf_topology::{canned, NodeId};
+
+    fn theta_setup() -> (omcf_topology::Graph, SessionSet) {
+        let g = canned::theta(6.0);
+        let sessions = SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(4)], 1.0)]);
+        (g, sessions)
+    }
+
+    #[test]
+    fn one_tree_rounding_is_feasible() {
+        let (g, sessions) = theta_setup();
+        let oracle = DynamicOracle::new(&g, &sessions);
+        let frac = max_concurrent_flow(&g, &oracle, ApproxParams::for_m2(0.9));
+        let mut rng = Xoshiro256pp::new(1);
+        let out = random_min_congestion(&g, &sessions, &frac, 1, &mut rng);
+        assert_eq!(out.trees_used, vec![1]);
+        out.store.assert_feasible(&g, 1e-9);
+        // One tree through capacity-6 links: scaled rate = 6.
+        assert!((out.session_rates[0] - 6.0).abs() < 1e-6, "rate {}", out.session_rates[0]);
+    }
+
+    #[test]
+    fn more_trees_more_throughput() {
+        let (g, sessions) = theta_setup();
+        let oracle = DynamicOracle::new(&g, &sessions);
+        let frac = max_concurrent_flow(&g, &oracle, ApproxParams::for_m2(0.9));
+        let mut rng = Xoshiro256pp::new(2);
+        let one = rounding_trials(&g, &sessions, &frac, 1, 40, &mut rng);
+        let many = rounding_trials(&g, &sessions, &frac, 24, 40, &mut rng);
+        assert!(
+            many.throughput.mean > one.throughput.mean * 1.5,
+            "24-tree {} vs 1-tree {}",
+            many.throughput.mean,
+            one.throughput.mean
+        );
+        // Optimum is 18. With n draws over 3 near-uniform trees the scaled
+        // rate is 18·(n/3)/max_bucket; multinomial imbalance at n = 24
+        // keeps the expectation around 70–80% of optimum (the paper's
+        // Fig. 5 shows the same diminishing-return shape).
+        assert!(many.throughput.mean >= 0.65 * 18.0, "mean {}", many.throughput.mean);
+    }
+
+    #[test]
+    fn rounding_never_exceeds_fractional_upper_bound() {
+        let g = canned::grid(4, 4, 10.0);
+        let sessions = SessionSet::new(vec![
+            Session::new(vec![NodeId(0), NodeId(15), NodeId(3)], 1.0),
+            Session::new(vec![NodeId(12), NodeId(2)], 1.0),
+        ]);
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let frac = max_concurrent_flow(&g, &oracle, ApproxParams::for_m2(0.9));
+        // The fractional M2 solution is within ε of the optimum; rounding
+        // with any tree budget cannot beat the true optimum by more than
+        // the ε slack.
+        let fractional_throughput = frac.summary.overall_throughput;
+        let mut rng = Xoshiro256pp::new(3);
+        let stats = rounding_trials(&g, &sessions, &frac, 20, 30, &mut rng);
+        assert!(
+            stats.throughput.mean <= fractional_throughput / 0.85,
+            "rounded {} vs fractional {}",
+            stats.throughput.mean,
+            fractional_throughput
+        );
+    }
+
+    #[test]
+    fn trees_used_bounded_by_request() {
+        let (g, sessions) = theta_setup();
+        let oracle = DynamicOracle::new(&g, &sessions);
+        let frac = max_concurrent_flow(&g, &oracle, ApproxParams::for_m2(0.9));
+        let mut rng = Xoshiro256pp::new(4);
+        for n in [1usize, 2, 5] {
+            let out = random_min_congestion(&g, &sessions, &frac, n, &mut rng);
+            assert!(out.trees_used[0] <= n);
+            assert!(out.trees_used[0] >= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (g, sessions) = theta_setup();
+        let oracle = DynamicOracle::new(&g, &sessions);
+        let frac = max_concurrent_flow(&g, &oracle, ApproxParams::for_m2(0.9));
+        let a = random_min_congestion(&g, &sessions, &frac, 3, &mut Xoshiro256pp::new(7));
+        let b = random_min_congestion(&g, &sessions, &frac, 3, &mut Xoshiro256pp::new(7));
+        assert_eq!(a.session_rates, b.session_rates);
+        assert_eq!(a.trees_used, b.trees_used);
+    }
+}

@@ -1,0 +1,68 @@
+//! Common result plumbing shared by the four algorithms.
+
+use omcf_overlay::{SessionSet, TreeStore};
+use omcf_topology::Graph;
+
+/// Summary of a feasible multi-tree flow (any algorithm).
+#[derive(Clone, Debug)]
+pub struct FlowSummary {
+    /// Rate of each session `Σ_j f_j^i` after feasibility scaling.
+    pub session_rates: Vec<f64>,
+    /// Aggregate receiving rate `Σ_i (|S_i|−1) · rate_i` — the paper's
+    /// "overall throughput".
+    pub overall_throughput: f64,
+    /// Distinct trees per session.
+    pub tree_counts: Vec<usize>,
+    /// Maximum link congestion of the scaled solution (≤ 1 + tolerance).
+    pub max_congestion: f64,
+}
+
+/// Computes per-session rates from a store.
+#[must_use]
+pub fn session_rates(store: &TreeStore) -> Vec<f64> {
+    (0..store.session_count()).map(|i| store.session_total(i)).collect()
+}
+
+/// Builds a [`FlowSummary`] from a scaled, feasible store.
+#[must_use]
+pub fn summarize(store: &TreeStore, sessions: &SessionSet, g: &Graph) -> FlowSummary {
+    let session_rates = session_rates(store);
+    let overall_throughput = session_rates
+        .iter()
+        .enumerate()
+        .map(|(i, r)| sessions.session(i).receivers() as f64 * r)
+        .sum();
+    let tree_counts = (0..store.session_count()).map(|i| store.tree_count(i)).collect();
+    FlowSummary {
+        session_rates,
+        overall_throughput,
+        tree_counts,
+        max_congestion: store.max_congestion(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omcf_overlay::{FixedIpOracle, Session, TreeOracle};
+    use omcf_topology::{canned, NodeId};
+
+    #[test]
+    fn summary_weighs_receivers() {
+        let g = canned::grid(3, 3, 100.0);
+        let sessions = SessionSet::new(vec![
+            Session::new(vec![NodeId(0), NodeId(4), NodeId(8)], 1.0), // 2 receivers
+            Session::new(vec![NodeId(2), NodeId(6)], 1.0),            // 1 receiver
+        ]);
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let unit = vec![1.0; g.edge_count()];
+        let mut store = TreeStore::new(2);
+        store.add(oracle.min_tree(0, &unit), 2.0);
+        store.add(oracle.min_tree(1, &unit), 3.0);
+        let s = summarize(&store, &sessions, &g);
+        assert_eq!(s.session_rates, vec![2.0, 3.0]);
+        assert_eq!(s.overall_throughput, 2.0 * 2.0 + 1.0 * 3.0);
+        assert_eq!(s.tree_counts, vec![1, 1]);
+        assert!(s.max_congestion > 0.0);
+    }
+}

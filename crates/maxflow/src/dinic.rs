@@ -1,0 +1,160 @@
+//! Dinic's blocking-flow maximum-flow algorithm.
+
+use crate::network::{ArcId, FlowNetwork, MaxFlowResult};
+
+const EPS: f64 = 1e-12;
+
+/// Runs Dinic's algorithm from `source` to `sink`, consuming the network
+/// and returning it in residual form together with the flow value.
+#[must_use]
+pub fn dinic(mut net: FlowNetwork, source: usize, sink: usize) -> MaxFlowResult {
+    assert!(source != sink, "source == sink");
+    let n = net.node_count();
+    let mut level = vec![-1i32; n];
+    let mut iter = vec![0usize; n];
+    let mut total = 0.0f64;
+
+    loop {
+        // BFS to build the level graph.
+        level.iter_mut().for_each(|l| *l = -1);
+        level[source] = 0;
+        let mut queue = std::collections::VecDeque::with_capacity(n);
+        queue.push_back(source);
+        while let Some(u) = queue.pop_front() {
+            for &a in net.out_arcs(u) {
+                let v = net.arc_to(a);
+                if level[v] < 0 && net.residual(a) > EPS {
+                    level[v] = level[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        if level[sink] < 0 {
+            break;
+        }
+        // DFS blocking flow with the current-arc optimization.
+        iter.iter_mut().for_each(|i| *i = 0);
+        loop {
+            let pushed = dfs(&mut net, source, sink, f64::INFINITY, &level, &mut iter);
+            if pushed <= EPS {
+                break;
+            }
+            total += pushed;
+        }
+    }
+    MaxFlowResult { value: total, network: net, source, sink }
+}
+
+fn dfs(
+    net: &mut FlowNetwork,
+    u: usize,
+    sink: usize,
+    limit: f64,
+    level: &[i32],
+    iter: &mut [usize],
+) -> f64 {
+    if u == sink {
+        return limit;
+    }
+    while iter[u] < net.out_arcs(u).len() {
+        let a: ArcId = net.out_arcs(u)[iter[u]];
+        let v = net.arc_to(a);
+        let cap = net.residual(a);
+        if cap > EPS && level[v] == level[u] + 1 {
+            let pushed = dfs(net, v, sink, limit.min(cap), level, iter);
+            if pushed > EPS {
+                net.push(a, pushed);
+                return pushed;
+            }
+        }
+        iter[u] += 1;
+    }
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::max_flow_undirected;
+    use omcf_topology::{canned, GraphBuilder, NodeId};
+
+    #[test]
+    fn single_path_is_bottleneck() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 5.0);
+        net.add_arc(1, 2, 3.0);
+        let r = dinic(net, 0, 2);
+        assert!((r.value - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // Two disjoint routes of capacity 2 and 3, plus a cross arc that
+        // enables one more unit.
+        let mut net = FlowNetwork::new(4);
+        net.add_arc(0, 1, 3.0);
+        net.add_arc(0, 2, 2.0);
+        net.add_arc(1, 3, 2.0);
+        net.add_arc(2, 3, 3.0);
+        net.add_arc(1, 2, 1.0);
+        let r = dinic(net, 0, 3);
+        assert!((r.value - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undirected_theta_triples_single_path() {
+        let g = canned::theta(1.0);
+        let v = max_flow_undirected(&g, NodeId(0), NodeId(4));
+        assert!((v - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn undirected_parallel_links_sum() {
+        let g = canned::parallel_links(4, 2.5);
+        let v = max_flow_undirected(&g, NodeId(0), NodeId(1));
+        assert!((v - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cut_matches_flow_value() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 4.0);
+        b.add_edge(NodeId(0), NodeId(2), 1.0);
+        b.add_edge(NodeId(1), NodeId(3), 2.0);
+        b.add_edge(NodeId(2), NodeId(3), 3.0);
+        let g = b.finish();
+        let net = FlowNetwork::from_undirected(&g);
+        let r = dinic(net, 0, 3);
+        assert!((r.value - 3.0).abs() < 1e-9);
+        let side = r.min_cut_source_side();
+        assert!(side[0]);
+        assert!(!side[3]);
+        // Cut capacity across the partition equals the flow value.
+        let mut cut = 0.0;
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            if side[edge.u.idx()] != side[edge.v.idx()] {
+                cut += edge.capacity;
+            }
+        }
+        assert!((cut - r.value).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_sink_gives_zero() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 1.0);
+        let r = dinic(net, 0, 2);
+        assert_eq!(r.value, 0.0);
+    }
+
+    #[test]
+    fn fractional_capacities() {
+        let mut net = FlowNetwork::new(3);
+        net.add_arc(0, 1, 0.75);
+        net.add_arc(1, 2, 0.25);
+        net.add_arc(0, 2, 0.1);
+        let r = dinic(net, 0, 2);
+        assert!((r.value - 0.35).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,25 @@
+//! Maximum-flow / minimum-cut substrate.
+//!
+//! The paper's §II-C reduces the packing-spanning-trees separation oracle to
+//! a polynomial number of max-flow computations (Cunningham: `|S|·|E|`,
+//! Barahona: `|S|²`). This crate supplies the max-flow machinery:
+//!
+//! * [`FlowNetwork`] — a directed residual network with reverse-arc
+//!   bookkeeping, convertible from the undirected physical graph (each
+//!   undirected edge becomes a pair of opposing arcs of full capacity).
+//! * [`dinic()`] — Dinic's blocking-flow algorithm, `O(V²E)`.
+//! * [`push_relabel()`] — highest-label push-relabel with the gap heuristic,
+//!   `O(V²√E)`; kept as an independent implementation for cross-checking
+//!   and the `ablation_maxflow` bench.
+//! * Min-cut extraction from the final residual network.
+//!
+//! Flows are `f64`; the tree-packing weights the oracle runs on are
+//! fractional.
+
+pub mod dinic;
+pub mod network;
+pub mod push_relabel;
+
+pub use dinic::dinic;
+pub use network::{ArcId, FlowNetwork, MaxFlowResult};
+pub use push_relabel::push_relabel;

@@ -1,0 +1,202 @@
+//! Directed flow network with residual-arc pairing.
+
+use omcf_topology::{Graph, NodeId};
+
+/// Index of a directed arc in a [`FlowNetwork`]. Arcs are stored in pairs:
+/// arc `2k` and its reverse `2k + 1`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ArcId(pub u32);
+
+impl ArcId {
+    /// Usize view for indexing.
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The paired reverse arc.
+    #[must_use]
+    pub fn rev(self) -> ArcId {
+        ArcId(self.0 ^ 1)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Arc {
+    to: u32,
+    cap: f64,
+}
+
+/// A directed network supporting residual updates.
+#[derive(Clone, Debug)]
+pub struct FlowNetwork {
+    arcs: Vec<Arc>,
+    head: Vec<Vec<ArcId>>, // per-node outgoing arc list (includes reverse arcs)
+}
+
+impl FlowNetwork {
+    /// Empty network over `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { arcs: Vec::new(), head: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.head.len()
+    }
+
+    /// Number of arc *pairs* added.
+    #[must_use]
+    pub fn arc_pair_count(&self) -> usize {
+        self.arcs.len() / 2
+    }
+
+    /// Adds a directed arc `u → v` with capacity `cap` (and its zero-capacity
+    /// reverse). Returns the forward arc id.
+    pub fn add_arc(&mut self, u: usize, v: usize, cap: f64) -> ArcId {
+        self.add_arc_pair(u, v, cap, 0.0)
+    }
+
+    /// Adds an arc pair with capacities in both directions (`cap_rev > 0`
+    /// models an undirected edge). Returns the forward arc id.
+    pub fn add_arc_pair(&mut self, u: usize, v: usize, cap: f64, cap_rev: f64) -> ArcId {
+        assert!(u < self.head.len() && v < self.head.len(), "endpoint out of range");
+        assert!(u != v, "self-loop arc");
+        assert!(cap >= 0.0 && cap_rev >= 0.0, "negative capacity");
+        let fwd = ArcId(self.arcs.len() as u32);
+        self.arcs.push(Arc { to: v as u32, cap });
+        self.arcs.push(Arc { to: u as u32, cap: cap_rev });
+        self.head[u].push(fwd);
+        self.head[v].push(fwd.rev());
+        fwd
+    }
+
+    /// Builds the standard undirected-to-directed reduction: every edge of
+    /// `g` becomes an arc pair with the edge capacity in both directions.
+    /// Arc pair `k` corresponds to edge `EdgeId(k)`.
+    #[must_use]
+    pub fn from_undirected(g: &Graph) -> Self {
+        let mut net = Self::new(g.node_count());
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            net.add_arc_pair(edge.u.idx(), edge.v.idx(), edge.capacity, edge.capacity);
+        }
+        net
+    }
+
+    /// Residual capacity of an arc.
+    #[must_use]
+    pub fn residual(&self, a: ArcId) -> f64 {
+        self.arcs[a.idx()].cap
+    }
+
+    /// Head (target node) of an arc.
+    #[must_use]
+    pub fn arc_to(&self, a: ArcId) -> usize {
+        self.arcs[a.idx()].to as usize
+    }
+
+    /// Outgoing arcs of `u` (forward and reverse residuals).
+    #[must_use]
+    pub fn out_arcs(&self, u: usize) -> &[ArcId] {
+        &self.head[u]
+    }
+
+    /// Pushes `amount` of flow along `a`, updating the residual pair.
+    pub fn push(&mut self, a: ArcId, amount: f64) {
+        debug_assert!(amount >= 0.0 && amount <= self.arcs[a.idx()].cap + 1e-12);
+        self.arcs[a.idx()].cap -= amount;
+        self.arcs[a.rev().idx()].cap += amount;
+    }
+
+    /// Net flow that has crossed arc pair `k` (forward positive), given the
+    /// original forward/backward capacities it was created with.
+    #[must_use]
+    pub fn net_flow(&self, pair: usize, orig_fwd: f64) -> f64 {
+        orig_fwd - self.arcs[2 * pair].cap
+    }
+}
+
+/// Outcome of a max-flow computation. The network it was computed on holds
+/// the final residual state (useful for min-cut extraction).
+#[derive(Clone, Debug)]
+pub struct MaxFlowResult {
+    /// Total flow value from source to sink.
+    pub value: f64,
+    /// Final residual network.
+    pub network: FlowNetwork,
+    /// Source node.
+    pub source: usize,
+    /// Sink node.
+    pub sink: usize,
+}
+
+impl MaxFlowResult {
+    /// The source side of a minimum cut: all nodes reachable from the source
+    /// in the residual network. By max-flow/min-cut the arcs leaving this
+    /// set are saturated and their original capacities sum to `value`.
+    #[must_use]
+    pub fn min_cut_source_side(&self) -> Vec<bool> {
+        let n = self.network.node_count();
+        let mut seen = vec![false; n];
+        let mut stack = vec![self.source];
+        seen[self.source] = true;
+        while let Some(u) = stack.pop() {
+            for &a in self.network.out_arcs(u) {
+                if self.network.residual(a) > 1e-12 {
+                    let v = self.network.arc_to(a);
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Convenience wrapper: max flow between two nodes of an undirected graph
+/// using Dinic's algorithm.
+#[must_use]
+pub fn max_flow_undirected(g: &Graph, s: NodeId, t: NodeId) -> f64 {
+    let net = FlowNetwork::from_undirected(g);
+    crate::dinic::dinic(net, s.idx(), t.idx()).value
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omcf_topology::canned;
+
+    #[test]
+    fn arc_pairing() {
+        let mut net = FlowNetwork::new(2);
+        let a = net.add_arc(0, 1, 5.0);
+        assert_eq!(a.rev().idx(), a.idx() + 1);
+        assert_eq!(net.residual(a), 5.0);
+        assert_eq!(net.residual(a.rev()), 0.0);
+        net.push(a, 2.0);
+        assert_eq!(net.residual(a), 3.0);
+        assert_eq!(net.residual(a.rev()), 2.0);
+        assert_eq!(net.net_flow(0, 5.0), 2.0);
+    }
+
+    #[test]
+    fn from_undirected_mirrors_capacities() {
+        let g = canned::path(3, 7.0);
+        let net = FlowNetwork::from_undirected(&g);
+        assert_eq!(net.arc_pair_count(), 2);
+        assert_eq!(net.residual(ArcId(0)), 7.0);
+        assert_eq!(net.residual(ArcId(1)), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let mut net = FlowNetwork::new(1);
+        let _ = net.add_arc(0, 0, 1.0);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the max-flow substrate.
+
+use omcf_maxflow::{dinic, push_relabel, FlowNetwork};
+use omcf_numerics::{Rng64, Xoshiro256pp};
+use omcf_topology::waxman::{self, WaxmanParams};
+use omcf_topology::NodeId;
+use proptest::prelude::*;
+
+fn random_net(seed: u64, n: usize, arcs: usize) -> FlowNetwork {
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut net = FlowNetwork::new(n);
+    for _ in 0..arcs {
+        let u = rng.index(n);
+        let mut v = rng.index(n);
+        while v == u {
+            v = rng.index(n);
+        }
+        net.add_arc(u, v, rng.range_f64(0.5, 8.0));
+    }
+    net
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Dinic and push-relabel agree on arbitrary networks.
+    #[test]
+    fn algorithms_agree(seed in any::<u64>(), n in 4usize..20) {
+        let net = random_net(seed, n, 4 * n);
+        let a = dinic(net.clone(), 0, n - 1).value;
+        let b = push_relabel(net, 0, n - 1).value;
+        prop_assert!((a - b).abs() <= 1e-6 * a.max(1.0), "dinic {a} vs pr {b}");
+    }
+
+    /// Max-flow equals min-cut: the residual-reachability cut's capacity
+    /// matches the flow value.
+    #[test]
+    fn flow_equals_cut(seed in any::<u64>(), n in 4usize..20) {
+        let net = random_net(seed, n, 4 * n);
+        let caps: Vec<f64> = (0..net.arc_pair_count())
+            .map(|k| net.residual(omcf_maxflow::ArcId(2 * k as u32)))
+            .collect();
+        let tos: Vec<(usize, usize)> = (0..net.arc_pair_count())
+            .map(|k| {
+                let fwd = omcf_maxflow::ArcId(2 * k as u32);
+                (net.arc_to(fwd.rev()), net.arc_to(fwd))
+            })
+            .collect();
+        let r = dinic(net, 0, n - 1);
+        let side = r.min_cut_source_side();
+        let cut: f64 = tos
+            .iter()
+            .zip(&caps)
+            .filter(|(&(u, v), _)| side[u] && !side[v])
+            .map(|(_, c)| *c)
+            .sum();
+        prop_assert!((cut - r.value).abs() <= 1e-6 * cut.max(1.0), "cut {cut} vs flow {}", r.value);
+    }
+
+    /// Undirected max flow is symmetric in (s, t).
+    #[test]
+    fn undirected_flow_symmetric(seed in any::<u64>(), n in 6usize..30) {
+        let params = WaxmanParams { n, alpha: 0.4, ..WaxmanParams::default() };
+        let g = waxman::generate(&params, &mut Xoshiro256pp::new(seed));
+        let s = NodeId(0);
+        let t = NodeId((n - 1) as u32);
+        let f1 = omcf_maxflow::network::max_flow_undirected(&g, s, t);
+        let f2 = omcf_maxflow::network::max_flow_undirected(&g, t, s);
+        prop_assert!((f1 - f2).abs() <= 1e-6 * f1.max(1.0));
+    }
+
+    /// Scaling all capacities scales the flow value linearly.
+    #[test]
+    fn flow_scales_linearly(seed in any::<u64>(), factor in 0.1f64..10.0) {
+        let params = WaxmanParams { n: 15, alpha: 0.4, ..WaxmanParams::default() };
+        let g = waxman::generate(&params, &mut Xoshiro256pp::new(seed));
+        let s = NodeId(0);
+        let t = NodeId(14);
+        let f1 = omcf_maxflow::network::max_flow_undirected(&g, s, t);
+        let f2 = omcf_maxflow::network::max_flow_undirected(&g.scaled_capacities(factor), s, t);
+        prop_assert!((f2 - factor * f1).abs() <= 1e-6 * f2.max(1.0));
+    }
+
+    /// Flow value is bounded by both endpoint degrees' capacity sums.
+    #[test]
+    fn flow_bounded_by_trivial_cuts(seed in any::<u64>()) {
+        let params = WaxmanParams { n: 20, alpha: 0.4, ..WaxmanParams::default() };
+        let g = waxman::generate(&params, &mut Xoshiro256pp::new(seed));
+        let s = NodeId(0);
+        let t = NodeId(19);
+        let f = omcf_maxflow::network::max_flow_undirected(&g, s, t);
+        let s_cap: f64 = g.incident(s).iter().map(|&e| g.capacity(e)).sum();
+        let t_cap: f64 = g.incident(t).iter().map(|&e| g.capacity(e)).sum();
+        prop_assert!(f <= s_cap + 1e-9 && f <= t_cap + 1e-9);
+    }
+}

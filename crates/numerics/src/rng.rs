@@ -1,0 +1,305 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component of the reproduction — topology generation,
+//! session membership, randomized rounding, online arrival orders — draws
+//! from generators defined here, seeded from a single `u64` recorded in
+//! EXPERIMENTS.md. We implement SplitMix64 (seeding / stream splitting) and
+//! Xoshiro256++ (bulk generation) rather than depending on `rand`'s
+//! version-dependent APIs; both are tiny, well-studied algorithms with
+//! published reference outputs that the unit tests pin.
+
+/// Common interface for the workspace generators.
+pub trait Rng64 {
+    /// Next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform `f64` in `[0, 1)` with 53 random bits.
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits for a uniform dyadic rational in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, bound)` using Lemire-style rejection to avoid
+    /// modulo bias. `bound` must be nonzero.
+    fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below(0)");
+        // Rejection sampling on the widening multiply.
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (bound as u128);
+            let low = m as u64;
+            if low >= bound {
+                return (m >> 64) as u64;
+            }
+            // Threshold test (rare path).
+            let threshold = bound.wrapping_neg() % bound;
+            if low >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform `usize` index into a collection of length `len`.
+    fn index(&mut self, len: usize) -> usize {
+        self.next_below(len as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// Samples `k` distinct indices from `0..n` (k ≤ n), in random order.
+    /// Uses a partial Fisher–Yates over an index vector; O(n) memory, which
+    /// is fine at our scales (n ≤ a few thousand).
+    fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_indices: k={k} > n={n}");
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.index(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+
+    /// Samples an index with probability proportional to `weights[i]`.
+    /// Panics if all weights are zero or any is negative.
+    fn weighted_index(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            total > 0.0 && weights.iter().all(|w| *w >= 0.0),
+            "weighted_index needs nonnegative weights with positive sum"
+        );
+        let mut target = self.next_f64() * total;
+        for (i, w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return i;
+            }
+        }
+        // Floating-point slack: return the last positive-weight entry.
+        weights
+            .iter()
+            .rposition(|w| *w > 0.0)
+            .expect("at least one positive weight")
+    }
+}
+
+/// SplitMix64 — Steele, Lea & Flood's 64-bit mixer. Used to expand one seed
+/// into independent sub-seeds and as a minimal standalone generator.
+#[derive(Clone, Debug)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Derives an independent child seed stream labeled by `label`. Distinct
+    /// labels give decorrelated streams for different experiment components.
+    #[must_use]
+    pub fn derive(&self, label: u64) -> SplitMix64 {
+        let mut child = SplitMix64::new(self.state ^ label.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        child.next_u64();
+        child
+    }
+}
+
+impl Rng64 for SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Xoshiro256++ — Blackman & Vigna's general-purpose generator.
+#[derive(Clone, Debug)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the state via SplitMix64, as recommended by the authors.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        Self { s }
+    }
+
+    /// Equivalent to 2^128 `next_u64` calls; yields a decorrelated stream.
+    pub fn jump(&mut self) {
+        const JUMP: [u64; 4] =
+            [0x180E_C6D3_3CFD_0ABA, 0xD5A6_1266_F0C9_392C, 0xA958_6979_6545_7F4B, 0x3982_3DC5_8B89_0E39];
+        let mut t = [0u64; 4];
+        for j in JUMP {
+            for b in 0..64 {
+                if (j >> b) & 1 == 1 {
+                    for (ti, si) in t.iter_mut().zip(self.s.iter()) {
+                        *ti ^= si;
+                    }
+                }
+                self.next_u64();
+            }
+        }
+        self.s = t;
+    }
+}
+
+impl Rng64 for Xoshiro256pp {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_outputs() {
+        // Reference values from the SplitMix64 reference implementation with
+        // seed 1234567.
+        let mut rng = SplitMix64::new(1234567);
+        let got: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
+        assert_eq!(got, vec![6_457_827_717_110_365_317, 3_203_168_211_198_807_973, 9_817_491_932_198_370_423]);
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Xoshiro256pp::new(42);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Xoshiro256pp::new(42);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Xoshiro256pp::new(43);
+            (0..4).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut r = Xoshiro256pp::new(7);
+        for _ in 0..10_000 {
+            let v = r.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn next_below_is_unbiased_enough() {
+        let mut r = Xoshiro256pp::new(99);
+        let mut counts = [0usize; 7];
+        let n = 70_000;
+        for _ in 0..n {
+            counts[r.next_below(7) as usize] += 1;
+        }
+        for c in counts {
+            let expected = n / 7;
+            assert!(
+                (c as i64 - expected as i64).abs() < (expected as i64) / 10,
+                "bucket count {c} too far from {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_in_range() {
+        let mut r = Xoshiro256pp::new(5);
+        let sample = r.sample_indices(50, 12);
+        assert_eq!(sample.len(), 12);
+        let mut sorted = sample.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 12);
+        assert!(sample.iter().all(|&i| i < 50));
+    }
+
+    #[test]
+    fn sample_indices_full_population_is_permutation() {
+        let mut r = Xoshiro256pp::new(5);
+        let mut sample = r.sample_indices(10, 10);
+        sample.sort_unstable();
+        assert_eq!(sample, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = Xoshiro256pp::new(11);
+        let weights = [0.0, 3.0, 1.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[r.weighted_index(&weights)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let ratio = counts[1] as f64 / counts[2] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = SplitMix64::new(3);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely identity shuffle");
+    }
+
+    #[test]
+    fn derive_gives_decorrelated_streams() {
+        let base = SplitMix64::new(1);
+        let mut a = base.derive(1);
+        let mut b = base.derive(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn jump_changes_stream() {
+        let mut a = Xoshiro256pp::new(8);
+        let mut b = a.clone();
+        b.jump();
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "next_below(0)")]
+    fn next_below_zero_panics() {
+        let mut r = SplitMix64::new(0);
+        let _ = r.next_below(0);
+    }
+}

@@ -1,0 +1,199 @@
+//! Dense primal simplex for small linear programs.
+//!
+//! Solves `maximize c·x subject to A x ≤ b, x ≥ 0` with `b ≥ 0` (so the
+//! slack basis is feasible) — exactly the shape of the tree-formulation
+//! LPs M1/M2 once the exponentially many tree columns are enumerated
+//! explicitly on a *small* instance. Used by `omcf-core`'s exact
+//! reference solver to validate the FPTAS against true optima; never on
+//! large instances (that is the whole point of the FPTAS).
+//!
+//! Implementation: standard tableau with Bland's anti-cycling rule and a
+//! numeric tolerance. Sizes here are ≲ 10³ variables × 10² constraints,
+//! where the dense tableau is perfectly adequate.
+
+/// Outcome of a simplex solve.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LpOutcome {
+    /// Optimal solution found.
+    Optimal {
+        /// Objective value.
+        value: f64,
+        /// Primal solution (length = number of variables).
+        x: Vec<f64>,
+    },
+    /// The LP is unbounded above.
+    Unbounded,
+}
+
+const TOL: f64 = 1e-9;
+
+/// Solves `max c·x : A x ≤ b, x ≥ 0`. `a` is row-major with
+/// `rows × cols` entries; `b.len() == rows`, `c.len() == cols`, and every
+/// `b_i ≥ 0`.
+///
+/// Panics on dimension mismatch or negative `b`.
+#[must_use]
+pub fn solve_lp(a: &[f64], b: &[f64], c: &[f64]) -> LpOutcome {
+    let rows = b.len();
+    let cols = c.len();
+    assert_eq!(a.len(), rows * cols, "A dimension mismatch");
+    assert!(b.iter().all(|v| *v >= 0.0), "b must be nonnegative (slack basis start)");
+
+    // Tableau: rows × (cols + rows + 1); slack variables occupy
+    // cols..cols+rows; last column is b. Objective row appended last with
+    // reduced costs (we store -c so minimization of the row means
+    // maximization of c·x).
+    let width = cols + rows + 1;
+    let mut t = vec![0.0f64; (rows + 1) * width];
+    for r in 0..rows {
+        for j in 0..cols {
+            t[r * width + j] = a[r * cols + j];
+        }
+        t[r * width + cols + r] = 1.0;
+        t[r * width + width - 1] = b[r];
+    }
+    for j in 0..cols {
+        t[rows * width + j] = -c[j];
+    }
+    let mut basis: Vec<usize> = (cols..cols + rows).collect();
+
+    #[allow(clippy::while_let_loop)]
+    loop {
+        // Entering variable: Bland's rule — smallest index with negative
+        // reduced cost.
+        let Some(enter) = (0..cols + rows)
+            .find(|&j| t[rows * width + j] < -TOL)
+        else {
+            break; // optimal
+        };
+        // Leaving variable: minimum ratio, ties by Bland (smallest basis
+        // index).
+        let mut leave: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for r in 0..rows {
+            let coeff = t[r * width + enter];
+            if coeff > TOL {
+                let ratio = t[r * width + width - 1] / coeff;
+                let better = ratio < best_ratio - TOL
+                    || (ratio < best_ratio + TOL
+                        && leave.is_some_and(|l| basis[r] < basis[l]));
+                if better {
+                    best_ratio = ratio;
+                    leave = Some(r);
+                }
+            }
+        }
+        let Some(pivot_row) = leave else {
+            return LpOutcome::Unbounded;
+        };
+        // Pivot.
+        let pivot = t[pivot_row * width + enter];
+        for j in 0..width {
+            t[pivot_row * width + j] /= pivot;
+        }
+        for r in 0..=rows {
+            if r == pivot_row {
+                continue;
+            }
+            let factor = t[r * width + enter];
+            if factor.abs() > 0.0 {
+                for j in 0..width {
+                    t[r * width + j] -= factor * t[pivot_row * width + j];
+                }
+            }
+        }
+        basis[pivot_row] = enter;
+    }
+
+    let mut x = vec![0.0f64; cols];
+    for (r, &bv) in basis.iter().enumerate() {
+        if bv < cols {
+            x[bv] = t[r * width + width - 1];
+        }
+    }
+    let value = c.iter().zip(&x).map(|(ci, xi)| ci * xi).sum();
+    LpOutcome::Optimal { value, x }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimal(a: &[f64], b: &[f64], c: &[f64]) -> (f64, Vec<f64>) {
+        match solve_lp(a, b, c) {
+            LpOutcome::Optimal { value, x } => (value, x),
+            LpOutcome::Unbounded => panic!("unexpected unbounded"),
+        }
+    }
+
+    #[test]
+    fn textbook_two_variable() {
+        // max 3x + 5y : x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, v=36.
+        let a = [1.0, 0.0, 0.0, 2.0, 3.0, 2.0];
+        let b = [4.0, 12.0, 18.0];
+        let c = [3.0, 5.0];
+        let (v, x) = optimal(&a, &b, &c);
+        assert!((v - 36.0).abs() < 1e-9);
+        assert!((x[0] - 2.0).abs() < 1e-9 && (x[1] - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // max x : -x + y ≤ 1 (x free to grow).
+        let a = [-1.0, 1.0];
+        let b = [1.0];
+        let c = [1.0, 0.0];
+        assert_eq!(solve_lp(&a, &b, &c), LpOutcome::Unbounded);
+    }
+
+    #[test]
+    fn zero_objective() {
+        let a = [1.0];
+        let b = [5.0];
+        let c = [0.0];
+        let (v, _) = optimal(&a, &b, &c);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn degenerate_b_zero_terminates() {
+        // max x + y : x ≤ 0, x + y ≤ 3. Bland's rule must not cycle.
+        let a = [1.0, 0.0, 1.0, 1.0];
+        let b = [0.0, 3.0];
+        let c = [1.0, 1.0];
+        let (v, x) = optimal(&a, &b, &c);
+        assert!((v - 3.0).abs() < 1e-9);
+        assert!(x[0].abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractional_packing_shape() {
+        // Three "trees" over two shared edges: max f1+f2+f3 with
+        // f1+f2 ≤ 2 (edge a), f2+f3 ≤ 2 (edge b) → value 4 (f2 = 0).
+        let a = [1.0, 1.0, 0.0, 0.0, 1.0, 1.0];
+        let b = [2.0, 2.0];
+        let c = [1.0, 1.0, 1.0];
+        let (v, _) = optimal(&a, &b, &c);
+        assert!((v - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn respects_all_constraints() {
+        use crate::rng::{Rng64, Xoshiro256pp};
+        let mut rng = Xoshiro256pp::new(5);
+        for _ in 0..20 {
+            let rows = 2 + rng.index(4);
+            let cols = 2 + rng.index(5);
+            let a: Vec<f64> = (0..rows * cols).map(|_| rng.range_f64(0.0, 2.0)).collect();
+            let b: Vec<f64> = (0..rows).map(|_| rng.range_f64(0.5, 5.0)).collect();
+            let c: Vec<f64> = (0..cols).map(|_| rng.range_f64(0.0, 1.0)).collect();
+            if let LpOutcome::Optimal { x, .. } = solve_lp(&a, &b, &c) {
+                for r in 0..rows {
+                    let lhs: f64 = (0..cols).map(|j| a[r * cols + j] * x[j]).sum();
+                    assert!(lhs <= b[r] + 1e-7, "row {r} violated: {lhs} > {}", b[r]);
+                }
+                assert!(x.iter().all(|v| *v >= -1e-9));
+            }
+        }
+    }
+}

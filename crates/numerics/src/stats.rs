@@ -1,0 +1,297 @@
+//! Distribution statistics used by the paper's figures.
+//!
+//! Figures 2/3/7/8/17 plot *accumulative rate distributions over normalized
+//! tree rank*: trees sorted by descending rate, x = rank/(#trees), y =
+//! cumulative rate share. Figures 4/9/14 plot *utilization ratio over
+//! normalized edge rank*. [`Cdf`] produces both. [`Summary`] collects the
+//! scalar moments reported in the tables.
+
+use crate::kahan::NeumaierSum;
+
+/// Scalar summary statistics of a sample.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub count: usize,
+    /// Compensated mean (0 for empty samples).
+    pub mean: f64,
+    /// Population standard deviation (0 for empty samples).
+    pub std_dev: f64,
+    /// Minimum (0 for empty samples).
+    pub min: f64,
+    /// Maximum (0 for empty samples).
+    pub max: f64,
+    /// Compensated total.
+    pub total: f64,
+}
+
+impl Summary {
+    /// Computes summary statistics over `values`.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0, total: 0.0 };
+        }
+        let total = values.iter().copied().collect::<NeumaierSum>().value();
+        let mean = total / values.len() as f64;
+        let var = values
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .collect::<NeumaierSum>()
+            .value()
+            / values.len() as f64;
+        let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        Self { count: values.len(), mean, std_dev: var.max(0.0).sqrt(), min, max, total }
+    }
+}
+
+/// An empirical distribution over a finite sample, with the two rank-based
+/// views the paper plots.
+#[derive(Clone, Debug)]
+pub struct Cdf {
+    /// Sample values sorted in *descending* order (the paper ranks trees and
+    /// edges from largest to smallest).
+    sorted_desc: Vec<f64>,
+    total: f64,
+}
+
+impl Cdf {
+    /// Builds from any sample. Negative values are rejected (rates and
+    /// utilizations are non-negative).
+    #[must_use]
+    pub fn new(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut sorted: Vec<f64> = values.into_iter().collect();
+        assert!(sorted.iter().all(|v| *v >= 0.0), "Cdf values must be non-negative");
+        sorted.sort_unstable_by(|a, b| b.partial_cmp(a).expect("no NaN in Cdf"));
+        let total = sorted.iter().copied().collect::<NeumaierSum>().value();
+        Self { sorted_desc: sorted, total }
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sorted_desc.len()
+    }
+
+    /// True when no observations were provided.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sorted_desc.is_empty()
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// The values, largest first.
+    #[must_use]
+    pub fn values_desc(&self) -> &[f64] {
+        &self.sorted_desc
+    }
+
+    /// Accumulative share curve: point `i` is
+    /// `(rank_i, cumulative_share_i)` with `rank_i = (i+1)/n ∈ (0, 1]` and
+    /// the share relative to the total. This is exactly the curve of the
+    /// paper's Figs. 2/3/7/8/17.
+    #[must_use]
+    pub fn accumulative_share(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted_desc.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(n);
+        let mut run = NeumaierSum::new();
+        for (i, &v) in self.sorted_desc.iter().enumerate() {
+            run.add(v);
+            let share = if self.total > 0.0 { run.value() / self.total } else { 0.0 };
+            out.push(((i + 1) as f64 / n as f64, share.min(1.0)));
+        }
+        out
+    }
+
+    /// Value-over-rank curve: point `i` is `(rank_i, value_i)` with values
+    /// descending — the paper's link-utilization plots (Figs. 4/9/14).
+    #[must_use]
+    pub fn rank_profile(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted_desc.len();
+        self.sorted_desc
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ((i + 1) as f64 / n as f64, v))
+            .collect()
+    }
+
+    /// Smallest fraction of the population holding at least `share` of the
+    /// total (e.g. the paper's "90% of throughput sits in <10% of trees").
+    /// Returns 0 for an all-zero or empty sample.
+    #[must_use]
+    pub fn population_fraction_for_share(&self, share: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&share));
+        if self.total <= 0.0 || self.sorted_desc.is_empty() {
+            return 0.0;
+        }
+        let target = share * self.total;
+        let mut run = NeumaierSum::new();
+        for (i, &v) in self.sorted_desc.iter().enumerate() {
+            run.add(v);
+            if run.value() >= target - 1e-12 * self.total {
+                return (i + 1) as f64 / self.sorted_desc.len() as f64;
+            }
+        }
+        1.0
+    }
+
+    /// Linear-interpolation quantile, `q ∈ [0, 1]`, of the underlying
+    /// sample (ascending convention: `q = 0` is the minimum).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q));
+        let n = self.sorted_desc.len();
+        assert!(n > 0, "quantile of empty Cdf");
+        // sorted_desc is descending; index from the back for ascending order.
+        let pos = q * (n - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let asc = |i: usize| self.sorted_desc[n - 1 - i];
+        if lo == hi {
+            asc(lo)
+        } else {
+            let frac = pos - lo as f64;
+            asc(lo) * (1.0 - frac) + asc(hi) * frac
+        }
+    }
+
+    /// Gini coefficient of the sample — a scalar measure of the "asymmetric
+    /// rate distribution" phenomenon the paper highlights (1 = fully
+    /// concentrated, 0 = uniform).
+    #[must_use]
+    pub fn gini(&self) -> f64 {
+        let n = self.sorted_desc.len();
+        if n == 0 || self.total <= 0.0 {
+            return 0.0;
+        }
+        // With values ascending, G = (2 Σ i·x_i)/(n Σ x_i) − (n+1)/n.
+        let mut weighted = NeumaierSum::new();
+        for (i, &v) in self.sorted_desc.iter().rev().enumerate() {
+            weighted.add((i + 1) as f64 * v);
+        }
+        (2.0 * weighted.value()) / (n as f64 * self.total) - (n as f64 + 1.0) / n as f64
+    }
+}
+
+/// Downsamples a curve to at most `max_points` points, always keeping the
+/// first and last, for compact figure output.
+#[must_use]
+pub fn thin_curve(curve: &[(f64, f64)], max_points: usize) -> Vec<(f64, f64)> {
+    assert!(max_points >= 2, "need at least endpoints");
+    if curve.len() <= max_points {
+        return curve.to_vec();
+    }
+    let n = curve.len();
+    let mut out = Vec::with_capacity(max_points);
+    for k in 0..max_points {
+        let idx = (k * (n - 1)) / (max_points - 1);
+        out.push(curve[idx]);
+    }
+    out.dedup_by(|a, b| a.0 == b.0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.total, 0.0);
+    }
+
+    #[test]
+    fn summary_basic_moments() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_dev - (1.25f64).sqrt()).abs() < 1e-12);
+        assert!((s.total - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accumulative_share_monotone_and_ends_at_one() {
+        let cdf = Cdf::new([5.0, 1.0, 3.0, 1.0]);
+        let curve = cdf.accumulative_share();
+        assert_eq!(curve.len(), 4);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1 - 1e-12);
+            assert!(w[1].0 > w[0].0);
+        }
+        assert!((curve.last().unwrap().1 - 1.0).abs() < 1e-12);
+        // Largest value first: first point carries 5/10 of the mass.
+        assert!((curve[0].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rank_profile_descends() {
+        let cdf = Cdf::new([0.2, 0.9, 0.5]);
+        let prof = cdf.rank_profile();
+        assert_eq!(prof[0].1, 0.9);
+        assert_eq!(prof[2].1, 0.2);
+    }
+
+    #[test]
+    fn population_fraction_detects_concentration() {
+        // One dominant tree out of ten carries 91% of the rate.
+        let mut vals = vec![91.0];
+        vals.extend(std::iter::repeat(1.0).take(9));
+        let cdf = Cdf::new(vals);
+        let frac = cdf.population_fraction_for_share(0.9);
+        assert!((frac - 0.1).abs() < 1e-12, "frac = {frac}");
+    }
+
+    #[test]
+    fn population_fraction_uniform() {
+        let cdf = Cdf::new(vec![1.0; 10]);
+        assert!((cdf.population_fraction_for_share(0.5) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let cdf = Cdf::new([1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 5.0);
+        assert_eq!(cdf.quantile(0.5), 3.0);
+        assert!((cdf.quantile(0.25) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gini_extremes() {
+        let uniform = Cdf::new(vec![2.0; 8]);
+        assert!(uniform.gini().abs() < 1e-12);
+        let concentrated = Cdf::new(vec![100.0, 0.0, 0.0, 0.0]);
+        assert!(concentrated.gini() > 0.74);
+    }
+
+    #[test]
+    fn thin_curve_keeps_endpoints() {
+        let curve: Vec<(f64, f64)> = (0..1000).map(|i| (i as f64, i as f64)).collect();
+        let thin = thin_curve(&curve, 10);
+        assert!(thin.len() <= 10);
+        assert_eq!(thin.first().unwrap().0, 0.0);
+        assert_eq!(thin.last().unwrap().0, 999.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn cdf_rejects_negative() {
+        let _ = Cdf::new([-1.0]);
+    }
+}

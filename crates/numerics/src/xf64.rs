@@ -1,0 +1,387 @@
+//! Extended-range floating point.
+//!
+//! [`Xf64`] represents `m · 2^e` where `m` is an `f64` kept in the band
+//! `[1, 2)` (or zero) and `e` is an `i64`. This gives the full 53-bit
+//! precision of `f64` with an exponent range of ±2^63, comfortably covering
+//! the `δ ≈ 10^{-700}` initial lengths that arise in the Garg–Könemann FPTAS
+//! at tight approximation ratios.
+//!
+//! Only the operations the solvers need are implemented: multiplication,
+//! addition (exact when exponents are within f64 range of each other,
+//! saturating to the larger operand otherwise — the same behaviour ordinary
+//! floats exhibit), comparison, and conversion to/from `f64` and natural
+//! logarithms.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign};
+
+/// Extended-range non-negative float: `mantissa · 2^exp2`.
+///
+/// Invariants: `mantissa == 0.0` (then `exp2 == 0`), or
+/// `1.0 <= mantissa < 2.0`. Negative values are not representable; the
+/// FPTAS length functions are strictly positive, and constructing from a
+/// negative `f64` panics in debug builds and clamps to zero in release.
+#[derive(Clone, Copy, PartialEq)]
+pub struct Xf64 {
+    mantissa: f64,
+    exp2: i64,
+}
+
+impl Xf64 {
+    /// Positive zero.
+    pub const ZERO: Xf64 = Xf64 { mantissa: 0.0, exp2: 0 };
+    /// One.
+    pub const ONE: Xf64 = Xf64 { mantissa: 1.0, exp2: 0 };
+
+    /// Builds from an ordinary `f64`. Panics (debug) on negative or NaN.
+    #[must_use]
+    pub fn from_f64(v: f64) -> Self {
+        debug_assert!(!v.is_nan(), "Xf64 cannot represent NaN");
+        debug_assert!(v >= 0.0, "Xf64 is non-negative, got {v}");
+        if v <= 0.0 || v.is_nan() {
+            return Self::ZERO;
+        }
+        let (m, e) = frexp(v);
+        // frexp yields m in [0.5, 1); renormalize to [1, 2).
+        Self { mantissa: m * 2.0, exp2: e as i64 - 1 }
+    }
+
+    /// Builds `2^k` exactly.
+    #[must_use]
+    pub fn exp2i(k: i64) -> Self {
+        Self { mantissa: 1.0, exp2: k }
+    }
+
+    /// Builds `e^x` (may be far outside f64 range).
+    #[must_use]
+    pub fn exp(x: f64) -> Self {
+        // e^x = 2^(x / ln 2); split into integer and fractional parts.
+        let log2 = x / std::f64::consts::LN_2;
+        let int = log2.floor();
+        let frac = log2 - int;
+        let m = frac.exp2(); // in [1, 2)
+        Self { mantissa: m, exp2: int as i64 }.normalized()
+    }
+
+    /// Mantissa in `[1, 2)` (zero for the zero value).
+    #[must_use]
+    pub fn mantissa(self) -> f64 {
+        self.mantissa
+    }
+
+    /// Binary exponent.
+    #[must_use]
+    pub fn exp2(self) -> i64 {
+        self.exp2
+    }
+
+    /// True if this value is exactly zero.
+    #[must_use]
+    pub fn is_zero(self) -> bool {
+        self.mantissa == 0.0
+    }
+
+    /// Natural logarithm; `-inf` for zero.
+    #[must_use]
+    pub fn ln(self) -> f64 {
+        if self.is_zero() {
+            return f64::NEG_INFINITY;
+        }
+        self.mantissa.ln() + self.exp2 as f64 * std::f64::consts::LN_2
+    }
+
+    /// Converts back to `f64`, saturating to `0.0` / `f64::INFINITY` when
+    /// out of range.
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        if self.is_zero() {
+            return 0.0;
+        }
+        if self.exp2 > 1023 {
+            return f64::INFINITY;
+        }
+        if self.exp2 < -1074 {
+            return 0.0;
+        }
+        ldexp(self.mantissa, self.exp2 as i32)
+    }
+
+    /// `self * 2^k`, exact.
+    #[must_use]
+    pub fn scaled_exp2(self, k: i64) -> Self {
+        if self.is_zero() {
+            return self;
+        }
+        Self { mantissa: self.mantissa, exp2: self.exp2 + k }
+    }
+
+    fn normalized(mut self) -> Self {
+        if self.mantissa == 0.0 {
+            return Self::ZERO;
+        }
+        debug_assert!(self.mantissa.is_finite() && self.mantissa > 0.0);
+        let (m, e) = frexp(self.mantissa);
+        self.mantissa = m * 2.0;
+        self.exp2 += e as i64 - 1;
+        self
+    }
+}
+
+/// `frexp` — decompose into mantissa in [0.5, 1) and exponent.
+fn frexp(v: f64) -> (f64, i32) {
+    debug_assert!(v > 0.0 && v.is_finite());
+    let bits = v.to_bits();
+    let raw_exp = ((bits >> 52) & 0x7ff) as i32;
+    if raw_exp == 0 {
+        // Subnormal: scale up by 2^64 first.
+        let scaled = v * f64::from_bits(0x43f0_0000_0000_0000); // 2^64
+        let (m, e) = frexp(scaled);
+        return (m, e - 64);
+    }
+    let exp = raw_exp - 1022;
+    let mantissa = f64::from_bits((bits & !(0x7ffu64 << 52)) | (1022u64 << 52));
+    (mantissa, exp)
+}
+
+/// `ldexp` — `m * 2^e` with two-step scaling to handle subnormal results.
+fn ldexp(m: f64, e: i32) -> f64 {
+    let clamp = |x: i32| x.clamp(-1022, 1023);
+    let e1 = clamp(e);
+    let rest = e - e1;
+    let e2 = clamp(rest);
+    let rest2 = rest - e2;
+    let pow = |k: i32| f64::from_bits(((k + 1023) as u64) << 52);
+    let mut out = m * pow(e1) * pow(e2);
+    if rest2 != 0 {
+        out *= (rest2 as f64).exp2();
+    }
+    out
+}
+
+impl Mul for Xf64 {
+    type Output = Xf64;
+    fn mul(self, rhs: Xf64) -> Xf64 {
+        if self.is_zero() || rhs.is_zero() {
+            return Xf64::ZERO;
+        }
+        Xf64 {
+            mantissa: self.mantissa * rhs.mantissa, // in [1, 4)
+            exp2: self.exp2 + rhs.exp2,
+        }
+        .normalized()
+    }
+}
+
+impl MulAssign for Xf64 {
+    fn mul_assign(&mut self, rhs: Xf64) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Xf64 {
+    type Output = Xf64;
+    fn mul(self, rhs: f64) -> Xf64 {
+        self * Xf64::from_f64(rhs)
+    }
+}
+
+impl Add for Xf64 {
+    type Output = Xf64;
+    fn add(self, rhs: Xf64) -> Xf64 {
+        if self.is_zero() {
+            return rhs;
+        }
+        if rhs.is_zero() {
+            return self;
+        }
+        // Align to the larger exponent; if the gap exceeds the f64 precision
+        // window the small operand vanishes, exactly as in native f64.
+        let (big, small) = if self.exp2 >= rhs.exp2 { (self, rhs) } else { (rhs, self) };
+        let gap = big.exp2 - small.exp2;
+        if gap > 128 {
+            return big;
+        }
+        let m = big.mantissa + ldexp(small.mantissa, -(gap as i32));
+        Xf64 { mantissa: m, exp2: big.exp2 }.normalized()
+    }
+}
+
+impl AddAssign for Xf64 {
+    fn add_assign(&mut self, rhs: Xf64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Div for Xf64 {
+    type Output = Xf64;
+    fn div(self, rhs: Xf64) -> Xf64 {
+        assert!(!rhs.is_zero(), "Xf64 division by zero");
+        if self.is_zero() {
+            return Xf64::ZERO;
+        }
+        Xf64 {
+            mantissa: self.mantissa / rhs.mantissa, // in (0.5, 2)
+            exp2: self.exp2 - rhs.exp2,
+        }
+        .normalized()
+    }
+}
+
+impl PartialOrd for Xf64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp_total(other))
+    }
+}
+
+impl Xf64 {
+    /// Total order (values are non-negative and never NaN).
+    #[must_use]
+    pub fn cmp_total(&self, other: &Self) -> Ordering {
+        match (self.is_zero(), other.is_zero()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => Ordering::Less,
+            (false, true) => Ordering::Greater,
+            (false, false) => match self.exp2.cmp(&other.exp2) {
+                Ordering::Equal => {
+                    self.mantissa.partial_cmp(&other.mantissa).unwrap_or(Ordering::Equal)
+                }
+                ord => ord,
+            },
+        }
+    }
+}
+
+impl fmt::Debug for Xf64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Xf64({} * 2^{})", self.mantissa, self.exp2)
+    }
+}
+
+impl fmt::Display for Xf64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        // Render as decimal scientific notation via ln.
+        let log10 = self.ln() / std::f64::consts::LN_10;
+        let e = log10.floor();
+        let m = 10f64.powf(log10 - e);
+        write!(f, "{m:.6}e{e}")
+    }
+}
+
+impl From<f64> for Xf64 {
+    fn from(v: f64) -> Self {
+        Xf64::from_f64(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: f64) {
+        let x = Xf64::from_f64(v);
+        let back = x.to_f64();
+        assert!(
+            (back - v).abs() <= v.abs() * 1e-15,
+            "roundtrip {v} -> {x:?} -> {back}"
+        );
+    }
+
+    #[test]
+    fn roundtrips_ordinary_values() {
+        for v in [1.0, 0.5, 2.0, 3.141592653589793, 1e-300, 1e300, 123456.789] {
+            roundtrip(v);
+        }
+    }
+
+    #[test]
+    fn roundtrips_subnormals() {
+        roundtrip(5e-320);
+    }
+
+    #[test]
+    fn zero_behaves() {
+        assert!(Xf64::ZERO.is_zero());
+        assert_eq!(Xf64::ZERO.to_f64(), 0.0);
+        assert_eq!((Xf64::ZERO + Xf64::ONE).to_f64(), 1.0);
+        assert_eq!((Xf64::ZERO * Xf64::ONE).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn multiplication_beyond_f64_range() {
+        let tiny = Xf64::exp2i(-3000); // far below f64 min subnormal
+        let restored = tiny * Xf64::exp2i(3000);
+        assert_eq!(restored.to_f64(), 1.0);
+    }
+
+    #[test]
+    fn addition_matches_f64_in_range() {
+        let a = Xf64::from_f64(1.5e10);
+        let b = Xf64::from_f64(2.5e-3);
+        let s = (a + b).to_f64();
+        assert!((s - (1.5e10 + 2.5e-3)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn addition_saturates_on_huge_gap() {
+        let a = Xf64::exp2i(1000);
+        let b = Xf64::exp2i(-1000);
+        assert_eq!((a + b).cmp_total(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn exp_agrees_with_f64_exp() {
+        for x in [-5.0, -0.1, 0.0, 0.1, 5.0, 200.0] {
+            let got = Xf64::exp(x).to_f64();
+            let want = x.exp();
+            assert!((got - want).abs() <= want * 1e-12, "exp({x}): {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn exp_handles_extreme_arguments() {
+        let huge = Xf64::exp(-2000.0); // e^-2000 underflows f64
+        assert!(!huge.is_zero());
+        assert!((huge.ln() + 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ln_inverse_of_from_f64() {
+        let x = Xf64::from_f64(42.0);
+        assert!((x.ln() - 42f64.ln()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn ordering_across_exponents() {
+        let small = Xf64::exp2i(-500);
+        let big = Xf64::exp2i(500);
+        assert!(small < big);
+        assert!(big > Xf64::ONE);
+        assert!(Xf64::ZERO < small);
+    }
+
+    #[test]
+    fn division_restores_factor() {
+        let a = Xf64::from_f64(7.0) * Xf64::exp2i(-2000);
+        let q = a / Xf64::exp2i(-2000);
+        assert!((q.to_f64() - 7.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn delta_formula_representable() {
+        // The paper's δ for ratio 0.99 (ε ≈ 0.005), |Smax|-1 = 6, U = 10:
+        // (1+ε)^{1-1/ε} / (6·10)^{1/ε} with 1/ε = 200.
+        let eps = 0.005f64;
+        let inv = 1.0 / eps;
+        let numer = Xf64::exp((1.0 - inv) * (1.0 + eps).ln());
+        let denom = Xf64::exp(inv * 60f64.ln());
+        let delta = numer / denom;
+        assert!(!delta.is_zero());
+        assert_eq!(delta.to_f64(), 0.0, "delta must be below f64 range here");
+        let expected_ln = (1.0 - inv) * (1.0 + eps).ln() - inv * 60f64.ln();
+        assert!((delta.ln() - expected_ln).abs() < 1e-6);
+    }
+}

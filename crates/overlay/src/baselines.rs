@@ -1,0 +1,196 @@
+//! Multi-tree construction baselines from the paper's related work.
+//!
+//! The paper positions its optimization framework against heuristic
+//! multi-tree systems: **SplitStream** builds a forest of
+//! *interior-node-disjoint* trees (each member relays in at most one
+//! tree), **CoopNet** similar striped star-forests from a central
+//! coordinator. These heuristics come with no optimality story — which is
+//! precisely the gap the paper's FPTAS fills — but they are the practical
+//! systems a deployment would start from, so we implement the canonical
+//! construction and use it as a comparison baseline in examples, tests
+//! and benches.
+//!
+//! [`star_forest`] builds `k ≤ |S|` trees; tree `j` is a two-level star:
+//! the source sends to member `j`, who relays to every other receiver.
+//! Member `j` is the only member interior in tree `j`, giving the
+//! SplitStream property. (Tree 0, centered at the source itself, is the
+//! plain one-level star.) Every stripe carries `dem/k`;
+//! [`uniform_forest_rate`] computes the largest per-stripe rate the
+//! physical capacities admit.
+
+use crate::session::Session;
+use crate::tree::{OverlayHop, OverlayTree};
+use omcf_routing::FixedRoutes;
+use omcf_topology::Graph;
+
+/// Builds the two-level star tree of `session` centered at member index
+/// `center` (0 = the source = plain star).
+#[must_use]
+pub fn star_tree(
+    routes: &FixedRoutes,
+    session: &Session,
+    session_idx: usize,
+    center: usize,
+) -> OverlayTree {
+    let m = session.size();
+    assert!(center < m, "center out of range");
+    let members = &session.members;
+    let mut hops = Vec::with_capacity(m - 1);
+    if center != 0 {
+        // Source → center feeder hop.
+        hops.push(OverlayHop {
+            a: 0,
+            b: center,
+            path: routes.route(members[0], members[center]).clone(),
+        });
+    }
+    for i in 1..m {
+        if i == center {
+            continue;
+        }
+        hops.push(OverlayHop {
+            a: center,
+            b: i,
+            path: routes.route(members[center], members[i]).clone(),
+        });
+    }
+    OverlayTree { session: session_idx, hops }
+}
+
+/// Builds a SplitStream-style forest of `k` interior-node-disjoint trees
+/// (centers = members `0..k`). Panics if `k` exceeds the session size.
+#[must_use]
+pub fn star_forest(
+    routes: &FixedRoutes,
+    session: &Session,
+    session_idx: usize,
+    k: usize,
+) -> Vec<OverlayTree> {
+    assert!(k >= 1 && k <= session.size(), "need 1 ≤ k ≤ |S|");
+    (0..k).map(|c| star_tree(routes, session, session_idx, c)).collect()
+}
+
+/// The largest uniform per-tree rate `x` such that routing `x` on every
+/// tree of the forest respects all capacities:
+/// `x = min_e c_e / Σ_t n_e(t)`.
+#[must_use]
+pub fn uniform_forest_rate(g: &Graph, forest: &[OverlayTree]) -> f64 {
+    assert!(!forest.is_empty());
+    let mut usage = vec![0u32; g.edge_count()];
+    for t in forest {
+        for (e, n) in t.edge_multiplicities() {
+            usage[e.idx()] += n;
+        }
+    }
+    g.edge_ids()
+        .zip(&usage)
+        .filter(|(_, u)| **u > 0)
+        .map(|(e, u)| g.capacity(e) / f64::from(*u))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Aggregate session rate of the forest under the uniform allocation:
+/// `k · uniform_forest_rate`.
+#[must_use]
+pub fn forest_session_rate(g: &Graph, forest: &[OverlayTree]) -> f64 {
+    forest.len() as f64 * uniform_forest_rate(g, forest)
+}
+
+/// Verifies the SplitStream interior-node-disjointness: every member index
+/// appears as a non-leaf in at most one tree of the forest (the source's
+/// sending role is exempt, as in SplitStream, where the source feeds every
+/// stripe).
+#[must_use]
+pub fn is_interior_disjoint(session: &Session, forest: &[OverlayTree]) -> bool {
+    let m = session.size();
+    let mut interior_in = vec![0usize; m];
+    for t in forest {
+        let mut degree = vec![0usize; m];
+        for h in &t.hops {
+            degree[h.a] += 1;
+            degree[h.b] += 1;
+        }
+        for (i, d) in degree.iter().enumerate() {
+            if i != 0 && *d >= 2 {
+                interior_in[i] += 1;
+            }
+        }
+    }
+    interior_in.iter().all(|c| *c <= 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omcf_topology::{canned, NodeId};
+
+    fn setup() -> (Graph, Session, FixedRoutes) {
+        let g = canned::grid(4, 4, 12.0);
+        let session = Session::new(vec![NodeId(0), NodeId(3), NodeId(12), NodeId(15)], 1.0);
+        let routes = FixedRoutes::new(&g, &session.members);
+        (g, session, routes)
+    }
+
+    #[test]
+    fn star_tree_is_valid_spanning_tree() {
+        let (g, session, routes) = setup();
+        for c in 0..session.size() {
+            let t = star_tree(&routes, &session, 0, c);
+            t.validate(&session, &g);
+        }
+    }
+
+    #[test]
+    fn forest_is_interior_disjoint() {
+        let (g, session, routes) = setup();
+        let forest = star_forest(&routes, &session, 0, session.size());
+        assert!(is_interior_disjoint(&session, &forest));
+        for t in &forest {
+            t.validate(&session, &g);
+        }
+    }
+
+    #[test]
+    fn center_is_the_relay_of_its_tree() {
+        let (_, session, routes) = setup();
+        let t = star_tree(&routes, &session, 0, 2);
+        // Member 2 appears in every hop except none; its overlay degree is
+        // m−1 (feeder + fan-out).
+        let deg2 = t.hops.iter().filter(|h| h.a == 2 || h.b == 2).count();
+        assert_eq!(deg2, session.size() - 1);
+    }
+
+    #[test]
+    fn uniform_rate_respects_capacity() {
+        let (g, session, routes) = setup();
+        let forest = star_forest(&routes, &session, 0, 3);
+        let x = uniform_forest_rate(&g, &forest);
+        assert!(x > 0.0 && x.is_finite());
+        // Route x on each tree and verify feasibility through the store.
+        let mut store = crate::store::TreeStore::new(1);
+        for t in &forest {
+            store.add(t.clone(), x);
+        }
+        store.assert_feasible(&g, 1e-9);
+    }
+
+    #[test]
+    fn more_stripes_never_hurt_on_parallel_paths() {
+        // Theta graph: 2-member "session" degenerates (stars coincide), so
+        // use the grid: forest rate with k=4 should be ≥ the single star.
+        let (g, session, routes) = setup();
+        let single = forest_session_rate(&g, &star_forest(&routes, &session, 0, 1));
+        let multi = forest_session_rate(&g, &star_forest(&routes, &session, 0, 4));
+        assert!(
+            multi >= single * 0.99,
+            "striping collapsed: single {single} vs multi {multi}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "1 ≤ k ≤ |S|")]
+    fn oversized_forest_rejected() {
+        let (_, session, routes) = setup();
+        let _ = star_forest(&routes, &session, 0, 9);
+    }
+}

@@ -1,0 +1,30 @@
+//! Overlay multicast sessions and the minimum-overlay-spanning-tree oracle.
+//!
+//! A *session* (the paper's `S_i`) is a set of overlay nodes embedded in the
+//! physical graph, the first member being the data source. The FPTAS
+//! algorithms repeatedly ask for the **minimum overlay spanning tree** of a
+//! session under their current per-physical-edge length assignment:
+//!
+//! 1. build the complete overlay graph `G_i` over the members, each overlay
+//!    edge weighted by the length of the unicast route between its
+//!    endpoints;
+//! 2. run a (dense) minimum-spanning-tree algorithm on `G_i`;
+//! 3. embed the chosen overlay edges back onto physical paths, counting how
+//!    many times each physical edge is traversed (`n_e(t)` — an overlay
+//!    tree may cross one physical link several times).
+//!
+//! The unicast routes come from either regime of [`omcf_routing`]: frozen
+//! IP shortest paths ([`FixedIpOracle`]) or live shortest paths under the
+//! current lengths ([`DynamicOracle`], §V).
+
+pub mod baselines;
+pub mod oracle;
+pub mod session;
+pub mod store;
+pub mod tree;
+
+pub use baselines::{forest_session_rate, star_forest, star_tree};
+pub use oracle::{DynamicOracle, FixedIpOracle, TreeOracle};
+pub use session::{random_sessions, Session, SessionSet};
+pub use store::TreeStore;
+pub use tree::{OverlayHop, OverlayTree};

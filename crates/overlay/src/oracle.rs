@@ -1,0 +1,286 @@
+//! The minimum overlay spanning tree oracle.
+//!
+//! Both FPTAS algorithms and the online algorithm are parameterized over a
+//! [`TreeOracle`]: given live per-physical-edge lengths, return the
+//! minimum-length overlay spanning tree of one session. Two implementations
+//! mirror the paper's two routing regimes (§II vs §V).
+
+use crate::session::SessionSet;
+use crate::tree::{OverlayHop, OverlayTree};
+use omcf_routing::{dijkstra, FixedRoutes};
+use omcf_topology::Graph;
+
+/// Oracle interface used by the solvers.
+pub trait TreeOracle {
+    /// Minimum overlay spanning tree of session `session_idx` under
+    /// `lengths` (indexed by `EdgeId`).
+    fn min_tree(&self, session_idx: usize, lengths: &[f64]) -> OverlayTree;
+
+    /// The sessions this oracle serves.
+    fn sessions(&self) -> &SessionSet;
+
+    /// Upper bound on the hop length of any unicast route the oracle may
+    /// use — the paper's `U`, which parameterizes the FPTAS's δ.
+    fn max_route_hops(&self) -> usize;
+}
+
+/// Dense Prim MST over `m` overlay nodes with a weight closure.
+/// Deterministic: among equal-weight candidates the lowest-index vertex
+/// attaches first. Returns `parent[i]` for `i ≥ 1` in attach order.
+fn prim_dense(m: usize, weight: impl Fn(usize, usize) -> f64) -> Vec<(usize, usize)> {
+    debug_assert!(m >= 2);
+    let mut in_tree = vec![false; m];
+    let mut best = vec![f64::INFINITY; m];
+    let mut parent = vec![0usize; m];
+    in_tree[0] = true;
+    for (j, slot) in best.iter_mut().enumerate().skip(1) {
+        *slot = weight(0, j);
+    }
+    let mut edges = Vec::with_capacity(m - 1);
+    for _ in 1..m {
+        // Pick the cheapest fringe vertex (lowest index wins ties).
+        let mut pick = usize::MAX;
+        for j in 0..m {
+            if !in_tree[j] && (pick == usize::MAX || best[j] < best[pick]) {
+                pick = j;
+            }
+        }
+        assert!(best[pick].is_finite(), "overlay graph must be complete/connected");
+        in_tree[pick] = true;
+        edges.push((parent[pick], pick));
+        for j in 0..m {
+            if !in_tree[j] {
+                let w = weight(pick, j);
+                if w < best[j] {
+                    best[j] = w;
+                    parent[j] = pick;
+                }
+            }
+        }
+    }
+    edges
+}
+
+/// Oracle under **fixed IP routing**: every member pair communicates over
+/// its frozen hop-count shortest path; the overlay edge weight is the sum
+/// of live lengths along that frozen path.
+#[derive(Clone, Debug)]
+pub struct FixedIpOracle {
+    sessions: SessionSet,
+    routes: Vec<FixedRoutes>,
+}
+
+impl FixedIpOracle {
+    /// Precomputes the pairwise IP routes of every session.
+    #[must_use]
+    pub fn new(g: &Graph, sessions: &SessionSet) -> Self {
+        let routes =
+            sessions.sessions().iter().map(|s| FixedRoutes::new(g, &s.members)).collect();
+        Self { sessions: sessions.clone(), routes }
+    }
+
+    /// The frozen routes of session `i`.
+    #[must_use]
+    pub fn routes(&self, i: usize) -> &FixedRoutes {
+        &self.routes[i]
+    }
+
+    /// Physical edges covered by at least one session route (the paper's
+    /// "52 physical links" statistic in §III-E).
+    #[must_use]
+    pub fn covered_edges(&self) -> Vec<omcf_topology::EdgeId> {
+        let mut all: Vec<omcf_topology::EdgeId> =
+            self.routes.iter().flat_map(|r| r.covered_edges()).collect();
+        all.sort_unstable();
+        all.dedup();
+        all
+    }
+}
+
+impl TreeOracle for FixedIpOracle {
+    fn min_tree(&self, session_idx: usize, lengths: &[f64]) -> OverlayTree {
+        let session = self.sessions.session(session_idx);
+        let routes = &self.routes[session_idx];
+        let members = &session.members;
+        let m = members.len();
+        // Materialize the m×m overlay weight matrix once (paths are reused
+        // by reference afterwards).
+        let mut w = vec![0.0f64; m * m];
+        for i in 0..m {
+            for j in (i + 1)..m {
+                let len = routes.route(members[i], members[j]).length(lengths);
+                w[i * m + j] = len;
+                w[j * m + i] = len;
+            }
+        }
+        let edges = prim_dense(m, |i, j| w[i * m + j]);
+        let hops = edges
+            .into_iter()
+            .map(|(a, b)| OverlayHop {
+                a,
+                b,
+                path: routes.route(members[a], members[b]).clone(),
+            })
+            .collect();
+        OverlayTree { session: session_idx, hops }
+    }
+
+    fn sessions(&self) -> &SessionSet {
+        &self.sessions
+    }
+
+    fn max_route_hops(&self) -> usize {
+        self.routes.iter().map(FixedRoutes::max_route_hops).max().unwrap_or(0)
+    }
+}
+
+/// Oracle under **arbitrary dynamic routing** (§V): overlay edges follow the
+/// shortest path under the *current* lengths, recomputed per call via one
+/// Dijkstra per session member.
+#[derive(Clone, Debug)]
+pub struct DynamicOracle {
+    g: Graph,
+    sessions: SessionSet,
+}
+
+impl DynamicOracle {
+    /// Creates the oracle over a clone of the physical graph.
+    #[must_use]
+    pub fn new(g: &Graph, sessions: &SessionSet) -> Self {
+        Self { g: g.clone(), sessions: sessions.clone() }
+    }
+}
+
+impl TreeOracle for DynamicOracle {
+    fn min_tree(&self, session_idx: usize, lengths: &[f64]) -> OverlayTree {
+        let session = self.sessions.session(session_idx);
+        let members = &session.members;
+        let m = members.len();
+        // One SPT per member under the live lengths (the §V-B procedure).
+        let spts: Vec<_> = members.iter().map(|&n| dijkstra(&self.g, n, lengths)).collect();
+        let edges = prim_dense(m, |i, j| spts[i].dist(members[j]));
+        let hops = edges
+            .into_iter()
+            .map(|(a, b)| OverlayHop {
+                a,
+                b,
+                path: spts[a]
+                    .path_to(members[b])
+                    .expect("connected graph: member must be reachable"),
+            })
+            .collect();
+        OverlayTree { session: session_idx, hops }
+    }
+
+    fn sessions(&self) -> &SessionSet {
+        &self.sessions
+    }
+
+    fn max_route_hops(&self) -> usize {
+        // Dynamic routes can wander: the only safe bound is |V| − 1. The
+        // FPTAS only needs an upper bound on route length; looser U costs
+        // a constant factor in iteration count, not correctness.
+        self.g.node_count() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use omcf_topology::{canned, NodeId};
+
+    fn unit_lengths(g: &Graph) -> Vec<f64> {
+        vec![1.0; g.edge_count()]
+    }
+
+    #[test]
+    fn fixed_oracle_builds_valid_tree() {
+        let g = canned::grid(3, 3, 10.0);
+        let sessions =
+            SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(4), NodeId(8)], 1.0)]);
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let t = oracle.min_tree(0, &unit_lengths(&g));
+        t.validate(sessions.session(0), &g);
+        assert_eq!(t.session, 0);
+        // MST over 0-4 (2 hops), 4-8 (2 hops), 0-8 (4 hops): picks the two
+        // 2-hop overlay edges ⇒ total length 4.
+        assert_eq!(t.length(&unit_lengths(&g)), 4.0);
+    }
+
+    #[test]
+    fn fixed_oracle_reacts_to_lengths() {
+        // Theta graph, session {0, 4}: single overlay edge, but its fixed
+        // route never changes even if lengths change.
+        let g = canned::theta(1.0);
+        let sessions = SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(4)], 1.0)]);
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let t1 = oracle.min_tree(0, &unit_lengths(&g));
+        let mut expensive = unit_lengths(&g);
+        for e in &t1.hops[0].path.edges {
+            expensive[e.idx()] = 100.0;
+        }
+        let t2 = oracle.min_tree(0, &expensive);
+        assert_eq!(t1.canonical_key(), t2.canonical_key(), "fixed routes must not change");
+    }
+
+    #[test]
+    fn dynamic_oracle_reroutes_under_lengths() {
+        let g = canned::theta(1.0);
+        let sessions = SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(4)], 1.0)]);
+        let oracle = DynamicOracle::new(&g, &sessions);
+        let t1 = oracle.min_tree(0, &unit_lengths(&g));
+        let mut expensive = unit_lengths(&g);
+        for e in &t1.hops[0].path.edges {
+            expensive[e.idx()] = 100.0;
+        }
+        let t2 = oracle.min_tree(0, &expensive);
+        assert_ne!(t1.canonical_key(), t2.canonical_key(), "dynamic routing must detour");
+        t2.validate(sessions.session(0), &g);
+    }
+
+    #[test]
+    fn oracles_agree_on_unit_lengths() {
+        let g = canned::grid(4, 4, 5.0);
+        let sessions = SessionSet::new(vec![Session::new(
+            vec![NodeId(0), NodeId(5), NodeId(10), NodeId(15)],
+            1.0,
+        )]);
+        let fixed = FixedIpOracle::new(&g, &sessions);
+        let dynamic = DynamicOracle::new(&g, &sessions);
+        let lu = unit_lengths(&g);
+        let tf = fixed.min_tree(0, &lu);
+        let td = dynamic.min_tree(0, &lu);
+        assert_eq!(tf.length(&lu), td.length(&lu), "same MST weight on fresh lengths");
+    }
+
+    #[test]
+    fn min_tree_is_minimal_among_spanning_trees() {
+        // Brute force over all 3 spanning trees of a 3-member session.
+        let g = canned::ring(6, 1.0);
+        let members = vec![NodeId(0), NodeId(2), NodeId(4)];
+        let sessions = SessionSet::new(vec![Session::new(members, 1.0)]);
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let mut lengths = unit_lengths(&g);
+        lengths[0] = 3.0; // perturb
+        let t = oracle.min_tree(0, &lengths);
+        let tree_len = t.length(&lengths);
+        // All spanning trees over 3 nodes: pairs {01,02},{01,12},{02,12}.
+        let routes = oracle.routes(0);
+        let m = sessions.session(0).members.clone();
+        let w = |i: usize, j: usize| routes.route(m[i], m[j]).length(&lengths);
+        let candidates = [w(0, 1) + w(0, 2), w(0, 1) + w(1, 2), w(0, 2) + w(1, 2)];
+        let best = candidates.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!((tree_len - best).abs() < 1e-12, "oracle {tree_len} vs brute {best}");
+    }
+
+    #[test]
+    fn max_route_hops_exposed() {
+        let g = canned::path(5, 1.0);
+        let sessions = SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(4)], 1.0)]);
+        let fixed = FixedIpOracle::new(&g, &sessions);
+        assert_eq!(fixed.max_route_hops(), 4);
+        let dynamic = DynamicOracle::new(&g, &sessions);
+        assert_eq!(dynamic.max_route_hops(), 4);
+    }
+}

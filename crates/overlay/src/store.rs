@@ -1,0 +1,255 @@
+//! Accumulation of flow over (deduplicated) overlay trees.
+//!
+//! The FPTAS routes flow in thousands of small augmentations, frequently
+//! revisiting the same tree. [`TreeStore`] merges augmentations by the
+//! tree's canonical key so the paper's reported statistics — number of
+//! distinct trees per session, per-tree rate distribution, per-edge flow —
+//! fall out directly.
+
+use crate::tree::OverlayTree;
+use omcf_topology::Graph;
+use std::collections::BTreeMap;
+
+/// One deduplicated tree with its accumulated flow.
+#[derive(Clone, Debug)]
+pub struct StoredTree {
+    /// A representative embedding (all merged augmentations share it).
+    pub tree: OverlayTree,
+    /// Total flow routed along this tree.
+    pub flow: f64,
+}
+
+/// Per-session tree/flow accumulator.
+#[derive(Clone, Debug)]
+pub struct TreeStore {
+    per_session: Vec<BTreeMap<Vec<u32>, StoredTree>>,
+}
+
+impl TreeStore {
+    /// Empty store for `k` sessions.
+    #[must_use]
+    pub fn new(k: usize) -> Self {
+        Self { per_session: vec![BTreeMap::new(); k] }
+    }
+
+    /// Number of sessions.
+    #[must_use]
+    pub fn session_count(&self) -> usize {
+        self.per_session.len()
+    }
+
+    /// Adds `flow` along `tree`, merging with a previous identical tree.
+    pub fn add(&mut self, tree: OverlayTree, flow: f64) {
+        assert!(flow >= 0.0, "negative flow");
+        assert!(tree.session < self.per_session.len(), "session out of range");
+        let key = tree.canonical_key();
+        self.per_session[tree.session]
+            .entry(key)
+            .and_modify(|s| s.flow += flow)
+            .or_insert(StoredTree { tree, flow });
+    }
+
+    /// Distinct trees used by session `i`.
+    #[must_use]
+    pub fn tree_count(&self, i: usize) -> usize {
+        self.per_session[i].len()
+    }
+
+    /// Iterator over session `i`'s stored trees.
+    pub fn trees(&self, i: usize) -> impl Iterator<Item = &StoredTree> {
+        self.per_session[i].values()
+    }
+
+    /// Per-tree flow rates of session `i` (unsorted).
+    #[must_use]
+    pub fn session_rates(&self, i: usize) -> Vec<f64> {
+        self.per_session[i].values().map(|s| s.flow).collect()
+    }
+
+    /// Total flow of session `i` (the session rate `Σ_j f_j^i`).
+    #[must_use]
+    pub fn session_total(&self, i: usize) -> f64 {
+        // fold from +0.0: std's `Sum<f64>` identity is -0.0, which would
+        // surface as "-0.00" for flowless sessions.
+        self.per_session[i].values().fold(0.0, |acc, s| acc + s.flow)
+    }
+
+    /// Scales every flow of session `i` by `factor` (used for the final
+    /// `log_{1+ε}` feasibility scaling and for congestion normalization).
+    pub fn scale_session(&mut self, i: usize, factor: f64) {
+        assert!(factor >= 0.0);
+        for s in self.per_session[i].values_mut() {
+            s.flow *= factor;
+        }
+    }
+
+    /// Scales every session by the same factor.
+    pub fn scale_all(&mut self, factor: f64) {
+        for i in 0..self.per_session.len() {
+            self.scale_session(i, factor);
+        }
+    }
+
+    /// Total flow crossing each physical edge, `Σ_i Σ_j n_e(t_j^i)·f_j^i`,
+    /// indexed by `EdgeId`.
+    #[must_use]
+    pub fn edge_flows(&self, g: &Graph) -> Vec<f64> {
+        let mut flows = vec![0.0f64; g.edge_count()];
+        for per in &self.per_session {
+            for s in per.values() {
+                for (e, n) in s.tree.edge_multiplicities() {
+                    flows[e.idx()] += f64::from(n) * s.flow;
+                }
+            }
+        }
+        flows
+    }
+
+    /// Maximum congestion `max_e (edge flow / capacity)`; 0 for an empty
+    /// store.
+    #[must_use]
+    pub fn max_congestion(&self, g: &Graph) -> f64 {
+        self.edge_flows(g)
+            .iter()
+            .zip(g.edge_ids())
+            .map(|(f, e)| f / g.capacity(e))
+            .fold(0.0, f64::max)
+    }
+
+    /// Asserts every edge flow fits its capacity within `rtol`.
+    pub fn assert_feasible(&self, g: &Graph, rtol: f64) {
+        for (e, f) in g.edge_ids().zip(self.edge_flows(g)) {
+            assert!(
+                omcf_numerics::approx_le(f, g.capacity(e), rtol),
+                "edge {e:?} overloaded: flow {f} > capacity {}",
+                g.capacity(e)
+            );
+        }
+    }
+
+    /// Merges another store's flows into this one (same session count
+    /// required); identical trees accumulate.
+    pub fn merge(&mut self, other: TreeStore) {
+        assert_eq!(
+            self.per_session.len(),
+            other.per_session.len(),
+            "session count mismatch in merge"
+        );
+        for per in other.per_session {
+            for (_, stored) in per {
+                self.add(stored.tree, stored.flow);
+            }
+        }
+    }
+
+    /// Retains only the `n` highest-rate trees of each session (used when
+    /// emulating tree-limited operation from a fractional solution).
+    pub fn truncate_to_top(&mut self, n: usize) {
+        for per in &mut self.per_session {
+            if per.len() <= n {
+                continue;
+            }
+            let mut entries: Vec<(Vec<u32>, f64)> =
+                per.iter().map(|(k, v)| (k.clone(), v.flow)).collect();
+            entries.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN flows"));
+            let keep: std::collections::BTreeSet<Vec<u32>> =
+                entries.into_iter().take(n).map(|(k, _)| k).collect();
+            per.retain(|k, _| keep.contains(k));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::Session;
+    use crate::tree::OverlayHop;
+    use omcf_routing::dijkstra::dijkstra_hops;
+    use omcf_topology::{canned, NodeId};
+
+    fn simple_tree(g: &Graph, session_idx: usize) -> OverlayTree {
+        let spt = dijkstra_hops(g, NodeId(0));
+        OverlayTree {
+            session: session_idx,
+            hops: vec![OverlayHop { a: 0, b: 1, path: spt.path_to(NodeId(2)).unwrap() }],
+        }
+    }
+
+    #[test]
+    fn merges_identical_trees() {
+        let g = canned::path(3, 10.0);
+        let mut store = TreeStore::new(1);
+        store.add(simple_tree(&g, 0), 1.5);
+        store.add(simple_tree(&g, 0), 2.5);
+        assert_eq!(store.tree_count(0), 1);
+        assert_eq!(store.session_total(0), 4.0);
+    }
+
+    #[test]
+    fn edge_flows_weighted_by_multiplicity() {
+        let g = canned::path(4, 10.0);
+        let s = Session::new(vec![NodeId(0), NodeId(2), NodeId(3)], 1.0);
+        let spt = dijkstra_hops(&g, NodeId(0));
+        let t = OverlayTree {
+            session: 0,
+            hops: vec![
+                OverlayHop { a: 0, b: 1, path: spt.path_to(NodeId(2)).unwrap() },
+                OverlayHop { a: 0, b: 2, path: spt.path_to(NodeId(3)).unwrap() },
+            ],
+        };
+        t.validate(&s, &g);
+        let mut store = TreeStore::new(1);
+        store.add(t, 2.0);
+        let flows = store.edge_flows(&g);
+        assert_eq!(flows, vec![4.0, 4.0, 2.0]);
+        assert!((store.max_congestion(&g) - 0.4).abs() < 1e-12);
+        store.assert_feasible(&g, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "overloaded")]
+    fn assert_feasible_detects_overload() {
+        let g = canned::path(3, 1.0);
+        let mut store = TreeStore::new(1);
+        store.add(simple_tree(&g, 0), 5.0);
+        store.assert_feasible(&g, 1e-9);
+    }
+
+    #[test]
+    fn scaling() {
+        let g = canned::path(3, 10.0);
+        let mut store = TreeStore::new(1);
+        store.add(simple_tree(&g, 0), 4.0);
+        store.scale_session(0, 0.25);
+        assert_eq!(store.session_total(0), 1.0);
+        store.scale_all(2.0);
+        assert_eq!(store.session_total(0), 2.0);
+    }
+
+    #[test]
+    fn truncate_keeps_heaviest() {
+        let _g = canned::parallel_links(3, 10.0);
+        let mut store = TreeStore::new(1);
+        for (e, flow) in [(0u32, 5.0), (1u32, 1.0), (2u32, 3.0)] {
+            let t = OverlayTree {
+                session: 0,
+                hops: vec![OverlayHop {
+                    a: 0,
+                    b: 1,
+                    path: omcf_routing::Path {
+                        src: NodeId(0),
+                        dst: NodeId(1),
+                        edges: vec![omcf_topology::EdgeId(e)].into(),
+                    },
+                }],
+            };
+            store.add(t, flow);
+        }
+        assert_eq!(store.tree_count(0), 3);
+        store.truncate_to_top(2);
+        assert_eq!(store.tree_count(0), 2);
+        let mut rates = store.session_rates(0);
+        rates.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(rates, vec![3.0, 5.0]);
+    }
+}

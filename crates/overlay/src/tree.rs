@@ -1,0 +1,232 @@
+//! Overlay spanning trees and their physical embeddings.
+
+use crate::session::Session;
+use omcf_routing::Path;
+use omcf_topology::{EdgeId, Graph};
+
+/// One overlay hop of a tree: an edge of the overlay (complete) graph
+/// between two member *indices*, realized by a concrete physical path.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverlayHop {
+    /// Index of one endpoint into `session.members`.
+    pub a: usize,
+    /// Index of the other endpoint.
+    pub b: usize,
+    /// The unicast route realizing this hop at construction time.
+    pub path: Path,
+}
+
+/// A spanning tree of a session's overlay graph, embedded in the physical
+/// network. `hops.len() == session.size() - 1`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OverlayTree {
+    /// Index of the owning session within its `SessionSet`.
+    pub session: usize,
+    /// The |S|−1 overlay edges.
+    pub hops: Vec<OverlayHop>,
+}
+
+impl OverlayTree {
+    /// Per-physical-edge multiplicity `n_e(t)`: how many overlay hops
+    /// traverse each physical edge. Sorted by edge id, multiplicities ≥ 1.
+    #[must_use]
+    pub fn edge_multiplicities(&self) -> Vec<(EdgeId, u32)> {
+        let mut ids: Vec<EdgeId> =
+            self.hops.iter().flat_map(|h| h.path.edges.iter().copied()).collect();
+        ids.sort_unstable();
+        let mut out: Vec<(EdgeId, u32)> = Vec::with_capacity(ids.len());
+        for e in ids {
+            match out.last_mut() {
+                Some((last, count)) if *last == e => *count += 1,
+                _ => out.push((e, 1)),
+            }
+        }
+        out
+    }
+
+    /// Tree length `Σ_e n_e(t) · d_e` under the given lengths.
+    #[must_use]
+    pub fn length(&self, lengths: &[f64]) -> f64 {
+        self.hops.iter().map(|h| h.path.length(lengths)).sum()
+    }
+
+    /// The paper's bottleneck step `c = min_e c_e / n_e(t)` — the largest
+    /// flow increment the tree supports before saturating some link.
+    #[must_use]
+    pub fn bottleneck(&self, g: &Graph) -> f64 {
+        self.edge_multiplicities()
+            .iter()
+            .map(|&(e, n)| g.capacity(e) / f64::from(n))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Exact identity key: sorted member-index pairs followed by each hop's
+    /// path edges. Two trees are "the same tree" for the paper's tree
+    /// counting iff they use the same overlay edges *and* the same physical
+    /// routes (under fixed IP routing the routes are implied; under
+    /// arbitrary routing they are part of the identity).
+    #[must_use]
+    pub fn canonical_key(&self) -> Vec<u32> {
+        let mut hops: Vec<(usize, usize, &Path)> = self
+            .hops
+            .iter()
+            .map(|h| {
+                let (lo, hi) = if h.a <= h.b { (h.a, h.b) } else { (h.b, h.a) };
+                (lo, hi, &h.path)
+            })
+            .collect();
+        hops.sort_by_key(|&(a, b, _)| (a, b));
+        let mut key = Vec::with_capacity(self.hops.len() * 8);
+        for (a, b, p) in hops {
+            key.push(a as u32);
+            key.push(b as u32);
+            key.push(p.edges.len() as u32);
+            // Canonical edge order: a path and its reverse are the same
+            // physical route, so orient from the lower endpoint.
+            if p.src.0 <= p.dst.0 {
+                key.extend(p.edges.iter().map(|e| e.0));
+            } else {
+                key.extend(p.edges.iter().rev().map(|e| e.0));
+            }
+        }
+        key
+    }
+
+    /// Validates that the hops form a spanning tree over the session's
+    /// member indices and that each hop's path connects the right nodes.
+    pub fn validate(&self, session: &Session, g: &Graph) {
+        let m = session.size();
+        assert_eq!(self.hops.len(), m - 1, "tree must have |S|-1 hops");
+        // Union-find over member indices.
+        let mut parent: Vec<usize> = (0..m).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        for h in &self.hops {
+            assert!(h.a < m && h.b < m && h.a != h.b, "bad hop endpoints");
+            let (ra, rb) = (find(&mut parent, h.a), find(&mut parent, h.b));
+            assert_ne!(ra, rb, "cycle in overlay tree");
+            parent[ra] = rb;
+            // The path must join the two members' physical nodes.
+            let (pa, pb) = (session.members[h.a], session.members[h.b]);
+            assert!(
+                (h.path.src == pa && h.path.dst == pb) || (h.path.src == pb && h.path.dst == pa),
+                "hop path endpoints disagree with members"
+            );
+            h.path.validate(g);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omcf_routing::dijkstra::dijkstra_hops;
+    use omcf_topology::{canned, NodeId};
+
+    /// Builds a star tree (source to each receiver via shortest path) for
+    /// testing.
+    fn star_tree(g: &Graph, session: &Session) -> OverlayTree {
+        let spt = dijkstra_hops(g, session.members[0]);
+        let hops = (1..session.size())
+            .map(|i| OverlayHop { a: 0, b: i, path: spt.path_to(session.members[i]).unwrap() })
+            .collect();
+        OverlayTree { session: 0, hops }
+    }
+
+    #[test]
+    fn multiplicities_count_shared_physical_edges() {
+        // Path graph 0-1-2-3; session {0, 2, 3} with star topology from 0:
+        // hop 0→2 uses edges {0,1}; hop 0→3 uses {0,1,2}. Edge 0 and 1
+        // are each traversed twice.
+        let g = canned::path(4, 10.0);
+        let s = Session::new(vec![NodeId(0), NodeId(2), NodeId(3)], 1.0);
+        let t = star_tree(&g, &s);
+        t.validate(&s, &g);
+        let mult = t.edge_multiplicities();
+        assert_eq!(mult, vec![(EdgeId(0), 2), (EdgeId(1), 2), (EdgeId(2), 1)]);
+    }
+
+    #[test]
+    fn bottleneck_accounts_for_multiplicity() {
+        let g = canned::path(4, 10.0);
+        let s = Session::new(vec![NodeId(0), NodeId(2), NodeId(3)], 1.0);
+        let t = star_tree(&g, &s);
+        // Edge 0 is used twice ⇒ step is 10/2 = 5.
+        assert_eq!(t.bottleneck(&g), 5.0);
+    }
+
+    #[test]
+    fn length_weights_by_multiplicity() {
+        let g = canned::path(4, 10.0);
+        let s = Session::new(vec![NodeId(0), NodeId(2), NodeId(3)], 1.0);
+        let t = star_tree(&g, &s);
+        let lengths = [1.0, 2.0, 4.0];
+        // 2·1 + 2·2 + 1·4 = 10.
+        assert_eq!(t.length(&lengths), 10.0);
+    }
+
+    #[test]
+    fn canonical_key_ignores_hop_order_and_orientation() {
+        let g = canned::path(3, 1.0);
+        let _s = Session::new(vec![NodeId(0), NodeId(1), NodeId(2)], 1.0);
+        let spt0 = dijkstra_hops(&g, NodeId(0));
+        let spt1 = dijkstra_hops(&g, NodeId(1));
+        let t1 = OverlayTree {
+            session: 0,
+            hops: vec![
+                OverlayHop { a: 0, b: 1, path: spt0.path_to(NodeId(1)).unwrap() },
+                OverlayHop { a: 1, b: 2, path: spt1.path_to(NodeId(2)).unwrap() },
+            ],
+        };
+        let t2 = OverlayTree {
+            session: 0,
+            hops: vec![
+                OverlayHop { a: 2, b: 1, path: spt1.path_to(NodeId(2)).unwrap().reversed() },
+                OverlayHop { a: 1, b: 0, path: spt0.path_to(NodeId(1)).unwrap().reversed() },
+            ],
+        };
+        assert_eq!(t1.canonical_key(), t2.canonical_key());
+    }
+
+    #[test]
+    fn canonical_key_distinguishes_routes() {
+        // Parallel links: same overlay hop via different physical edges.
+        let g = canned::parallel_links(2, 1.0);
+        let s = Session::new(vec![NodeId(0), NodeId(1)], 1.0);
+        let via = |e: u32| OverlayTree {
+            session: 0,
+            hops: vec![OverlayHop {
+                a: 0,
+                b: 1,
+                path: Path { src: NodeId(0), dst: NodeId(1), edges: vec![EdgeId(e)].into() },
+            }],
+        };
+        let t1 = via(0);
+        let t2 = via(1);
+        t1.validate(&s, &g);
+        t2.validate(&s, &g);
+        assert_ne!(t1.canonical_key(), t2.canonical_key());
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn validate_rejects_cycles() {
+        let g = canned::complete(3, 1.0);
+        let s = Session::new(vec![NodeId(0), NodeId(1), NodeId(2)], 1.0);
+        let spt0 = dijkstra_hops(&g, NodeId(0));
+        let spt1 = dijkstra_hops(&g, NodeId(1));
+        let bad = OverlayTree {
+            session: 0,
+            hops: vec![
+                OverlayHop { a: 0, b: 1, path: spt0.path_to(NodeId(1)).unwrap() },
+                OverlayHop { a: 1, b: 0, path: spt1.path_to(NodeId(0)).unwrap() },
+            ],
+        };
+        bad.validate(&s, &g);
+    }
+}

@@ -1,0 +1,214 @@
+//! Binary-heap Dijkstra with deterministic tie-breaking.
+//!
+//! Lengths are supplied externally (slice indexed by `EdgeId`) because the
+//! FPTAS mutates them every iteration. Ties are broken toward the
+//! lower-numbered predecessor node so that fixed IP routes are reproducible
+//! across runs and platforms.
+
+use crate::path::Path;
+use omcf_topology::{EdgeId, Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Result of a single-source shortest-path computation.
+#[derive(Clone, Debug)]
+pub struct ShortestPathTree {
+    src: NodeId,
+    dist: Vec<f64>,
+    parent: Vec<Option<(EdgeId, NodeId)>>,
+}
+
+impl ShortestPathTree {
+    /// The source node.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.src
+    }
+
+    /// Distance from the source to `n` (`f64::INFINITY` if unreachable).
+    #[must_use]
+    pub fn dist(&self, n: NodeId) -> f64 {
+        self.dist[n.idx()]
+    }
+
+    /// True if `n` is reachable from the source.
+    #[must_use]
+    pub fn reachable(&self, n: NodeId) -> bool {
+        self.dist[n.idx()].is_finite()
+    }
+
+    /// Extracts the shortest path from the source to `dst`, or `None` if
+    /// unreachable.
+    #[must_use]
+    pub fn path_to(&self, dst: NodeId) -> Option<Path> {
+        if !self.reachable(dst) {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = dst;
+        while cur != self.src {
+            let (e, prev) = self.parent[cur.idx()].expect("reachable non-source has a parent");
+            edges.push(e);
+            cur = prev;
+        }
+        edges.reverse();
+        Some(Path { src: self.src, dst, edges: edges.into_boxed_slice() })
+    }
+}
+
+#[derive(PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance, then on node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("no NaN lengths")
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source Dijkstra under the given non-negative edge lengths.
+///
+/// `lengths[e.idx()]` is the length of edge `e`; it must be finite and
+/// non-negative. Runs in `O(E log V)`.
+#[must_use]
+pub fn dijkstra(g: &Graph, src: NodeId, lengths: &[f64]) -> ShortestPathTree {
+    assert_eq!(lengths.len(), g.edge_count(), "length table size mismatch");
+    debug_assert!(lengths.iter().all(|l| *l >= 0.0 && l.is_finite()));
+    let n = g.node_count();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut parent: Vec<Option<(EdgeId, NodeId)>> = vec![None; n];
+    let mut done = vec![false; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[src.idx()] = 0.0;
+    heap.push(HeapItem { dist: 0.0, node: src });
+    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
+        if done[u.idx()] {
+            continue;
+        }
+        done[u.idx()] = true;
+        for (e, v) in g.neighbors(u) {
+            if done[v.idx()] {
+                continue;
+            }
+            let nd = d + lengths[e.idx()];
+            let better = nd < dist[v.idx()]
+                // Deterministic tie-break: prefer the lower-id predecessor.
+                || (nd == dist[v.idx()]
+                    && parent[v.idx()].is_some_and(|(_, p)| u.0 < p.0));
+            if better {
+                dist[v.idx()] = nd;
+                parent[v.idx()] = Some((e, u));
+                heap.push(HeapItem { dist: nd, node: v });
+            }
+        }
+    }
+    ShortestPathTree { src, dist, parent }
+}
+
+/// Dijkstra with unit lengths — hop-count shortest paths (IP routing
+/// metric).
+#[must_use]
+pub fn dijkstra_hops(g: &Graph, src: NodeId) -> ShortestPathTree {
+    let ones = vec![1.0; g.edge_count()];
+    dijkstra(g, src, &ones)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omcf_topology::{canned, GraphBuilder};
+
+    #[test]
+    fn path_graph_distances() {
+        let g = canned::path(5, 1.0);
+        let spt = dijkstra_hops(&g, NodeId(0));
+        for i in 0..5 {
+            assert_eq!(spt.dist(NodeId(i)), i as f64);
+        }
+        let p = spt.path_to(NodeId(4)).unwrap();
+        assert_eq!(p.hops(), 4);
+        p.validate(&g);
+    }
+
+    #[test]
+    fn respects_weights_over_hops() {
+        // Triangle where the direct edge is longer than the two-hop detour.
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0); // e0
+        b.add_edge(NodeId(1), NodeId(2), 1.0); // e1
+        b.add_edge(NodeId(0), NodeId(2), 1.0); // e2 direct
+        let g = b.finish();
+        let lengths = [1.0, 1.0, 5.0];
+        let spt = dijkstra(&g, NodeId(0), &lengths);
+        assert_eq!(spt.dist(NodeId(2)), 2.0);
+        let p = spt.path_to(NodeId(2)).unwrap();
+        assert_eq!(p.hops(), 2);
+    }
+
+    #[test]
+    fn unreachable_nodes() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        let g = b.finish();
+        let spt = dijkstra_hops(&g, NodeId(0));
+        assert!(!spt.reachable(NodeId(2)));
+        assert!(spt.path_to(NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two equal-length routes 0→1→3 and 0→2→3; the tie-break must pick
+        // predecessor 1 (lower id) every time.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        b.add_edge(NodeId(0), NodeId(2), 1.0);
+        b.add_edge(NodeId(1), NodeId(3), 1.0);
+        b.add_edge(NodeId(2), NodeId(3), 1.0);
+        let g = b.finish();
+        for _ in 0..5 {
+            let p = dijkstra_hops(&g, NodeId(0)).path_to(NodeId(3)).unwrap();
+            assert_eq!(p.nodes(&g)[1], NodeId(1));
+        }
+    }
+
+    #[test]
+    fn zero_length_edges_allowed() {
+        let g = canned::path(3, 1.0);
+        let spt = dijkstra(&g, NodeId(0), &[0.0, 0.0]);
+        assert_eq!(spt.dist(NodeId(2)), 0.0);
+        assert_eq!(spt.path_to(NodeId(2)).unwrap().hops(), 2);
+    }
+
+    #[test]
+    fn parallel_edges_pick_shorter() {
+        let g = canned::parallel_links(2, 1.0);
+        let spt = dijkstra(&g, NodeId(0), &[3.0, 1.0]);
+        let p = spt.path_to(NodeId(1)).unwrap();
+        assert_eq!(p.edges.as_ref(), &[EdgeId(1)]);
+        assert_eq!(spt.dist(NodeId(1)), 1.0);
+    }
+
+    #[test]
+    fn source_path_is_trivial() {
+        let g = canned::ring(4, 1.0);
+        let spt = dijkstra_hops(&g, NodeId(2));
+        let p = spt.path_to(NodeId(2)).unwrap();
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.src, p.dst);
+    }
+}

@@ -1,0 +1,89 @@
+//! Arbitrary dynamic routing (§V).
+//!
+//! Under this regime an overlay link may use *any* unicast path, so the
+//! minimum overlay spanning tree oracle must evaluate, for every member
+//! pair, the shortest path under the solver's **current** edge lengths.
+//! The paper's §V-B notes the per-oracle-call overhead is `|S_i| · T_spt`:
+//! one shortest-path-tree computation rooted at each session member.
+
+use crate::dijkstra::{dijkstra, ShortestPathTree};
+use crate::path::Path;
+use omcf_topology::{Graph, NodeId};
+
+/// Shortest-path trees rooted at each member under the given live lengths.
+/// This is the §V oracle building block.
+#[must_use]
+pub fn shortest_paths_from(
+    g: &Graph,
+    members: &[NodeId],
+    lengths: &[f64],
+) -> Vec<ShortestPathTree> {
+    members.iter().map(|&m| dijkstra(g, m, lengths)).collect()
+}
+
+/// Pairwise dynamic routes among `members` under `lengths`: row-major
+/// `m × m` matrix of paths, recomputed from scratch (no caching — the
+/// lengths change every solver iteration).
+#[must_use]
+pub fn pairwise_dynamic_routes(g: &Graph, members: &[NodeId], lengths: &[f64]) -> Vec<Path> {
+    let spts = shortest_paths_from(g, members, lengths);
+    let mut out = Vec::with_capacity(members.len() * members.len());
+    for spt in &spts {
+        for &dst in members {
+            out.push(
+                spt.path_to(dst)
+                    .unwrap_or_else(|| panic!("member {dst:?} unreachable under dynamic routing")),
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omcf_topology::canned;
+
+    #[test]
+    fn dynamic_routes_follow_lengths() {
+        // Theta graph: three 2-hop routes from 0 to 4 via 1, 2 or 3. Making
+        // the middle legs expensive steers the route.
+        let g = canned::theta(1.0);
+        // Edges in construction order: (0,1),(1,4),(0,2),(2,4),(0,3),(3,4).
+        let mut lengths = vec![1.0; 6];
+        lengths[0] = 10.0; // penalize via-1
+        lengths[2] = 10.0; // penalize via-2
+        let routes = pairwise_dynamic_routes(&g, &[NodeId(0), NodeId(4)], &lengths);
+        let p = &routes[1]; // 0 → 4
+        assert_eq!(p.nodes(&g)[1], NodeId(3), "must route via node 3");
+    }
+
+    #[test]
+    fn matches_fixed_routing_under_unit_lengths() {
+        let g = canned::grid(3, 3, 1.0);
+        let members = [NodeId(0), NodeId(4), NodeId(8)];
+        let unit = vec![1.0; g.edge_count()];
+        let dynamic = pairwise_dynamic_routes(&g, &members, &unit);
+        let fixed = crate::fixed::FixedRoutes::new(&g, &members);
+        for (i, &a) in members.iter().enumerate() {
+            for (j, &b) in members.iter().enumerate() {
+                assert_eq!(
+                    dynamic[i * members.len() + j].hops(),
+                    fixed.route(a, b).hops(),
+                    "hop mismatch {a:?}→{b:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spts_rooted_at_each_member() {
+        let g = canned::ring(5, 1.0);
+        let members = [NodeId(1), NodeId(3)];
+        let unit = vec![1.0; g.edge_count()];
+        let spts = shortest_paths_from(&g, &members, &unit);
+        assert_eq!(spts.len(), 2);
+        assert_eq!(spts[0].source(), NodeId(1));
+        assert_eq!(spts[1].source(), NodeId(3));
+    }
+}

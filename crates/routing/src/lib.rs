@@ -1,0 +1,24 @@
+//! Unicast routing substrate.
+//!
+//! The paper distinguishes two routing regimes for the overlay links:
+//!
+//! * **Fixed IP routing** (§II–§IV): every node pair communicates over the
+//!   shortest path of the physical topology, computed once (hop-count
+//!   metric, deterministic tie-breaking) and never changed. Modeled by
+//!   [`FixedRoutes`].
+//! * **Arbitrary dynamic routing** (§V): a node pair may use *any* unicast
+//!   path; the algorithms pick the shortest path under the solver's current
+//!   edge-length assignment, recomputed every iteration. Modeled by
+//!   [`dynamic::shortest_paths_from`] et al.
+//!
+//! Both are built on a single binary-heap Dijkstra ([`dijkstra()`]) over the
+//! [`omcf_topology::Graph`] with externally supplied per-edge lengths.
+
+pub mod dijkstra;
+pub mod dynamic;
+pub mod fixed;
+pub mod path;
+
+pub use dijkstra::{dijkstra, ShortestPathTree};
+pub use fixed::FixedRoutes;
+pub use path::Path;

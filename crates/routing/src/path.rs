@@ -1,0 +1,122 @@
+//! Unicast path representation.
+
+use omcf_topology::{EdgeId, Graph, NodeId};
+
+/// A simple path through the physical graph, stored as the sequence of edge
+/// ids from `src` to `dst`. Edge identity (not just endpoints) is kept
+/// because solvers charge flow to specific parallel edges.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    /// First node.
+    pub src: NodeId,
+    /// Last node.
+    pub dst: NodeId,
+    /// Edges in order from `src` to `dst`; empty iff `src == dst`.
+    pub edges: Box<[EdgeId]>,
+}
+
+impl Path {
+    /// The trivial path from a node to itself.
+    #[must_use]
+    pub fn trivial(n: NodeId) -> Self {
+        Self { src: n, dst: n, edges: Box::new([]) }
+    }
+
+    /// Hop count.
+    #[must_use]
+    pub fn hops(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Sum of `lengths[e]` along the path.
+    #[must_use]
+    pub fn length(&self, lengths: &[f64]) -> f64 {
+        self.edges.iter().map(|e| lengths[e.idx()]).sum()
+    }
+
+    /// Smallest capacity along the path (∞ for the trivial path).
+    #[must_use]
+    pub fn bottleneck(&self, g: &Graph) -> f64 {
+        self.edges.iter().map(|&e| g.capacity(e)).fold(f64::INFINITY, f64::min)
+    }
+
+    /// The node sequence `src, …, dst` implied by the edge sequence.
+    /// Panics if the edges do not form a path starting at `src`.
+    #[must_use]
+    pub fn nodes(&self, g: &Graph) -> Vec<NodeId> {
+        let mut out = Vec::with_capacity(self.edges.len() + 1);
+        let mut cur = self.src;
+        out.push(cur);
+        for &e in self.edges.iter() {
+            cur = g.edge(e).other(cur);
+            out.push(cur);
+        }
+        assert_eq!(cur, self.dst, "edge sequence does not reach dst");
+        out
+    }
+
+    /// Validates connectivity, endpoints and simplicity (no repeated node).
+    pub fn validate(&self, g: &Graph) {
+        let nodes = self.nodes(g);
+        let mut sorted: Vec<_> = nodes.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), nodes.len(), "path revisits a node: {nodes:?}");
+    }
+
+    /// Path reversed end-to-end. Undirected edges need no flipping.
+    #[must_use]
+    pub fn reversed(&self) -> Path {
+        let mut edges: Vec<EdgeId> = self.edges.to_vec();
+        edges.reverse();
+        Path { src: self.dst, dst: self.src, edges: edges.into_boxed_slice() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omcf_topology::canned;
+
+    #[test]
+    fn trivial_path() {
+        let p = Path::trivial(NodeId(3));
+        assert_eq!(p.hops(), 0);
+        assert_eq!(p.length(&[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn length_and_bottleneck() {
+        let g = canned::path(4, 10.0); // edges 0,1,2 in a line
+        let p = Path { src: NodeId(0), dst: NodeId(3), edges: vec![EdgeId(0), EdgeId(1), EdgeId(2)].into() };
+        assert_eq!(p.hops(), 3);
+        assert_eq!(p.length(&[0.5, 0.25, 0.25]), 1.0);
+        assert_eq!(p.bottleneck(&g), 10.0);
+        p.validate(&g);
+    }
+
+    #[test]
+    fn nodes_reconstruction() {
+        let g = canned::path(3, 1.0);
+        let p = Path { src: NodeId(2), dst: NodeId(0), edges: vec![EdgeId(1), EdgeId(0)].into() };
+        assert_eq!(p.nodes(&g), vec![NodeId(2), NodeId(1), NodeId(0)]);
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let g = canned::path(3, 1.0);
+        let p = Path { src: NodeId(0), dst: NodeId(2), edges: vec![EdgeId(0), EdgeId(1)].into() };
+        let r = p.reversed();
+        assert_eq!(r.src, NodeId(2));
+        assert_eq!(r.dst, NodeId(0));
+        r.validate(&g);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not reach dst")]
+    fn nodes_detects_broken_path() {
+        let g = canned::path(4, 1.0);
+        let p = Path { src: NodeId(0), dst: NodeId(3), edges: vec![EdgeId(0)].into() };
+        let _ = p.nodes(&g);
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based tests for the routing substrate.
+
+use omcf_numerics::{Rng64, Xoshiro256pp};
+use omcf_routing::dijkstra::{dijkstra, dijkstra_hops};
+use omcf_routing::FixedRoutes;
+use omcf_topology::waxman::{self, WaxmanParams};
+use omcf_topology::{Graph, NodeId};
+use proptest::prelude::*;
+
+fn graph(seed: u64, n: usize) -> Graph {
+    let params = WaxmanParams { n, alpha: 0.3, ..WaxmanParams::default() };
+    waxman::generate(&params, &mut Xoshiro256pp::new(seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Triangle inequality of the shortest-path metric: for random
+    /// lengths, d(a,c) ≤ d(a,b) + d(b,c).
+    #[test]
+    fn triangle_inequality(seed in any::<u64>(), n in 8usize..40) {
+        let g = graph(seed, n);
+        let mut rng = Xoshiro256pp::new(seed ^ 1);
+        let lengths: Vec<f64> = (0..g.edge_count()).map(|_| rng.range_f64(0.1, 3.0)).collect();
+        let a = NodeId(rng.index(n) as u32);
+        let b = NodeId(rng.index(n) as u32);
+        let c = NodeId(rng.index(n) as u32);
+        let from_a = dijkstra(&g, a, &lengths);
+        let from_b = dijkstra(&g, b, &lengths);
+        prop_assert!(from_a.dist(c) <= from_a.dist(b) + from_b.dist(c) + 1e-9);
+    }
+
+    /// Path extraction reconstructs exactly the reported distance.
+    #[test]
+    fn path_length_matches_distance(seed in any::<u64>(), n in 8usize..40) {
+        let g = graph(seed, n);
+        let mut rng = Xoshiro256pp::new(seed ^ 2);
+        let lengths: Vec<f64> = (0..g.edge_count()).map(|_| rng.range_f64(0.1, 3.0)).collect();
+        let src = NodeId(rng.index(n) as u32);
+        let spt = dijkstra(&g, src, &lengths);
+        for dst in g.nodes() {
+            let p = spt.path_to(dst).unwrap();
+            p.validate(&g);
+            prop_assert!((p.length(&lengths) - spt.dist(dst)).abs() < 1e-9);
+        }
+    }
+
+    /// Hop-count distances are symmetric.
+    #[test]
+    fn hop_distance_symmetric(seed in any::<u64>(), n in 8usize..40) {
+        let g = graph(seed, n);
+        let mut rng = Xoshiro256pp::new(seed ^ 3);
+        let a = NodeId(rng.index(n) as u32);
+        let b = NodeId(rng.index(n) as u32);
+        let d_ab = dijkstra_hops(&g, a).dist(b);
+        let d_ba = dijkstra_hops(&g, b).dist(a);
+        prop_assert_eq!(d_ab, d_ba);
+    }
+
+    /// Fixed routes are shortest in hops: no shorter path exists.
+    #[test]
+    fn fixed_routes_are_shortest(seed in any::<u64>(), n in 10usize..40) {
+        let g = graph(seed, n);
+        let mut rng = Xoshiro256pp::new(seed ^ 4);
+        let members: Vec<NodeId> =
+            rng.sample_indices(n, 4).into_iter().map(|i| NodeId(i as u32)).collect();
+        let routes = FixedRoutes::new(&g, &members);
+        for &a in &members {
+            let spt = dijkstra_hops(&g, a);
+            for &b in &members {
+                prop_assert_eq!(routes.route(a, b).hops() as f64, spt.dist(b));
+            }
+        }
+        prop_assert!(routes.max_route_hops() < n);
+    }
+
+    /// Under uniform lengths scaled by any constant, the chosen routes'
+    /// hop counts are identical (scale invariance of shortest paths).
+    #[test]
+    fn dijkstra_scale_invariant(seed in any::<u64>(), scale in 1e-6f64..1e6) {
+        let g = graph(seed, 20);
+        let base = vec![1.0; g.edge_count()];
+        let scaled: Vec<f64> = base.iter().map(|v| v * scale).collect();
+        let a = dijkstra(&g, NodeId(0), &base);
+        let b = dijkstra(&g, NodeId(0), &scaled);
+        for v in g.nodes() {
+            prop_assert_eq!(
+                a.path_to(v).unwrap().hops(),
+                b.path_to(v).unwrap().hops()
+            );
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--paper] [--seed N] [--out DIR] <artifact>...
+//!
+//! artifacts: fig1 table2 fig2 table4 fig3 fig4 fig5 fig6
+//!            table7 table8 fig7 fig8 fig9 fig10 fig11
+//!            fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19
+//!            part-one evaluation all
+//! ```
+//!
+//! Tables print to stdout and are written as CSV; figures are written as
+//! long-format CSV under `--out` (default `./repro-out`) with a terminal
+//! sketch printed. `--paper` switches from the fast shape-preserving
+//! instances to full paper scale (Scenario B then takes a long time).
+
+use omcf_sim::experiments::{evaluation, fig1, part_one, sensitivity, Config};
+use omcf_sim::figures::Figure;
+use omcf_sim::scenarios::Scale;
+use omcf_sim::tables::{GridSurface, RatioTable};
+use std::path::{Path, PathBuf};
+
+struct Cli {
+    cfg: Config,
+    out: PathBuf,
+    artifacts: Vec<String>,
+}
+
+fn parse_args() -> Cli {
+    let mut cfg = Config::default();
+    let mut out = PathBuf::from("repro-out");
+    let mut artifacts = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--paper" => cfg.scale = Scale::Paper,
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| die("--seed needs an integer"));
+            }
+            "--out" => {
+                out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
+            }
+            "--help" | "-h" => {
+                println!("{}", HELP);
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => die(&format!("unknown flag {other}")),
+            other => artifacts.push(other.to_string()),
+        }
+    }
+    if artifacts.is_empty() {
+        artifacts.push("all".to_string());
+    }
+    Cli { cfg, out, artifacts }
+}
+
+const HELP: &str = "repro [--paper] [--seed N] [--out DIR] <artifact>...\n\
+  artifacts: fig1 table2 fig2 table4 fig3 fig4 fig5 fig6 table7 table8\n\
+             fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16\n\
+             fig17 fig18 fig19 part-one evaluation all";
+
+fn die(msg: &str) -> ! {
+    eprintln!("repro: {msg}\n{HELP}");
+    std::process::exit(2);
+}
+
+fn emit_table(out: &Path, name: &str, t: &RatioTable) {
+    println!("{}", t.render());
+    std::fs::create_dir_all(out).expect("create out dir");
+    let path = out.join(format!("{name}.csv"));
+    std::fs::write(&path, t.to_csv()).expect("write table csv");
+    println!("  -> {}", path.display());
+}
+
+fn emit_figures(out: &Path, figs: &[Figure]) {
+    for f in figs {
+        println!("{}", f.sketch(6));
+        let path = f.write_csv(out).expect("write figure csv");
+        println!("  -> {}", path.display());
+    }
+}
+
+fn emit_surface(out: &Path, name: &str, s: &GridSurface) {
+    println!("{}", s.render());
+    std::fs::create_dir_all(out).expect("create out dir");
+    let path = out.join(format!("{name}.csv"));
+    std::fs::write(&path, s.to_csv()).expect("write surface csv");
+    println!("  -> {}", path.display());
+}
+
+fn main() {
+    let cli = parse_args();
+    let cfg = &cli.cfg;
+    let out = &cli.out;
+    let t0 = std::time::Instant::now();
+    println!(
+        "# repro scale={:?} seed={} out={}\n",
+        cfg.scale,
+        cfg.seed,
+        out.display()
+    );
+
+    let mut eval_cache: Option<evaluation::EvalResults> = None;
+    let mut eval = |cfg: &Config| -> evaluation::EvalResults {
+        eval_cache.get_or_insert_with(|| evaluation::evaluation(cfg)).clone()
+    };
+
+    let wants = |cli: &Cli, names: &[&str]| {
+        cli.artifacts.iter().any(|a| {
+            names.contains(&a.as_str())
+                || a == "all"
+                || (a == "part-one"
+                    && names.iter().any(|n| {
+                        n.starts_with("table2")
+                            || n.starts_with("fig1-")
+                            || matches!(
+                                *n,
+                                "fig2" | "table4" | "fig3" | "fig4" | "fig5" | "fig6"
+                                    | "table7" | "table8" | "fig7" | "fig8" | "fig9"
+                                    | "fig10" | "fig11" | "fig1"
+                            )
+                    }))
+                || (a == "evaluation"
+                    && matches!(
+                        *names.first().unwrap(),
+                        "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18"
+                            | "fig19"
+                    ))
+        })
+    };
+
+    if wants(&cli, &["fig1"]) {
+        println!("{}", fig1::fig1().report);
+    }
+    if cli.artifacts.iter().any(|a| a == "sensitivity" || a == "all") {
+        let results = sensitivity::topology_sensitivity(cfg);
+        println!("{}", sensitivity::render_sensitivity(&results));
+        let v = sensitivity::seed_variance(cfg, 5);
+        println!(
+            "seed variance over {:?}: throughput {:.1} ± {:.1}, fairness ratio {:.3} ± {:.3}\n",
+            v.seeds, v.throughput.mean, v.throughput.std_dev,
+            v.fairness_ratio.mean, v.fairness_ratio.std_dev
+        );
+    }
+    if wants(&cli, &["table2"]) {
+        emit_table(out, "table2", &part_one::table2(cfg));
+    }
+    if wants(&cli, &["fig2"]) {
+        emit_figures(out, &part_one::fig2(cfg));
+    }
+    if wants(&cli, &["table4"]) {
+        emit_table(out, "table4", &part_one::table4(cfg));
+    }
+    if wants(&cli, &["fig3"]) {
+        emit_figures(out, &part_one::fig3(cfg));
+    }
+    if wants(&cli, &["fig4"]) {
+        emit_figures(out, &part_one::fig4(cfg));
+    }
+    if wants(&cli, &["fig5", "fig6"]) {
+        let r = part_one::fig5_6(cfg);
+        emit_figures(
+            out,
+            &[r.throughput, r.session2_rate, r.trees_session1, r.trees_session2],
+        );
+    }
+    if wants(&cli, &["table7"]) {
+        emit_table(out, "table7", &part_one::table7(cfg));
+    }
+    if wants(&cli, &["table8"]) {
+        emit_table(out, "table8", &part_one::table8(cfg));
+    }
+    if wants(&cli, &["fig7", "fig8", "fig9", "fig10", "fig11"]) {
+        let (f7, f8, f9, f10_11) = part_one::fig7_to_11(cfg);
+        emit_figures(out, &f7);
+        emit_figures(out, &f8);
+        emit_figures(out, &f9);
+        emit_figures(
+            out,
+            &[
+                f10_11.throughput,
+                f10_11.session2_rate,
+                f10_11.trees_session1,
+                f10_11.trees_session2,
+            ],
+        );
+    }
+    if wants(&cli, &["fig12"]) {
+        emit_surface(out, "fig12", &eval(cfg).fig12_throughput);
+    }
+    if wants(&cli, &["fig13"]) {
+        emit_surface(out, "fig13", &eval(cfg).fig13_edges_per_node);
+    }
+    if wants(&cli, &["fig14"]) {
+        emit_figures(out, &evaluation::fig14(cfg));
+    }
+    if wants(&cli, &["fig15"]) {
+        emit_surface(out, "fig15", &eval(cfg).fig15_min_rate);
+    }
+    if wants(&cli, &["fig16"]) {
+        emit_surface(out, "fig16", &eval(cfg).fig16_throughput_ratio);
+    }
+    if wants(&cli, &["fig17"]) {
+        emit_figures(out, &evaluation::fig17(cfg));
+    }
+    if wants(&cli, &["fig18"]) {
+        let e = eval(cfg);
+        for (i, s) in e.fig18_online_throughput_ratio.iter().enumerate() {
+            emit_surface(out, &format!("fig18-{}trees", e.online_budgets[i]), s);
+        }
+    }
+    if wants(&cli, &["fig19"]) {
+        let e = eval(cfg);
+        for (i, s) in e.fig19_online_minrate_ratio.iter().enumerate() {
+            emit_surface(out, &format!("fig19-{}trees", e.online_budgets[i]), s);
+        }
+    }
+
+    println!("\n# done in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,323 @@
+//! Scenario B artifacts: the §VI evaluation surfaces (Figs. 12–19).
+
+use super::Config;
+use crate::experiment_params;
+use crate::figures::{Figure, Series};
+use crate::metrics;
+use crate::scenarios::{replicate_sessions, ScenarioB};
+use crate::tables::GridSurface;
+use omcf_core::{max_concurrent_flow_maxmin, max_flow, online_min_congestion};
+use omcf_overlay::FixedIpOracle;
+use rayon::prelude::*;
+
+/// Everything the §VI grid yields in one sweep.
+#[derive(Clone, Debug)]
+pub struct EvalResults {
+    /// Fig. 12 — overall throughput (MaxFlow).
+    pub fig12_throughput: GridSurface,
+    /// Fig. 13 — physical edges per node.
+    pub fig13_edges_per_node: GridSurface,
+    /// Fig. 15 — minimum session rate (MaxConcurrentFlow).
+    pub fig15_min_rate: GridSurface,
+    /// Fig. 16 — throughput ratio MCF / MaxFlow.
+    pub fig16_throughput_ratio: GridSurface,
+    /// Fig. 18 — Online/MaxFlow throughput ratio, one surface per tree
+    /// budget (paper: 5 and 60 trees).
+    pub fig18_online_throughput_ratio: Vec<GridSurface>,
+    /// Fig. 19 — Online/MCF minimum-rate ratio, same budgets.
+    pub fig19_online_minrate_ratio: Vec<GridSurface>,
+    /// The tree budgets used for Figs. 18/19.
+    pub online_budgets: Vec<usize>,
+}
+
+/// Per-grid-point measurements.
+struct PointResult {
+    ci: usize,
+    si: usize,
+    mf_throughput: f64,
+    mcf_min_rate: f64,
+    mcf_throughput: f64,
+    edges_per_node: f64,
+    online_throughput: Vec<f64>,
+    online_min_rate: Vec<f64>,
+}
+
+/// Runs the full §VI grid: for every (session count, average size) point,
+/// `MaxFlow`, `MaxConcurrentFlow`, the edges-per-node statistic, and the
+/// online algorithm at each tree budget (averaged over arrival orders).
+/// Grid points run in parallel.
+#[must_use]
+pub fn evaluation(cfg: &Config) -> EvalResults {
+    let scenario = ScenarioB::build(cfg.seed, cfg.scale);
+    let params = experiment_params(cfg.surface_ratio());
+    let budgets: Vec<usize> = match cfg.scale {
+        crate::scenarios::Scale::Micro => vec![2, 5],
+        crate::scenarios::Scale::Fast => vec![3, 10],
+        crate::scenarios::Scale::Paper => vec![5, 60],
+    };
+    let orders = match cfg.scale {
+        crate::scenarios::Scale::Micro => 2,
+        crate::scenarios::Scale::Fast => 3,
+        crate::scenarios::Scale::Paper => 20,
+    };
+    let rho = 10.0; // §VI-E fixes the step size at 10.
+
+    let points: Vec<(usize, usize)> = (0..scenario.session_counts.len())
+        .flat_map(|ci| (0..scenario.session_sizes.len()).map(move |si| (ci, si)))
+        .collect();
+
+    let results: Vec<PointResult> = points
+        .par_iter()
+        .map(|&(ci, si)| {
+            let count = scenario.session_counts[ci];
+            let size = scenario.session_sizes[si];
+            let sessions = scenario.sessions_for(count, size);
+            let oracle = FixedIpOracle::new(&scenario.graph, &sessions);
+            let mf = max_flow(&scenario.graph, &oracle, params);
+            let mcf = max_concurrent_flow_maxmin(&scenario.graph, &oracle, params);
+            let mcf_min_rate = mcf
+                .summary
+                .session_rates
+                .iter()
+                .fold(f64::INFINITY, |a, &b| a.min(b));
+            let epn = metrics::edges_per_node(&oracle, &sessions);
+
+            // Online at each budget, averaged over arrival orders.
+            let mut online_throughput = Vec::with_capacity(budgets.len());
+            let mut online_min_rate = Vec::with_capacity(budgets.len());
+            for &n in &budgets {
+                let mut thr = 0.0;
+                let mut minr = 0.0;
+                for order in 0..orders {
+                    let (set, groups) = replicate_sessions(
+                        &sessions,
+                        n,
+                        cfg.seed ^ (order as u64) << 24 ^ (n as u64) << 4 ^ (ci as u64) << 12
+                            ^ si as u64,
+                    );
+                    let run_oracle = FixedIpOracle::new(&scenario.graph, &set);
+                    let out = online_min_congestion(&scenario.graph, &run_oracle, rho);
+                    let rates = out.aggregate_rates(&groups);
+                    thr += rates
+                        .iter()
+                        .enumerate()
+                        .map(|(i, r)| sessions.session(i).receivers() as f64 * r)
+                        .sum::<f64>();
+                    minr += rates.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+                }
+                online_throughput.push(thr / orders as f64);
+                online_min_rate.push(minr / orders as f64);
+            }
+
+            PointResult {
+                ci,
+                si,
+                mf_throughput: mf.summary.overall_throughput,
+                mcf_min_rate,
+                mcf_throughput: mcf.summary.overall_throughput,
+                edges_per_node: epn,
+                online_throughput,
+                online_min_rate,
+            }
+        })
+        .collect();
+
+    let counts = &scenario.session_counts;
+    let sizes = &scenario.session_sizes;
+    let mut fig12 = GridSurface::new("Fig 12: Overall Throughput (MaxFlow)", counts, sizes);
+    let mut fig13 = GridSurface::new("Fig 13: Physical Edges per Node", counts, sizes);
+    let mut fig15 = GridSurface::new("Fig 15: Minimum Rate (MaxConcurrentFlow)", counts, sizes);
+    let mut fig16 =
+        GridSurface::new("Fig 16: Throughput Ratio (MCF vs MaxFlow)", counts, sizes);
+    let mut fig18: Vec<GridSurface> = budgets
+        .iter()
+        .map(|n| {
+            GridSurface::new(
+                &format!("Fig 18: Online/MaxFlow Throughput Ratio ({n} trees)"),
+                counts,
+                sizes,
+            )
+        })
+        .collect();
+    let mut fig19: Vec<GridSurface> = budgets
+        .iter()
+        .map(|n| {
+            GridSurface::new(
+                &format!("Fig 19: Online/MCF Minimum-Rate Ratio ({n} trees)"),
+                counts,
+                sizes,
+            )
+        })
+        .collect();
+
+    for p in results {
+        fig12.set(p.ci, p.si, p.mf_throughput);
+        fig13.set(p.ci, p.si, p.edges_per_node);
+        fig15.set(p.ci, p.si, p.mcf_min_rate);
+        let ratio = if p.mf_throughput > 0.0 { p.mcf_throughput / p.mf_throughput } else { 0.0 };
+        fig16.set(p.ci, p.si, ratio.min(1.0 + 1e-9));
+        for (b, surf) in fig18.iter_mut().enumerate() {
+            let r = if p.mf_throughput > 0.0 {
+                p.online_throughput[b] / p.mf_throughput
+            } else {
+                0.0
+            };
+            surf.set(p.ci, p.si, r);
+        }
+        for (b, surf) in fig19.iter_mut().enumerate() {
+            let r = if p.mcf_min_rate > 0.0 { p.online_min_rate[b] / p.mcf_min_rate } else { 0.0 };
+            surf.set(p.ci, p.si, r);
+        }
+    }
+
+    EvalResults {
+        fig12_throughput: fig12,
+        fig13_edges_per_node: fig13,
+        fig15_min_rate: fig15,
+        fig16_throughput_ratio: fig16,
+        fig18_online_throughput_ratio: fig18,
+        fig19_online_minrate_ratio: fig19,
+        online_budgets: budgets,
+    }
+}
+
+/// Fig. 14 — link-utilization staircases: for 1, mid and max session
+/// counts, the per-size utilization profiles under MCF and MaxFlow
+/// (six panels in the paper).
+#[must_use]
+pub fn fig14(cfg: &Config) -> Vec<Figure> {
+    let scenario = ScenarioB::build(cfg.seed, cfg.scale);
+    let params = experiment_params(cfg.surface_ratio());
+    let counts = [
+        scenario.session_counts[0],
+        scenario.session_counts[scenario.session_counts.len() / 2],
+        *scenario.session_counts.last().unwrap(),
+    ];
+    let mut figs = Vec::new();
+    for &count in &counts {
+        let mut fig_mcf = Figure::new(
+            &format!("fig14-{count}sessions-mcf"),
+            "normalized edge rank",
+            "utilization ratio distribution",
+        );
+        let mut fig_mf = Figure::new(
+            &format!("fig14-{count}sessions-maxflow"),
+            "normalized edge rank",
+            "utilization ratio distribution",
+        );
+        type SizeProfiles = (usize, Vec<(f64, f64)>, Vec<(f64, f64)>);
+        let results: Vec<SizeProfiles> = scenario
+            .session_sizes
+            .par_iter()
+            .map(|&size| {
+                let sessions = scenario.sessions_for(count, size);
+                let oracle = FixedIpOracle::new(&scenario.graph, &sessions);
+                let covered = oracle.covered_edges();
+                let mf = max_flow(&scenario.graph, &oracle, params);
+                let mcf = max_concurrent_flow_maxmin(&scenario.graph, &oracle, params);
+                (
+                    size,
+                    metrics::link_utilization(&mcf.store, &scenario.graph, &covered),
+                    metrics::link_utilization(&mf.store, &scenario.graph, &covered),
+                )
+            })
+            .collect();
+        for (size, mcf_prof, mf_prof) in results {
+            fig_mcf.push(Series::new(format!("Size {size}"), mcf_prof));
+            fig_mf.push(Series::new(format!("Size {size}"), mf_prof));
+        }
+        figs.push(fig_mcf);
+        figs.push(fig_mf);
+    }
+    figs
+}
+
+/// Fig. 17 — the asymmetric rate distribution flattens as the session size
+/// grows: tree-rate CDFs per session size, for one session and for the
+/// maximum session count.
+#[must_use]
+pub fn fig17(cfg: &Config) -> Vec<Figure> {
+    let scenario = ScenarioB::build(cfg.seed, cfg.scale);
+    let params = experiment_params(cfg.surface_ratio());
+    let counts = [1usize, *scenario.session_counts.last().unwrap()];
+    let mut figs = Vec::new();
+    for &count in &counts {
+        let mut fig = Figure::new(
+            &format!("fig17-{count}sessions"),
+            "normalized tree rank",
+            "accumulative rate distribution",
+        );
+        let results: Vec<(usize, Vec<(f64, f64)>)> = scenario
+            .session_sizes
+            .par_iter()
+            .map(|&size| {
+                let sessions = scenario.sessions_for(count, size);
+                let oracle = FixedIpOracle::new(&scenario.graph, &sessions);
+                let mf = max_flow(&scenario.graph, &oracle, params);
+                (size, metrics::rate_cdf(&mf.store, 0))
+            })
+            .collect();
+        for (size, cdf) in results {
+            fig.push(Series::new(format!("Session Size {size}"), cdf));
+        }
+        figs.push(fig);
+    }
+    figs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::Scale;
+
+    /// A micro grid so the test suite stays fast: patch the scenario by
+    /// using the smallest config and verifying structure + headline trends.
+    fn micro_cfg() -> Config {
+        Config { scale: Scale::Fast, seed: 11 }
+    }
+
+    #[test]
+    #[ignore = "several seconds; run explicitly or via the repro binary"]
+    fn evaluation_grid_shapes_and_trends() {
+        let out = evaluation(&micro_cfg());
+        let s = &out.fig12_throughput;
+        // Throughput grows with session size (more receivers).
+        let first_row_small = s.get(0, 0);
+        let first_row_large = s.get(0, s.sizes.len() - 1);
+        assert!(first_row_large > first_row_small);
+        // Fairness ratio stays high (paper: ≥ 0.8, mostly ≥ 0.9).
+        for v in &out.fig16_throughput_ratio.values {
+            assert!(*v >= 0.5, "throughput ratio collapsed: {v}");
+        }
+        // Online ratios are in [0, 1.05] and the larger budget dominates.
+        for (lo, hi) in out.fig18_online_throughput_ratio[0]
+            .values
+            .iter()
+            .zip(&out.fig18_online_throughput_ratio[1].values)
+        {
+            assert!(*hi >= lo * 0.7, "bigger budget should not collapse: {lo} vs {hi}");
+        }
+    }
+
+    #[test]
+    fn fig17_small_sessions_are_more_concentrated() {
+        // Run only two sizes through the MaxFlow path to keep this quick.
+        let cfg = micro_cfg();
+        let scenario = ScenarioB::build(cfg.seed, cfg.scale);
+        let params = crate::experiment_params(0.9);
+        let small_sessions = scenario.sessions_for(1, 4);
+        let large_sessions = scenario.sessions_for(1, 24);
+        let o_small = FixedIpOracle::new(&scenario.graph, &small_sessions);
+        let o_large = FixedIpOracle::new(&scenario.graph, &large_sessions);
+        let small = max_flow(&scenario.graph, &o_small, params);
+        let large = max_flow(&scenario.graph, &o_large, params);
+        let conc_small = metrics::tree_concentration(&small.store, 0, 0.9);
+        let conc_large = metrics::tree_concentration(&large.store, 0, 0.9);
+        // Asymmetry diminishes with size: the large session needs a larger
+        // fraction of its trees to carry 90% of rate.
+        assert!(
+            conc_large >= conc_small * 0.8,
+            "expected flattening: small {conc_small} vs large {conc_large}"
+        );
+    }
+}

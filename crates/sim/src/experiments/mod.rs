@@ -1,0 +1,103 @@
+//! One entry point per table and figure of the paper.
+//!
+//! | Function | Artifact |
+//! |----------|----------|
+//! | [`part_one::table2`] | Table II — MaxFlow ratio sweep |
+//! | [`part_one::fig2`] | Fig. 2 — tree-rate CDFs (MaxFlow) |
+//! | [`part_one::table4`] | Table IV — MaxConcurrentFlow ratio sweep |
+//! | [`part_one::fig3`] | Fig. 3 — tree-rate CDFs (MCF) |
+//! | [`part_one::fig4`] | Fig. 4 — link utilization |
+//! | [`part_one::limited_trees`] | Figs. 5 & 6 — Random/Online vs tree budget |
+//! | [`part_one::table7`], [`part_one::table8`], [`part_one::fig7_to_11`] | §V arbitrary-routing counterparts |
+//! | [`evaluation::evaluation`] | Figs. 12/13/15/16/18/19 — §VI surfaces |
+//! | [`evaluation::fig14`] | Fig. 14 — utilization staircases |
+//! | [`evaluation::fig17`] | Fig. 17 — rate-CDF vs session size |
+//! | [`fig1::fig1`] | Fig. 1 — packing-spanning-trees example |
+//! | [`sensitivity::topology_sensitivity`] | extension: four topology families, same workload |
+//! | [`sensitivity::seed_variance`] | extension: headline numbers across seeds |
+//!
+//! All functions are deterministic in [`Config`] and return rendered
+//! artifacts plus machine-readable data.
+
+pub mod evaluation;
+pub mod sensitivity;
+pub mod fig1;
+pub mod part_one;
+
+use crate::scenarios::Scale;
+
+/// Routing regime selector mirroring the paper's §II vs §V algorithms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingMode {
+    /// Frozen IP shortest-path routes (§II–IV).
+    FixedIp,
+    /// Arbitrary dynamic unicast routing (§V).
+    Arbitrary,
+}
+
+/// Experiment configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Config {
+    /// Instance scale (see [`Scale`]).
+    pub scale: Scale,
+    /// Master seed; every random draw derives from it.
+    pub seed: u64,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { scale: Scale::Fast, seed: 2004 }
+    }
+}
+
+impl Config {
+    /// The approximation-ratio sweep for tables (paper: 0.90–0.99).
+    #[must_use]
+    pub fn ratios(&self) -> Vec<f64> {
+        match self.scale {
+            Scale::Micro => vec![0.90],
+            Scale::Fast => vec![0.90, 0.92, 0.95],
+            Scale::Paper => (0..10).map(|i| 0.90 + 0.01 * i as f64).collect(),
+        }
+    }
+
+    /// The tree-budget sweep for Figs. 5/6 (paper: 1..=20).
+    #[must_use]
+    pub fn tree_budgets(&self) -> Vec<usize> {
+        match self.scale {
+            Scale::Micro => vec![1, 4, 10],
+            Scale::Fast => vec![1, 2, 4, 8, 12, 16, 20],
+            Scale::Paper => (1..=20).collect(),
+        }
+    }
+
+    /// Online step sizes ρ (paper: {10, 20, 30, 40, 100, 200}).
+    #[must_use]
+    pub fn rhos(&self) -> Vec<f64> {
+        match self.scale {
+            Scale::Micro => vec![10.0],
+            Scale::Fast => vec![10.0, 40.0, 200.0],
+            Scale::Paper => vec![10.0, 20.0, 30.0, 40.0, 100.0, 200.0],
+        }
+    }
+
+    /// Randomized/arrival-order trial counts (paper: 100).
+    #[must_use]
+    pub fn trials(&self) -> usize {
+        match self.scale {
+            Scale::Micro => 3,
+            Scale::Fast => 15,
+            Scale::Paper => 100,
+        }
+    }
+
+    /// The single ratio used for the §VI surfaces (paper: 0.95).
+    #[must_use]
+    pub fn surface_ratio(&self) -> f64 {
+        match self.scale {
+            Scale::Micro => 0.90,
+            Scale::Fast => 0.90,
+            Scale::Paper => 0.95,
+        }
+    }
+}

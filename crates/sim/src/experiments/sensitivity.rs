@@ -1,0 +1,215 @@
+//! Robustness experiments beyond the paper's figures.
+//!
+//! The paper asserts (§VI, §VIII) that its headline phenomena —
+//! unbalanced link utilization, asymmetric tree-rate distribution, cheap
+//! fairness — are intrinsic to shortest-path routing on Internet-like
+//! topologies, having checked "synthetic and real Internet topologies" in
+//! the companion technical report. These experiments probe the claim
+//! within this reproduction:
+//!
+//! * [`topology_sensitivity`] — the same two-session workload over four
+//!   topology families (Waxman, Barabási–Albert, two-level AS hierarchy,
+//!   transit-stub).
+//! * [`seed_variance`] — the Scenario A headline numbers across
+//!   independent topology/session seeds.
+
+use super::Config;
+use crate::experiment_params;
+use crate::metrics;
+use omcf_core::{max_concurrent_flow_maxmin, max_flow};
+use omcf_numerics::{Summary, Xoshiro256pp};
+use omcf_overlay::{random_sessions, FixedIpOracle};
+use omcf_topology::{
+    barabasi, transit_stub, two_level, waxman, BarabasiParams, Graph, HierParams,
+    TransitStubParams, WaxmanParams,
+};
+use rayon::prelude::*;
+use std::fmt::Write as _;
+
+/// One topology family's results.
+#[derive(Clone, Debug)]
+pub struct FamilyResult {
+    /// Family name.
+    pub family: String,
+    /// Node / edge counts of the instance.
+    pub nodes: usize,
+    /// Edge count.
+    pub edges: usize,
+    /// MaxFlow overall throughput.
+    pub maxflow_throughput: f64,
+    /// Mean link utilization over covered edges (the <50% claim).
+    pub mean_utilization: f64,
+    /// Distinct utilization plateaus ("staircase" levels).
+    pub staircase_levels: usize,
+    /// Fraction of trees carrying 90% of session-1 rate (asymmetry).
+    pub concentration_90: f64,
+    /// Throughput ratio of max-min-fair MCF vs MaxFlow (cheap fairness).
+    pub fairness_ratio: f64,
+}
+
+/// Runs the cross-topology comparison. All families are sized to ~96–110
+/// nodes with uniform capacity 100 and carry the same workload shape: two
+/// sessions of 7 and 5 members, demand 100.
+#[must_use]
+pub fn topology_sensitivity(cfg: &Config) -> Vec<FamilyResult> {
+    let families: Vec<(String, Graph)> = vec![
+        (
+            "waxman".into(),
+            waxman::generate(
+                &WaxmanParams { n: 100, ..WaxmanParams::default() },
+                &mut Xoshiro256pp::new(cfg.seed ^ 0xA),
+            ),
+        ),
+        (
+            "barabasi-albert".into(),
+            barabasi::generate(
+                &BarabasiParams { n: 100, m: 2, ..BarabasiParams::default() },
+                &mut Xoshiro256pp::new(cfg.seed ^ 0xB),
+            ),
+        ),
+        (
+            "two-level-hier".into(),
+            two_level(
+                &HierParams { as_count: 4, routers_per_as: 25, ..HierParams::default() },
+                cfg.seed ^ 0xC,
+            ),
+        ),
+        (
+            "transit-stub".into(),
+            transit_stub(&TransitStubParams::default(), cfg.seed ^ 0xD),
+        ),
+    ];
+    let params = experiment_params(cfg.surface_ratio());
+
+    families
+        .into_par_iter()
+        .map(|(family, g)| {
+            let mut rng = Xoshiro256pp::new(cfg.seed ^ 0x5E55_1013);
+            let mut sessions = random_sessions(&g, 1, 7, 100.0, &mut rng);
+            sessions.push(random_sessions(&g, 1, 5, 100.0, &mut rng).session(0).clone());
+            let oracle = FixedIpOracle::new(&g, &sessions);
+            let covered = oracle.covered_edges();
+            let mf = max_flow(&g, &oracle, params);
+            let mcf = max_concurrent_flow_maxmin(&g, &oracle, params);
+            let profile = metrics::link_utilization(&mf.store, &g, &covered);
+            FamilyResult {
+                family,
+                nodes: g.node_count(),
+                edges: g.edge_count(),
+                maxflow_throughput: mf.summary.overall_throughput,
+                mean_utilization: metrics::mean_link_utilization(&mf.store, &g, &covered),
+                staircase_levels: metrics::staircase_levels(&profile, 0.02, 2),
+                concentration_90: metrics::tree_concentration(&mf.store, 0, 0.9),
+                fairness_ratio: (mcf.summary.overall_throughput
+                    / mf.summary.overall_throughput)
+                    .min(1.0 + 1e-9),
+            }
+        })
+        .collect()
+}
+
+/// Renders the sensitivity table.
+#[must_use]
+pub fn render_sensitivity(results: &[FamilyResult]) -> String {
+    let mut out = String::from(
+        "== Topology sensitivity (2 sessions: 7+5 members, demand 100) ==\n",
+    );
+    let _ = writeln!(
+        out,
+        "{:<16} {:>6} {:>6} {:>11} {:>9} {:>7} {:>8} {:>9}",
+        "family", "nodes", "edges", "throughput", "meanutil", "stairs", "conc90", "fairness"
+    );
+    for r in results {
+        let _ = writeln!(
+            out,
+            "{:<16} {:>6} {:>6} {:>11.1} {:>9.3} {:>7} {:>8.3} {:>9.3}",
+            r.family,
+            r.nodes,
+            r.edges,
+            r.maxflow_throughput,
+            r.mean_utilization,
+            r.staircase_levels,
+            r.concentration_90,
+            r.fairness_ratio
+        );
+    }
+    out
+}
+
+/// Seed-variance results for the Scenario A headline quantities.
+#[derive(Clone, Debug)]
+pub struct VarianceResult {
+    /// MaxFlow overall throughput across seeds.
+    pub throughput: Summary,
+    /// MCF/MaxFlow ratio across seeds.
+    pub fairness_ratio: Summary,
+    /// Seeds used.
+    pub seeds: Vec<u64>,
+}
+
+/// Runs Scenario A (fast size) across `seeds` and summarizes the spread.
+#[must_use]
+pub fn seed_variance(cfg: &Config, n_seeds: usize) -> VarianceResult {
+    let seeds: Vec<u64> = (0..n_seeds as u64).map(|i| cfg.seed.wrapping_add(i * 7919)).collect();
+    let params = experiment_params(cfg.surface_ratio());
+    let rows: Vec<(f64, f64)> = seeds
+        .par_iter()
+        .map(|&seed| {
+            let scenario = crate::scenarios::ScenarioA::build(seed, cfg.scale);
+            let oracle = FixedIpOracle::new(&scenario.graph, &scenario.sessions);
+            let mf = max_flow(&scenario.graph, &oracle, params);
+            let mcf = max_concurrent_flow_maxmin(&scenario.graph, &oracle, params);
+            (
+                mf.summary.overall_throughput,
+                mcf.summary.overall_throughput / mf.summary.overall_throughput,
+            )
+        })
+        .collect();
+    VarianceResult {
+        throughput: Summary::of(&rows.iter().map(|r| r.0).collect::<Vec<_>>()),
+        fairness_ratio: Summary::of(&rows.iter().map(|r| r.1).collect::<Vec<_>>()),
+        seeds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenarios::Scale;
+
+    #[test]
+    fn sensitivity_covers_all_families_with_consistent_phenomena() {
+        let cfg = Config { scale: Scale::Micro, seed: 7 };
+        let results = topology_sensitivity(&cfg);
+        assert_eq!(results.len(), 4);
+        for r in &results {
+            assert!(r.maxflow_throughput > 0.0, "{}: no throughput", r.family);
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&r.mean_utilization),
+                "{}: bad utilization {}",
+                r.family,
+                r.mean_utilization
+            );
+            assert!(r.fairness_ratio > 0.5, "{}: fairness collapsed", r.family);
+            assert!(
+                r.concentration_90 <= 0.9,
+                "{}: no rate concentration at all ({})",
+                r.family,
+                r.concentration_90
+            );
+        }
+        let rendered = render_sensitivity(&results);
+        assert!(rendered.contains("transit-stub"));
+        assert!(rendered.contains("barabasi-albert"));
+    }
+
+    #[test]
+    fn seed_variance_is_finite_and_positive() {
+        let cfg = Config { scale: Scale::Micro, seed: 77 };
+        let v = seed_variance(&cfg, 3);
+        assert_eq!(v.seeds.len(), 3);
+        assert!(v.throughput.mean > 0.0);
+        assert!(v.throughput.std_dev.is_finite());
+        assert!(v.fairness_ratio.mean > 0.5 && v.fairness_ratio.mean <= 1.1);
+    }
+}

@@ -1,0 +1,126 @@
+//! Figure data series and CSV export.
+
+use std::fmt::Write as _;
+use std::io::Write as _;
+use std::path::Path;
+
+/// One labeled curve of a figure.
+#[derive(Clone, Debug)]
+pub struct Series {
+    /// Legend label (e.g. "Approximation Ratio 95%").
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// New series.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self { label: label.into(), points }
+    }
+}
+
+/// A figure: a set of curves sharing axes.
+#[derive(Clone, Debug)]
+pub struct Figure {
+    /// Figure id/caption (e.g. "fig2a-tree-rate-cdf-session1").
+    pub name: String,
+    /// X axis label.
+    pub x_label: String,
+    /// Y axis label.
+    pub y_label: String,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// New empty figure.
+    #[must_use]
+    pub fn new(name: &str, x_label: &str, y_label: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            x_label: x_label.to_string(),
+            y_label: y_label.to_string(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Adds a curve.
+    pub fn push(&mut self, series: Series) {
+        self.series.push(series);
+    }
+
+    /// Long-format CSV: `series,x,y`.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = format!("series,{},{}\n", self.x_label, self.y_label);
+        for s in &self.series {
+            for (x, y) in &s.points {
+                let _ = writeln!(out, "{},{x},{y}", s.label.replace(',', ";"));
+            }
+        }
+        out
+    }
+
+    /// Writes the CSV beside any previous artifacts in `dir`, named
+    /// `<name>.csv`. Creates `dir` if needed.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<std::path::PathBuf> {
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.name));
+        let mut f = std::fs::File::create(&path)?;
+        f.write_all(self.to_csv().as_bytes())?;
+        Ok(path)
+    }
+
+    /// Compact textual sketch: per series, a handful of sampled points —
+    /// enough to see the curve shape in a terminal.
+    #[must_use]
+    pub fn sketch(&self, samples: usize) -> String {
+        let mut out = format!("-- {} ({} vs {}) --\n", self.name, self.y_label, self.x_label);
+        for s in &self.series {
+            let pts = omcf_numerics::stats::thin_curve(&s.points, samples.max(2));
+            let _ = write!(out, "{:<32}", s.label);
+            for (x, y) in pts {
+                let _ = write!(out, " ({x:.2},{y:.2})");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_long_format() {
+        let mut f = Figure::new("demo", "x", "y");
+        f.push(Series::new("a", vec![(0.0, 1.0), (1.0, 2.0)]));
+        let csv = f.to_csv();
+        assert!(csv.starts_with("series,x,y\n"));
+        assert!(csv.contains("a,0,1"));
+        assert!(csv.contains("a,1,2"));
+    }
+
+    #[test]
+    fn write_csv_creates_file() {
+        let dir = std::env::temp_dir().join("omcf-fig-test");
+        let mut f = Figure::new("unit", "x", "y");
+        f.push(Series::new("s", vec![(0.5, 0.25)]));
+        let path = f.write_csv(&dir).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("s,0.5,0.25"));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn sketch_samples_points() {
+        let mut f = Figure::new("demo", "x", "y");
+        f.push(Series::new("long", (0..100).map(|i| (i as f64, 0.0)).collect()));
+        let sk = f.sketch(4);
+        assert!(sk.contains("long"));
+        assert!(sk.matches('(').count() <= 5);
+    }
+}

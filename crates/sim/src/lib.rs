@@ -1,0 +1,43 @@
+//! Experiment harness reproducing the paper's evaluation.
+//!
+//! Two scenarios cover everything:
+//!
+//! * **Scenario A** (§III-B): a BRITE-style 100-node Waxman router
+//!   topology, uniform capacity 100, two sessions (7 and 5 members) with
+//!   demand 100 — Tables II/IV/VII/VIII and Figs. 2–11.
+//! * **Scenario B** (§VI): a two-level 10 AS × 100 router topology,
+//!   uniform capacity 100, grids of `n ∈ 1..9` sessions × average size
+//!   `10..90`, demand 1 — Figs. 12–19.
+//!
+//! [`experiments`] exposes one function per table/figure; the `repro`
+//! binary and the Criterion benches are thin wrappers around them. Paper
+//! scale is expensive for Scenario B (the original authors measured on
+//! hardware-days of 2004 compute); [`Scale`] selects between a
+//! shape-preserving reduced grid (default) and full paper scale
+//! (`Scale::Paper`), as documented in EXPERIMENTS.md.
+//!
+//! ### Approximation-ratio convention
+//!
+//! The tables sweep ratios 0.90–0.99. The strict Lemma-3/5 parameter
+//! mappings (`ε = 1−√r`, `1−∛r`) put the initial length δ below IEEE-754
+//! range at r = 0.99 on paper-sized instances — no double-precision
+//! implementation (the authors' included) can have run that δ. The harness
+//! therefore interprets the sweep ratio as `ε = 1 − r`, which reproduces
+//! both the reported throughput trends and the ~100× running-time growth
+//! across the sweep. The strict mappings remain available through
+//! [`omcf_core::ApproxParams`].
+
+pub mod experiments;
+pub mod figures;
+pub mod metrics;
+pub mod scenarios;
+pub mod tables;
+
+pub use scenarios::{Scale, ScenarioA, ScenarioB};
+
+/// ε for an experiment-sweep approximation ratio (see crate docs).
+#[must_use]
+pub fn experiment_params(ratio: f64) -> omcf_core::ApproxParams {
+    assert!(ratio > 0.0 && ratio < 1.0);
+    omcf_core::ratio::ApproxParams::from_eps(1.0 - ratio)
+}

@@ -1,0 +1,179 @@
+//! Metric collectors matching the paper's figure definitions.
+
+use omcf_numerics::Cdf;
+use omcf_overlay::{FixedIpOracle, SessionSet, TreeStore};
+use omcf_topology::{EdgeId, Graph};
+
+/// Accumulative rate distribution over normalized tree rank for one
+/// session — the curves of Figs. 2/3/7/8/17. Returns `(rank, share)`
+/// points, largest-rate trees first.
+#[must_use]
+pub fn rate_cdf(store: &TreeStore, session: usize) -> Vec<(f64, f64)> {
+    Cdf::new(store.session_rates(session)).accumulative_share()
+}
+
+/// The paper's §III-B headline statistic: the smallest fraction of trees
+/// carrying ≥ `share` of a session's rate ("90% of the throughput is
+/// concentrated in less than 10% of the trees").
+#[must_use]
+pub fn tree_concentration(store: &TreeStore, session: usize, share: f64) -> f64 {
+    Cdf::new(store.session_rates(session)).population_fraction_for_share(share)
+}
+
+/// Link-utilization distribution (Figs. 4/9/14): utilization ratio of each
+/// covered physical link, plotted against normalized edge rank
+/// (descending). `covered` lists the physical edges belonging to at least
+/// one overlay link of a live session.
+#[must_use]
+pub fn link_utilization(
+    store: &TreeStore,
+    g: &Graph,
+    covered: &[EdgeId],
+) -> Vec<(f64, f64)> {
+    let flows = store.edge_flows(g);
+    let utils: Vec<f64> = covered
+        .iter()
+        .map(|&e| (flows[e.idx()] / g.capacity(e)).min(1.0))
+        .collect();
+    Cdf::new(utils).rank_profile()
+}
+
+/// Mean link utilization over covered edges.
+#[must_use]
+pub fn mean_link_utilization(store: &TreeStore, g: &Graph, covered: &[EdgeId]) -> f64 {
+    if covered.is_empty() {
+        return 0.0;
+    }
+    let flows = store.edge_flows(g);
+    let total: f64 =
+        covered.iter().map(|&e| (flows[e.idx()] / g.capacity(e)).min(1.0)).sum();
+    total / covered.len() as f64
+}
+
+/// Fig. 13's "number of physical edges per node": distinct physical edges
+/// covered by any session route, divided by the total member count across
+/// sessions. Falls as sessions overlap more (route sharing) and as
+/// sessions grow (sublinear route coverage).
+#[must_use]
+pub fn edges_per_node(oracle: &FixedIpOracle, sessions: &SessionSet) -> f64 {
+    let covered = oracle.covered_edges().len();
+    let members: usize = sessions.sessions().iter().map(|s| s.size()).sum();
+    covered as f64 / members as f64
+}
+
+/// "Staircase" detector for the link-utilization profile: counts plateaus
+/// (maximal runs of equal-within-tolerance utilization covering at least
+/// `min_run` edges). The paper observes that edges group into a handful of
+/// distinct congestion levels.
+#[must_use]
+pub fn staircase_levels(profile: &[(f64, f64)], tol: f64, min_run: usize) -> usize {
+    if profile.is_empty() {
+        return 0;
+    }
+    let mut levels = 0;
+    let mut run = 1;
+    for w in profile.windows(2) {
+        if (w[1].1 - w[0].1).abs() <= tol {
+            run += 1;
+        } else {
+            if run >= min_run {
+                levels += 1;
+            }
+            run = 1;
+        }
+    }
+    if run >= min_run {
+        levels += 1;
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omcf_overlay::{OverlayHop, OverlayTree, Session, TreeOracle};
+    use omcf_routing::Path;
+    use omcf_topology::{canned, NodeId};
+
+    fn store_with_rates(rates: &[f64]) -> TreeStore {
+        // Build distinguishable single-hop trees over parallel links.
+        let mut store = TreeStore::new(1);
+        for (i, &r) in rates.iter().enumerate() {
+            let t = OverlayTree {
+                session: 0,
+                hops: vec![OverlayHop {
+                    a: 0,
+                    b: 1,
+                    path: Path {
+                        src: NodeId(0),
+                        dst: NodeId(1),
+                        edges: vec![EdgeId(i as u32)].into(),
+                    },
+                }],
+            };
+            store.add(t, r);
+        }
+        store
+    }
+
+    #[test]
+    fn rate_cdf_shape() {
+        let store = store_with_rates(&[8.0, 1.0, 1.0]);
+        let cdf = rate_cdf(&store, 0);
+        assert_eq!(cdf.len(), 3);
+        assert!((cdf[0].1 - 0.8).abs() < 1e-12);
+        assert!((cdf[2].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concentration_statistic() {
+        let mut rates = vec![90.0];
+        rates.extend(vec![1.0; 10]);
+        let store = store_with_rates(&rates);
+        let frac = tree_concentration(&store, 0, 0.9);
+        assert!(frac <= 1.0 / 11.0 + 1e-9);
+    }
+
+    #[test]
+    fn link_utilization_ranked_descending() {
+        let g = canned::parallel_links(3, 10.0);
+        let store = store_with_rates(&[10.0, 2.0, 5.0]);
+        let covered: Vec<EdgeId> = g.edge_ids().collect();
+        let prof = link_utilization(&store, &g, &covered);
+        assert_eq!(prof.len(), 3);
+        assert!((prof[0].1 - 1.0).abs() < 1e-12);
+        assert!((prof[2].1 - 0.2).abs() < 1e-12);
+        let mean = mean_link_utilization(&store, &g, &covered);
+        assert!((mean - (1.0 + 0.5 + 0.2) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_per_node_counts_union() {
+        let g = canned::grid(3, 3, 10.0);
+        let sessions = SessionSet::new(vec![
+            Session::new(vec![NodeId(0), NodeId(2)], 1.0),
+            Session::new(vec![NodeId(0), NodeId(6)], 1.0),
+        ]);
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let epn = edges_per_node(&oracle, &sessions);
+        // Each session covers 2 edges (disjoint rows/cols), 4 members total.
+        assert!((epn - 4.0 / 4.0).abs() < 1e-12, "epn {epn}");
+        let _ = oracle.min_tree(0, &vec![1.0; g.edge_count()]);
+    }
+
+    #[test]
+    fn staircase_counts_plateaus() {
+        let profile = vec![
+            (0.1, 1.0),
+            (0.2, 1.0),
+            (0.3, 1.0),
+            (0.4, 0.5),
+            (0.5, 0.5),
+            (0.6, 0.5),
+            (0.7, 0.1),
+        ];
+        assert_eq!(staircase_levels(&profile, 1e-9, 2), 2);
+        assert_eq!(staircase_levels(&profile, 1e-9, 1), 3);
+        assert_eq!(staircase_levels(&[], 1e-9, 1), 0);
+    }
+}

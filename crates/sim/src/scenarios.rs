@@ -1,0 +1,210 @@
+//! The paper's two experimental settings.
+
+use omcf_numerics::{Rng64, SplitMix64, Xoshiro256pp};
+use omcf_overlay::{random_sessions, Session, SessionSet};
+use omcf_topology::{waxman::WaxmanParams, Graph, HierParams, NodeId};
+
+/// Experiment scale selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// Tiny instances for benchmark iteration loops.
+    Micro,
+    /// Shape-preserving reduced instances for CI/repro runs (default).
+    Fast,
+    /// The paper's full dimensions (Scenario B becomes hours of compute).
+    Paper,
+}
+
+/// §III-B setting: 100-node Waxman graph, capacity 100, sessions of 7 and
+/// 5 members, demand 100.
+#[derive(Clone, Debug)]
+pub struct ScenarioA {
+    /// The physical topology.
+    pub graph: Graph,
+    /// The two competing sessions (7 and 5 members).
+    pub sessions: SessionSet,
+    /// Seed everything was derived from.
+    pub seed: u64,
+}
+
+impl ScenarioA {
+    /// Builds the scenario. `Fast` shrinks the topology to 60 nodes —
+    /// Scenario A is cheap enough that both scales run everywhere; the
+    /// reduced size just keeps test latency low.
+    #[must_use]
+    pub fn build(seed: u64, scale: Scale) -> Self {
+        let root = SplitMix64::new(seed);
+        let n = match scale {
+            Scale::Micro => 40,
+            Scale::Fast => 60,
+            Scale::Paper => 100,
+        };
+        let params = WaxmanParams { n, capacity: 100.0, ..WaxmanParams::default() };
+        let mut topo_rng = Xoshiro256pp::new(derive(&root, 1));
+        let graph = omcf_topology::waxman::generate(&params, &mut topo_rng);
+        let mut sess_rng = Xoshiro256pp::new(derive(&root, 2));
+        // Two sessions: 7 and 5 members, drawn independently (may overlap).
+        let s1: Vec<NodeId> =
+            sess_rng.sample_indices(n, 7).into_iter().map(|i| NodeId(i as u32)).collect();
+        let s2: Vec<NodeId> =
+            sess_rng.sample_indices(n, 5).into_iter().map(|i| NodeId(i as u32)).collect();
+        let sessions =
+            SessionSet::new(vec![Session::new(s1, 100.0), Session::new(s2, 100.0)]);
+        Self { graph, sessions, seed }
+    }
+
+    /// The §IV-D protocol: replicate each session `n` times with demand 1
+    /// and shuffle the arrival order (for the online algorithm).
+    #[must_use]
+    pub fn replicated_arrivals(&self, replicas: usize, order_seed: u64) -> (SessionSet, Vec<Vec<usize>>) {
+        replicate_sessions(&self.sessions, replicas, order_seed)
+    }
+}
+
+/// Replicates every session `replicas` times at demand 1, shuffles arrival
+/// order, and returns the shuffled set plus, per original session, the
+/// indices its replicas landed at.
+#[must_use]
+pub fn replicate_sessions(
+    sessions: &SessionSet,
+    replicas: usize,
+    order_seed: u64,
+) -> (SessionSet, Vec<Vec<usize>>) {
+    assert!(replicas >= 1);
+    let mut arrivals: Vec<(usize, Session)> = Vec::new();
+    for (i, s) in sessions.sessions().iter().enumerate() {
+        for _ in 0..replicas {
+            arrivals.push((i, Session::new(s.members.clone(), 1.0)));
+        }
+    }
+    let mut rng = Xoshiro256pp::new(order_seed);
+    rng.shuffle(&mut arrivals);
+    let mut groups = vec![Vec::new(); sessions.len()];
+    for (slot, (orig, _)) in arrivals.iter().enumerate() {
+        groups[*orig].push(slot);
+    }
+    let set = SessionSet::new(arrivals.into_iter().map(|(_, s)| s).collect());
+    (set, groups)
+}
+
+/// §VI setting: two-level hierarchy with a grid of session counts and
+/// sizes.
+#[derive(Clone, Debug)]
+pub struct ScenarioB {
+    /// The physical topology.
+    pub graph: Graph,
+    /// Session-count axis of the grid (paper: 1..=9).
+    pub session_counts: Vec<usize>,
+    /// Session-size axis (paper: 10, 20, …, 90).
+    pub session_sizes: Vec<usize>,
+    /// Seed for session draws.
+    pub seed: u64,
+}
+
+impl ScenarioB {
+    /// Builds the scenario topology and grid axes for the given scale.
+    ///
+    /// `Fast` shrinks to a 4 AS × 25 router topology with sizes 4..36 and
+    /// session counts {1, 3, 5, 7, 9}; `Paper` is the full 10 × 100 with
+    /// the 9 × 9 grid.
+    #[must_use]
+    pub fn build(seed: u64, scale: Scale) -> Self {
+        let (hier, counts, sizes) = match scale {
+            Scale::Micro => (
+                HierParams { as_count: 2, routers_per_as: 12, ..HierParams::default() },
+                vec![1, 3],
+                vec![4, 8, 12],
+            ),
+            Scale::Fast => (
+                HierParams { as_count: 4, routers_per_as: 25, ..HierParams::default() },
+                vec![1, 3, 5, 7, 9],
+                vec![4, 8, 12, 16, 20, 24, 28, 32, 36],
+            ),
+            Scale::Paper => (
+                HierParams::default(),
+                (1..=9).collect(),
+                (1..=9).map(|i| i * 10).collect(),
+            ),
+        };
+        let graph = omcf_topology::two_level(&hier, seed ^ 0xB0B0);
+        Self { graph, session_counts: counts, session_sizes: sizes, seed }
+    }
+
+    /// Draws the session set for one grid point (deterministic in
+    /// `(seed, count, size)`).
+    #[must_use]
+    pub fn sessions_for(&self, count: usize, size: usize) -> SessionSet {
+        let mut rng = Xoshiro256pp::new(
+            self.seed ^ (count as u64) << 32 ^ (size as u64) << 8 ^ 0x5E55,
+        );
+        random_sessions(&self.graph, count, size, 1.0, &mut rng)
+    }
+}
+
+fn derive(root: &SplitMix64, label: u64) -> u64 {
+    let mut child = root.derive(label);
+    child.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenario_a_paper_dimensions() {
+        let a = ScenarioA::build(2004, Scale::Paper);
+        assert_eq!(a.graph.node_count(), 100);
+        assert_eq!(a.sessions.len(), 2);
+        assert_eq!(a.sessions.session(0).size(), 7);
+        assert_eq!(a.sessions.session(1).size(), 5);
+        assert_eq!(a.sessions.session(0).demand, 100.0);
+        for e in a.graph.edge_ids() {
+            assert_eq!(a.graph.capacity(e), 100.0);
+        }
+    }
+
+    #[test]
+    fn scenario_a_deterministic() {
+        let a = ScenarioA::build(7, Scale::Fast);
+        let b = ScenarioA::build(7, Scale::Fast);
+        assert_eq!(a.sessions.sessions(), b.sessions.sessions());
+        assert_eq!(a.graph.edge_count(), b.graph.edge_count());
+    }
+
+    #[test]
+    fn replication_groups_cover_all_arrivals() {
+        let a = ScenarioA::build(3, Scale::Fast);
+        let (set, groups) = a.replicated_arrivals(4, 99);
+        assert_eq!(set.len(), 8);
+        let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..8).collect::<Vec<_>>());
+        assert_eq!(groups[0].len(), 4);
+        // Replicas carry demand 1 and the original member sets.
+        for &idx in &groups[1] {
+            assert_eq!(set.session(idx).members, a.sessions.session(1).members);
+            assert_eq!(set.session(idx).demand, 1.0);
+        }
+    }
+
+    #[test]
+    fn scenario_b_grid_axes() {
+        let b = ScenarioB::build(1, Scale::Paper);
+        assert_eq!(b.graph.node_count(), 1000);
+        assert_eq!(b.session_counts.len(), 9);
+        assert_eq!(b.session_sizes, vec![10, 20, 30, 40, 50, 60, 70, 80, 90]);
+        let fast = ScenarioB::build(1, Scale::Fast);
+        assert_eq!(fast.graph.node_count(), 100);
+    }
+
+    #[test]
+    fn scenario_b_sessions_deterministic_per_point() {
+        let b = ScenarioB::build(5, Scale::Fast);
+        let s1 = b.sessions_for(3, 8);
+        let s2 = b.sessions_for(3, 8);
+        assert_eq!(s1.sessions(), s2.sessions());
+        let s3 = b.sessions_for(3, 12);
+        assert_eq!(s3.session(0).size(), 12);
+        assert_eq!(s1.len(), 3);
+    }
+}

@@ -1,0 +1,192 @@
+//! Text rendering of the paper's tables.
+
+use std::fmt::Write as _;
+
+/// A table swept over approximation ratios (Tables II, IV, VII, VIII):
+/// one column per ratio, labeled numeric rows.
+#[derive(Clone, Debug)]
+pub struct RatioTable {
+    /// Table caption.
+    pub title: String,
+    /// Column headers (the ratios).
+    pub ratios: Vec<f64>,
+    /// `(label, values-per-ratio, decimals)` rows.
+    pub rows: Vec<(String, Vec<f64>, usize)>,
+}
+
+impl RatioTable {
+    /// New empty table over the given ratio sweep.
+    #[must_use]
+    pub fn new(title: &str, ratios: &[f64]) -> Self {
+        Self { title: title.to_string(), ratios: ratios.to_vec(), rows: Vec::new() }
+    }
+
+    /// Appends a row; `values.len()` must equal the ratio count.
+    pub fn push_row(&mut self, label: &str, values: Vec<f64>, decimals: usize) {
+        assert_eq!(values.len(), self.ratios.len(), "row width mismatch");
+        self.rows.push((label.to_string(), values, decimals));
+    }
+
+    /// Renders as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut label_w = "Approximation Ratio".len();
+        for (l, _, _) in &self.rows {
+            label_w = label_w.max(l.len());
+        }
+        let mut col_w = vec![0usize; self.ratios.len()];
+        let cell = |v: f64, d: usize| format!("{v:.d$}");
+        for (i, r) in self.ratios.iter().enumerate() {
+            col_w[i] = col_w[i].max(format!("{r:.2}").len());
+        }
+        for (_, vals, d) in &self.rows {
+            for (i, v) in vals.iter().enumerate() {
+                col_w[i] = col_w[i].max(cell(*v, *d).len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:label_w$}", "Approximation Ratio");
+        for (i, r) in self.ratios.iter().enumerate() {
+            let _ = write!(out, "  {:>w$}", format!("{r:.2}"), w = col_w[i]);
+        }
+        out.push('\n');
+        for (label, vals, d) in &self.rows {
+            let _ = write!(out, "{label:label_w$}");
+            for (i, v) in vals.iter().enumerate() {
+                let _ = write!(out, "  {:>w$}", cell(*v, *d), w = col_w[i]);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (ratios as the header row).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("metric");
+        for r in &self.ratios {
+            let _ = write!(out, ",{r}");
+        }
+        out.push('\n');
+        for (label, vals, _) in &self.rows {
+            let _ = write!(out, "{}", label.replace(',', ";"));
+            for v in vals {
+                let _ = write!(out, ",{v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A surface over the (session count × session size) grid (Figs. 12–19).
+#[derive(Clone, Debug)]
+pub struct GridSurface {
+    /// Surface name.
+    pub title: String,
+    /// Session-count axis.
+    pub counts: Vec<usize>,
+    /// Session-size axis.
+    pub sizes: Vec<usize>,
+    /// Row-major `counts.len() × sizes.len()` values.
+    pub values: Vec<f64>,
+}
+
+impl GridSurface {
+    /// New zero-filled surface.
+    #[must_use]
+    pub fn new(title: &str, counts: &[usize], sizes: &[usize]) -> Self {
+        Self {
+            title: title.to_string(),
+            counts: counts.to_vec(),
+            sizes: sizes.to_vec(),
+            values: vec![0.0; counts.len() * sizes.len()],
+        }
+    }
+
+    /// Writes the value at a grid point (by axis indices).
+    pub fn set(&mut self, count_idx: usize, size_idx: usize, v: f64) {
+        self.values[count_idx * self.sizes.len() + size_idx] = v;
+    }
+
+    /// Reads a grid point.
+    #[must_use]
+    pub fn get(&self, count_idx: usize, size_idx: usize) -> f64 {
+        self.values[count_idx * self.sizes.len() + size_idx]
+    }
+
+    /// Renders as an aligned text matrix (rows = session counts).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = write!(out, "{:>9}", "sessions");
+        for s in &self.sizes {
+            let _ = write!(out, " {:>9}", format!("size{s}"));
+        }
+        out.push('\n');
+        for (ci, c) in self.counts.iter().enumerate() {
+            let _ = write!(out, "{c:>9}");
+            for si in 0..self.sizes.len() {
+                let _ = write!(out, " {:>9.2}", self.get(ci, si));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// CSV: `sessions,size,value` long format (plottable with gnuplot
+    /// `splot`).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("sessions,size,value\n");
+        for (ci, c) in self.counts.iter().enumerate() {
+            for (si, s) in self.sizes.iter().enumerate() {
+                let _ = writeln!(out, "{c},{s},{}", self.get(ci, si));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_table_renders_aligned() {
+        let mut t = RatioTable::new("Demo", &[0.9, 0.95]);
+        t.push_row("Rate of Session 1", vec![163.0, 164.95], 2);
+        t.push_row("Number of Trees", vec![210.0, 291.0], 0);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("0.90"));
+        assert!(s.contains("163.00"));
+        assert!(s.contains("291"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn ratio_table_rejects_ragged_rows() {
+        let mut t = RatioTable::new("Demo", &[0.9, 0.95]);
+        t.push_row("bad", vec![1.0], 0);
+    }
+
+    #[test]
+    fn ratio_table_csv() {
+        let mut t = RatioTable::new("Demo", &[0.9]);
+        t.push_row("x", vec![1.5], 1);
+        assert_eq!(t.to_csv(), "metric,0.9\nx,1.5\n");
+    }
+
+    #[test]
+    fn surface_roundtrip() {
+        let mut s = GridSurface::new("S", &[1, 5], &[10, 20]);
+        s.set(1, 0, 42.0);
+        assert_eq!(s.get(1, 0), 42.0);
+        assert_eq!(s.get(0, 0), 0.0);
+        assert!(s.render().contains("42.00"));
+        assert!(s.to_csv().contains("5,10,42"));
+    }
+}

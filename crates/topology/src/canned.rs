@@ -1,0 +1,186 @@
+//! Deterministic small graphs for tests, docs and the paper's worked
+//! example (Fig. 1).
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// Path graph `0 — 1 — … — n−1`, uniform capacity.
+#[must_use]
+pub fn path(n: usize, capacity: f64) -> Graph {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n - 1 {
+        b.add_edge(NodeId(i as u32), NodeId(i as u32 + 1), capacity);
+    }
+    b.finish()
+}
+
+/// Cycle graph over `n ≥ 3` nodes, uniform capacity.
+#[must_use]
+pub fn ring(n: usize, capacity: f64) -> Graph {
+    assert!(n >= 3);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32), capacity);
+    }
+    b.finish()
+}
+
+/// Star with node 0 at the hub and `n − 1` leaves.
+#[must_use]
+pub fn star(n: usize, capacity: f64) -> Graph {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::new(n);
+    for i in 1..n {
+        b.add_edge(NodeId(0), NodeId(i as u32), capacity);
+    }
+    b.finish()
+}
+
+/// Complete graph `K_n`, uniform capacity.
+#[must_use]
+pub fn complete(n: usize, capacity: f64) -> Graph {
+    assert!(n >= 2);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(NodeId(u as u32), NodeId(v as u32), capacity);
+        }
+    }
+    b.finish()
+}
+
+/// `rows × cols` grid with unit spacing positions, uniform capacity.
+#[must_use]
+pub fn grid(rows: usize, cols: usize, capacity: f64) -> Graph {
+    assert!(rows >= 1 && cols >= 1 && rows * cols >= 2);
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.set_position(id(r, c), c as f64, r as f64);
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1), capacity);
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c), capacity);
+            }
+        }
+    }
+    b.finish()
+}
+
+/// The paper's Fig. 1 overlay session graph: 4 nodes (node 0 the source),
+/// complete, with per-edge traffic budgets
+/// `w(0,1) = 3, w(0,2) = 3, w(0,3) = 3, w(1,2) = 5, w(1,3) = 2, w(2,3) = 1`.
+/// Packing spanning trees on this weighted K4 attains aggregate rate 5
+/// (the paper decomposes it into three trees of rates 3, 1 and 1); the
+/// `omcf-treepack` tests verify both the bound and an achieving packing.
+#[must_use]
+pub fn fig1_session_graph() -> Graph {
+    let mut b = GraphBuilder::new(4);
+    b.add_edge(NodeId(0), NodeId(1), 3.0);
+    b.add_edge(NodeId(0), NodeId(2), 3.0);
+    b.add_edge(NodeId(0), NodeId(3), 3.0);
+    b.add_edge(NodeId(1), NodeId(2), 5.0);
+    b.add_edge(NodeId(1), NodeId(3), 2.0);
+    b.add_edge(NodeId(2), NodeId(3), 1.0);
+    b.finish()
+}
+
+/// Two routers joined by `k` parallel links — exercises multigraph paths.
+#[must_use]
+pub fn parallel_links(k: usize, capacity: f64) -> Graph {
+    assert!(k >= 1);
+    let mut b = GraphBuilder::new(2);
+    for _ in 0..k {
+        b.add_edge(NodeId(0), NodeId(1), capacity);
+    }
+    b.finish()
+}
+
+/// The classic "theta" graph: two hub nodes joined by three internally
+/// disjoint length-2 paths. Smallest graph where multi-path routing beats
+/// any single path threefold.
+#[must_use]
+pub fn theta(capacity: f64) -> Graph {
+    let mut b = GraphBuilder::new(5);
+    for mid in 1..=3u32 {
+        b.add_edge(NodeId(0), NodeId(mid), capacity);
+        b.add_edge(NodeId(mid), NodeId(4), capacity);
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::components;
+
+    #[test]
+    fn path_counts() {
+        let g = path(5, 1.0);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.degree(NodeId(0)), 1);
+        assert_eq!(g.degree(NodeId(2)), 2);
+    }
+
+    #[test]
+    fn ring_counts() {
+        let g = ring(6, 2.0);
+        assert_eq!(g.edge_count(), 6);
+        for n in g.nodes() {
+            assert_eq!(g.degree(n), 2);
+        }
+    }
+
+    #[test]
+    fn star_counts() {
+        let g = star(7, 1.0);
+        assert_eq!(g.degree(NodeId(0)), 6);
+        assert_eq!(g.edge_count(), 6);
+    }
+
+    #[test]
+    fn complete_counts() {
+        let g = complete(6, 1.0);
+        assert_eq!(g.edge_count(), 15);
+        for n in g.nodes() {
+            assert_eq!(g.degree(n), 5);
+        }
+    }
+
+    #[test]
+    fn grid_structure() {
+        let g = grid(3, 4, 1.0);
+        assert_eq!(g.node_count(), 12);
+        assert_eq!(g.edge_count(), 3 * 3 + 2 * 4);
+        assert_eq!(components(&g).len(), 1);
+        assert_eq!(g.position(NodeId(5)), (1.0, 1.0));
+    }
+
+    #[test]
+    fn fig1_weights() {
+        let g = fig1_session_graph();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 6);
+        let total: f64 = g.edge_ids().map(|e| g.capacity(e)).sum();
+        assert_eq!(total, 17.0);
+    }
+
+    #[test]
+    fn parallel_links_multigraph() {
+        let g = parallel_links(3, 10.0);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(NodeId(0)), 3);
+    }
+
+    #[test]
+    fn theta_structure() {
+        let g = theta(1.0);
+        assert_eq!(g.node_count(), 5);
+        assert_eq!(g.edge_count(), 6);
+        assert_eq!(g.degree(NodeId(0)), 3);
+        assert_eq!(g.degree(NodeId(4)), 3);
+    }
+}

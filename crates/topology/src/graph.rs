@@ -1,0 +1,360 @@
+//! Undirected, capacitated multigraph with CSR adjacency.
+//!
+//! Node and edge identifiers are plain `u32` newtypes; the solvers index
+//! per-edge state (`lengths`, `flows`, `congestion`) by `EdgeId`, so edge
+//! identity — not just endpoints — matters. Parallel edges are permitted
+//! (the hierarchy generator can produce them when inter-AS links are added
+//! independently); self-loops are rejected.
+
+use std::fmt;
+
+/// Index of a node in a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Index of an undirected edge in a [`Graph`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub u32);
+
+impl NodeId {
+    /// Usize view for indexing.
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl EdgeId {
+    /// Usize view for indexing.
+    #[must_use]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// One undirected edge record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Edge {
+    /// Lower-numbered endpoint as stored (orientation is meaningless).
+    pub u: NodeId,
+    /// Other endpoint.
+    pub v: NodeId,
+    /// Capacity `c_e > 0` in the paper's units (the experiments use 100).
+    pub capacity: f64,
+}
+
+impl Edge {
+    /// The endpoint opposite `n`. Panics if `n` is not an endpoint.
+    #[must_use]
+    pub fn other(&self, n: NodeId) -> NodeId {
+        if n == self.u {
+            self.v
+        } else {
+            assert_eq!(n, self.v, "node {n:?} not incident to edge {self:?}");
+            self.u
+        }
+    }
+}
+
+/// Incremental graph constructor. Build with [`GraphBuilder::finish`], which
+/// freezes the CSR adjacency.
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<Edge>,
+    positions: Vec<(f64, f64)>,
+}
+
+impl GraphBuilder {
+    /// A builder over `n` nodes with no edges and unit-square positions at
+    /// the origin.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { n, edges: Vec::new(), positions: vec![(0.0, 0.0); n] }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Appends a node, returning its id.
+    pub fn add_node(&mut self) -> NodeId {
+        self.n += 1;
+        self.positions.push((0.0, 0.0));
+        NodeId(self.n as u32 - 1)
+    }
+
+    /// Sets the plane position used by distance-dependent models and DOT
+    /// layout hints.
+    pub fn set_position(&mut self, n: NodeId, x: f64, y: f64) {
+        self.positions[n.idx()] = (x, y);
+    }
+
+    /// Adds an undirected edge with the given capacity. Self-loops are
+    /// rejected; parallel edges are allowed.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId, capacity: f64) -> EdgeId {
+        assert!(u != v, "self-loop {u:?}");
+        assert!(u.idx() < self.n && v.idx() < self.n, "endpoint out of range");
+        assert!(capacity > 0.0 && capacity.is_finite(), "capacity must be positive");
+        let (a, b) = if u.0 <= v.0 { (u, v) } else { (v, u) };
+        self.edges.push(Edge { u: a, v: b, capacity });
+        EdgeId(self.edges.len() as u32 - 1)
+    }
+
+    /// True if an edge between `u` and `v` already exists (linear scan; used
+    /// only during generation).
+    #[must_use]
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let (a, b) = if u.0 <= v.0 { (u, v) } else { (v, u) };
+        self.edges.iter().any(|e| e.u == a && e.v == b)
+    }
+
+    /// Freezes into an immutable [`Graph`].
+    #[must_use]
+    pub fn finish(self) -> Graph {
+        Graph::from_parts(self.n, self.edges, self.positions)
+    }
+}
+
+/// Immutable undirected capacitated multigraph.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    edges: Vec<Edge>,
+    positions: Vec<(f64, f64)>,
+    // CSR adjacency: for node i, incident edge ids are
+    // adj_edges[adj_start[i] .. adj_start[i + 1]].
+    adj_start: Vec<u32>,
+    adj_edges: Vec<EdgeId>,
+}
+
+impl Graph {
+    fn from_parts(n: usize, edges: Vec<Edge>, positions: Vec<(f64, f64)>) -> Self {
+        let mut degree = vec![0u32; n];
+        for e in &edges {
+            degree[e.u.idx()] += 1;
+            degree[e.v.idx()] += 1;
+        }
+        let mut adj_start = Vec::with_capacity(n + 1);
+        let mut acc = 0u32;
+        adj_start.push(0);
+        for d in &degree {
+            acc += d;
+            adj_start.push(acc);
+        }
+        let mut cursor: Vec<u32> = adj_start[..n].to_vec();
+        let mut adj_edges = vec![EdgeId(0); edges.len() * 2];
+        for (i, e) in edges.iter().enumerate() {
+            for node in [e.u, e.v] {
+                adj_edges[cursor[node.idx()] as usize] = EdgeId(i as u32);
+                cursor[node.idx()] += 1;
+            }
+        }
+        Self { edges, positions, adj_start, adj_edges }
+    }
+
+    /// Number of nodes `|V|`.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.adj_start.len() - 1
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u32).map(NodeId)
+    }
+
+    /// All edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len() as u32).map(EdgeId)
+    }
+
+    /// Edge record by id.
+    #[must_use]
+    pub fn edge(&self, e: EdgeId) -> &Edge {
+        &self.edges[e.idx()]
+    }
+
+    /// Capacity of edge `e`.
+    #[must_use]
+    pub fn capacity(&self, e: EdgeId) -> f64 {
+        self.edges[e.idx()].capacity
+    }
+
+    /// Plane position of `n` (generators place nodes; canned graphs use the
+    /// origin).
+    #[must_use]
+    pub fn position(&self, n: NodeId) -> (f64, f64) {
+        self.positions[n.idx()]
+    }
+
+    /// Incident edge ids of `n`.
+    #[must_use]
+    pub fn incident(&self, n: NodeId) -> &[EdgeId] {
+        let lo = self.adj_start[n.idx()] as usize;
+        let hi = self.adj_start[n.idx() + 1] as usize;
+        &self.adj_edges[lo..hi]
+    }
+
+    /// Degree of `n` (parallel edges counted separately).
+    #[must_use]
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.incident(n).len()
+    }
+
+    /// Neighbor iterator: `(edge, other_endpoint)` pairs.
+    pub fn neighbors(&self, n: NodeId) -> impl Iterator<Item = (EdgeId, NodeId)> + '_ {
+        self.incident(n).iter().map(move |&e| (e, self.edge(e).other(n)))
+    }
+
+    /// Smallest capacity over all edges (∞ for edgeless graphs).
+    #[must_use]
+    pub fn min_capacity(&self) -> f64 {
+        self.edges.iter().map(|e| e.capacity).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Returns a copy with every capacity multiplied by `factor`.
+    #[must_use]
+    pub fn scaled_capacities(&self, factor: f64) -> Graph {
+        assert!(factor > 0.0);
+        let mut g = self.clone();
+        for e in &mut g.edges {
+            e.capacity *= factor;
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 10.0);
+        b.add_edge(NodeId(1), NodeId(2), 20.0);
+        b.add_edge(NodeId(2), NodeId(0), 30.0);
+        b.finish()
+    }
+
+    #[test]
+    fn counts_and_degrees() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        for n in g.nodes() {
+            assert_eq!(g.degree(n), 2);
+        }
+    }
+
+    #[test]
+    fn neighbors_enumerate_correctly() {
+        let g = triangle();
+        let mut nbrs: Vec<u32> = g.neighbors(NodeId(0)).map(|(_, v)| v.0).collect();
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![1, 2]);
+    }
+
+    #[test]
+    fn edge_other_endpoint() {
+        let g = triangle();
+        let e = g.edge(EdgeId(0));
+        assert_eq!(e.other(NodeId(0)), NodeId(1));
+        assert_eq!(e.other(NodeId(1)), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not incident")]
+    fn edge_other_rejects_foreign_node() {
+        let g = triangle();
+        let _ = g.edge(EdgeId(0)).other(NodeId(2));
+    }
+
+    #[test]
+    fn parallel_edges_supported() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        b.add_edge(NodeId(0), NodeId(1), 2.0);
+        let g = b.finish();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(NodeId(0)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(NodeId(0), NodeId(0), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(NodeId(0), NodeId(1), 0.0);
+    }
+
+    #[test]
+    fn min_capacity_and_scaling() {
+        let g = triangle();
+        assert_eq!(g.min_capacity(), 10.0);
+        let h = g.scaled_capacities(0.5);
+        assert_eq!(h.min_capacity(), 5.0);
+        assert_eq!(g.min_capacity(), 10.0, "original untouched");
+    }
+
+    #[test]
+    fn builder_add_node_grows() {
+        let mut b = GraphBuilder::new(0);
+        let a = b.add_node();
+        let c = b.add_node();
+        b.add_edge(a, c, 1.0);
+        let g = b.finish();
+        assert_eq!(g.node_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn has_edge_detects_both_orientations() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(2), NodeId(0), 1.0);
+        assert!(b.has_edge(NodeId(0), NodeId(2)));
+        assert!(b.has_edge(NodeId(2), NodeId(0)));
+        assert!(!b.has_edge(NodeId(0), NodeId(1)));
+    }
+
+    #[test]
+    fn positions_roundtrip() {
+        let mut b = GraphBuilder::new(2);
+        b.set_position(NodeId(1), 3.0, 4.0);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        let g = b.finish();
+        assert_eq!(g.position(NodeId(1)), (3.0, 4.0));
+        assert_eq!(g.position(NodeId(0)), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,210 @@
+//! Two-level AS/router hierarchy — the §VI evaluation topology.
+//!
+//! The paper: "we first create a 10-node AS-level topology, then attach to
+//! each AS a 100-node router-level topology. The link capacity is set as
+//! 100." We reproduce this as BRITE's top-down hierarchical mode does:
+//!
+//! 1. generate an AS-level Waxman graph over `as_count` nodes;
+//! 2. expand every AS into its own router-level Waxman graph;
+//! 3. realize each AS-level edge as a router-to-router link between a
+//!    random border router of each AS.
+//!
+//! All links share one capacity, matching the paper's uniform-capacity
+//! setting (chosen there because real per-link capacities are not public).
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::models::waxman::{self, WaxmanParams};
+use crate::models::{components, connect_components};
+use omcf_numerics::{Rng64, SplitMix64, Xoshiro256pp};
+
+/// Parameters of the two-level topology.
+#[derive(Clone, Copy, Debug)]
+pub struct HierParams {
+    /// Number of autonomous systems (paper: 10).
+    pub as_count: usize,
+    /// Routers per AS (paper: 100).
+    pub routers_per_as: usize,
+    /// Waxman α for both levels.
+    pub alpha: f64,
+    /// Waxman β for both levels.
+    pub beta: f64,
+    /// Uniform link capacity (paper: 100).
+    pub capacity: f64,
+}
+
+impl Default for HierParams {
+    fn default() -> Self {
+        Self { as_count: 10, routers_per_as: 100, alpha: 0.15, beta: 0.2, capacity: 100.0 }
+    }
+}
+
+impl HierParams {
+    /// Total router count of the expanded topology.
+    #[must_use]
+    pub fn total_nodes(&self) -> usize {
+        self.as_count * self.routers_per_as
+    }
+
+    /// Paper-scale parameters shrunk by `factor` in both dimensions — used
+    /// by tests and fast benches; shapes are preserved.
+    #[must_use]
+    pub fn scaled_down(&self, factor: usize) -> Self {
+        Self {
+            as_count: (self.as_count / factor).max(2),
+            routers_per_as: (self.routers_per_as / factor).max(4),
+            ..*self
+        }
+    }
+}
+
+/// Generates the two-level topology. The returned graph numbers routers
+/// AS-major: router `r` of AS `a` is node `a * routers_per_as + r`.
+#[must_use]
+pub fn two_level(params: &HierParams, seed: u64) -> Graph {
+    assert!(params.as_count >= 2, "need at least two ASes");
+    assert!(params.routers_per_as >= 2, "need at least two routers per AS");
+    let root = SplitMix64::new(seed);
+
+    // Level 1: AS-level Waxman graph.
+    let as_params = WaxmanParams {
+        n: params.as_count,
+        alpha: 0.4, // denser at the small AS level so the backbone is not a bare tree
+        beta: params.beta,
+        capacity: params.capacity,
+        side: 1000.0,
+    };
+    let mut as_rng = Xoshiro256pp::new(root.derive(0xA5).next_raw());
+    let as_graph = waxman::generate(&as_params, &mut as_rng);
+
+    // Level 2: one router-level Waxman graph per AS.
+    let per_as = WaxmanParams {
+        n: params.routers_per_as,
+        alpha: params.alpha,
+        beta: params.beta,
+        capacity: params.capacity,
+        side: 100.0,
+    };
+    let mut b = GraphBuilder::new(params.total_nodes());
+    for a in 0..params.as_count {
+        let mut rng = Xoshiro256pp::new(root.derive(0x100 + a as u64).next_raw());
+        let sub = waxman::generate(&per_as, &mut rng);
+        let base = (a * params.routers_per_as) as u32;
+        // Offset sub-positions into a per-AS tile so DOT output is legible.
+        let (tile_x, tile_y) = ((a % 4) as f64 * 120.0, (a / 4) as f64 * 120.0);
+        for n in sub.nodes() {
+            let (x, y) = sub.position(n);
+            b.set_position(NodeId(base + n.0), x + tile_x, y + tile_y);
+        }
+        for e in sub.edge_ids() {
+            let edge = sub.edge(e);
+            b.add_edge(NodeId(base + edge.u.0), NodeId(base + edge.v.0), edge.capacity);
+        }
+    }
+
+    // Level 3: realize AS-level edges through random border routers.
+    let mut border_rng = Xoshiro256pp::new(root.derive(0xB0).next_raw());
+    for e in as_graph.edge_ids() {
+        let edge = as_graph.edge(e);
+        let u_router = border_rng.index(params.routers_per_as) as u32
+            + edge.u.0 * params.routers_per_as as u32;
+        let v_router = border_rng.index(params.routers_per_as) as u32
+            + edge.v.0 * params.routers_per_as as u32;
+        b.add_edge(NodeId(u_router), NodeId(v_router), params.capacity);
+    }
+
+    // Safety net: the AS graph is connected, so the expansion is too, but
+    // keep the stitch pass for defensive parity with BRITE.
+    let mut fix_rng = Xoshiro256pp::new(root.derive(0xF1).next_raw());
+    connect_components(&mut b, &mut fix_rng, params.capacity);
+    let g = b.finish();
+    debug_assert_eq!(components(&g).len(), 1);
+    g
+}
+
+/// Which AS a node of a [`two_level`] graph belongs to.
+#[must_use]
+pub fn as_of(node: NodeId, params: &HierParams) -> usize {
+    node.idx() / params.routers_per_as
+}
+
+trait NextRaw {
+    fn next_raw(&self) -> u64;
+}
+
+impl NextRaw for SplitMix64 {
+    fn next_raw(&self) -> u64 {
+        let mut c = self.clone();
+        c.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> HierParams {
+        HierParams { as_count: 4, routers_per_as: 10, ..HierParams::default() }
+    }
+
+    #[test]
+    fn expanded_graph_is_connected() {
+        let g = two_level(&small(), 99);
+        assert_eq!(g.node_count(), 40);
+        assert_eq!(components(&g).len(), 1);
+    }
+
+    #[test]
+    fn paper_scale_dimensions() {
+        let p = HierParams::default();
+        assert_eq!(p.total_nodes(), 1000);
+        let g = two_level(&p.scaled_down(5), 1);
+        assert_eq!(g.node_count(), 2 * 20);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = two_level(&small(), 123);
+        let b = two_level(&small(), 123);
+        assert_eq!(a.edge_count(), b.edge_count());
+        for (x, y) in a.edge_ids().zip(b.edge_ids()) {
+            assert_eq!(a.edge(x), b.edge(y));
+        }
+        let c = two_level(&small(), 124);
+        let same = a.edge_count() == c.edge_count()
+            && a.edge_ids().zip(c.edge_ids()).all(|(x, y)| a.edge(x) == c.edge(y));
+        assert!(!same);
+    }
+
+    #[test]
+    fn uniform_capacity_everywhere() {
+        let g = two_level(&small(), 5);
+        for e in g.edge_ids() {
+            assert_eq!(g.capacity(e), 100.0);
+        }
+    }
+
+    #[test]
+    fn as_of_partitions_nodes() {
+        let p = small();
+        assert_eq!(as_of(NodeId(0), &p), 0);
+        assert_eq!(as_of(NodeId(9), &p), 0);
+        assert_eq!(as_of(NodeId(10), &p), 1);
+        assert_eq!(as_of(NodeId(39), &p), 3);
+    }
+
+    #[test]
+    fn intra_as_edges_dominate() {
+        let p = small();
+        let g = two_level(&p, 7);
+        let intra = g
+            .edge_ids()
+            .filter(|&e| {
+                let edge = g.edge(e);
+                as_of(edge.u, &p) == as_of(edge.v, &p)
+            })
+            .count();
+        let inter = g.edge_count() - intra;
+        assert!(intra > inter, "intra {intra} vs inter {inter}");
+        assert!(inter >= p.as_count - 1, "backbone must connect all ASes");
+    }
+}

@@ -1,0 +1,31 @@
+//! Physical-network topology substrate.
+//!
+//! The paper evaluates on synthetic Internet-like topologies produced by the
+//! Boston BRITE generator: a 100-node router-level Waxman graph (§III-B) and
+//! a two-level hierarchy of 10 AS nodes, each expanded into a 100-node
+//! router-level graph (§VI). BRITE itself is a Java tool we cannot ship, so
+//! this crate implements the same published models from scratch:
+//!
+//! * [`Graph`] — an undirected, capacitated multigraph with CSR-style
+//!   adjacency, the substrate every other crate computes over.
+//! * [`waxman`] — the Waxman (1988) random graph used by BRITE's
+//!   router-level mode, with the BRITE connectivity post-pass.
+//! * [`barabasi`] — Barabási–Albert preferential attachment (BRITE's other
+//!   router model), used for robustness experiments.
+//! * [`hier`] — the two-level AS/router hierarchy of §VI.
+//! * [`canned`] — deterministic small graphs (path, ring, star, complete,
+//!   grid, the paper's Fig. 1 example) for tests and documentation.
+//! * [`props`] — connectivity/degree diagnostics and DOT export.
+
+pub mod canned;
+pub mod graph;
+pub mod hier;
+pub mod models;
+pub mod props;
+pub mod transit_stub;
+
+pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
+pub use hier::{HierParams, two_level};
+pub use models::barabasi::{self, BarabasiParams};
+pub use models::waxman::{self, WaxmanParams};
+pub use transit_stub::{transit_stub, TransitStubParams};

@@ -1,0 +1,135 @@
+//! Barabási–Albert preferential attachment — BRITE's alternative
+//! router-level model.
+//!
+//! Starting from a small connected seed clique, each arriving node attaches
+//! `m` edges to existing nodes chosen with probability proportional to their
+//! current degree. Produces the heavy-tailed degree distributions observed
+//! in AS-level Internet maps; we use it for robustness checks of the
+//! paper's findings against topology choice (the paper itself reports the
+//! unbalanced-utilization phenomenon "persists" across topologies).
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::models::scatter_nodes;
+use omcf_numerics::Rng64;
+
+/// Parameters of the Barabási–Albert model.
+#[derive(Clone, Copy, Debug)]
+pub struct BarabasiParams {
+    /// Final node count.
+    pub n: usize,
+    /// Edges added per arriving node.
+    pub m: usize,
+    /// Capacity for every edge.
+    pub capacity: f64,
+    /// Side of the placement square (positions are cosmetic here).
+    pub side: f64,
+}
+
+impl Default for BarabasiParams {
+    fn default() -> Self {
+        Self { n: 100, m: 2, capacity: 100.0, side: 1000.0 }
+    }
+}
+
+impl BarabasiParams {
+    /// Validates parameter ranges.
+    pub fn validate(&self) {
+        assert!(self.m >= 1, "m must be at least 1");
+        assert!(self.n > self.m, "need n > m");
+        assert!(self.capacity > 0.0, "capacity must be positive");
+    }
+}
+
+/// Generates a connected Barabási–Albert graph.
+#[must_use]
+pub fn generate(params: &BarabasiParams, rng: &mut impl Rng64) -> Graph {
+    params.validate();
+    let mut b = GraphBuilder::new(params.n);
+    scatter_nodes(&mut b, rng, params.side);
+
+    // Seed: clique over the first m+1 nodes, guaranteeing every early node
+    // has positive degree before preferential attachment starts.
+    let seed = params.m + 1;
+    for u in 0..seed {
+        for v in (u + 1)..seed {
+            b.add_edge(NodeId(u as u32), NodeId(v as u32), params.capacity);
+        }
+    }
+
+    // Degree-proportional sampling via the repeated-endpoints trick: every
+    // edge contributes both endpoints to the urn.
+    let mut urn: Vec<u32> = Vec::with_capacity(2 * params.m * params.n);
+    for u in 0..seed {
+        for v in (u + 1)..seed {
+            urn.push(u as u32);
+            urn.push(v as u32);
+        }
+    }
+
+    for new in seed..params.n {
+        let mut targets: Vec<u32> = Vec::with_capacity(params.m);
+        // Rejection-sample m distinct existing targets.
+        while targets.len() < params.m {
+            let pick = urn[rng.index(urn.len())];
+            if !targets.contains(&pick) {
+                targets.push(pick);
+            }
+        }
+        for &t in &targets {
+            b.add_edge(NodeId(new as u32), NodeId(t), params.capacity);
+            urn.push(new as u32);
+            urn.push(t);
+        }
+    }
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::components;
+    use omcf_numerics::Xoshiro256pp;
+
+    #[test]
+    fn connected_with_expected_edge_count() {
+        let p = BarabasiParams::default();
+        let g = generate(&p, &mut Xoshiro256pp::new(10));
+        assert_eq!(g.node_count(), p.n);
+        // Clique over m+1 seed nodes + m edges per later arrival.
+        let expected = p.m * (p.m + 1) / 2 + (p.n - p.m - 1) * p.m;
+        assert_eq!(g.edge_count(), expected);
+        assert_eq!(components(&g).len(), 1);
+    }
+
+    #[test]
+    fn degree_distribution_is_skewed() {
+        let p = BarabasiParams { n: 400, m: 2, ..BarabasiParams::default() };
+        let g = generate(&p, &mut Xoshiro256pp::new(77));
+        let mut degrees: Vec<usize> = g.nodes().map(|n| g.degree(n)).collect();
+        degrees.sort_unstable_by(|a, b| b.cmp(a));
+        // Hubs: the max degree should far exceed the median (m..2m-ish).
+        let median = degrees[degrees.len() / 2];
+        assert!(
+            degrees[0] >= 4 * median,
+            "expected hub formation: max {} vs median {median}",
+            degrees[0]
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = BarabasiParams::default();
+        let a = generate(&p, &mut Xoshiro256pp::new(5));
+        let b = generate(&p, &mut Xoshiro256pp::new(5));
+        for (ea, eb) in a.edge_ids().zip(b.edge_ids()) {
+            assert_eq!(a.edge(ea), b.edge(eb));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n > m")]
+    fn rejects_degenerate_sizes() {
+        let p = BarabasiParams { n: 2, m: 2, ..BarabasiParams::default() };
+        let _ = generate(&p, &mut Xoshiro256pp::new(0));
+    }
+}

@@ -1,0 +1,76 @@
+//! Random-graph models mirroring BRITE's router-level generators.
+
+pub mod barabasi;
+pub mod waxman;
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use omcf_numerics::Rng64;
+
+/// Places `n` nodes uniformly at random in the `side × side` plane square,
+/// as BRITE does before applying a connectivity model.
+pub(crate) fn scatter_nodes(builder: &mut GraphBuilder, rng: &mut impl Rng64, side: f64) {
+    for i in 0..builder.node_count() {
+        let x = rng.range_f64(0.0, side);
+        let y = rng.range_f64(0.0, side);
+        builder.set_position(NodeId(i as u32), x, y);
+    }
+}
+
+/// Euclidean distance between two stored positions.
+pub(crate) fn dist(positions: &[(f64, f64)], a: usize, b: usize) -> f64 {
+    let (ax, ay) = positions[a];
+    let (bx, by) = positions[b];
+    ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+}
+
+/// BRITE's connectivity post-pass: if the generated graph is disconnected,
+/// link each non-primary component to the primary one through its
+/// closest-node pair (here: a uniformly chosen pair, capacity `cap`).
+/// Returns the number of edges added.
+pub(crate) fn connect_components(
+    builder: &mut GraphBuilder,
+    rng: &mut impl Rng64,
+    cap: f64,
+) -> usize {
+    let snapshot = builder.clone().finish();
+    let comps = components(&snapshot);
+    if comps.len() <= 1 {
+        return 0;
+    }
+    let mut added = 0;
+    let primary = &comps[0];
+    for comp in &comps[1..] {
+        let u = primary[rng.index(primary.len())];
+        let v = comp[rng.index(comp.len())];
+        builder.add_edge(u, v, cap);
+        added += 1;
+    }
+    added
+}
+
+/// Connected components, largest first.
+pub(crate) fn components(g: &Graph) -> Vec<Vec<NodeId>> {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut comps = Vec::new();
+    for start in g.nodes() {
+        if seen[start.idx()] {
+            continue;
+        }
+        let mut stack = vec![start];
+        seen[start.idx()] = true;
+        let mut comp = Vec::new();
+        while let Some(u) = stack.pop() {
+            comp.push(u);
+            for (_, v) in g.neighbors(u) {
+                if !seen[v.idx()] {
+                    seen[v.idx()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        comps.push(comp);
+    }
+    comps.sort_by_key(|c| std::cmp::Reverse(c.len()));
+    comps
+}

@@ -1,0 +1,147 @@
+//! Waxman (1988) random graph — BRITE's default router-level model and the
+//! topology of the paper's §III-B experiment.
+//!
+//! Nodes are scattered uniformly in a plane square of side `L√2` (so the
+//! maximum pairwise distance is `L·2`... BRITE uses the square diagonal as
+//! the normalizing distance); each unordered pair `(u, v)` becomes an edge
+//! with probability
+//!
+//! ```text
+//! P(u, v) = α · exp(−d(u, v) / (β · L))
+//! ```
+//!
+//! where `d` is Euclidean distance, `L` the maximum possible distance, and
+//! `0 < α, β ≤ 1` shape parameters: larger `α` raises overall edge density,
+//! larger `β` favours long edges. BRITE finishes with a connectivity pass
+//! that stitches stray components to the giant one, which we replicate so
+//! that routing is total.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::models::{connect_components, dist, scatter_nodes};
+use omcf_numerics::Rng64;
+
+/// Parameters of the Waxman model.
+#[derive(Clone, Copy, Debug)]
+pub struct WaxmanParams {
+    /// Node count.
+    pub n: usize,
+    /// Density parameter `α ∈ (0, 1]`.
+    pub alpha: f64,
+    /// Distance-decay parameter `β ∈ (0, 1]`.
+    pub beta: f64,
+    /// Capacity assigned to every generated edge (the paper uses 100).
+    pub capacity: f64,
+    /// Side of the placement square.
+    pub side: f64,
+}
+
+impl Default for WaxmanParams {
+    fn default() -> Self {
+        // BRITE's stock Waxman parameters (alpha = 0.15, beta = 0.2) give
+        // sparse, Internet-like router graphs at n = 100.
+        Self { n: 100, alpha: 0.15, beta: 0.2, capacity: 100.0, side: 1000.0 }
+    }
+}
+
+impl WaxmanParams {
+    /// Validates parameter ranges.
+    pub fn validate(&self) {
+        assert!(self.n >= 2, "need at least two nodes");
+        assert!(self.alpha > 0.0 && self.alpha <= 1.0, "alpha out of (0,1]");
+        assert!(self.beta > 0.0 && self.beta <= 1.0, "beta out of (0,1]");
+        assert!(self.capacity > 0.0, "capacity must be positive");
+        assert!(self.side > 0.0, "side must be positive");
+    }
+}
+
+/// Generates a connected Waxman graph.
+#[must_use]
+pub fn generate(params: &WaxmanParams, rng: &mut impl Rng64) -> Graph {
+    params.validate();
+    let mut b = GraphBuilder::new(params.n);
+    scatter_nodes(&mut b, rng, params.side);
+    let positions: Vec<(f64, f64)> = {
+        // Collect positions once; GraphBuilder stores them but exposes them
+        // only after finish(), so mirror them locally for the model pass.
+        let snapshot = b.clone().finish();
+        snapshot.nodes().map(|n| snapshot.position(n)).collect()
+    };
+    let max_dist = params.side * std::f64::consts::SQRT_2;
+    for u in 0..params.n {
+        for v in (u + 1)..params.n {
+            let d = dist(&positions, u, v);
+            let p = params.alpha * (-d / (params.beta * max_dist)).exp();
+            if rng.next_f64() < p {
+                b.add_edge(NodeId(u as u32), NodeId(v as u32), params.capacity);
+            }
+        }
+    }
+    connect_components(&mut b, rng, params.capacity);
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::components;
+    use omcf_numerics::Xoshiro256pp;
+
+    #[test]
+    fn generates_connected_graph() {
+        let mut rng = Xoshiro256pp::new(2004);
+        let g = generate(&WaxmanParams::default(), &mut rng);
+        assert_eq!(g.node_count(), 100);
+        assert_eq!(components(&g).len(), 1);
+        assert!(g.edge_count() >= 99, "must at least be a tree");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let a = generate(&WaxmanParams::default(), &mut Xoshiro256pp::new(7));
+        let b = generate(&WaxmanParams::default(), &mut Xoshiro256pp::new(7));
+        assert_eq!(a.edge_count(), b.edge_count());
+        for (ea, eb) in a.edge_ids().zip(b.edge_ids()) {
+            assert_eq!(a.edge(ea), b.edge(eb));
+        }
+    }
+
+    #[test]
+    fn seed_changes_graph() {
+        let a = generate(&WaxmanParams::default(), &mut Xoshiro256pp::new(1));
+        let b = generate(&WaxmanParams::default(), &mut Xoshiro256pp::new(2));
+        let same = a.edge_count() == b.edge_count()
+            && a.edge_ids().zip(b.edge_ids()).all(|(x, y)| a.edge(x) == b.edge(y));
+        assert!(!same, "different seeds should almost surely differ");
+    }
+
+    #[test]
+    fn alpha_monotone_in_density() {
+        let sparse = generate(
+            &WaxmanParams { alpha: 0.05, ..WaxmanParams::default() },
+            &mut Xoshiro256pp::new(3),
+        );
+        let dense = generate(
+            &WaxmanParams { alpha: 0.9, ..WaxmanParams::default() },
+            &mut Xoshiro256pp::new(3),
+        );
+        assert!(dense.edge_count() > sparse.edge_count());
+    }
+
+    #[test]
+    fn capacities_applied_uniformly() {
+        let g = generate(
+            &WaxmanParams { capacity: 42.0, ..WaxmanParams::default() },
+            &mut Xoshiro256pp::new(4),
+        );
+        for e in g.edge_ids() {
+            assert_eq!(g.capacity(e), 42.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha out of")]
+    fn rejects_bad_alpha() {
+        let p = WaxmanParams { alpha: 0.0, ..WaxmanParams::default() };
+        let _ = generate(&p, &mut Xoshiro256pp::new(0));
+    }
+}

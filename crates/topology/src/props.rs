@@ -1,0 +1,125 @@
+//! Graph diagnostics and export.
+//!
+//! The evaluation section reports structural quantities of the generated
+//! topologies (edges per node, connectivity); these helpers compute them
+//! and export graphs to DOT for eyeballing.
+
+use crate::graph::{Graph, NodeId};
+use std::fmt::Write as _;
+
+/// Whether the graph is connected (vacuously true for `n ≤ 1`).
+#[must_use]
+pub fn is_connected(g: &Graph) -> bool {
+    crate::models::components(g).len() <= 1
+}
+
+/// Connected components, largest first.
+#[must_use]
+pub fn connected_components(g: &Graph) -> Vec<Vec<NodeId>> {
+    crate::models::components(g)
+}
+
+/// Degree statistics `(min, mean, max)`.
+#[must_use]
+pub fn degree_stats(g: &Graph) -> (usize, f64, usize) {
+    let mut min = usize::MAX;
+    let mut max = 0usize;
+    let mut total = 0usize;
+    for n in g.nodes() {
+        let d = g.degree(n);
+        min = min.min(d);
+        max = max.max(d);
+        total += d;
+    }
+    if g.node_count() == 0 {
+        return (0, 0.0, 0);
+    }
+    (min, total as f64 / g.node_count() as f64, max)
+}
+
+/// Unweighted diameter via BFS from every node. O(V·E); intended for the
+/// ≤1000-node synthetic topologies in this workspace.
+#[must_use]
+pub fn diameter_hops(g: &Graph) -> usize {
+    let n = g.node_count();
+    let mut best = 0usize;
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    for s in g.nodes() {
+        dist.iter_mut().for_each(|d| *d = usize::MAX);
+        dist[s.idx()] = 0;
+        queue.clear();
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for (_, v) in g.neighbors(u) {
+                if dist[v.idx()] == usize::MAX {
+                    dist[v.idx()] = dist[u.idx()] + 1;
+                    best = best.max(dist[v.idx()]);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Graphviz DOT rendering (undirected), with positions as `pos` hints.
+#[must_use]
+pub fn to_dot(g: &Graph, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {name} {{");
+    for n in g.nodes() {
+        let (x, y) = g.position(n);
+        let _ = writeln!(out, "  {} [pos=\"{x:.1},{y:.1}!\"];", n.0);
+    }
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        let _ = writeln!(out, "  {} -- {} [label=\"{}\"];", edge.u.0, edge.v.0, edge.capacity);
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canned;
+    use crate::graph::GraphBuilder;
+
+    #[test]
+    fn connectivity_detection() {
+        assert!(is_connected(&canned::ring(5, 1.0)));
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        b.add_edge(NodeId(2), NodeId(3), 1.0);
+        let g = b.finish();
+        assert!(!is_connected(&g));
+        assert_eq!(connected_components(&g).len(), 2);
+    }
+
+    #[test]
+    fn degree_stats_on_star() {
+        let g = canned::star(5, 1.0);
+        let (min, mean, max) = degree_stats(&g);
+        assert_eq!(min, 1);
+        assert_eq!(max, 4);
+        assert!((mean - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diameter_of_path() {
+        assert_eq!(diameter_hops(&canned::path(7, 1.0)), 6);
+        assert_eq!(diameter_hops(&canned::complete(5, 1.0)), 1);
+        assert_eq!(diameter_hops(&canned::ring(8, 1.0)), 4);
+    }
+
+    #[test]
+    fn dot_output_contains_all_edges() {
+        let g = canned::path(3, 2.5);
+        let dot = to_dot(&g, "p3");
+        assert!(dot.starts_with("graph p3 {"));
+        assert!(dot.contains("0 -- 1"));
+        assert!(dot.contains("1 -- 2"));
+        assert!(dot.contains("label=\"2.5\""));
+    }
+}

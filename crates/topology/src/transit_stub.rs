@@ -1,0 +1,236 @@
+//! Transit-stub topology (GT-ITM family).
+//!
+//! The paper's conclusions lean on the claim that unbalanced link
+//! utilization "might be an intrinsic property of the combination of
+//! shortest-path routing and the current Internet topology", verified
+//! there over multiple BRITE topologies. The transit-stub model (Zegura,
+//! Calvert, Bhattacharjee) is the other classic synthetic-Internet family:
+//! a connected backbone of *transit* domains, each transit node anchoring
+//! several *stub* domains that carry no through traffic. We implement it
+//! to test topology-sensitivity of the reproduction's findings.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use crate::models::waxman::WaxmanParams;
+use crate::models::{components, connect_components, waxman};
+use omcf_numerics::{Rng64, SplitMix64, Xoshiro256pp};
+
+/// Parameters of the transit-stub model.
+#[derive(Clone, Copy, Debug)]
+pub struct TransitStubParams {
+    /// Number of transit domains.
+    pub transit_domains: usize,
+    /// Nodes per transit domain.
+    pub transit_size: usize,
+    /// Stub domains attached to each transit node.
+    pub stubs_per_transit_node: usize,
+    /// Nodes per stub domain.
+    pub stub_size: usize,
+    /// Uniform link capacity.
+    pub capacity: f64,
+}
+
+impl Default for TransitStubParams {
+    fn default() -> Self {
+        // ≈ 1 + 4·(3·2·4) node counts in the low hundreds, like the
+        // classic GT-ITM sample configurations.
+        Self {
+            transit_domains: 2,
+            transit_size: 4,
+            stubs_per_transit_node: 2,
+            stub_size: 6,
+            capacity: 100.0,
+        }
+    }
+}
+
+impl TransitStubParams {
+    /// Total node count of the generated topology.
+    #[must_use]
+    pub fn total_nodes(&self) -> usize {
+        let transit = self.transit_domains * self.transit_size;
+        transit + transit * self.stubs_per_transit_node * self.stub_size
+    }
+}
+
+/// Generates a connected transit-stub topology. Nodes are numbered transit
+/// domains first (domain-major), then stub domains in attachment order.
+#[must_use]
+pub fn transit_stub(params: &TransitStubParams, seed: u64) -> Graph {
+    assert!(params.transit_domains >= 1 && params.transit_size >= 1);
+    assert!(params.stub_size >= 1);
+    let root = SplitMix64::new(seed);
+    let derive = |label: u64| {
+        let mut c = root.derive(label);
+        c.next_u64()
+    };
+    let mut b = GraphBuilder::new(params.total_nodes());
+    let transit_total = params.transit_domains * params.transit_size;
+
+    // Transit domains: dense Waxman-ish random graphs, stitched connected.
+    let mut rng = Xoshiro256pp::new(derive(1));
+    for d in 0..params.transit_domains {
+        let base = d * params.transit_size;
+        for i in 0..params.transit_size {
+            for j in (i + 1)..params.transit_size {
+                if rng.next_f64() < 0.6 {
+                    b.add_edge(
+                        NodeId((base + i) as u32),
+                        NodeId((base + j) as u32),
+                        params.capacity,
+                    );
+                }
+            }
+        }
+    }
+    // Inter-transit links: ring over domains plus one random chord each.
+    for d in 0..params.transit_domains {
+        let next = (d + 1) % params.transit_domains;
+        if params.transit_domains > 1 && (d != next) {
+            let u = d * params.transit_size + rng.index(params.transit_size);
+            let v = next * params.transit_size + rng.index(params.transit_size);
+            if u != v && !b.has_edge(NodeId(u as u32), NodeId(v as u32)) {
+                b.add_edge(NodeId(u as u32), NodeId(v as u32), params.capacity);
+            }
+        }
+    }
+
+    // Stub domains: small Waxman graphs hanging off their transit anchor.
+    let mut next_node = transit_total;
+    let stub_params = WaxmanParams {
+        n: params.stub_size,
+        alpha: 0.5,
+        beta: 0.3,
+        capacity: params.capacity,
+        side: 50.0,
+    };
+    for anchor in 0..transit_total {
+        for s in 0..params.stubs_per_transit_node {
+            let sub = if params.stub_size >= 2 {
+                let mut srng =
+                    Xoshiro256pp::new(derive(0x1000 + (anchor * 16 + s) as u64));
+                Some(waxman::generate(&stub_params, &mut srng))
+            } else {
+                None
+            };
+            let base = next_node;
+            next_node += params.stub_size;
+            if let Some(sub) = sub {
+                for e in sub.edge_ids() {
+                    let edge = sub.edge(e);
+                    b.add_edge(
+                        NodeId((base + edge.u.idx()) as u32),
+                        NodeId((base + edge.v.idx()) as u32),
+                        params.capacity,
+                    );
+                }
+            }
+            // Stub-to-transit uplink from a random stub node.
+            let uplink = base + rng.index(params.stub_size);
+            b.add_edge(NodeId(uplink as u32), NodeId(anchor as u32), params.capacity);
+        }
+    }
+
+    let mut fix = Xoshiro256pp::new(derive(0xF));
+    connect_components(&mut b, &mut fix, params.capacity);
+    let g = b.finish();
+    debug_assert_eq!(components(&g).len(), 1);
+    g
+}
+
+/// True if `node` is a transit node under the given parameters.
+#[must_use]
+pub fn is_transit(node: NodeId, params: &TransitStubParams) -> bool {
+    node.idx() < params.transit_domains * params.transit_size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::props;
+
+    #[test]
+    fn default_topology_well_formed() {
+        let p = TransitStubParams::default();
+        let g = transit_stub(&p, 42);
+        assert_eq!(g.node_count(), p.total_nodes());
+        assert!(props::is_connected(&g));
+    }
+
+    #[test]
+    fn node_partition() {
+        let p = TransitStubParams::default();
+        assert!(is_transit(NodeId(0), &p));
+        assert!(is_transit(NodeId(7), &p));
+        assert!(!is_transit(NodeId(8), &p));
+    }
+
+    #[test]
+    fn deterministic() {
+        let p = TransitStubParams::default();
+        let a = transit_stub(&p, 9);
+        let b = transit_stub(&p, 9);
+        assert_eq!(a.edge_count(), b.edge_count());
+        for (x, y) in a.edge_ids().zip(b.edge_ids()) {
+            assert_eq!(a.edge(x), b.edge(y));
+        }
+    }
+
+    #[test]
+    fn stub_traffic_transits_the_backbone() {
+        // Shortest path between nodes in different stub domains must pass
+        // through at least one transit node.
+        let p = TransitStubParams::default();
+        let g = transit_stub(&p, 3);
+        let transit_total = p.transit_domains * p.transit_size;
+        let stub_a = NodeId(transit_total as u32); // first stub node
+        let stub_b = NodeId((g.node_count() - 1) as u32); // last stub node
+        let spt = omcf_routing_free_dijkstra(&g, stub_a);
+        let mut cur = stub_b;
+        let mut through_transit = false;
+        while cur != stub_a {
+            let (e, prev) = spt[cur.idx()].expect("connected");
+            let _ = e;
+            if is_transit(prev, &p) {
+                through_transit = true;
+            }
+            cur = prev;
+        }
+        assert!(through_transit, "stub-to-stub path avoided the backbone");
+    }
+
+    /// Minimal BFS parent table so the test does not depend on the routing
+    /// crate (avoiding a dev-dependency cycle).
+    fn omcf_routing_free_dijkstra(
+        g: &Graph,
+        src: NodeId,
+    ) -> Vec<Option<(crate::graph::EdgeId, NodeId)>> {
+        let mut parent = vec![None; g.node_count()];
+        let mut seen = vec![false; g.node_count()];
+        seen[src.idx()] = true;
+        let mut queue = std::collections::VecDeque::from([src]);
+        while let Some(u) = queue.pop_front() {
+            for (e, v) in g.neighbors(u) {
+                if !seen[v.idx()] {
+                    seen[v.idx()] = true;
+                    parent[v.idx()] = Some((e, u));
+                    queue.push_back(v);
+                }
+            }
+        }
+        parent
+    }
+
+    #[test]
+    fn single_node_stubs_supported() {
+        let p = TransitStubParams {
+            transit_domains: 1,
+            transit_size: 2,
+            stubs_per_transit_node: 1,
+            stub_size: 1,
+            capacity: 10.0,
+        };
+        let g = transit_stub(&p, 1);
+        assert_eq!(g.node_count(), 4);
+        assert!(props::is_connected(&g));
+    }
+}

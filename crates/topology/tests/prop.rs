@@ -1,0 +1,79 @@
+//! Property-based tests for the topology generators.
+
+use omcf_numerics::Xoshiro256pp;
+use omcf_topology::models::barabasi::{self, BarabasiParams};
+use omcf_topology::models::waxman::{self, WaxmanParams};
+use omcf_topology::{props, two_level, HierParams};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Waxman graphs are always connected, whatever the parameters.
+    #[test]
+    fn waxman_always_connected(
+        seed in any::<u64>(),
+        n in 5usize..80,
+        alpha in 0.05f64..1.0,
+        beta in 0.05f64..1.0,
+    ) {
+        let params = WaxmanParams { n, alpha, beta, ..WaxmanParams::default() };
+        let g = waxman::generate(&params, &mut Xoshiro256pp::new(seed));
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert!(props::is_connected(&g));
+        prop_assert!(g.edge_count() >= n - 1);
+    }
+
+    /// Barabási–Albert node/edge counts are exact and the graph connected.
+    #[test]
+    fn barabasi_counts(seed in any::<u64>(), n in 5usize..120, m in 1usize..4) {
+        prop_assume!(n > m);
+        let params = BarabasiParams { n, m, ..BarabasiParams::default() };
+        let g = barabasi::generate(&params, &mut Xoshiro256pp::new(seed));
+        prop_assert_eq!(g.node_count(), n);
+        prop_assert_eq!(g.edge_count(), m * (m + 1) / 2 + (n - m - 1) * m);
+        prop_assert!(props::is_connected(&g));
+        // Minimum degree is at least m.
+        let (min, _, _) = props::degree_stats(&g);
+        prop_assert!(min >= m);
+    }
+
+    /// Two-level hierarchies are connected with the right node count and
+    /// uniform capacity.
+    #[test]
+    fn hierarchy_well_formed(
+        seed in any::<u64>(),
+        as_count in 2usize..5,
+        routers in 4usize..16,
+    ) {
+        let p = HierParams { as_count, routers_per_as: routers, ..HierParams::default() };
+        let g = two_level(&p, seed);
+        prop_assert_eq!(g.node_count(), as_count * routers);
+        prop_assert!(props::is_connected(&g));
+        for e in g.edge_ids() {
+            prop_assert_eq!(g.capacity(e), 100.0);
+        }
+    }
+
+    /// Degree sum equals twice the edge count (handshake lemma survives
+    /// the CSR construction).
+    #[test]
+    fn handshake_lemma(seed in any::<u64>(), n in 5usize..60) {
+        let params = WaxmanParams { n, alpha: 0.4, ..WaxmanParams::default() };
+        let g = waxman::generate(&params, &mut Xoshiro256pp::new(seed));
+        let total: usize = g.nodes().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, 2 * g.edge_count());
+    }
+
+    /// Edge `other()` is an involution.
+    #[test]
+    fn edge_other_involution(seed in any::<u64>()) {
+        let params = WaxmanParams { n: 30, alpha: 0.5, ..WaxmanParams::default() };
+        let g = waxman::generate(&params, &mut Xoshiro256pp::new(seed));
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            prop_assert_eq!(edge.other(edge.u), edge.v);
+            prop_assert_eq!(edge.other(edge.v), edge.u);
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests for tree packing and strength.
+
+use omcf_numerics::{Rng64, Xoshiro256pp};
+use omcf_topology::{Graph, GraphBuilder, NodeId};
+use omcf_treepack::{
+    pack_fptas, pack_greedy, strength_exact, strength_upper_2partition,
+};
+use proptest::prelude::*;
+
+/// Random connected weighted graph on `n ≤ 8` nodes: a spanning cycle plus
+/// random chords.
+fn random_graph(seed: u64, n: usize, chords: usize) -> Graph {
+    let mut rng = Xoshiro256pp::new(seed);
+    let mut b = GraphBuilder::new(n);
+    for i in 0..n {
+        b.add_edge(
+            NodeId(i as u32),
+            NodeId(((i + 1) % n) as u32),
+            rng.range_f64(0.5, 4.0),
+        );
+    }
+    for _ in 0..chords {
+        let u = rng.index(n);
+        let mut v = rng.index(n);
+        while v == u {
+            v = rng.index(n);
+        }
+        b.add_edge(NodeId(u as u32), NodeId(v as u32), rng.range_f64(0.5, 4.0));
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tutte/Nash-Williams: every packing value is bounded by the exact
+    /// strength, and the FPTAS closes the gap to within its ε.
+    #[test]
+    fn packing_sandwich(seed in any::<u64>(), n in 4usize..8, chords in 0usize..4) {
+        let g = random_graph(seed, n, chords);
+        let opt = strength_exact(&g);
+        let greedy = pack_greedy(&g);
+        greedy.validate(&g, 1e-9);
+        prop_assert!(greedy.value() <= opt + 1e-6);
+
+        let fptas = pack_fptas(&g, 0.08);
+        fptas.validate(&g, 1e-9);
+        prop_assert!(fptas.value() <= opt + 1e-6);
+        prop_assert!(
+            fptas.value() >= (1.0 - 2.0 * 0.08) * opt - 1e-9,
+            "fptas {} vs opt {opt}",
+            fptas.value()
+        );
+    }
+
+    /// The 2-partition bound dominates the exact strength.
+    #[test]
+    fn two_partition_dominates(seed in any::<u64>(), n in 4usize..8) {
+        let g = random_graph(seed, n, 2);
+        prop_assert!(strength_exact(&g) <= strength_upper_2partition(&g) + 1e-9);
+    }
+
+    /// Strength scales linearly with uniform weight scaling.
+    #[test]
+    fn strength_scales(seed in any::<u64>(), factor in 0.25f64..4.0) {
+        let g = random_graph(seed, 6, 2);
+        let s1 = strength_exact(&g);
+        let s2 = strength_exact(&g.scaled_capacities(factor));
+        prop_assert!((s2 - factor * s1).abs() <= 1e-6 * s2.max(1.0));
+    }
+
+    /// Greedy packing uses at most |E| trees (each iteration saturates an
+    /// edge).
+    #[test]
+    fn greedy_tree_count_bounded(seed in any::<u64>(), n in 4usize..8, chords in 0usize..5) {
+        let g = random_graph(seed, n, chords);
+        let p = pack_greedy(&g);
+        prop_assert!(p.tree_count() <= g.edge_count());
+    }
+}

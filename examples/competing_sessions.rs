@@ -1,0 +1,90 @@
+//! Competing sessions: throughput vs fairness when several multicast
+//! sessions share one network — the paper's central question.
+//!
+//! Three sessions of different sizes compete. `MaxFlow` maximizes total
+//! throughput and starves small sessions; `MaxConcurrentFlow` enforces
+//! weighted max-min fairness at a small total-throughput cost, and the
+//! paper's headline finding is that this cost is modest (typically < 10%).
+//!
+//! ```sh
+//! cargo run --release --example competing_sessions
+//! ```
+
+use overlay_mcf::prelude::*;
+use overlay_mcf::topology::waxman::{self, WaxmanParams};
+
+fn main() {
+    let mut rng = Xoshiro256pp::new(77);
+    let params = WaxmanParams { n: 60, capacity: 100.0, ..WaxmanParams::default() };
+    let graph = waxman::generate(&params, &mut rng);
+
+    // Three sessions: a big broadcast (8 members), a medium one (5), and a
+    // small two-party transfer. Equal demands.
+    let sessions = SessionSet::new(vec![
+        Session::new(
+            rng.sample_indices(graph.node_count(), 8)
+                .into_iter()
+                .map(|i| NodeId(i as u32))
+                .collect(),
+            100.0,
+        ),
+        Session::new(
+            rng.sample_indices(graph.node_count(), 5)
+                .into_iter()
+                .map(|i| NodeId(i as u32))
+                .collect(),
+            100.0,
+        ),
+        Session::new(
+            rng.sample_indices(graph.node_count(), 2)
+                .into_iter()
+                .map(|i| NodeId(i as u32))
+                .collect(),
+            100.0,
+        ),
+    ]);
+    let oracle = FixedIpOracle::new(&graph, &sessions);
+    let ratio = 0.93;
+
+    println!("three sessions of sizes 8 / 5 / 2 on a 60-router Waxman topology\n");
+
+    // Throughput-maximal allocation.
+    let mf = max_flow(&graph, &oracle, ApproxParams::for_m1(ratio));
+    println!("MaxFlow (total-throughput objective):");
+    for (i, r) in mf.summary.session_rates.iter().enumerate() {
+        println!(
+            "  session {} (size {}): rate {:>8.2}  ({} trees)",
+            i + 1,
+            sessions.session(i).size(),
+            r,
+            mf.summary.tree_counts[i]
+        );
+    }
+    println!("  overall throughput: {:.2}\n", mf.summary.overall_throughput);
+
+    // Max-min fair allocation.
+    let mcf = max_concurrent_flow(&graph, &oracle, ApproxParams::for_m2(ratio));
+    println!("MaxConcurrentFlow (max-min fairness, equal demands):");
+    for (i, r) in mcf.summary.session_rates.iter().enumerate() {
+        println!(
+            "  session {} (size {}): rate {:>8.2}  ({} trees)",
+            i + 1,
+            sessions.session(i).size(),
+            r,
+            mcf.summary.tree_counts[i]
+        );
+    }
+    println!("  overall throughput: {:.2}", mcf.summary.overall_throughput);
+    println!("  concurrent throughput f* = {:.4}\n", mcf.throughput);
+
+    let cost = 1.0 - mcf.summary.overall_throughput / mf.summary.overall_throughput;
+    println!(
+        "price of fairness: {:.1}% of total throughput",
+        cost.max(0.0) * 100.0
+    );
+    println!(
+        "note: MaxFlow may starve small sessions entirely (0 trees above);\n\
+         with equal-size sessions the paper finds the fairness cost stays\n\
+         below 10-20% (Fig. 16) — disparity like 8/5/2 raises it."
+    );
+}

@@ -1,0 +1,51 @@
+//! The impact of IP routing (§V): does pinning overlay links to IP
+//! shortest paths cost throughput versus free route selection?
+//!
+//! The paper's surprising answer: almost nothing (<1% on their BRITE
+//! topologies) — the binding constraint is the topology itself, not the
+//! routing. This example measures the gap on a Waxman topology and on the
+//! one graph family where routing freedom matters maximally: parallel
+//! links, where fixed routing collapses all traffic onto one link.
+//!
+//! ```sh
+//! cargo run --release --example ip_vs_arbitrary
+//! ```
+
+use overlay_mcf::prelude::*;
+use overlay_mcf::topology::waxman::{self, WaxmanParams};
+
+fn main() {
+    // Part 1: Internet-like topology — the paper's setting.
+    let mut rng = Xoshiro256pp::new(2004);
+    let params = WaxmanParams { n: 60, capacity: 100.0, ..WaxmanParams::default() };
+    let graph = waxman::generate(&params, &mut rng);
+    let sessions = random_sessions(&graph, 2, 6, 100.0, &mut rng);
+
+    let fixed_oracle = FixedIpOracle::new(&graph, &sessions);
+    let dynamic_oracle = DynamicOracle::new(&graph, &sessions);
+    let p = ApproxParams::for_m1(0.93);
+    let fixed = max_flow(&graph, &fixed_oracle, p);
+    let dynamic = max_flow(&graph, &dynamic_oracle, p);
+    println!("Waxman topology, 2 sessions x 6 members:");
+    println!("  fixed IP routing:   throughput {:.1}", fixed.summary.overall_throughput);
+    println!("  arbitrary routing:  throughput {:.1}", dynamic.summary.overall_throughput);
+    println!(
+        "  gain from routing freedom: {:+.2}%  (paper: <1%)\n",
+        (dynamic.summary.overall_throughput / fixed.summary.overall_throughput - 1.0) * 100.0
+    );
+
+    // Part 2: adversarial case — parallel links. IP routing pins the pair
+    // to one link; arbitrary routing uses all of them.
+    let multi = canned::parallel_links(4, 25.0);
+    let pair = SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(1)], 1.0)]);
+    let f = max_flow(&multi, &FixedIpOracle::new(&multi, &pair), p);
+    let d = max_flow(&multi, &DynamicOracle::new(&multi, &pair), p);
+    println!("4 parallel links of capacity 25 (adversarial for IP routing):");
+    println!("  fixed IP routing:   rate {:.1} (stuck on one link)", f.summary.session_rates[0]);
+    println!("  arbitrary routing:  rate {:.1} (uses all four)", d.summary.session_rates[0]);
+    println!(
+        "\nconclusion: on Internet-like topologies route diversity between a\n\
+         fixed pair barely exists, so IP routing is nearly free — the paper's\n\
+         §V finding; capacity is limited by the topology, not the routing."
+    );
+}

@@ -1,0 +1,86 @@
+//! Streaming swarm: online session arrivals with a bounded number of trees
+//! per session — the deployable algorithm from §IV.
+//!
+//! A live-streaming service opens sessions over time; each new session is
+//! routed immediately on its minimum overlay spanning tree under
+//! exponential link costs, never re-routing existing traffic. We sweep the
+//! per-stream tree budget and watch aggregate throughput approach the
+//! offline fractional optimum, with diminishing returns (the paper's
+//! Figs. 5/6).
+//!
+//! ```sh
+//! cargo run --release --example streaming_swarm
+//! ```
+
+use overlay_mcf::prelude::*;
+use overlay_mcf::sim::scenarios::replicate_sessions;
+use overlay_mcf::topology::waxman::{self, WaxmanParams};
+
+fn main() {
+    let mut rng = Xoshiro256pp::new(31);
+    let params = WaxmanParams { n: 60, capacity: 100.0, ..WaxmanParams::default() };
+    let graph = waxman::generate(&params, &mut rng);
+
+    // Two live streams with 6 and 4 receivers.
+    let base = SessionSet::new(vec![
+        Session::new(
+            rng.sample_indices(graph.node_count(), 7)
+                .into_iter()
+                .map(|i| NodeId(i as u32))
+                .collect(),
+            1.0,
+        ),
+        Session::new(
+            rng.sample_indices(graph.node_count(), 5)
+                .into_iter()
+                .map(|i| NodeId(i as u32))
+                .collect(),
+            1.0,
+        ),
+    ]);
+
+    // Offline fractional optimum for reference.
+    let oracle = FixedIpOracle::new(&graph, &base);
+    let frac = max_concurrent_flow(&graph, &oracle, ApproxParams::from_eps(0.1));
+    println!(
+        "offline optimum: throughput {:.1}, rates {:?}",
+        frac.summary.overall_throughput,
+        frac.summary
+            .session_rates
+            .iter()
+            .map(|r| (r * 10.0).round() / 10.0)
+            .collect::<Vec<_>>()
+    );
+    println!("\n{:>6} {:>12} {:>10} {:>10} {:>8}", "trees", "throughput", "stream1", "stream2", "%opt");
+
+    // Online: each stream may split into up to `n` trees (modeled as n
+    // replicas of demand 1/… arriving interleaved), step size ρ = 30.
+    for n in [1usize, 2, 4, 8, 16] {
+        let mut thr_acc = 0.0;
+        let mut r1_acc = 0.0;
+        let mut r2_acc = 0.0;
+        let orders = 20;
+        for order in 0..orders {
+            let (set, groups) = replicate_sessions(&base, n, 1000 + order);
+            let run_oracle = FixedIpOracle::new(&graph, &set);
+            let out = online_min_congestion(&graph, &run_oracle, 30.0);
+            let rates = out.aggregate_rates(&groups);
+            thr_acc += rates
+                .iter()
+                .enumerate()
+                .map(|(i, r)| base.session(i).receivers() as f64 * r)
+                .sum::<f64>();
+            r1_acc += rates[0];
+            r2_acc += rates[1];
+        }
+        let thr = thr_acc / orders as f64;
+        println!(
+            "{n:>6} {thr:>12.1} {:>10.1} {:>10.1} {:>7.1}%",
+            r1_acc / orders as f64,
+            r2_acc / orders as f64,
+            100.0 * thr / frac.summary.overall_throughput
+        );
+    }
+    println!("\ndiminishing returns: most of the optimum is reached with ~10 trees,");
+    println!("matching the paper's Figs. 5-6 and its 'asymmetric rate distribution'.");
+}

@@ -17,14 +17,10 @@ fn bench_rate_cdfs(c: &mut Criterion) {
     g.bench_function("fig2_maxflow_rate_cdf", |b| b.iter(|| black_box(part_one::fig2(&cfg()))));
     g.bench_function("fig3_mcf_rate_cdf", |b| b.iter(|| black_box(part_one::fig3(&cfg()))));
     g.bench_function("fig7_maxflow_rate_cdf_arbitrary", |b| {
-        b.iter(|| {
-            black_box(part_one::fig2_impl(&cfg(), RoutingMode::Arbitrary, "fig7"))
-        })
+        b.iter(|| black_box(part_one::fig2_impl(&cfg(), RoutingMode::Arbitrary, "fig7")))
     });
     g.bench_function("fig8_mcf_rate_cdf_arbitrary", |b| {
-        b.iter(|| {
-            black_box(part_one::fig3_impl(&cfg(), RoutingMode::Arbitrary, "fig8"))
-        })
+        b.iter(|| black_box(part_one::fig3_impl(&cfg(), RoutingMode::Arbitrary, "fig8")))
     });
     g.finish();
 }
@@ -34,9 +30,7 @@ fn bench_link_utilization(c: &mut Criterion) {
     g.sample_size(10);
     g.bench_function("fig4_link_utilization", |b| b.iter(|| black_box(part_one::fig4(&cfg()))));
     g.bench_function("fig9_link_utilization_arbitrary", |b| {
-        b.iter(|| {
-            black_box(part_one::fig4_impl(&cfg(), RoutingMode::Arbitrary, "fig9"))
-        })
+        b.iter(|| black_box(part_one::fig4_impl(&cfg(), RoutingMode::Arbitrary, "fig9")))
     });
     g.finish();
 }
@@ -48,9 +42,7 @@ fn bench_limited_trees(c: &mut Criterion) {
         b.iter(|| black_box(part_one::fig5_6(&cfg())))
     });
     g.bench_function("fig10_11_random_and_online_arbitrary", |b| {
-        b.iter(|| {
-            black_box(part_one::limited_trees(&cfg(), RoutingMode::Arbitrary, "fig10-11"))
-        })
+        b.iter(|| black_box(part_one::limited_trees(&cfg(), RoutingMode::Arbitrary, "fig10-11")))
     });
     g.finish();
 }

@@ -6,8 +6,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use omcf_bench::fixture;
 use omcf_core::{
-    exact, max_concurrent_flow, max_flow, max_flow_fleischer, online_min_congestion,
-    ApproxParams,
+    exact, max_concurrent_flow, max_flow, max_flow_fleischer, online_min_congestion, ApproxParams,
 };
 use omcf_overlay::FixedIpOracle;
 use omcf_sim::experiments::{part_one, Config, RoutingMode};

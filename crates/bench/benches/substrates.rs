@@ -26,9 +26,7 @@ fn bench_topology_generation(c: &mut Criterion) {
 
 fn bench_dijkstra(c: &mut Criterion) {
     let (g, _) = fixture(200, 1, 5, 3);
-    c.bench_function("dijkstra_hops_200n", |b| {
-        b.iter(|| black_box(dijkstra_hops(&g, NodeId(0))))
-    });
+    c.bench_function("dijkstra_hops_200n", |b| b.iter(|| black_box(dijkstra_hops(&g, NodeId(0)))));
 }
 
 fn bench_maxflow_algorithms(c: &mut Criterion) {
@@ -64,12 +62,8 @@ fn bench_oracle(c: &mut Criterion) {
         (0..g.edge_count()).map(|_| rng.range_f64(0.1, 2.0)).collect()
     };
     let mut grp = c.benchmark_group("ablation_oracle");
-    grp.bench_function("fixed_ip_min_tree", |b| {
-        b.iter(|| black_box(fixed.min_tree(0, &lengths)))
-    });
-    grp.bench_function("dynamic_min_tree", |b| {
-        b.iter(|| black_box(dynamic.min_tree(0, &lengths)))
-    });
+    grp.bench_function("fixed_ip_min_tree", |b| b.iter(|| black_box(fixed.min_tree(0, &lengths))));
+    grp.bench_function("dynamic_min_tree", |b| b.iter(|| black_box(dynamic.min_tree(0, &lengths))));
     grp.finish();
 }
 
@@ -80,15 +74,9 @@ fn bench_numerics(c: &mut Criterion) {
     let f64_lengths: Vec<f64> = (0..64).map(|_| rng.range_f64(1e-30, 1.0)).collect();
     let xf_lengths: Vec<Xf64> = f64_lengths.iter().map(|&v| Xf64::from_f64(v)).collect();
     let mut g = c.benchmark_group("ablation_numerics");
-    g.bench_function("path_sum_f64", |b| {
-        b.iter(|| black_box(f64_lengths.iter().sum::<f64>()))
-    });
+    g.bench_function("path_sum_f64", |b| b.iter(|| black_box(f64_lengths.iter().sum::<f64>())));
     g.bench_function("path_sum_xf64", |b| {
-        b.iter(|| {
-            black_box(
-                xf_lengths.iter().fold(Xf64::ZERO, |acc, &x| acc + x),
-            )
-        })
+        b.iter(|| black_box(xf_lengths.iter().fold(Xf64::ZERO, |acc, &x| acc + x)))
     });
     g.finish();
 }
@@ -99,9 +87,7 @@ fn bench_tree_packing(c: &mut Criterion) {
     let g = canned::complete(8, 3.0);
     let mut grp = c.benchmark_group("treepack");
     grp.bench_function("greedy_k8", |b| b.iter(|| black_box(pack_greedy(&g).value())));
-    grp.bench_function("fptas_k8_eps05", |b| {
-        b.iter(|| black_box(pack_fptas(&g, 0.05).value()))
-    });
+    grp.bench_function("fptas_k8_eps05", |b| b.iter(|| black_box(pack_fptas(&g, 0.05).value())));
     grp.bench_function("strength_exact_k8", |b| b.iter(|| black_box(strength_exact(&g))));
     grp.finish();
 }

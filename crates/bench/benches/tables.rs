@@ -16,18 +16,12 @@ fn bench_tables(c: &mut Criterion) {
     let mut g = c.benchmark_group("tables");
     g.sample_size(10);
 
-    g.bench_function("table2_maxflow_fixed_ip", |b| {
-        b.iter(|| black_box(part_one::table2(&cfg())))
-    });
-    g.bench_function("table4_mcf_fixed_ip", |b| {
-        b.iter(|| black_box(part_one::table4(&cfg())))
-    });
+    g.bench_function("table2_maxflow_fixed_ip", |b| b.iter(|| black_box(part_one::table2(&cfg()))));
+    g.bench_function("table4_mcf_fixed_ip", |b| b.iter(|| black_box(part_one::table4(&cfg()))));
     g.bench_function("table7_maxflow_arbitrary", |b| {
         b.iter(|| black_box(part_one::table7(&cfg())))
     });
-    g.bench_function("table8_mcf_arbitrary", |b| {
-        b.iter(|| black_box(part_one::table8(&cfg())))
-    });
+    g.bench_function("table8_mcf_arbitrary", |b| b.iter(|| black_box(part_one::table8(&cfg()))));
     g.finish();
 }
 

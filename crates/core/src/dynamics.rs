@@ -19,8 +19,8 @@
 //! [`crate::online::online_min_congestion`] is recovered by dividing by
 //! `l_max^i` directly, exposed as [`OnlineSystem::saturating_rates`].)
 
-use omcf_overlay::{OverlayTree, Session, SessionSet, TreeOracle};
 use omcf_overlay::{DynamicOracle, FixedIpOracle};
+use omcf_overlay::{OverlayTree, Session, SessionSet, TreeOracle};
 use omcf_topology::Graph;
 
 /// Identifier of a live session inside an [`OnlineSystem`].
@@ -96,17 +96,14 @@ impl OnlineSystem {
     pub fn join(&mut self, session: Session) -> LiveId {
         let set = SessionSet::new(vec![session.clone()]);
         let tree = match self.routing {
-            JoinRouting::FixedIp => {
-                FixedIpOracle::new(&self.g, &set).min_tree(0, &self.lengths)
-            }
-            JoinRouting::Arbitrary => {
-                DynamicOracle::new(&self.g, &set).min_tree(0, &self.lengths)
-            }
+            JoinRouting::FixedIp => FixedIpOracle::new(&self.g, &set).min_tree(0, &self.lengths),
+            JoinRouting::Arbitrary => DynamicOracle::new(&self.g, &set).min_tree(0, &self.lengths),
         };
         let edges: Vec<(usize, u32)> =
             tree.edge_multiplicities().into_iter().map(|(e, n)| (e.idx(), n)).collect();
         for &(e, n) in &edges {
-            let add = f64::from(n) * session.demand / self.g.capacity(omcf_topology::EdgeId(e as u32));
+            let add =
+                f64::from(n) * session.demand / self.g.capacity(omcf_topology::EdgeId(e as u32));
             self.load[e] += add;
             self.lengths[e] *= 1.0 + self.rho * add;
             assert!(self.lengths[e].is_finite(), "length overflow; lower rho");

@@ -189,8 +189,7 @@ pub fn certify_m1(g: &Graph, oracle: &FixedIpOracle, params: ApproxParams) -> (f
 pub fn exact_m2i_min_congestion(g: &Graph, oracle: &FixedIpOracle) -> (f64, Vec<usize>) {
     let sessions = oracle.sessions();
     let k = sessions.len();
-    let per_session: Vec<Vec<OverlayTree>> =
-        (0..k).map(|i| all_session_trees(oracle, i)).collect();
+    let per_session: Vec<Vec<OverlayTree>> = (0..k).map(|i| all_session_trees(oracle, i)).collect();
     let combos: usize = per_session.iter().map(Vec::len).product();
     assert!(combos <= 2_000_000, "M2I brute force infeasible: {combos} combinations");
     // Pre-extract multiplicity vectors scaled by demand/capacity.

@@ -132,11 +132,8 @@ pub fn max_flow_subset<O: TreeOracle + ?Sized>(
     store.assert_feasible(g, 1e-9);
 
     let summary = summarize(&store, sessions, g);
-    let weight = |i: usize| {
-        sessions.session(i).receivers() as f64 / (smax as f64 - 1.0)
-    };
-    let objective: f64 =
-        session_ids.iter().map(|&i| weight(i) * summary.session_rates[i]).sum();
+    let weight = |i: usize| sessions.session(i).receivers() as f64 / (smax as f64 - 1.0);
+    let objective: f64 = session_ids.iter().map(|&i| weight(i) * summary.session_rates[i]).sum();
     MaxFlowOutcome { store, summary, objective, dual_bound, mst_ops, iterations, eps }
 }
 
@@ -207,10 +204,8 @@ mod tests {
     #[test]
     fn tighter_ratio_does_not_decrease_objective_much() {
         let g = canned::grid(4, 4, 20.0);
-        let sessions = SessionSet::new(vec![Session::new(
-            vec![NodeId(0), NodeId(10), NodeId(15)],
-            1.0,
-        )]);
+        let sessions =
+            SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(10), NodeId(15)], 1.0)]);
         let oracle = FixedIpOracle::new(&g, &sessions);
         let loose = max_flow(&g, &oracle, ApproxParams::for_m1(0.9));
         let tight = max_flow(&g, &oracle, ApproxParams::for_m1(0.97));

@@ -107,10 +107,8 @@ pub fn max_flow_fleischer<O: TreeOracle + ?Sized>(
 
     // Measured feasibility divisor (≥ 1 by construction).
     let log1p = (1.0 + eps).ln();
-    let divisor = g
-        .edge_ids()
-        .map(|e| (lengths.ln_true(e.idx()) - ln_delta) / log1p)
-        .fold(1.0f64, f64::max);
+    let divisor =
+        g.edge_ids().map(|e| (lengths.ln_true(e.idx()) - ln_delta) / log1p).fold(1.0f64, f64::max);
     store.scale_all(1.0 / divisor);
     store.assert_feasible(g, 1e-9);
 

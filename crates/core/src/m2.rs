@@ -92,11 +92,8 @@ pub fn max_concurrent_flow<O: TreeOracle + ?Sized>(
     // Scale demands so OPT ∈ [1, k]: with dem'(i) = dem(i)·prescale and
     // prescale = λ/k, the scaled instance has min_i λ_i/dem'(i) = k.
     let original_dem: Vec<f64> = sessions.sessions().iter().map(|s| s.demand).collect();
-    let lambda_ratio = lambda
-        .iter()
-        .zip(&original_dem)
-        .map(|(l, d)| l / d)
-        .fold(f64::INFINITY, f64::min);
+    let lambda_ratio =
+        lambda.iter().zip(&original_dem).map(|(l, d)| l / d).fold(f64::INFINITY, f64::min);
     let prescale = lambda_ratio / k as f64;
     let mut dem: Vec<f64> = original_dem.iter().map(|d| d * prescale).collect();
 

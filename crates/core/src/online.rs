@@ -44,10 +44,7 @@ impl OnlineOutcome {
     /// protocol).
     #[must_use]
     pub fn aggregate_rates(&self, groups: &[Vec<usize>]) -> Vec<f64> {
-        groups
-            .iter()
-            .map(|g| g.iter().map(|&i| self.session_rates[i]).sum())
-            .collect()
+        groups.iter().map(|g| g.iter().map(|&i| self.session_rates[i]).sum()).collect()
     }
 
     /// Distinct trees used by a replica group.
@@ -165,11 +162,7 @@ mod tests {
         let out = online_min_congestion(&g, &oracle, 10.0);
         let groups = vec![vec![0, 1, 2]];
         let agg = out.aggregate_rates(&groups);
-        assert!(
-            agg[0] >= 0.99 * 18.0,
-            "three disjoint paths × cap 6 = 18, got {}",
-            agg[0]
-        );
+        assert!(agg[0] >= 0.99 * 18.0, "three disjoint paths × cap 6 = 18, got {}", agg[0]);
         assert_eq!(out.aggregate_tree_count(&[0, 1, 2]), 3);
     }
 

@@ -158,10 +158,7 @@ mod tests {
         let oracle = omcf_overlay::DynamicOracle::new(&g, &sessions);
         let full = max_concurrent_flow_maxmin(&g, &oracle, ApproxParams::for_m2(0.9));
         let r = &full.summary.session_rates;
-        assert!(
-            r[0] > 1.5 * r[1],
-            "session A should absorb its private capacity: {r:?}"
-        );
+        assert!(r[0] > 1.5 * r[1], "session A should absorb its private capacity: {r:?}");
         // The concurrent floor still holds for B.
         assert!(full.throughput >= 0.85 * 10.0, "floor {}", full.throughput);
     }

@@ -46,7 +46,17 @@ pub fn push_relabel(mut net: FlowNetwork, source: usize, sink: usize) -> MaxFlow
         if u == source || u == sink || excess[u] <= EPS {
             continue;
         }
-        discharge(&mut net, u, source, sink, &mut height, &mut excess, &mut count, &mut buckets, &mut highest);
+        discharge(
+            &mut net,
+            u,
+            source,
+            sink,
+            &mut height,
+            &mut excess,
+            &mut count,
+            &mut buckets,
+            &mut highest,
+        );
     }
 
     // Flow value = excess accumulated at the sink.

@@ -87,10 +87,7 @@ pub trait Rng64 {
             }
         }
         // Floating-point slack: return the last positive-weight entry.
-        weights
-            .iter()
-            .rposition(|w| *w > 0.0)
-            .expect("at least one positive weight")
+        weights.iter().rposition(|w| *w > 0.0).expect("at least one positive weight")
     }
 }
 
@@ -145,8 +142,12 @@ impl Xoshiro256pp {
 
     /// Equivalent to 2^128 `next_u64` calls; yields a decorrelated stream.
     pub fn jump(&mut self) {
-        const JUMP: [u64; 4] =
-            [0x180E_C6D3_3CFD_0ABA, 0xD5A6_1266_F0C9_392C, 0xA958_6979_6545_7F4B, 0x3982_3DC5_8B89_0E39];
+        const JUMP: [u64; 4] = [
+            0x180E_C6D3_3CFD_0ABA,
+            0xD5A6_1266_F0C9_392C,
+            0xA958_6979_6545_7F4B,
+            0x3982_3DC5_8B89_0E39,
+        ];
         let mut t = [0u64; 4];
         for j in JUMP {
             for b in 0..64 {
@@ -164,10 +165,7 @@ impl Xoshiro256pp {
 
 impl Rng64 for Xoshiro256pp {
     fn next_u64(&mut self) -> u64 {
-        let result = self.s[0]
-            .wrapping_add(self.s[3])
-            .rotate_left(23)
-            .wrapping_add(self.s[0]);
+        let result = self.s[0].wrapping_add(self.s[3]).rotate_left(23).wrapping_add(self.s[0]);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -189,7 +187,10 @@ mod tests {
         // seed 1234567.
         let mut rng = SplitMix64::new(1234567);
         let got: Vec<u64> = (0..3).map(|_| rng.next_u64()).collect();
-        assert_eq!(got, vec![6_457_827_717_110_365_317, 3_203_168_211_198_807_973, 9_817_491_932_198_370_423]);
+        assert_eq!(
+            got,
+            vec![6_457_827_717_110_365_317, 3_203_168_211_198_807_973, 9_817_491_932_198_370_423]
+        );
     }
 
     #[test]

@@ -61,9 +61,7 @@ pub fn solve_lp(a: &[f64], b: &[f64], c: &[f64]) -> LpOutcome {
     loop {
         // Entering variable: Bland's rule — smallest index with negative
         // reduced cost.
-        let Some(enter) = (0..cols + rows)
-            .find(|&j| t[rows * width + j] < -TOL)
-        else {
+        let Some(enter) = (0..cols + rows).find(|&j| t[rows * width + j] < -TOL) else {
             break; // optimal
         };
         // Leaving variable: minimum ratio, ties by Bland (smallest basis
@@ -75,8 +73,7 @@ pub fn solve_lp(a: &[f64], b: &[f64], c: &[f64]) -> LpOutcome {
             if coeff > TOL {
                 let ratio = t[r * width + width - 1] / coeff;
                 let better = ratio < best_ratio - TOL
-                    || (ratio < best_ratio + TOL
-                        && leave.is_some_and(|l| basis[r] < basis[l]));
+                    || (ratio < best_ratio + TOL && leave.is_some_and(|l| basis[r] < basis[l]));
                 if better {
                     best_ratio = ratio;
                     leave = Some(r);

@@ -34,11 +34,7 @@ impl Summary {
         }
         let total = values.iter().copied().collect::<NeumaierSum>().value();
         let mean = total / values.len() as f64;
-        let var = values
-            .iter()
-            .map(|v| (v - mean) * (v - mean))
-            .collect::<NeumaierSum>()
-            .value()
+        let var = values.iter().map(|v| (v - mean) * (v - mean)).collect::<NeumaierSum>().value()
             / values.len() as f64;
         let (mut min, mut max) = (f64::INFINITY, f64::NEG_INFINITY);
         for &v in values {
@@ -120,11 +116,7 @@ impl Cdf {
     #[must_use]
     pub fn rank_profile(&self) -> Vec<(f64, f64)> {
         let n = self.sorted_desc.len();
-        self.sorted_desc
-            .iter()
-            .enumerate()
-            .map(|(i, &v)| ((i + 1) as f64 / n as f64, v))
-            .collect()
+        self.sorted_desc.iter().enumerate().map(|(i, &v)| ((i + 1) as f64 / n as f64, v)).collect()
     }
 
     /// Smallest fraction of the population holding at least `share` of the
@@ -251,7 +243,7 @@ mod tests {
     fn population_fraction_detects_concentration() {
         // One dominant tree out of ten carries 91% of the rate.
         let mut vals = vec![91.0];
-        vals.extend(std::iter::repeat(1.0).take(9));
+        vals.extend(std::iter::repeat_n(1.0, 9));
         let cdf = Cdf::new(vals);
         let frac = cdf.population_fraction_for_share(0.9);
         assert!((frac - 0.1).abs() < 1e-12, "frac = {frac}");

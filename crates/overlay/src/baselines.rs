@@ -181,10 +181,7 @@ mod tests {
         let (g, session, routes) = setup();
         let single = forest_session_rate(&g, &star_forest(&routes, &session, 0, 1));
         let multi = forest_session_rate(&g, &star_forest(&routes, &session, 0, 4));
-        assert!(
-            multi >= single * 0.99,
-            "striping collapsed: single {single} vs multi {multi}"
-        );
+        assert!(multi >= single * 0.99, "striping collapsed: single {single} vs multi {multi}");
     }
 
     #[test]

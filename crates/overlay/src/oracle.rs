@@ -74,8 +74,7 @@ impl FixedIpOracle {
     /// Precomputes the pairwise IP routes of every session.
     #[must_use]
     pub fn new(g: &Graph, sessions: &SessionSet) -> Self {
-        let routes =
-            sessions.sessions().iter().map(|s| FixedRoutes::new(g, &s.members)).collect();
+        let routes = sessions.sessions().iter().map(|s| FixedRoutes::new(g, &s.members)).collect();
         Self { sessions: sessions.clone(), routes }
     }
 
@@ -116,11 +115,7 @@ impl TreeOracle for FixedIpOracle {
         let edges = prim_dense(m, |i, j| w[i * m + j]);
         let hops = edges
             .into_iter()
-            .map(|(a, b)| OverlayHop {
-                a,
-                b,
-                path: routes.route(members[a], members[b]).clone(),
-            })
+            .map(|(a, b)| OverlayHop { a, b, path: routes.route(members[a], members[b]).clone() })
             .collect();
         OverlayTree { session: session_idx, hops }
     }

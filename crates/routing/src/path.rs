@@ -88,7 +88,11 @@ mod tests {
     #[test]
     fn length_and_bottleneck() {
         let g = canned::path(4, 10.0); // edges 0,1,2 in a line
-        let p = Path { src: NodeId(0), dst: NodeId(3), edges: vec![EdgeId(0), EdgeId(1), EdgeId(2)].into() };
+        let p = Path {
+            src: NodeId(0),
+            dst: NodeId(3),
+            edges: vec![EdgeId(0), EdgeId(1), EdgeId(2)].into(),
+        };
         assert_eq!(p.hops(), 3);
         assert_eq!(p.length(&[0.5, 0.25, 0.25]), 1.0);
         assert_eq!(p.bottleneck(&g), 10.0);

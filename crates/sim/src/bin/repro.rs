@@ -96,12 +96,7 @@ fn main() {
     let cfg = &cli.cfg;
     let out = &cli.out;
     let t0 = std::time::Instant::now();
-    println!(
-        "# repro scale={:?} seed={} out={}\n",
-        cfg.scale,
-        cfg.seed,
-        out.display()
-    );
+    println!("# repro scale={:?} seed={} out={}\n", cfg.scale, cfg.seed, out.display());
 
     let mut eval_cache: Option<evaluation::EvalResults> = None;
     let mut eval = |cfg: &Config| -> evaluation::EvalResults {
@@ -118,15 +113,32 @@ fn main() {
                             || n.starts_with("fig1-")
                             || matches!(
                                 *n,
-                                "fig2" | "table4" | "fig3" | "fig4" | "fig5" | "fig6"
-                                    | "table7" | "table8" | "fig7" | "fig8" | "fig9"
-                                    | "fig10" | "fig11" | "fig1"
+                                "fig2"
+                                    | "table4"
+                                    | "fig3"
+                                    | "fig4"
+                                    | "fig5"
+                                    | "fig6"
+                                    | "table7"
+                                    | "table8"
+                                    | "fig7"
+                                    | "fig8"
+                                    | "fig9"
+                                    | "fig10"
+                                    | "fig11"
+                                    | "fig1"
                             )
                     }))
                 || (a == "evaluation"
                     && matches!(
                         *names.first().unwrap(),
-                        "fig12" | "fig13" | "fig14" | "fig15" | "fig16" | "fig17" | "fig18"
+                        "fig12"
+                            | "fig13"
+                            | "fig14"
+                            | "fig15"
+                            | "fig16"
+                            | "fig17"
+                            | "fig18"
                             | "fig19"
                     ))
         })
@@ -141,8 +153,11 @@ fn main() {
         let v = sensitivity::seed_variance(cfg, 5);
         println!(
             "seed variance over {:?}: throughput {:.1} ± {:.1}, fairness ratio {:.3} ± {:.3}\n",
-            v.seeds, v.throughput.mean, v.throughput.std_dev,
-            v.fairness_ratio.mean, v.fairness_ratio.std_dev
+            v.seeds,
+            v.throughput.mean,
+            v.throughput.std_dev,
+            v.fairness_ratio.mean,
+            v.fairness_ratio.std_dev
         );
     }
     if wants(&cli, &["table2"]) {
@@ -162,10 +177,7 @@ fn main() {
     }
     if wants(&cli, &["fig5", "fig6"]) {
         let r = part_one::fig5_6(cfg);
-        emit_figures(
-            out,
-            &[r.throughput, r.session2_rate, r.trees_session1, r.trees_session2],
-        );
+        emit_figures(out, &[r.throughput, r.session2_rate, r.trees_session1, r.trees_session2]);
     }
     if wants(&cli, &["table7"]) {
         emit_table(out, "table7", &part_one::table7(cfg));

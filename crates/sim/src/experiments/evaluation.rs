@@ -75,11 +75,8 @@ pub fn evaluation(cfg: &Config) -> EvalResults {
             let oracle = FixedIpOracle::new(&scenario.graph, &sessions);
             let mf = max_flow(&scenario.graph, &oracle, params);
             let mcf = max_concurrent_flow_maxmin(&scenario.graph, &oracle, params);
-            let mcf_min_rate = mcf
-                .summary
-                .session_rates
-                .iter()
-                .fold(f64::INFINITY, |a, &b| a.min(b));
+            let mcf_min_rate =
+                mcf.summary.session_rates.iter().fold(f64::INFINITY, |a, &b| a.min(b));
             let epn = metrics::edges_per_node(&oracle, &sessions);
 
             // Online at each budget, averaged over arrival orders.
@@ -92,7 +89,10 @@ pub fn evaluation(cfg: &Config) -> EvalResults {
                     let (set, groups) = replicate_sessions(
                         &sessions,
                         n,
-                        cfg.seed ^ (order as u64) << 24 ^ (n as u64) << 4 ^ (ci as u64) << 12
+                        cfg.seed
+                            ^ (order as u64) << 24
+                            ^ (n as u64) << 4
+                            ^ (ci as u64) << 12
                             ^ si as u64,
                     );
                     let run_oracle = FixedIpOracle::new(&scenario.graph, &set);
@@ -127,8 +127,7 @@ pub fn evaluation(cfg: &Config) -> EvalResults {
     let mut fig12 = GridSurface::new("Fig 12: Overall Throughput (MaxFlow)", counts, sizes);
     let mut fig13 = GridSurface::new("Fig 13: Physical Edges per Node", counts, sizes);
     let mut fig15 = GridSurface::new("Fig 15: Minimum Rate (MaxConcurrentFlow)", counts, sizes);
-    let mut fig16 =
-        GridSurface::new("Fig 16: Throughput Ratio (MCF vs MaxFlow)", counts, sizes);
+    let mut fig16 = GridSurface::new("Fig 16: Throughput Ratio (MCF vs MaxFlow)", counts, sizes);
     let mut fig18: Vec<GridSurface> = budgets
         .iter()
         .map(|n| {
@@ -157,11 +156,8 @@ pub fn evaluation(cfg: &Config) -> EvalResults {
         let ratio = if p.mf_throughput > 0.0 { p.mcf_throughput / p.mf_throughput } else { 0.0 };
         fig16.set(p.ci, p.si, ratio.min(1.0 + 1e-9));
         for (b, surf) in fig18.iter_mut().enumerate() {
-            let r = if p.mf_throughput > 0.0 {
-                p.online_throughput[b] / p.mf_throughput
-            } else {
-                0.0
-            };
+            let r =
+                if p.mf_throughput > 0.0 { p.online_throughput[b] / p.mf_throughput } else { 0.0 };
             surf.set(p.ci, p.si, r);
         }
         for (b, surf) in fig19.iter_mut().enumerate() {

@@ -20,9 +20,9 @@
 //! artifacts plus machine-readable data.
 
 pub mod evaluation;
-pub mod sensitivity;
 pub mod fig1;
 pub mod part_one;
+pub mod sensitivity;
 
 use crate::scenarios::Scale;
 

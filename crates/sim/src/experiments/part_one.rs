@@ -18,12 +18,8 @@ use rayon::prelude::*;
 /// Builds the oracle for a routing mode.
 fn oracle_for(scenario: &ScenarioA, mode: RoutingMode) -> Box<dyn TreeOracle + Sync> {
     match mode {
-        RoutingMode::FixedIp => {
-            Box::new(FixedIpOracle::new(&scenario.graph, &scenario.sessions))
-        }
-        RoutingMode::Arbitrary => {
-            Box::new(DynamicOracle::new(&scenario.graph, &scenario.sessions))
-        }
+        RoutingMode::FixedIp => Box::new(FixedIpOracle::new(&scenario.graph, &scenario.sessions)),
+        RoutingMode::Arbitrary => Box::new(DynamicOracle::new(&scenario.graph, &scenario.sessions)),
     }
 }
 
@@ -57,7 +53,9 @@ pub fn mcf_sweep(cfg: &Config, mode: RoutingMode) -> (ScenarioA, Vec<McfOutcome>
     let outs: Vec<McfOutcome> = cfg
         .ratios()
         .par_iter()
-        .map(|&r| max_concurrent_flow_maxmin(&scenario.graph, oracle.as_ref(), experiment_params(r)))
+        .map(|&r| {
+            max_concurrent_flow_maxmin(&scenario.graph, oracle.as_ref(), experiment_params(r))
+        })
         .collect();
     (scenario, outs)
 }
@@ -245,14 +243,26 @@ pub fn limited_trees(cfg: &Config, mode: RoutingMode, name_prefix: &str) -> Limi
         }),
     );
 
-    let mut throughput =
-        Figure::new(&format!("{name_prefix}-throughput"), "maximum number of trees", "overall throughput");
-    let mut session2 =
-        Figure::new(&format!("{name_prefix}-session2"), "maximum number of trees", "rate of session 2");
-    let mut trees1 =
-        Figure::new(&format!("{name_prefix}-trees-s1"), "maximum number of trees", "number of trees");
-    let mut trees2 =
-        Figure::new(&format!("{name_prefix}-trees-s2"), "maximum number of trees", "number of trees");
+    let mut throughput = Figure::new(
+        &format!("{name_prefix}-throughput"),
+        "maximum number of trees",
+        "overall throughput",
+    );
+    let mut session2 = Figure::new(
+        &format!("{name_prefix}-session2"),
+        "maximum number of trees",
+        "rate of session 2",
+    );
+    let mut trees1 = Figure::new(
+        &format!("{name_prefix}-trees-s1"),
+        "maximum number of trees",
+        "number of trees",
+    );
+    let mut trees2 = Figure::new(
+        &format!("{name_prefix}-trees-s2"),
+        "maximum number of trees",
+        "number of trees",
+    );
 
     // Random rounding series.
     {
@@ -305,12 +315,10 @@ pub fn limited_trees(cfg: &Config, mode: RoutingMode, name_prefix: &str) -> Limi
                 let mut t1_acc = 0.0;
                 let mut t2_acc = 0.0;
                 for order in 0..trials {
-                    let (set, groups) = scenario
-                        .replicated_arrivals(n, cfg.seed ^ (order as u64) << 16 ^ n as u64);
+                    let (set, groups) =
+                        scenario.replicated_arrivals(n, cfg.seed ^ (order as u64) << 16 ^ n as u64);
                     let run_oracle: Box<dyn TreeOracle + Sync> = match mode {
-                        RoutingMode::FixedIp => {
-                            Box::new(FixedIpOracle::new(&scenario.graph, &set))
-                        }
+                        RoutingMode::FixedIp => Box::new(FixedIpOracle::new(&scenario.graph, &set)),
                         RoutingMode::Arbitrary => {
                             Box::new(DynamicOracle::new(&scenario.graph, &set))
                         }
@@ -351,7 +359,12 @@ pub fn limited_trees(cfg: &Config, mode: RoutingMode, name_prefix: &str) -> Limi
         ));
     }
 
-    LimitedTreesResult { throughput, session2_rate: session2, trees_session1: trees1, trees_session2: trees2 }
+    LimitedTreesResult {
+        throughput,
+        session2_rate: session2,
+        trees_session1: trees1,
+        trees_session2: trees2,
+    }
 }
 
 /// Figs. 5 & 6 under fixed IP routing.
@@ -462,10 +475,8 @@ mod tests {
     #[ignore = "paper-scale run (~1 min in release); validates the <1% §V claim"]
     fn arbitrary_routing_changes_little_paper_scale() {
         let cfg = Config { scale: Scale::Paper, seed: 42 };
-        let (scenario, fixed) = max_flow_sweep(
-            &Config { scale: Scale::Paper, seed: cfg.seed },
-            RoutingMode::FixedIp,
-        );
+        let (scenario, fixed) =
+            max_flow_sweep(&Config { scale: Scale::Paper, seed: cfg.seed }, RoutingMode::FixedIp);
         let (_, arb) = max_flow_sweep(&cfg, RoutingMode::Arbitrary);
         let _ = scenario;
         let f = fixed[0].summary.overall_throughput;

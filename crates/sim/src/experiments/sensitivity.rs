@@ -74,10 +74,7 @@ pub fn topology_sensitivity(cfg: &Config) -> Vec<FamilyResult> {
                 cfg.seed ^ 0xC,
             ),
         ),
-        (
-            "transit-stub".into(),
-            transit_stub(&TransitStubParams::default(), cfg.seed ^ 0xD),
-        ),
+        ("transit-stub".into(), transit_stub(&TransitStubParams::default(), cfg.seed ^ 0xD)),
     ];
     let params = experiment_params(cfg.surface_ratio());
 
@@ -100,8 +97,7 @@ pub fn topology_sensitivity(cfg: &Config) -> Vec<FamilyResult> {
                 mean_utilization: metrics::mean_link_utilization(&mf.store, &g, &covered),
                 staircase_levels: metrics::staircase_levels(&profile, 0.02, 2),
                 concentration_90: metrics::tree_concentration(&mf.store, 0, 0.9),
-                fairness_ratio: (mcf.summary.overall_throughput
-                    / mf.summary.overall_throughput)
+                fairness_ratio: (mcf.summary.overall_throughput / mf.summary.overall_throughput)
                     .min(1.0 + 1e-9),
             }
         })
@@ -111,9 +107,8 @@ pub fn topology_sensitivity(cfg: &Config) -> Vec<FamilyResult> {
 /// Renders the sensitivity table.
 #[must_use]
 pub fn render_sensitivity(results: &[FamilyResult]) -> String {
-    let mut out = String::from(
-        "== Topology sensitivity (2 sessions: 7+5 members, demand 100) ==\n",
-    );
+    let mut out =
+        String::from("== Topology sensitivity (2 sessions: 7+5 members, demand 100) ==\n");
     let _ = writeln!(
         out,
         "{:<16} {:>6} {:>6} {:>11} {:>9} {:>7} {:>8} {:>9}",

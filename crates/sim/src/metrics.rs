@@ -25,16 +25,10 @@ pub fn tree_concentration(store: &TreeStore, session: usize, share: f64) -> f64 
 /// (descending). `covered` lists the physical edges belonging to at least
 /// one overlay link of a live session.
 #[must_use]
-pub fn link_utilization(
-    store: &TreeStore,
-    g: &Graph,
-    covered: &[EdgeId],
-) -> Vec<(f64, f64)> {
+pub fn link_utilization(store: &TreeStore, g: &Graph, covered: &[EdgeId]) -> Vec<(f64, f64)> {
     let flows = store.edge_flows(g);
-    let utils: Vec<f64> = covered
-        .iter()
-        .map(|&e| (flows[e.idx()] / g.capacity(e)).min(1.0))
-        .collect();
+    let utils: Vec<f64> =
+        covered.iter().map(|&e| (flows[e.idx()] / g.capacity(e)).min(1.0)).collect();
     Cdf::new(utils).rank_profile()
 }
 
@@ -45,8 +39,7 @@ pub fn mean_link_utilization(store: &TreeStore, g: &Graph, covered: &[EdgeId]) -
         return 0.0;
     }
     let flows = store.edge_flows(g);
-    let total: f64 =
-        covered.iter().map(|&e| (flows[e.idx()] / g.capacity(e)).min(1.0)).sum();
+    let total: f64 = covered.iter().map(|&e| (flows[e.idx()] / g.capacity(e)).min(1.0)).sum();
     total / covered.len() as f64
 }
 

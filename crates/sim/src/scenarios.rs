@@ -48,15 +48,18 @@ impl ScenarioA {
             sess_rng.sample_indices(n, 7).into_iter().map(|i| NodeId(i as u32)).collect();
         let s2: Vec<NodeId> =
             sess_rng.sample_indices(n, 5).into_iter().map(|i| NodeId(i as u32)).collect();
-        let sessions =
-            SessionSet::new(vec![Session::new(s1, 100.0), Session::new(s2, 100.0)]);
+        let sessions = SessionSet::new(vec![Session::new(s1, 100.0), Session::new(s2, 100.0)]);
         Self { graph, sessions, seed }
     }
 
     /// The §IV-D protocol: replicate each session `n` times with demand 1
     /// and shuffle the arrival order (for the online algorithm).
     #[must_use]
-    pub fn replicated_arrivals(&self, replicas: usize, order_seed: u64) -> (SessionSet, Vec<Vec<usize>>) {
+    pub fn replicated_arrivals(
+        &self,
+        replicas: usize,
+        order_seed: u64,
+    ) -> (SessionSet, Vec<Vec<usize>>) {
         replicate_sessions(&self.sessions, replicas, order_seed)
     }
 }
@@ -120,11 +123,9 @@ impl ScenarioB {
                 vec![1, 3, 5, 7, 9],
                 vec![4, 8, 12, 16, 20, 24, 28, 32, 36],
             ),
-            Scale::Paper => (
-                HierParams::default(),
-                (1..=9).collect(),
-                (1..=9).map(|i| i * 10).collect(),
-            ),
+            Scale::Paper => {
+                (HierParams::default(), (1..=9).collect(), (1..=9).map(|i| i * 10).collect())
+            }
         };
         let graph = omcf_topology::two_level(&hier, seed ^ 0xB0B0);
         Self { graph, session_counts: counts, session_sizes: sizes, seed }
@@ -134,9 +135,8 @@ impl ScenarioB {
     /// `(seed, count, size)`).
     #[must_use]
     pub fn sessions_for(&self, count: usize, size: usize) -> SessionSet {
-        let mut rng = Xoshiro256pp::new(
-            self.seed ^ (count as u64) << 32 ^ (size as u64) << 8 ^ 0x5E55,
-        );
+        let mut rng =
+            Xoshiro256pp::new(self.seed ^ (count as u64) << 32 ^ (size as u64) << 8 ^ 0x5E55);
         random_sessions(&self.graph, count, size, 1.0, &mut rng)
     }
 }

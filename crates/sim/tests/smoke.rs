@@ -1,0 +1,75 @@
+//! End-to-end smoke test: drive the `repro` binary's Scenario-A path at
+//! reduced scale and check the solver produces a sane throughput, so CI
+//! exercises argument parsing, scenario construction, the M1 FPTAS sweep,
+//! and CSV emission in one shot.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn out_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("omcf-smoke-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The "Overall Throughput" row of the rendered Table II, parsed back out
+/// of the binary's stdout.
+fn throughput_row(stdout: &str) -> Vec<f64> {
+    let line = stdout
+        .lines()
+        .find(|l| l.starts_with("Overall Throughput"))
+        .expect("repro stdout is missing the Overall Throughput row");
+    let vals: Vec<f64> =
+        line.split_whitespace().filter_map(|tok| tok.parse::<f64>().ok()).collect();
+    assert!(!vals.is_empty(), "no numeric cells in: {line}");
+    vals
+}
+
+#[test]
+fn repro_scenario_a_table2_reports_sane_throughput() {
+    let out = out_dir("table2");
+    let result = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--seed", "2004", "--out"])
+        .arg(&out)
+        .arg("table2")
+        .output()
+        .expect("failed to spawn the repro binary");
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(
+        result.status.success(),
+        "repro exited with {:?}\nstdout:\n{stdout}\nstderr:\n{}",
+        result.status,
+        String::from_utf8_lossy(&result.stderr)
+    );
+
+    // Scenario A (reduced scale): two sessions of demand 100 on a 60-node
+    // Waxman graph of uniform capacity 100. The paper's Table II sweeps
+    // approximation ratios 0.90..0.95; throughput must be positive, bounded
+    // by what the topology could ever carry, and non-decreasing in the
+    // ratio (a better approximation never loses throughput on this sweep).
+    let thr = throughput_row(&stdout);
+    assert_eq!(thr.len(), 3, "expected one throughput per swept ratio: {thr:?}");
+    for &t in &thr {
+        assert!(t > 50.0, "throughput implausibly low: {t}");
+        assert!(t < 5000.0, "throughput implausibly high: {t}");
+    }
+    assert!(
+        thr.windows(2).all(|w| w[1] >= w[0] - 1e-9),
+        "throughput should not degrade as the ratio improves: {thr:?}"
+    );
+
+    let csv = out.join("table2.csv");
+    assert!(csv.is_file(), "repro did not write {}", csv.display());
+    let body = std::fs::read_to_string(&csv).unwrap();
+    assert!(body.contains("0.9"), "CSV is missing the ratio axis:\n{body}");
+    let _ = std::fs::remove_dir_all(&out);
+}
+
+#[test]
+fn repro_rejects_unknown_flags() {
+    let result = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .arg("--definitely-not-a-flag")
+        .output()
+        .expect("failed to spawn the repro binary");
+    assert!(!result.status.success());
+}

@@ -25,7 +25,7 @@ pub mod props;
 pub mod transit_stub;
 
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
-pub use hier::{HierParams, two_level};
+pub use hier::{two_level, HierParams};
 pub use models::barabasi::{self, BarabasiParams};
 pub use models::waxman::{self, WaxmanParams};
 pub use transit_stub::{transit_stub, TransitStubParams};

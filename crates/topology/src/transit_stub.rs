@@ -106,8 +106,7 @@ pub fn transit_stub(params: &TransitStubParams, seed: u64) -> Graph {
     for anchor in 0..transit_total {
         for s in 0..params.stubs_per_transit_node {
             let sub = if params.stub_size >= 2 {
-                let mut srng =
-                    Xoshiro256pp::new(derive(0x1000 + (anchor * 16 + s) as u64));
+                let mut srng = Xoshiro256pp::new(derive(0x1000 + (anchor * 16 + s) as u64));
                 Some(waxman::generate(&stub_params, &mut srng))
             } else {
                 None

@@ -181,8 +181,7 @@ pub fn pack_greedy(g: &Graph) -> Packing {
     let mut residual: Vec<f64> = g.edge_ids().map(|e| g.capacity(e)).collect();
     let mut packing = Packing::default();
     while let Some(tree) = max_bottleneck_tree(g, &residual) {
-        let rate =
-            tree.edges.iter().map(|e| residual[e.idx()]).fold(f64::INFINITY, f64::min);
+        let rate = tree.edges.iter().map(|e| residual[e.idx()]).fold(f64::INFINITY, f64::min);
         if rate <= TOL {
             break;
         }
@@ -216,26 +215,19 @@ pub fn pack_fptas(g: &Graph, eps: f64) -> Packing {
         if tree_len >= 1.0 {
             break;
         }
-        let rate =
-            tree.edges.iter().map(|e| weights[e.idx()]).fold(f64::INFINITY, f64::min);
+        let rate = tree.edges.iter().map(|e| weights[e.idx()]).fold(f64::INFINITY, f64::min);
         for e in &tree.edges {
             lengths[e.idx()] *= 1.0 + eps * rate / weights[e.idx()];
         }
         let mut key: Vec<u32> = tree.edges.iter().map(|e| e.0).collect();
         key.sort_unstable();
-        raw.entry(key)
-            .and_modify(|(_, r)| *r += rate)
-            .or_insert((tree, rate));
+        raw.entry(key).and_modify(|(_, r)| *r += rate).or_insert((tree, rate));
     }
 
     // Scale to feasibility: total flow through e is < weight_e ·
     // log_{1+eps}((1+eps)/delta).
     let scale = 1.0 / (((1.0 + eps) / delta).ln() / (1.0 + eps).ln());
-    let trees = raw
-        .into_values()
-        .map(|(t, r)| (t, r * scale))
-        .filter(|(_, r)| *r > TOL)
-        .collect();
+    let trees = raw.into_values().map(|(t, r)| (t, r * scale)).filter(|(_, r)| *r > TOL).collect();
     Packing { trees }
 }
 
@@ -294,7 +286,11 @@ mod tests {
                 while v == u {
                     v = rng.index(6) as u32;
                 }
-                b.add_edge(omcf_topology::NodeId(u), omcf_topology::NodeId(v), rng.range_f64(0.5, 5.0));
+                b.add_edge(
+                    omcf_topology::NodeId(u),
+                    omcf_topology::NodeId(v),
+                    rng.range_f64(0.5, 5.0),
+                );
             }
             let g = b.finish();
             let opt = strength_exact(&g);

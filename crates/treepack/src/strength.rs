@@ -16,11 +16,13 @@ pub fn strength_exact(g: &Graph) -> f64 {
     assert!(n >= 2, "strength needs at least two nodes");
     assert!(n <= 12, "partition enumeration is exponential; use bounds for n > 12");
     // Precompute edge endpoints and weights once.
-    let edges: Vec<(usize, usize, f64)> =
-        g.edge_ids().map(|e| {
+    let edges: Vec<(usize, usize, f64)> = g
+        .edge_ids()
+        .map(|e| {
             let edge = g.edge(e);
             (edge.u.idx(), edge.v.idx(), edge.capacity)
-        }).collect();
+        })
+        .collect();
 
     let mut best = f64::INFINITY;
     // Restricted growth string a[0..n]: a[0] = 0, a[i] <= max(a[0..i]) + 1.
@@ -29,11 +31,8 @@ pub fn strength_exact(g: &Graph) -> f64 {
     loop {
         let blocks = maxes[n - 1] + 1;
         if blocks >= 2 {
-            let crossing: f64 = edges
-                .iter()
-                .filter(|&&(u, v, _)| a[u] != a[v])
-                .map(|&(_, _, w)| w)
-                .sum();
+            let crossing: f64 =
+                edges.iter().filter(|&&(u, v, _)| a[u] != a[v]).map(|&(_, _, w)| w).sum();
             let ratio = crossing / (blocks as f64 - 1.0);
             if ratio < best {
                 best = ratio;
@@ -155,8 +154,7 @@ mod tests {
 
     #[test]
     fn two_partition_bound_dominates_exact() {
-        let graphs =
-            [canned::fig1_session_graph(), canned::complete(5, 2.0), canned::ring(6, 1.5)];
+        let graphs = [canned::fig1_session_graph(), canned::complete(5, 2.0), canned::ring(6, 1.5)];
         for g in graphs {
             let exact = strength_exact(&g);
             let two = strength_upper_2partition(&g);

@@ -2,9 +2,7 @@
 
 use omcf_numerics::{Rng64, Xoshiro256pp};
 use omcf_topology::{Graph, GraphBuilder, NodeId};
-use omcf_treepack::{
-    pack_fptas, pack_greedy, strength_exact, strength_upper_2partition,
-};
+use omcf_treepack::{pack_fptas, pack_greedy, strength_exact, strength_upper_2partition};
 use proptest::prelude::*;
 
 /// Random connected weighted graph on `n ≤ 8` nodes: a spanning cycle plus
@@ -13,11 +11,7 @@ fn random_graph(seed: u64, n: usize, chords: usize) -> Graph {
     let mut rng = Xoshiro256pp::new(seed);
     let mut b = GraphBuilder::new(n);
     for i in 0..n {
-        b.add_edge(
-            NodeId(i as u32),
-            NodeId(((i + 1) % n) as u32),
-            rng.range_f64(0.5, 4.0),
-        );
+        b.add_edge(NodeId(i as u32), NodeId(((i + 1) % n) as u32), rng.range_f64(0.5, 4.0));
     }
     for _ in 0..chords {
         let u = rng.index(n);

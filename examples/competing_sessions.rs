@@ -78,10 +78,7 @@ fn main() {
     println!("  concurrent throughput f* = {:.4}\n", mcf.throughput);
 
     let cost = 1.0 - mcf.summary.overall_throughput / mf.summary.overall_throughput;
-    println!(
-        "price of fairness: {:.1}% of total throughput",
-        cost.max(0.0) * 100.0
-    );
+    println!("price of fairness: {:.1}% of total throughput", cost.max(0.0) * 100.0);
     println!(
         "note: MaxFlow may starve small sessions entirely (0 trees above);\n\
          with equal-size sessions the paper finds the fairness cost stays\n\

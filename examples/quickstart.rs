@@ -52,8 +52,5 @@ fn main() {
     rates.sort_by(|a, b| b.partial_cmp(a).unwrap());
     let total: f64 = rates.iter().sum();
     let top3: f64 = rates.iter().take(3).sum();
-    println!(
-        "top 3 trees carry {:.0}% of the session rate",
-        100.0 * top3 / total
-    );
+    println!("top 3 trees carry {:.0}% of the session rate", 100.0 * top3 / total);
 }

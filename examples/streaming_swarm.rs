@@ -45,13 +45,12 @@ fn main() {
     println!(
         "offline optimum: throughput {:.1}, rates {:?}",
         frac.summary.overall_throughput,
-        frac.summary
-            .session_rates
-            .iter()
-            .map(|r| (r * 10.0).round() / 10.0)
-            .collect::<Vec<_>>()
+        frac.summary.session_rates.iter().map(|r| (r * 10.0).round() / 10.0).collect::<Vec<_>>()
     );
-    println!("\n{:>6} {:>12} {:>10} {:>10} {:>8}", "trees", "throughput", "stream1", "stream2", "%opt");
+    println!(
+        "\n{:>6} {:>12} {:>10} {:>10} {:>8}",
+        "trees", "throughput", "stream1", "stream2", "%opt"
+    );
 
     // Online: each stream may split into up to `n` trees (modeled as n
     // replicas of demand 1/… arriving interleaved), step size ρ = 30.

@@ -1,0 +1,212 @@
+//! Offline shim for [criterion](https://crates.io/crates/criterion).
+//!
+//! The build environment for this repository has no registry access, so this
+//! crate supplies the subset of criterion's API the workspace's benches use.
+//! Instead of criterion's statistical sampling, each `Bencher::iter` runs its
+//! routine a handful of times and prints the median wall-clock duration — a
+//! smoke-run good enough to compare orders of magnitude and to keep
+//! `cargo bench --no-run` compiling every bench target in CI. Swapping in the
+//! real crate is a one-line change in the workspace manifest and requires no
+//! source edits.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Number of timed repetitions per benchmark routine (the shim ignores
+/// `sample_size`, which criterion interprets statistically anyway).
+const SHIM_RUNS: usize = 3;
+
+/// Top-level benchmark driver, handed to every `criterion_group!` function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmark a routine under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(id, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string() }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim always runs a fixed small
+    /// number of repetitions.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored by the shim.
+    pub fn measurement_time(&mut self, _dur: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark a routine under `group_name/id`.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_named(&format!("{}/{}", self.name, id.into_benchmark_id()), f);
+        self
+    }
+
+    /// Benchmark a routine parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        b.report(&format!("{}/{}", self.name, id.into_benchmark_id()));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_named<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher::default();
+    f(&mut b);
+    b.report(name);
+}
+
+/// Timer handle passed to benchmark routines.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    median: Option<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping the median of a few runs.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut times = Vec::with_capacity(SHIM_RUNS);
+        for _ in 0..SHIM_RUNS {
+            let start = Instant::now();
+            black_box(routine());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.median = Some(times[times.len() / 2]);
+    }
+
+    fn report(&self, name: &str) {
+        match self.median {
+            Some(t) => println!("bench {name:<60} median {t:?} ({SHIM_RUNS} runs)"),
+            None => println!("bench {name:<60} (no measurement)"),
+        }
+    }
+}
+
+/// Identifier for a (possibly parameterized) benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` identifier.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { text: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { text: parameter.to_string() }
+    }
+}
+
+/// Conversion into the shim's flat benchmark-name string.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.text
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+/// Bundle benchmark functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `fn main()` running the listed groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion::default();
+        let mut runs = 0usize;
+        c.bench_function("counting", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, SHIM_RUNS);
+    }
+
+    #[test]
+    fn group_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut grp = c.benchmark_group("grp");
+        grp.sample_size(10).bench_with_input(BenchmarkId::from_parameter(21), &21, |b, &x| {
+            b.iter(|| assert_eq!(x * 2, 42))
+        });
+        grp.finish();
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", 3).into_benchmark_id(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter(0.5).into_benchmark_id(), "0.5");
+    }
+}

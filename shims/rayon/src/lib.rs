@@ -1,0 +1,104 @@
+//! Offline shim for [rayon](https://crates.io/crates/rayon).
+//!
+//! The build environment for this repository has no registry access, so this
+//! crate supplies the subset of rayon's API the workspace uses, implemented
+//! *sequentially*: `par_iter()` / `into_par_iter()` simply return the
+//! corresponding standard-library iterators, and every adaptor after them is
+//! the ordinary `Iterator` machinery. Results are therefore identical to
+//! rayon's (same ordering, same determinism) — only the wall-clock speedup is
+//! absent. Swapping in the real crate is a one-line change in the workspace
+//! manifest and requires no source edits.
+
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelBridge};
+}
+
+pub mod iter {
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    ///
+    /// The returned "parallel" iterator is just the type's standard
+    /// `IntoIterator` iterator, so all downstream adaptors (`map`, `filter`,
+    /// `collect`, `sum`, …) resolve to `std::iter::Iterator` methods.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`
+    /// (the trait providing `.par_iter()` on `&self`).
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for `rayon::iter::ParallelBridge`.
+    pub trait ParallelBridge: Sized {
+        fn par_bridge(self) -> Self;
+    }
+
+    impl<I: Iterator> ParallelBridge for I {
+        fn par_bridge(self) -> Self {
+            self
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Reports the parallelism the shim provides: exactly one thread.
+#[must_use]
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn into_par_iter_on_range() {
+        let s: i64 = (0..100i64).into_par_iter().sum();
+        assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn join_runs_both() {
+        let (a, b) = super::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+}

@@ -1,0 +1,180 @@
+//! Engine/oracle benches: what the epoch-cached, workspace-reusing oracle
+//! path buys, measured end to end through the `MaxFlow` solver.
+//!
+//! * `cached` — the solver engine's default path: per-member persistent
+//!   Dijkstra workspaces, multi-target early exit, and epoch-stamped fan
+//!   caches (exact hits under monotone length growth).
+//! * `uncached` — the pre-engine baseline: one fresh-allocation Dijkstra
+//!   per member per oracle call, no cache.
+//!
+//! Two instances: the paper's Scenario A (Fast scale) — a near-tree where
+//! fans always overlap the augmented tree, so the win comes from the
+//! workspace path, not cache hits — and a denser multi-session instance
+//! where the epoch cache eliminates most Dijkstras outright. Also emits
+//! `BENCH_engine.json` at the workspace root with median wall-times,
+//! `mst_ops` and Dijkstra-level cache hit rates — the first point of the
+//! repo's engine perf trajectory.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omcf_core::{max_flow, ApproxParams, MaxFlowOutcome};
+use omcf_numerics::Xoshiro256pp;
+use omcf_overlay::SessionSet;
+use omcf_overlay::{random_sessions, CacheStats, DynamicOracle, FixedIpOracle, TreeOracle};
+use omcf_sim::scenarios::ScenarioA;
+use omcf_sim::Scale;
+use omcf_topology::waxman::{self, WaxmanParams};
+use omcf_topology::Graph;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SEED: u64 = 2004;
+const RATIO: f64 = 0.9;
+/// The multi-session instance does ~300k oracle calls per solve; ratio
+/// 0.85 keeps one solve in seconds while leaving the hit-rate picture
+/// unchanged.
+const MULTI_RATIO: f64 = 0.85;
+
+fn scenario_a() -> (Graph, SessionSet) {
+    let a = ScenarioA::build(SEED, Scale::Fast);
+    (a.graph, a.sessions)
+}
+
+/// Denser 100-node Waxman with eight scattered 3-member sessions:
+/// augmenting one session's tree usually misses the other sessions' fans,
+/// so the epoch cache gets real hits (~65% of member Dijkstras).
+fn multi_session() -> (Graph, SessionSet) {
+    let mut rng = Xoshiro256pp::new(SEED ^ 0xE2);
+    let params = WaxmanParams { n: 100, alpha: 0.3, capacity: 100.0, ..WaxmanParams::default() };
+    let g = waxman::generate(&params, &mut rng);
+    let sessions = random_sessions(&g, 8, 3, 1.0, &mut rng);
+    (g, sessions)
+}
+
+fn run_m1<O: TreeOracle + ?Sized>(g: &Graph, oracle: &O, ratio: f64) -> MaxFlowOutcome {
+    max_flow(g, oracle, ApproxParams::for_m1(ratio))
+}
+
+fn bench_m1_scenario_a(c: &mut Criterion) {
+    let (g, sessions) = scenario_a();
+    let mut grp = c.benchmark_group("solver_engine/scenario_a_m1");
+    grp.sample_size(10);
+    grp.bench_function("dynamic_cached", |b| {
+        let oracle = DynamicOracle::new(&g, &sessions);
+        b.iter(|| black_box(run_m1(&g, &oracle, RATIO)))
+    });
+    grp.bench_function("dynamic_uncached", |b| {
+        let oracle = DynamicOracle::uncached(&g, &sessions);
+        b.iter(|| black_box(run_m1(&g, &oracle, RATIO)))
+    });
+    grp.bench_function("fixed_cached", |b| {
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        b.iter(|| black_box(run_m1(&g, &oracle, RATIO)))
+    });
+    grp.bench_function("fixed_uncached", |b| {
+        let oracle = FixedIpOracle::uncached(&g, &sessions);
+        b.iter(|| black_box(run_m1(&g, &oracle, RATIO)))
+    });
+    grp.finish();
+}
+
+fn bench_m1_multi_session(c: &mut Criterion) {
+    let (g, sessions) = multi_session();
+    let mut grp = c.benchmark_group("solver_engine/multi_session_m1");
+    grp.sample_size(10);
+    grp.bench_function("dynamic_cached", |b| {
+        let oracle = DynamicOracle::new(&g, &sessions);
+        b.iter(|| black_box(run_m1(&g, &oracle, MULTI_RATIO)))
+    });
+    grp.bench_function("dynamic_uncached", |b| {
+        let oracle = DynamicOracle::uncached(&g, &sessions);
+        b.iter(|| black_box(run_m1(&g, &oracle, MULTI_RATIO)))
+    });
+    grp.finish();
+}
+
+/// Median wall-time over `runs` solves plus the solver/oracle counters of
+/// the final run.
+fn measure<O: TreeOracle + ?Sized>(
+    g: &Graph,
+    oracle: &O,
+    ratio: f64,
+    runs: usize,
+    stats: impl Fn() -> CacheStats,
+) -> (f64, u64, CacheStats) {
+    let mut times: Vec<f64> = Vec::with_capacity(runs);
+    let mut mst_ops = 0;
+    let mut last = stats();
+    for _ in 0..runs {
+        let before = stats();
+        let start = Instant::now();
+        let out = black_box(run_m1(g, oracle, ratio));
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+        mst_ops = out.mst_ops;
+        let after = stats();
+        last = CacheStats { hits: after.hits - before.hits, misses: after.misses - before.misses };
+    }
+    times.sort_unstable_by(f64::total_cmp);
+    (times[times.len() / 2], mst_ops, last)
+}
+
+fn json_entry(label: &str, wall_ms: f64, mst_ops: u64, stats: CacheStats) -> String {
+    format!(
+        "    \"{label}\": {{ \"wall_ms_median\": {wall_ms:.3}, \"mst_ops\": {mst_ops}, \
+         \"dijkstra_hits\": {}, \"dijkstra_misses\": {} }}",
+        stats.hits, stats.misses
+    )
+}
+
+/// Cached-vs-uncached A/B of one oracle pair, as a JSON object body.
+fn ab_json<O: TreeOracle + ?Sized, U: TreeOracle + ?Sized>(
+    g: &Graph,
+    cached: &O,
+    cached_stats: impl Fn() -> CacheStats,
+    uncached: &U,
+    uncached_stats: impl Fn() -> CacheStats,
+    ratio: f64,
+    runs: usize,
+) -> String {
+    let (c_ms, c_ops, c_st) = measure(g, cached, ratio, runs, cached_stats);
+    let (u_ms, u_ops, u_st) = measure(g, uncached, ratio, runs, uncached_stats);
+    assert_eq!(c_ops, u_ops, "caching must not change the oracle call count");
+    format!(
+        "{{\n{},\n{},\n    \"speedup\": {:.3}\n  }}",
+        json_entry("cached", c_ms, c_ops, c_st),
+        json_entry("uncached", u_ms, u_ops, u_st),
+        u_ms / c_ms,
+    )
+}
+
+/// Not a throughput bench: measures once and writes `BENCH_engine.json`.
+fn emit_bench_json(_c: &mut Criterion) {
+    let runs = 5;
+    let (ga, sa) = scenario_a();
+    let dc = DynamicOracle::new(&ga, &sa);
+    let du = DynamicOracle::uncached(&ga, &sa);
+    let scen_dyn = ab_json(&ga, &dc, || dc.cache_stats(), &du, || du.cache_stats(), RATIO, runs);
+    let fc = FixedIpOracle::new(&ga, &sa);
+    let fu = FixedIpOracle::uncached(&ga, &sa);
+    let scen_fix = ab_json(&ga, &fc, || fc.cache_stats(), &fu, || fu.cache_stats(), RATIO, runs);
+
+    let (gm, sm) = multi_session();
+    let mc = DynamicOracle::new(&gm, &sm);
+    let mu = DynamicOracle::uncached(&gm, &sm);
+    let multi_dyn =
+        ab_json(&gm, &mc, || mc.cache_stats(), &mu, || mu.cache_stats(), MULTI_RATIO, runs);
+
+    let json = format!(
+        "{{\n  \"bench\": \"solver_engine\",\n  \"solver\": \"m1_max_flow\",\n  \
+         \"seed\": {SEED},\n  \"ratio_scenario_a\": {RATIO},\n  \"ratio_multi_session\": {MULTI_RATIO},\n  \"runs_per_point\": {runs},\n  \
+         \"scenario_a_fast_dynamic\": {scen_dyn},\n  \
+         \"scenario_a_fast_fixed\": {scen_fix},\n  \
+         \"multi_session_dynamic\": {multi_dyn}\n}}\n"
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
+    std::fs::write(path, &json).expect("write BENCH_engine.json");
+    println!("bench solver_engine: wrote {path}");
+    println!("{json}");
+}
+
+criterion_group!(benches, bench_m1_scenario_a, bench_m1_multi_session, emit_bench_json);
+criterion_main!(benches);

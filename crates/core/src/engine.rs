@@ -1,0 +1,328 @@
+//! The shared Garg–Könemann length-update engine.
+//!
+//! All four of the paper's algorithms — `MaxFlow` (Table I), its Fleischer
+//! variant, `MaxConcurrentFlow` (Table III) and `Online-MinCongestion`
+//! (Table VI) — run the same inner loop: query the minimum overlay
+//! spanning tree oracle under live edge lengths, route some amount of
+//! flow on the returned tree, and grow the lengths of the edges it uses
+//! multiplicatively. [`Engine`] owns that loop's state — the length store,
+//! the [`EdgeEpochs`] touch clock that makes oracle caching exact, the
+//! accumulating [`TreeStore`], and the `mst_ops`/iteration counters the
+//! paper reports — so the solver modules reduce to *policies*: a phase
+//! schedule, a normalization, and a termination rule driving the engine.
+//!
+//! The engine advances the epoch clock on every augmentation and stamps
+//! each touched edge, which is what entitles epoch-aware oracles
+//! ([`omcf_overlay::DynamicOracle`], [`omcf_overlay::FixedIpOracle`]) to
+//! serve cached trees: lengths only ever grow, so an untouched cached
+//! route provably remains optimal (see `docs/ENGINE.md`).
+//!
+//! ```
+//! use omcf_core::engine::{Engine, LengthGrowth};
+//! use omcf_core::ScaledLengths;
+//! use omcf_overlay::{DynamicOracle, Session, SessionSet};
+//! use omcf_topology::{canned, NodeId};
+//!
+//! // One augmentation step of a Table-I-style loop, by hand.
+//! let g = canned::theta(10.0);
+//! let sessions = SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(4)], 1.0)]);
+//! let oracle = DynamicOracle::new(&g, &sessions);
+//! let lengths = ScaledLengths::raw(&vec![1.0; g.edge_count()]);
+//! let mut engine = Engine::new(&g, &oracle, lengths, LengthGrowth::Fptas { eps: 0.1 });
+//! let tree = engine.min_tree(0);
+//! let c = tree.bottleneck(&g);
+//! engine.augment(tree, c);
+//! let run = engine.finish();
+//! assert_eq!(run.mst_ops, 1);
+//! assert_eq!(run.iterations, 1);
+//! ```
+
+use crate::lengths::ScaledLengths;
+use omcf_overlay::{EdgeEpochs, LengthView, OverlayTree, SessionSet, TreeOracle, TreeStore};
+use omcf_topology::{EdgeId, Graph};
+
+/// How an augmentation grows the lengths of the edges it crosses.
+#[derive(Clone, Copy, Debug)]
+pub enum LengthGrowth {
+    /// FPTAS rule (Tables I/III): `d_e ← d_e · (1 + ε·n_e(t)·c/c_e)`.
+    Fptas {
+        /// The ε of the approximation schedule.
+        eps: f64,
+    },
+    /// Online rule (Table VI): `d_e ← d_e · (1 + ρ·n_e(t)·dem/c_e)`, with
+    /// the per-edge congestion contribution `n_e(t)·dem/c_e` accumulated
+    /// into the engine's load table.
+    Online {
+        /// The step size ρ.
+        rho: f64,
+    },
+}
+
+/// Everything a finished run hands back to its policy.
+#[derive(Clone, Debug)]
+pub struct EngineRun {
+    /// Accumulated (unscaled) flow; policies apply their feasibility
+    /// scaling.
+    pub store: TreeStore,
+    /// Final length store (Fleischer's measured divisor reads it).
+    pub lengths: ScaledLengths,
+    /// Per-edge congestion `l_e` accumulated by [`LengthGrowth::Online`]
+    /// augmentations (all zeros under the FPTAS rule).
+    pub load: Vec<f64>,
+    /// Minimum-overlay-spanning-tree computations performed — the paper's
+    /// running-time unit in Tables II/VII.
+    pub mst_ops: u64,
+    /// Augmentations performed.
+    pub iterations: u64,
+    /// Best weak-duality bound observed via [`Engine::observe_alpha`]
+    /// (`f64::INFINITY` if the policy never reported one).
+    pub dual_bound: f64,
+}
+
+/// Shared state of one solver run: length store, epoch clock, flow store
+/// and counters. Policies drive it through [`Self::min_tree`] /
+/// [`Self::augment`] and read lengths through the accessors.
+#[derive(Debug)]
+pub struct Engine<'a, O: TreeOracle + ?Sized> {
+    g: &'a Graph,
+    oracle: &'a O,
+    growth: LengthGrowth,
+    lengths: ScaledLengths,
+    epochs: EdgeEpochs,
+    caps: Vec<f64>,
+    load: Vec<f64>,
+    store: TreeStore,
+    mst_ops: u64,
+    iterations: u64,
+    dual_bound: f64,
+}
+
+impl<'a, O: TreeOracle + ?Sized> Engine<'a, O> {
+    /// Starts a run over `g` with an initialized length store. The engine
+    /// allocates a fresh epoch clock, so oracle caches from previous runs
+    /// can never leak in.
+    #[must_use]
+    pub fn new(g: &'a Graph, oracle: &'a O, lengths: ScaledLengths, growth: LengthGrowth) -> Self {
+        let caps: Vec<f64> = g.edge_ids().map(|e| g.capacity(e)).collect();
+        Self {
+            g,
+            oracle,
+            growth,
+            lengths,
+            epochs: EdgeEpochs::new(g.edge_count()),
+            caps,
+            load: vec![0.0; g.edge_count()],
+            store: TreeStore::new(oracle.sessions().len()),
+            mst_ops: 0,
+            iterations: 0,
+            dual_bound: f64::INFINITY,
+        }
+    }
+
+    /// The session set served by the run's oracle. The borrow is detached
+    /// from the engine (`'a`), so policies can hold it across mutations.
+    #[must_use]
+    pub fn sessions(&self) -> &'a SessionSet {
+        self.oracle.sessions()
+    }
+
+    /// The minimum overlay spanning tree of session `i` under the current
+    /// lengths, via the epoch-aware oracle path. Counts one `mst_op`.
+    pub fn min_tree(&mut self, i: usize) -> OverlayTree {
+        self.mst_ops += 1;
+        self.oracle.min_tree_view(i, LengthView::with_epochs(self.lengths.stored(), &self.epochs))
+    }
+
+    /// One oracle sweep over `session_ids`, returning the tree of minimum
+    /// *normalized* stored length (`norm(i) · length_i`; the first session
+    /// wins ties) together with that length. Counts one `mst_op` per
+    /// session.
+    pub fn best_normalized_tree(
+        &mut self,
+        session_ids: &[usize],
+        norm: impl Fn(usize) -> f64,
+    ) -> (f64, OverlayTree) {
+        let mut best: Option<(f64, OverlayTree)> = None;
+        for &i in session_ids {
+            let tree = self.min_tree(i);
+            let len_stored = tree.length(self.lengths.stored()) * norm(i);
+            if best.as_ref().is_none_or(|(b, _)| len_stored < *b) {
+                best = Some((len_stored, tree));
+            }
+        }
+        best.expect("nonempty session set")
+    }
+
+    /// Routes `amount` units on `tree` and grows the lengths of its edges
+    /// under the configured [`LengthGrowth`] rule, advancing the epoch
+    /// clock and stamping every touched edge. This is the single
+    /// length-update implementation shared by all four solvers. Returns
+    /// the tree's per-edge multiplicities for policies that need them
+    /// (the online post-pass).
+    pub fn augment(&mut self, tree: OverlayTree, amount: f64) -> Vec<(EdgeId, u32)> {
+        self.iterations += 1;
+        self.epochs.advance();
+        let mults = tree.edge_multiplicities();
+        self.store.add(tree, amount);
+        for &(e, n) in &mults {
+            let cap = self.g.capacity(e);
+            let factor = match self.growth {
+                LengthGrowth::Fptas { eps } => 1.0 + eps * f64::from(n) * amount / cap,
+                LengthGrowth::Online { rho } => {
+                    let add = f64::from(n) * amount / cap;
+                    self.load[e.idx()] += add;
+                    1.0 + rho * add
+                }
+            };
+            self.lengths.scale_edge(e.idx(), factor);
+            if matches!(self.growth, LengthGrowth::Online { .. }) {
+                assert!(
+                    self.lengths.stored()[e.idx()].is_finite(),
+                    "online length overflow; lower rho"
+                );
+            }
+            self.epochs.touch(e.idx());
+        }
+        mults
+    }
+
+    /// Reports a normalized minimum tree length `α` (stored scale); the
+    /// engine tracks the best weak-duality bound `min D/α` over the run.
+    pub fn observe_alpha(&mut self, alpha_stored: f64) {
+        let bound = self.dual_objective_stored() / alpha_stored;
+        if bound < self.dual_bound {
+            self.dual_bound = bound;
+        }
+    }
+
+    /// The dual objective `D = Σ_e c_e·d_e` in stored scale — compare
+    /// against [`Self::stored_one`].
+    #[must_use]
+    pub fn dual_objective_stored(&self) -> f64 {
+        self.lengths.weighted_sum_stored(&self.caps)
+    }
+
+    /// Stored image of the constant 1 (the stop-test threshold).
+    #[must_use]
+    pub fn stored_one(&self) -> f64 {
+        self.lengths.stored_one()
+    }
+
+    /// The live stored lengths (for policies computing tree lengths).
+    #[must_use]
+    pub fn stored_lengths(&self) -> &[f64] {
+        self.lengths.stored()
+    }
+
+    /// `mst_ops` so far.
+    #[must_use]
+    pub fn mst_ops(&self) -> u64 {
+        self.mst_ops
+    }
+
+    /// Augmentations so far.
+    #[must_use]
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Ends the run, releasing the accumulated state to the policy.
+    #[must_use]
+    pub fn finish(self) -> EngineRun {
+        EngineRun {
+            store: self.store,
+            lengths: self.lengths,
+            load: self.load,
+            mst_ops: self.mst_ops,
+            iterations: self.iterations,
+            dual_bound: self.dual_bound,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omcf_overlay::{FixedIpOracle, Session, SessionSet};
+    use omcf_topology::{canned, NodeId};
+
+    fn setup() -> (Graph, SessionSet) {
+        let g = canned::grid(3, 3, 10.0);
+        let sessions = SessionSet::new(vec![
+            Session::new(vec![NodeId(0), NodeId(8)], 1.0),
+            Session::new(vec![NodeId(2), NodeId(6)], 1.0),
+        ]);
+        (g, sessions)
+    }
+
+    #[test]
+    fn counts_mst_ops_and_iterations() {
+        let (g, sessions) = setup();
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let lengths = ScaledLengths::raw(&vec![1.0; g.edge_count()]);
+        let mut engine = Engine::new(&g, &oracle, lengths, LengthGrowth::Fptas { eps: 0.1 });
+        let (len, tree) = engine.best_normalized_tree(&[0, 1], |_| 1.0);
+        assert!(len > 0.0);
+        assert_eq!(engine.mst_ops(), 2);
+        let c = tree.bottleneck(&g);
+        engine.augment(tree, c);
+        assert_eq!(engine.iterations(), 1);
+        let run = engine.finish();
+        assert_eq!(run.mst_ops, 2);
+        assert!(run.load.iter().all(|l| *l == 0.0), "FPTAS growth does not track load");
+    }
+
+    #[test]
+    fn online_growth_accumulates_load() {
+        let (g, sessions) = setup();
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let inv_caps: Vec<f64> = g.edge_ids().map(|e| 1.0 / g.capacity(e)).collect();
+        let lengths = ScaledLengths::raw(&inv_caps);
+        let mut engine = Engine::new(&g, &oracle, lengths, LengthGrowth::Online { rho: 10.0 });
+        let tree = engine.min_tree(0);
+        let mults = engine.augment(tree, 5.0);
+        assert!(!mults.is_empty());
+        let run = engine.finish();
+        let loaded: Vec<f64> = run.load.iter().copied().filter(|l| *l > 0.0).collect();
+        assert_eq!(loaded.len(), mults.len());
+        // 2-member session on unit-multiplicity edges: load = dem/cap.
+        assert!(loaded.iter().all(|l| (*l - 0.5).abs() < 1e-12));
+    }
+
+    #[test]
+    fn length_growth_invalidates_only_touched_routes() {
+        let g = canned::grid(3, 3, 10.0);
+        // Edge-disjoint single-hop sessions: augmenting one can never
+        // invalidate the other's cached tree.
+        let sessions = SessionSet::new(vec![
+            Session::new(vec![NodeId(0), NodeId(1)], 1.0),
+            Session::new(vec![NodeId(7), NodeId(8)], 1.0),
+        ]);
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let lengths = ScaledLengths::raw(&vec![1.0; g.edge_count()]);
+        let mut engine = Engine::new(&g, &oracle, lengths, LengthGrowth::Fptas { eps: 0.5 });
+        // Prime both sessions' caches, then augment only session 0's tree.
+        let t0 = engine.min_tree(0);
+        let _t1 = engine.min_tree(1);
+        engine.augment(t0, 1.0);
+        let _ = engine.min_tree(0);
+        let _ = engine.min_tree(1);
+        let stats = oracle.cache_stats();
+        // Session 1's second query is the only hit: its own first query and
+        // both of session 0's (initial, then invalidated) must recompute.
+        assert_eq!((stats.hits, stats.misses), (1, 3), "unexpected cache behavior: {stats:?}");
+    }
+
+    #[test]
+    fn observe_alpha_tracks_best_bound() {
+        let (g, sessions) = setup();
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let lengths = ScaledLengths::raw(&vec![1.0; g.edge_count()]);
+        let mut engine = Engine::new(&g, &oracle, lengths, LengthGrowth::Fptas { eps: 0.1 });
+        engine.observe_alpha(2.0);
+        let first = engine.dual_objective_stored() / 2.0;
+        engine.observe_alpha(1.0); // worse (larger) bound: ignored
+        let run = engine.finish();
+        assert!((run.dual_bound - first).abs() < 1e-12);
+    }
+}

@@ -64,6 +64,17 @@ impl ScaledLengths {
         Self { stored, log2_scale, stored_one }
     }
 
+    /// Identity-scale store: lengths start at exactly `weights` and the
+    /// stop-test constant is exactly `1.0`. Used by the online algorithm,
+    /// whose `δ = 1` initialization (`d_e = 1/c_e`) needs no rescaling —
+    /// every stored value is the true value, bit for bit.
+    #[must_use]
+    pub fn raw(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "no edges");
+        assert!(weights.iter().all(|w| *w > 0.0 && w.is_finite()), "weights must be positive");
+        Self { stored: weights.to_vec(), log2_scale: 0.0, stored_one: 1.0 }
+    }
+
     /// The stored (rescaled) lengths — pass directly to the tree oracle.
     #[must_use]
     pub fn stored(&self) -> &[f64] {
@@ -172,6 +183,16 @@ mod tests {
         }
         assert!(s.stored()[0] > s.stored_one());
         assert!(s.ln_true(0) > 0.0);
+    }
+
+    #[test]
+    fn raw_store_is_identity_scaled() {
+        let mut s = ScaledLengths::raw(&[0.5, 0.25]);
+        assert_eq!(s.stored(), &[0.5, 0.25]);
+        assert_eq!(s.stored_one(), 1.0);
+        assert!((s.ln_true(0) - 0.5f64.ln()).abs() < 1e-15);
+        s.scale_edge(1, 3.0);
+        assert_eq!(s.stored()[1], 0.75);
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! dynamic range cannot fit (beyond anything the paper evaluates).
 
 pub mod dynamics;
+pub mod engine;
 pub mod exact;
 pub mod lengths;
 pub mod m1;
@@ -37,6 +38,7 @@ pub mod rounding;
 pub mod solution;
 
 pub use dynamics::{JoinRouting, LiveId, OnlineSystem};
+pub use engine::{Engine, EngineRun, LengthGrowth};
 pub use lengths::ScaledLengths;
 pub use m1::{max_flow, max_flow_subset, MaxFlowOutcome};
 pub use m1_fleischer::max_flow_fleischer;

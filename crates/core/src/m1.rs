@@ -9,6 +9,7 @@
 //! `log_{1+ε}((1+ε)/δ)` is primal-feasible (Lemma 2) and within the target
 //! ratio of optimal (Lemma 3).
 
+use crate::engine::{Engine, LengthGrowth};
 use crate::lengths::ScaledLengths;
 use crate::ratio::{ln_delta_m1, m1_scale_divisor, ApproxParams};
 use crate::solution::{summarize, FlowSummary};
@@ -61,6 +62,42 @@ pub fn max_flow<O: TreeOracle + ?Sized>(
     max_flow_subset(g, oracle, &all, params)
 }
 
+/// Table I policy over the [`Engine`]: every iteration recomputes all
+/// selected sessions' trees, picks the globally minimum *normalized* one,
+/// and augments its bottleneck capacity until that minimum reaches 1.
+struct GlobalMinSchedule<'s> {
+    session_ids: &'s [usize],
+    smax: usize,
+}
+
+impl GlobalMinSchedule<'_> {
+    fn norm(&self, receivers: usize) -> f64 {
+        (self.smax as f64 - 1.0) / (receivers as f64)
+    }
+
+    fn drive<O: TreeOracle + ?Sized>(&self, g: &Graph, engine: &mut Engine<'_, O>) {
+        let sessions = engine.sessions();
+        loop {
+            // Minimum overlay spanning tree per selected session; keep the
+            // one of minimum normalized length.
+            let (minlen_stored, tree) = engine.best_normalized_tree(self.session_ids, |i| {
+                self.norm(sessions.session(i).receivers())
+            });
+
+            // Dual objective D1 = Σ c_e d_e; scale cancels in the ratio, so
+            // the weak-duality bound OPT ≤ D1/α is computed in stored scale.
+            engine.observe_alpha(minlen_stored);
+
+            if minlen_stored >= engine.stored_one() {
+                break;
+            }
+            let c = tree.bottleneck(g);
+            debug_assert!(c.is_finite() && c > 0.0);
+            engine.augment(tree, c);
+        }
+    }
+}
+
 /// Runs `MaxFlow` restricted to a subset of sessions (used by the M2
 /// pre-pass to obtain per-session maximum flows λ_i).
 #[must_use]
@@ -80,61 +117,30 @@ pub fn max_flow_subset<O: TreeOracle + ?Sized>(
     // Largest true edge length over the run: (1+ε)·(|S_max|−1)·U slack
     // (Lemma 1/2 bound final lengths by (1+ε)(|S_max|−1); keep margin).
     let ln_top = ((1.0 + eps) * (smax as f64 - 1.0) * u as f64).ln() + 2.0;
-    let mut lengths = ScaledLengths::new(&vec![1.0; g.edge_count()], ln_delta, ln_top);
+    let lengths = ScaledLengths::new(&vec![1.0; g.edge_count()], ln_delta, ln_top);
 
-    let caps: Vec<f64> = g.edge_ids().map(|e| g.capacity(e)).collect();
-    let mut store = TreeStore::new(sessions.len());
-    let mut mst_ops = 0u64;
-    let mut iterations = 0u64;
-    let mut dual_bound = f64::INFINITY;
-
-    loop {
-        // Minimum overlay spanning tree per selected session; keep the one
-        // of minimum normalized length.
-        let mut best: Option<(f64, omcf_overlay::OverlayTree)> = None;
-        for &i in session_ids {
-            let tree = oracle.min_tree(i, lengths.stored());
-            mst_ops += 1;
-            let norm = (smax as f64 - 1.0) / (sessions.session(i).receivers() as f64);
-            let len_stored = tree.length(lengths.stored()) * norm;
-            if best.as_ref().is_none_or(|(b, _)| len_stored < *b) {
-                best = Some((len_stored, tree));
-            }
-        }
-        let (minlen_stored, tree) = best.expect("nonempty session set");
-
-        // Dual objective D1 = Σ c_e d_e; scale cancels in the ratio, so
-        // the weak-duality bound OPT ≤ D1/α is computed in stored scale.
-        let d1_stored = lengths.weighted_sum_stored(&caps);
-        let bound = d1_stored / minlen_stored;
-        if bound < dual_bound {
-            dual_bound = bound;
-        }
-
-        if minlen_stored >= lengths.stored_one() {
-            break;
-        }
-        iterations += 1;
-
-        let c = tree.bottleneck(g);
-        debug_assert!(c.is_finite() && c > 0.0);
-        let mults = tree.edge_multiplicities();
-        store.add(tree, c);
-        for (e, n) in mults {
-            let factor = 1.0 + eps * f64::from(n) * c / g.capacity(e);
-            lengths.scale_edge(e.idx(), factor);
-        }
-    }
+    let mut engine = Engine::new(g, oracle, lengths, LengthGrowth::Fptas { eps });
+    GlobalMinSchedule { session_ids, smax }.drive(g, &mut engine);
+    let run = engine.finish();
 
     // Lemma 2: scale by log_{1+ε}((1+ε)/δ) for primal feasibility.
     let divisor = m1_scale_divisor(eps, ln_delta);
+    let mut store = run.store;
     store.scale_all(1.0 / divisor);
     store.assert_feasible(g, 1e-9);
 
     let summary = summarize(&store, sessions, g);
     let weight = |i: usize| sessions.session(i).receivers() as f64 / (smax as f64 - 1.0);
     let objective: f64 = session_ids.iter().map(|&i| weight(i) * summary.session_rates[i]).sum();
-    MaxFlowOutcome { store, summary, objective, dual_bound, mst_ops, iterations, eps }
+    MaxFlowOutcome {
+        store,
+        summary,
+        objective,
+        dual_bound: run.dual_bound,
+        mst_ops: run.mst_ops,
+        iterations: run.iterations,
+        eps,
+    }
 }
 
 #[cfg(test)]

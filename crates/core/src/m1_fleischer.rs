@@ -18,12 +18,66 @@
 //! this scaling is always feasible and never looser than the analytic
 //! bound; feasibility is asserted after scaling.
 
+use crate::engine::{Engine, LengthGrowth};
 use crate::lengths::ScaledLengths;
 use crate::m1::MaxFlowOutcome;
 use crate::ratio::{ln_delta_m1, ApproxParams};
 use crate::solution::summarize;
-use omcf_overlay::{TreeOracle, TreeStore};
+use omcf_overlay::TreeOracle;
 use omcf_topology::Graph;
+
+/// Fleischer policy over the [`Engine`]: maintain a lower bound `α̂` on
+/// the global minimum normalized tree length; augment within one session
+/// while its tree stays below `(1+ε)·α̂`, bump `α̂` when a full sweep
+/// routes nothing.
+struct AlphaHatSchedule {
+    k: usize,
+    smax: usize,
+    eps: f64,
+}
+
+impl AlphaHatSchedule {
+    fn norm(&self, receivers: usize) -> f64 {
+        (self.smax as f64 - 1.0) / (receivers as f64)
+    }
+
+    fn drive<O: TreeOracle + ?Sized>(&self, g: &Graph, engine: &mut Engine<'_, O>) {
+        let sessions = engine.sessions();
+        let all: Vec<usize> = (0..self.k).collect();
+        let norm = |i: usize| self.norm(sessions.session(i).receivers());
+
+        // Initialize α̂ at the true global minimum (one sweep).
+        let (mut alpha_hat, _) = engine.best_normalized_tree(&all, norm);
+        let stored_one = engine.stored_one();
+        engine.observe_alpha(alpha_hat);
+
+        while alpha_hat < stored_one {
+            let target = alpha_hat * (1.0 + self.eps);
+            for i in 0..self.k {
+                loop {
+                    let tree = engine.min_tree(i);
+                    let len = tree.length(engine.stored_lengths()) * norm(i);
+                    if len > target || len >= stored_one {
+                        break;
+                    }
+                    let c = tree.bottleneck(g);
+                    engine.augment(tree, c);
+                }
+            }
+            // Lengths only grow, so once session i's minimum exceeded
+            // `target` at its turn it still does at the end of the sweep —
+            // the global minimum is now above `target` and the bump is
+            // always sound.
+            alpha_hat = target;
+        }
+
+        // One static sweep for an exact weak-duality witness: lengths are
+        // final, so the minimum normalized tree length is the true α and
+        // D1/α ≥ OPT.
+        let (final_min, _) = engine.best_normalized_tree(&all, norm);
+        engine.observe_alpha(final_min);
+    }
+}
 
 /// Runs the Fleischer-style `MaxFlow` over all sessions of the oracle.
 /// Produces the same kind of outcome as [`crate::m1::max_flow`], typically
@@ -43,78 +97,37 @@ pub fn max_flow_fleischer<O: TreeOracle + ?Sized>(
     let u = oracle.max_route_hops().max(1);
     let ln_delta = ln_delta_m1(eps, smax, u);
     let ln_top = ((1.0 + eps) * (1.0 + eps) * (smax as f64 - 1.0) * u as f64).ln() + 2.0;
-    let mut lengths = ScaledLengths::new(&vec![1.0; g.edge_count()], ln_delta, ln_top);
+    let lengths = ScaledLengths::new(&vec![1.0; g.edge_count()], ln_delta, ln_top);
 
-    let caps: Vec<f64> = g.edge_ids().map(|e| g.capacity(e)).collect();
-    let mut store = TreeStore::new(k);
-    let mut mst_ops = 0u64;
-    let mut iterations = 0u64;
-    let mut dual_bound = f64::INFINITY;
+    let policy = AlphaHatSchedule { k, smax, eps };
+    let mut engine = Engine::new(g, oracle, lengths, LengthGrowth::Fptas { eps });
+    policy.drive(g, &mut engine);
+    let run = engine.finish();
 
-    let norm = |i: usize| (smax as f64 - 1.0) / (sessions.session(i).receivers() as f64);
-
-    // Initialize α̂ at the true global minimum (one sweep).
-    let mut alpha_hat = f64::INFINITY;
-    for i in 0..k {
-        let tree = oracle.min_tree(i, lengths.stored());
-        mst_ops += 1;
-        alpha_hat = alpha_hat.min(tree.length(lengths.stored()) * norm(i));
-    }
-    let stored_one = lengths.stored_one();
-    dual_bound = dual_bound.min(lengths.weighted_sum_stored(&caps) / alpha_hat);
-
-    while alpha_hat < stored_one {
-        let target = alpha_hat * (1.0 + eps);
-        for i in 0..k {
-            loop {
-                let tree = oracle.min_tree(i, lengths.stored());
-                mst_ops += 1;
-                let len = tree.length(lengths.stored()) * norm(i);
-                if len > target || len >= stored_one {
-                    break;
-                }
-                iterations += 1;
-                let c = tree.bottleneck(g);
-                let mults = tree.edge_multiplicities();
-                store.add(tree, c);
-                for (e, n) in mults {
-                    let factor = 1.0 + eps * f64::from(n) * c / g.capacity(e);
-                    lengths.scale_edge(e.idx(), factor);
-                }
-            }
-        }
-        // Lengths only grow, so once session i's minimum exceeded `target`
-        // at its turn it still does at the end of the sweep — the global
-        // minimum is now above `target` and the bump is always sound.
-        alpha_hat = target;
-    }
-
-    // One static sweep for an exact weak-duality witness: lengths are
-    // final, so the minimum normalized tree length is the true α and
-    // D1/α ≥ OPT.
-    {
-        let mut final_min = f64::INFINITY;
-        for i in 0..k {
-            let tree = oracle.min_tree(i, lengths.stored());
-            mst_ops += 1;
-            final_min = final_min.min(tree.length(lengths.stored()) * norm(i));
-        }
-        let bound = lengths.weighted_sum_stored(&caps) / final_min;
-        if bound < dual_bound {
-            dual_bound = bound;
-        }
-    }
-
-    // Measured feasibility divisor (≥ 1 by construction).
+    // Measured feasibility divisor (≥ 1 by construction): each time a
+    // capacity's worth of flow crosses `e`, `d_e` grows by ≥ (1+ε).
     let log1p = (1.0 + eps).ln();
-    let divisor =
-        g.edge_ids().map(|e| (lengths.ln_true(e.idx()) - ln_delta) / log1p).fold(1.0f64, f64::max);
+    let divisor = g
+        .edge_ids()
+        .map(|e| (run.lengths.ln_true(e.idx()) - ln_delta) / log1p)
+        .fold(1.0f64, f64::max);
+    let mut store = run.store;
     store.scale_all(1.0 / divisor);
     store.assert_feasible(g, 1e-9);
 
     let summary = summarize(&store, sessions, g);
-    let objective: f64 = (0..k).map(|i| summary.session_rates[i] / norm(i)).sum();
-    MaxFlowOutcome { store, summary, objective, dual_bound, mst_ops, iterations, eps }
+    let objective: f64 = (0..k)
+        .map(|i| summary.session_rates[i] / policy.norm(sessions.session(i).receivers()))
+        .sum();
+    MaxFlowOutcome {
+        store,
+        summary,
+        objective,
+        dual_bound: run.dual_bound,
+        mst_ops: run.mst_ops,
+        iterations: run.iterations,
+        eps,
+    }
 }
 
 #[cfg(test)]

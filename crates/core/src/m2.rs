@@ -14,6 +14,7 @@
 //! doubled (halving OPT) and the run continues, as in Garg–Könemann and
 //! Fleischer.
 
+use crate::engine::{Engine, LengthGrowth};
 use crate::lengths::ScaledLengths;
 use crate::m1::max_flow_subset;
 use crate::ratio::{ln_delta_m2, m2_scale_divisor, ApproxParams};
@@ -44,6 +45,63 @@ pub struct McfOutcome {
     pub lambda: Vec<f64>,
     /// The ε actually used.
     pub eps: f64,
+}
+
+/// Table III policy over the [`Engine`]: proceed in phases routing every
+/// session's (scaled) demand in bottleneck-sized steps, stop once the dual
+/// objective `D = Σ c_e·d_e` reaches 1, and double demands whenever the
+/// phase budget `T = 2⌈(1/ε)·log_{1+ε}(|E|/(1−ε))⌉` is exhausted (§III-C).
+struct DemandPhaseSchedule {
+    k: usize,
+    eps: f64,
+    dem: Vec<f64>,
+}
+
+impl DemandPhaseSchedule {
+    /// Runs to completion; returns `(phases, doublings)`.
+    fn drive<O: TreeOracle + ?Sized>(
+        mut self,
+        g: &Graph,
+        engine: &mut Engine<'_, O>,
+    ) -> (u64, u32) {
+        let mut phases = 0u64;
+        let mut doublings = 0u32;
+        let t_budget = {
+            let log = (g.edge_count() as f64 / (1.0 - self.eps)).ln() / (1.0 + self.eps).ln();
+            (2.0 * (log / self.eps).ceil()).max(2.0) as u64
+        };
+
+        'outer: loop {
+            phases += 1;
+            #[allow(clippy::needless_range_loop)] // i indexes sessions and dem in lockstep
+            for i in 0..self.k {
+                let mut dem_rem = self.dem[i];
+                while dem_rem > 0.0 {
+                    if engine.dual_objective_stored() >= engine.stored_one() {
+                        break 'outer;
+                    }
+                    let tree = engine.min_tree(i);
+                    let c = dem_rem.min(tree.bottleneck(g));
+                    debug_assert!(c > 0.0 && c.is_finite());
+                    dem_rem -= c;
+                    engine.augment(tree, c);
+                }
+            }
+            if engine.dual_objective_stored() >= engine.stored_one() {
+                break;
+            }
+            if phases.is_multiple_of(t_budget) {
+                // OPT > 2: double demands to halve it and keep phase counts
+                // polynomial (§III-C).
+                for d in &mut self.dem {
+                    *d *= 2.0;
+                }
+                doublings += 1;
+                assert!(doublings < 64, "demand doubling ran away — OPT estimate broken");
+            }
+        }
+        (phases, doublings)
+    }
 }
 
 /// Runs `MaxConcurrentFlow` over all sessions of the oracle.
@@ -95,67 +153,24 @@ pub fn max_concurrent_flow<O: TreeOracle + ?Sized>(
     let lambda_ratio =
         lambda.iter().zip(&original_dem).map(|(l, d)| l / d).fold(f64::INFINITY, f64::min);
     let prescale = lambda_ratio / k as f64;
-    let mut dem: Vec<f64> = original_dem.iter().map(|d| d * prescale).collect();
+    let dem: Vec<f64> = original_dem.iter().map(|d| d * prescale).collect();
 
     let ln_delta = ln_delta_m2(eps, g.edge_count());
     // Final true length of any edge is < (1+ε)/c_e (Lemma 4); top estimate
     // over min capacity with margin.
     let ln_top = ((1.0 + eps) / g.min_capacity()).ln() + 2.0;
-    let caps: Vec<f64> = g.edge_ids().map(|e| g.capacity(e)).collect();
-    let inv_caps: Vec<f64> = caps.iter().map(|c| 1.0 / c).collect();
-    let mut lengths = ScaledLengths::new(&inv_caps, ln_delta, ln_top);
+    let inv_caps: Vec<f64> = g.edge_ids().map(|e| 1.0 / g.capacity(e)).collect();
+    let lengths = ScaledLengths::new(&inv_caps, ln_delta, ln_top);
 
-    let mut store = TreeStore::new(k);
-    let mut mst_ops_main = 0u64;
-    let mut phases = 0u64;
-    let mut doublings = 0u32;
-    // Phase budget before doubling demands:
-    // T = 2⌈(1/ε)·log_{1+ε}(|E|/(1−ε))⌉.
-    let t_budget = {
-        let log = (g.edge_count() as f64 / (1.0 - eps)).ln() / (1.0 + eps).ln();
-        (2.0 * (log / eps).ceil()).max(2.0) as u64
-    };
-
-    let d_stored = |lengths: &ScaledLengths| lengths.weighted_sum_stored(&caps);
-
-    'outer: loop {
-        phases += 1;
-        #[allow(clippy::needless_range_loop)] // i indexes sessions and dem in lockstep
-        for i in 0..k {
-            let mut dem_rem = dem[i];
-            while dem_rem > 0.0 {
-                if d_stored(&lengths) >= lengths.stored_one() {
-                    break 'outer;
-                }
-                let tree = oracle.min_tree(i, lengths.stored());
-                mst_ops_main += 1;
-                let c = dem_rem.min(tree.bottleneck(g));
-                debug_assert!(c > 0.0 && c.is_finite());
-                dem_rem -= c;
-                let mults = tree.edge_multiplicities();
-                store.add(tree, c);
-                for (e, n) in mults {
-                    let factor = 1.0 + eps * f64::from(n) * c / g.capacity(e);
-                    lengths.scale_edge(e.idx(), factor);
-                }
-            }
-        }
-        if d_stored(&lengths) >= lengths.stored_one() {
-            break;
-        }
-        if phases.is_multiple_of(t_budget) {
-            // OPT > 2: double demands to halve it and keep phase counts
-            // polynomial (§III-C).
-            for d in &mut dem {
-                *d *= 2.0;
-            }
-            doublings += 1;
-            assert!(doublings < 64, "demand doubling ran away — OPT estimate broken");
-        }
-    }
+    let mut engine = Engine::new(g, oracle, lengths, LengthGrowth::Fptas { eps });
+    let schedule = DemandPhaseSchedule { k, eps, dem };
+    let (phases, doublings) = schedule.drive(g, &mut engine);
+    let run = engine.finish();
+    let mst_ops_main = run.mst_ops;
 
     // Lemma 4: scale by log_{1+ε}(1/δ) for feasibility.
     let divisor = m2_scale_divisor(eps, ln_delta);
+    let mut store = run.store;
     store.scale_all(1.0 / divisor);
     store.assert_feasible(g, 1e-9);
 

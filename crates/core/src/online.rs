@@ -19,6 +19,8 @@
 //! paper's §IV-D experiment — and aggregates the replicas afterwards
 //! ([`OnlineOutcome::aggregate_rates`]).
 
+use crate::engine::{Engine, LengthGrowth};
+use crate::lengths::ScaledLengths;
 use crate::solution::session_rates as rates_of;
 use omcf_overlay::{TreeOracle, TreeStore};
 use omcf_topology::Graph;
@@ -91,37 +93,31 @@ pub fn online_min_congestion<O: TreeOracle + ?Sized>(
     assert!(rho > 0.0 && rho.is_finite(), "step size must be positive");
     let sessions = oracle.sessions();
     let k = sessions.len();
-    // d_e = δ/c_e with δ = 1: only relative lengths drive tree selection,
-    // so the paper's δ cancels here.
-    let mut lengths: Vec<f64> = g.edge_ids().map(|e| 1.0 / g.capacity(e)).collect();
-    let mut load: Vec<f64> = vec![0.0; g.edge_count()]; // l_e, congestion units
-    let mut store = TreeStore::new(k);
+    // Arrival policy over the engine: one oracle query and one augmentation
+    // per arriving session, routing its whole demand unsplit. d_e = δ/c_e
+    // with δ = 1: only relative lengths drive tree selection, so the
+    // paper's δ cancels here and the identity-scale store applies.
+    let inv_caps: Vec<f64> = g.edge_ids().map(|e| 1.0 / g.capacity(e)).collect();
+    let mut engine =
+        Engine::new(g, oracle, ScaledLengths::raw(&inv_caps), LengthGrowth::Online { rho });
     let mut chosen_edges: Vec<Vec<(usize, u32)>> = Vec::with_capacity(k);
-
     for i in 0..k {
         let dem = sessions.session(i).demand;
-        let tree = oracle.min_tree(i, &lengths);
-        let mults = tree.edge_multiplicities();
-        store.add(tree, dem);
-        let mut edges = Vec::with_capacity(mults.len());
-        for (e, n) in mults {
-            let add = f64::from(n) * dem / g.capacity(e);
-            load[e.idx()] += add;
-            lengths[e.idx()] *= 1.0 + rho * add;
-            assert!(lengths[e.idx()].is_finite(), "online length overflow; lower rho");
-            edges.push((e.idx(), n));
-        }
-        chosen_edges.push(edges);
+        let tree = engine.min_tree(i);
+        let mults = engine.augment(tree, dem);
+        chosen_edges.push(mults.into_iter().map(|(e, n)| (e.idx(), n)).collect());
     }
+    let run = engine.finish();
 
     // Post-pass: l_max per session from the FINAL loads (Table VI lines
     // 8–10), then scale each session by its own l_max.
     let mut l_max = Vec::with_capacity(k);
     for edges in &chosen_edges {
-        let lm = edges.iter().map(|&(e, _)| load[e]).fold(0.0f64, f64::max);
+        let lm = edges.iter().map(|&(e, _)| run.load[e]).fold(0.0f64, f64::max);
         l_max.push(lm);
     }
     let l_max_global = l_max.iter().copied().fold(0.0, f64::max);
+    let mut store = run.store;
     for (i, &lm) in l_max.iter().enumerate() {
         let scale = if lm > 0.0 { 1.0 / lm } else { 0.0 };
         store.scale_session(i, scale);
@@ -129,7 +125,7 @@ pub fn online_min_congestion<O: TreeOracle + ?Sized>(
     store.assert_feasible(g, 1e-9);
 
     let session_rates = rates_of(&store);
-    OnlineOutcome { store, session_rates, l_max, l_max_global, mst_ops: k as u64 }
+    OnlineOutcome { store, session_rates, l_max, l_max_global, mst_ops: run.mst_ops }
 }
 
 #[cfg(test)]

@@ -1,0 +1,139 @@
+//! Monotonic edge-touch epochs — the oracle caching contract.
+//!
+//! The solver engine grows edge lengths monotonically (every update
+//! multiplies a length by a factor ≥ 1). [`EdgeEpochs`] records *when*
+//! each edge was last touched on a per-run logical clock, which lets an
+//! oracle answer the only question caching needs: *"has anything on my
+//! cached routes changed since I computed them?"* Because lengths never
+//! shrink, an untouched shortest path stays shortest — and stays the
+//! deterministic tie-break winner — so a cache hit returns exactly the
+//! tree a fresh computation would (see `docs/ENGINE.md` for the argument,
+//! and `tests/oracle_cache.rs` for the property test pinning it).
+//!
+//! Each [`EdgeEpochs`] carries a process-unique `run_id` so that cache
+//! entries from a previous solver run (different lengths entirely) can
+//! never validate against a new run's clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide source of unique run identifiers.
+static NEXT_RUN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Per-edge last-touched stamps on a monotonic per-run clock.
+#[derive(Clone, Debug)]
+pub struct EdgeEpochs {
+    run_id: u64,
+    current: u64,
+    stamp: Vec<u64>,
+}
+
+impl EdgeEpochs {
+    /// Fresh clock for a solver run over `edge_count` edges. Epoch 0 means
+    /// "never touched"; the clock starts at 1.
+    #[must_use]
+    pub fn new(edge_count: usize) -> Self {
+        Self {
+            run_id: NEXT_RUN_ID.fetch_add(1, Ordering::Relaxed),
+            current: 1,
+            stamp: vec![0; edge_count],
+        }
+    }
+
+    /// Unique identifier of the owning solver run.
+    #[must_use]
+    pub fn run_id(&self) -> u64 {
+        self.run_id
+    }
+
+    /// The current epoch. Oracles stamp cache entries with this value at
+    /// computation time.
+    #[must_use]
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// Advances the clock; call once per length-update step, before
+    /// stamping the touched edges.
+    pub fn advance(&mut self) {
+        self.current += 1;
+    }
+
+    /// Records that edge `e`'s length changed at the current epoch.
+    pub fn touch(&mut self, e: usize) {
+        self.stamp[e] = self.current;
+    }
+
+    /// The epoch edge `e` was last touched at (0 = never).
+    #[must_use]
+    pub fn stamp(&self, e: usize) -> u64 {
+        self.stamp[e]
+    }
+
+    /// True if none of `edges` was touched after `epoch` — i.e. a cache
+    /// entry computed at `epoch` whose routes traverse exactly `edges` is
+    /// still exact.
+    #[must_use]
+    pub fn none_touched_since(&self, edges: &[u32], epoch: u64) -> bool {
+        edges.iter().all(|&e| self.stamp[e as usize] <= epoch)
+    }
+}
+
+/// Edge lengths handed to a [`crate::TreeOracle`], optionally accompanied
+/// by the epoch clock that makes caching sound. Plain views (no epochs)
+/// always take the uncached path.
+#[derive(Clone, Copy, Debug)]
+pub struct LengthView<'a> {
+    /// Live per-edge lengths, indexed by `EdgeId`.
+    pub lengths: &'a [f64],
+    /// Touch clock for the run mutating `lengths`, if the caller maintains
+    /// one and guarantees monotone (never-shrinking) updates.
+    pub epochs: Option<&'a EdgeEpochs>,
+}
+
+impl<'a> LengthView<'a> {
+    /// A view without epoch information: oracles recompute from scratch.
+    #[must_use]
+    pub fn plain(lengths: &'a [f64]) -> Self {
+        Self { lengths, epochs: None }
+    }
+
+    /// A view backed by a touch clock: oracles may serve cached results
+    /// proven exact by the epoch stamps.
+    #[must_use]
+    pub fn with_epochs(lengths: &'a [f64], epochs: &'a EdgeEpochs) -> Self {
+        debug_assert_eq!(lengths.len(), epochs.stamp.len(), "epoch clock sized for other graph");
+        Self { lengths, epochs: Some(epochs) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_ids_are_unique() {
+        let a = EdgeEpochs::new(4);
+        let b = EdgeEpochs::new(4);
+        assert_ne!(a.run_id(), b.run_id());
+    }
+
+    #[test]
+    fn touch_tracking() {
+        let mut e = EdgeEpochs::new(3);
+        let t0 = e.current();
+        e.advance();
+        e.touch(1);
+        assert!(e.none_touched_since(&[0, 2], t0));
+        assert!(!e.none_touched_since(&[0, 1], t0));
+        // A cache computed *now* sees edge 1 as clean again.
+        assert!(e.none_touched_since(&[0, 1, 2], e.current()));
+    }
+
+    #[test]
+    fn plain_view_has_no_epochs() {
+        let lengths = [1.0, 2.0];
+        assert!(LengthView::plain(&lengths).epochs.is_none());
+        let clock = EdgeEpochs::new(2);
+        assert!(LengthView::with_epochs(&lengths, &clock).epochs.is_some());
+    }
+}

@@ -16,15 +16,21 @@
 //! The unicast routes come from either regime of [`omcf_routing`]: frozen
 //! IP shortest paths ([`FixedIpOracle`]) or live shortest paths under the
 //! current lengths ([`DynamicOracle`], §V).
+//!
+//! Oracles are *epoch-aware*: a solver that touches edge lengths through a
+//! monotonic [`EdgeEpochs`] clock can hand the oracle a [`LengthView`] and
+//! get provably exact cached answers (see [`epoch`] and `docs/ENGINE.md`).
 
 pub mod baselines;
+pub mod epoch;
 pub mod oracle;
 pub mod session;
 pub mod store;
 pub mod tree;
 
 pub use baselines::{forest_session_rate, star_forest, star_tree};
-pub use oracle::{DynamicOracle, FixedIpOracle, TreeOracle};
+pub use epoch::{EdgeEpochs, LengthView};
+pub use oracle::{CacheStats, DynamicOracle, FixedIpOracle, TreeOracle};
 pub use session::{random_sessions, Session, SessionSet};
 pub use store::TreeStore;
 pub use tree::{OverlayHop, OverlayTree};

@@ -4,17 +4,42 @@
 //! [`TreeOracle`]: given live per-physical-edge lengths, return the
 //! minimum-length overlay spanning tree of one session. Two implementations
 //! mirror the paper's two routing regimes (§II vs §V).
+//!
+//! ## Epoch-aware caching
+//!
+//! The solver engine (`omcf-core::engine`) passes a [`LengthView`] carrying
+//! an [`EdgeEpochs`](crate::epoch::EdgeEpochs) touch clock alongside the
+//! lengths. Because the engine
+//! only ever *grows* lengths, an oracle may keep its last answer and serve
+//! it again whenever no edge its cached routes traverse has been touched
+//! since — the cached answer is provably the one a fresh computation would
+//! produce (see `docs/ENGINE.md`). [`DynamicOracle`] caches per session
+//! *member*: one shortest-path fan (distances + paths to the other members)
+//! per source, recomputing only the sources whose routes crossed a touched
+//! edge. [`FixedIpOracle`]'s routes are frozen, so it caches the finished
+//! tree per session and revalidates against the session's covered edge set.
+//! Plain [`TreeOracle::min_tree`] calls (no epochs) always recompute.
 
+use crate::epoch::LengthView;
 use crate::session::SessionSet;
 use crate::tree::{OverlayHop, OverlayTree};
-use omcf_routing::{dijkstra, FixedRoutes};
+use omcf_routing::{dijkstra, DijkstraWorkspace, FixedRoutes};
 use omcf_topology::Graph;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// Oracle interface used by the solvers.
 pub trait TreeOracle {
     /// Minimum overlay spanning tree of session `session_idx` under
-    /// `lengths` (indexed by `EdgeId`).
+    /// `lengths` (indexed by `EdgeId`). Always computes from scratch.
     fn min_tree(&self, session_idx: usize, lengths: &[f64]) -> OverlayTree;
+
+    /// Like [`Self::min_tree`], but the view may carry an epoch clock that
+    /// allows the oracle to serve exact cached results. The default
+    /// implementation ignores the clock and recomputes.
+    fn min_tree_view(&self, session_idx: usize, view: LengthView<'_>) -> OverlayTree {
+        self.min_tree(session_idx, view.lengths)
+    }
 
     /// The sessions this oracle serves.
     fn sessions(&self) -> &SessionSet;
@@ -24,11 +49,26 @@ pub trait TreeOracle {
     fn max_route_hops(&self) -> usize;
 }
 
+/// Dijkstra-level cache statistics of an epoch-aware oracle: how many
+/// per-source (dynamic) or per-session (fixed) recomputations were avoided.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from a still-valid cache entry.
+    pub hits: u64,
+    /// Queries that had to recompute (including all uncached-path calls).
+    pub misses: u64,
+}
+
 /// Dense Prim MST over `m` overlay nodes with a weight closure.
 /// Deterministic: among equal-weight candidates the lowest-index vertex
 /// attaches first. Returns `parent[i]` for `i ≥ 1` in attach order.
+/// Degenerate inputs (`m < 2`) have no overlay links: returns no edges.
 fn prim_dense(m: usize, weight: impl Fn(usize, usize) -> f64) -> Vec<(usize, usize)> {
-    debug_assert!(m >= 2);
+    if m < 2 {
+        // A single-member (or empty) overlay has an empty spanning tree;
+        // returning early keeps release builds from underflowing `m - 1`.
+        return Vec::new();
+    }
     let mut in_tree = vec![false; m];
     let mut best = vec![f64::INFINITY; m];
     let mut parent = vec![0usize; m];
@@ -61,21 +101,77 @@ fn prim_dense(m: usize, weight: impl Fn(usize, usize) -> f64) -> Vec<(usize, usi
     edges
 }
 
+/// Cached finished tree of one fixed-routing session.
+#[derive(Debug)]
+struct FixedCache {
+    run_id: u64,
+    epoch: u64,
+    tree: OverlayTree,
+}
+
+#[derive(Debug, Default)]
+struct FixedState {
+    entries: Vec<Option<FixedCache>>,
+}
+
 /// Oracle under **fixed IP routing**: every member pair communicates over
 /// its frozen hop-count shortest path; the overlay edge weight is the sum
 /// of live lengths along that frozen path.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct FixedIpOracle {
     sessions: SessionSet,
     routes: Vec<FixedRoutes>,
+    /// Per session: sorted physical edges its routes cover (invalidation
+    /// key for the cached tree).
+    covered: Vec<Vec<u32>>,
+    caching: bool,
+    state: Mutex<FixedState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Clone for FixedIpOracle {
+    fn clone(&self) -> Self {
+        Self {
+            sessions: self.sessions.clone(),
+            routes: self.routes.clone(),
+            covered: self.covered.clone(),
+            caching: self.caching,
+            state: Mutex::new(FixedState {
+                entries: (0..self.sessions.len()).map(|_| None).collect(),
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl FixedIpOracle {
     /// Precomputes the pairwise IP routes of every session.
     #[must_use]
     pub fn new(g: &Graph, sessions: &SessionSet) -> Self {
-        let routes = sessions.sessions().iter().map(|s| FixedRoutes::new(g, &s.members)).collect();
-        Self { sessions: sessions.clone(), routes }
+        let routes: Vec<FixedRoutes> =
+            sessions.sessions().iter().map(|s| FixedRoutes::new(g, &s.members)).collect();
+        let covered =
+            routes.iter().map(|r| r.covered_edges().iter().map(|e| e.0).collect()).collect();
+        let state = Mutex::new(FixedState { entries: (0..sessions.len()).map(|_| None).collect() });
+        Self {
+            sessions: sessions.clone(),
+            routes,
+            covered,
+            caching: true,
+            state,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Like [`Self::new`] but with the per-session tree cache disabled:
+    /// every epoch-backed query rebuilds the overlay weight matrix.
+    /// Benchmark / verification aid.
+    #[must_use]
+    pub fn uncached(g: &Graph, sessions: &SessionSet) -> Self {
+        Self { caching: false, ..Self::new(g, sessions) }
     }
 
     /// The frozen routes of session `i`.
@@ -94,10 +190,17 @@ impl FixedIpOracle {
         all.dedup();
         all
     }
-}
 
-impl TreeOracle for FixedIpOracle {
-    fn min_tree(&self, session_idx: usize, lengths: &[f64]) -> OverlayTree {
+    /// Cache hit/miss counts since construction.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    fn compute_tree(&self, session_idx: usize, lengths: &[f64]) -> OverlayTree {
         let session = self.sessions.session(session_idx);
         let routes = &self.routes[session_idx];
         let members = &session.members;
@@ -119,6 +222,41 @@ impl TreeOracle for FixedIpOracle {
             .collect();
         OverlayTree { session: session_idx, hops }
     }
+}
+
+impl TreeOracle for FixedIpOracle {
+    fn min_tree(&self, session_idx: usize, lengths: &[f64]) -> OverlayTree {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.compute_tree(session_idx, lengths)
+    }
+
+    fn min_tree_view(&self, session_idx: usize, view: LengthView<'_>) -> OverlayTree {
+        let Some(epochs) = view.epochs.filter(|_| self.caching) else {
+            return self.min_tree(session_idx, view.lengths);
+        };
+        // Contended (another solver run shares this oracle, e.g. a rayon
+        // ratio sweep): compute lock-free instead of serializing on the
+        // cache — the pre-engine baseline cost, never worse.
+        let Ok(mut st) = self.state.try_lock() else {
+            return self.min_tree(session_idx, view.lengths);
+        };
+        let valid = st.entries[session_idx].as_ref().is_some_and(|c| {
+            c.run_id == epochs.run_id()
+                && epochs.none_touched_since(&self.covered[session_idx], c.epoch)
+        });
+        if valid {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return st.entries[session_idx].as_ref().expect("validated above").tree.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let tree = self.compute_tree(session_idx, view.lengths);
+        st.entries[session_idx] = Some(FixedCache {
+            run_id: epochs.run_id(),
+            epoch: epochs.current(),
+            tree: tree.clone(),
+        });
+        tree
+    }
 
     fn sessions(&self) -> &SessionSet {
         &self.sessions
@@ -129,20 +267,100 @@ impl TreeOracle for FixedIpOracle {
     }
 }
 
+/// One session member's cached shortest-path fan: a dedicated, persistent
+/// [`DijkstraWorkspace`] holding the member's last early-exit run, plus the
+/// physical edges its paths-to-members traverse (the invalidation key).
+/// Serving hits straight from the retained workspace keeps the epoch path
+/// free of per-query distance/path materialization.
+#[derive(Debug)]
+struct FanCache {
+    ws: DijkstraWorkspace,
+    /// 0 = never filled (real run ids start at 1).
+    run_id: u64,
+    epoch: u64,
+    fan_edges: Vec<u32>,
+}
+
+#[derive(Debug, Default)]
+struct DynState {
+    /// `fans[session][member]`, allocated lazily on first epoch-backed use.
+    fans: Vec<Vec<Option<FanCache>>>,
+}
+
+impl DynState {
+    fn new(sessions: &SessionSet) -> Self {
+        Self {
+            fans: sessions
+                .sessions()
+                .iter()
+                .map(|s| (0..s.size()).map(|_| None).collect())
+                .collect(),
+        }
+    }
+}
+
 /// Oracle under **arbitrary dynamic routing** (§V): overlay edges follow the
 /// shortest path under the *current* lengths, recomputed per call via one
-/// Dijkstra per session member.
-#[derive(Clone, Debug)]
+/// Dijkstra per session member. Epoch-backed queries run through per-member
+/// persistent workspaces with multi-target early exit, and skip the Dijkstra
+/// entirely for members whose cached fan avoids every edge touched since it
+/// was computed (exact under monotone length growth).
+#[derive(Debug)]
 pub struct DynamicOracle {
     g: Graph,
     sessions: SessionSet,
+    caching: bool,
+    state: Mutex<DynState>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Clone for DynamicOracle {
+    fn clone(&self) -> Self {
+        Self {
+            g: self.g.clone(),
+            sessions: self.sessions.clone(),
+            caching: self.caching,
+            state: Mutex::new(DynState::new(&self.sessions)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
 }
 
 impl DynamicOracle {
-    /// Creates the oracle over a clone of the physical graph.
+    /// Creates the oracle over a clone of the physical graph, with the
+    /// epoch-cached, workspace-reusing query path enabled.
     #[must_use]
     pub fn new(g: &Graph, sessions: &SessionSet) -> Self {
-        Self { g: g.clone(), sessions: sessions.clone() }
+        let state = Mutex::new(DynState::new(sessions));
+        Self {
+            g: g.clone(),
+            sessions: sessions.clone(),
+            caching: true,
+            state,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Like [`Self::new`] but with the epoch path disabled: every query
+    /// computes one fresh-allocation Dijkstra per member, exactly like the
+    /// plain [`TreeOracle::min_tree`] interface. Benchmark / verification
+    /// baseline.
+    #[must_use]
+    pub fn uncached(g: &Graph, sessions: &SessionSet) -> Self {
+        Self { caching: false, ..Self::new(g, sessions) }
+    }
+
+    /// Cache hit/miss counts (per member-level Dijkstra) since
+    /// construction. Plain-interface queries count as misses.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -153,6 +371,7 @@ impl TreeOracle for DynamicOracle {
         let m = members.len();
         // One SPT per member under the live lengths (the §V-B procedure).
         let spts: Vec<_> = members.iter().map(|&n| dijkstra(&self.g, n, lengths)).collect();
+        self.misses.fetch_add(m as u64, Ordering::Relaxed);
         let edges = prim_dense(m, |i, j| spts[i].dist(members[j]));
         let hops = edges
             .into_iter()
@@ -160,6 +379,63 @@ impl TreeOracle for DynamicOracle {
                 a,
                 b,
                 path: spts[a]
+                    .path_to(members[b])
+                    .expect("connected graph: member must be reachable"),
+            })
+            .collect();
+        OverlayTree { session: session_idx, hops }
+    }
+
+    fn min_tree_view(&self, session_idx: usize, view: LengthView<'_>) -> OverlayTree {
+        let Some(epochs) = view.epochs.filter(|_| self.caching) else {
+            return self.min_tree(session_idx, view.lengths);
+        };
+        // Contended (another solver run shares this oracle, e.g. a rayon
+        // ratio sweep): compute lock-free instead of serializing on the
+        // cache — the pre-engine baseline cost, never worse.
+        let Ok(mut guard) = self.state.try_lock() else {
+            return self.min_tree(session_idx, view.lengths);
+        };
+        let st = &mut *guard;
+        let members = &self.sessions.session(session_idx).members;
+        let m = members.len();
+        for (a, &src) in members.iter().enumerate() {
+            let slot = &mut st.fans[session_idx][a];
+            let valid = slot.as_ref().is_some_and(|c| {
+                c.run_id == epochs.run_id() && epochs.none_touched_since(&c.fan_edges, c.epoch)
+            });
+            if valid {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let fan = slot.get_or_insert_with(|| FanCache {
+                ws: DijkstraWorkspace::new(self.g.node_count()),
+                run_id: 0,
+                epoch: 0,
+                fan_edges: Vec::new(),
+            });
+            fan.ws.run_targets(&self.g, src, view.lengths, members);
+            fan.fan_edges.clear();
+            for &t in members {
+                let reached = fan.ws.path_edges_into(t, &mut fan.fan_edges);
+                assert!(reached, "connected graph: member must be reachable");
+            }
+            fan.fan_edges.sort_unstable();
+            fan.fan_edges.dedup();
+            fan.run_id = epochs.run_id();
+            fan.epoch = epochs.current();
+        }
+        let fans = &st.fans[session_idx];
+        let fan = |a: usize| fans[a].as_ref().expect("filled above");
+        let edges = prim_dense(m, |a, b| fan(a).ws.dist(members[b]));
+        let hops = edges
+            .into_iter()
+            .map(|(a, b)| OverlayHop {
+                a,
+                b,
+                path: fan(a)
+                    .ws
                     .path_to(members[b])
                     .expect("connected graph: member must be reachable"),
             })
@@ -182,6 +458,7 @@ impl TreeOracle for DynamicOracle {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::epoch::EdgeEpochs;
     use crate::session::Session;
     use omcf_topology::{canned, NodeId};
 
@@ -277,5 +554,93 @@ mod tests {
         assert_eq!(fixed.max_route_hops(), 4);
         let dynamic = DynamicOracle::new(&g, &sessions);
         assert_eq!(dynamic.max_route_hops(), 4);
+    }
+
+    #[test]
+    fn prim_dense_handles_degenerate_member_counts() {
+        assert!(prim_dense(0, |_, _| 1.0).is_empty());
+        assert!(prim_dense(1, |_, _| 1.0).is_empty());
+        assert_eq!(prim_dense(2, |_, _| 1.0), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn dynamic_cache_hits_on_untouched_requeries() {
+        let g = canned::grid(4, 4, 10.0);
+        let sessions =
+            SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(5), NodeId(15)], 1.0)]);
+        let oracle = DynamicOracle::new(&g, &sessions);
+        let lengths = unit_lengths(&g);
+        let epochs = EdgeEpochs::new(g.edge_count());
+        let view = LengthView::with_epochs(&lengths, &epochs);
+        let t1 = oracle.min_tree_view(0, view);
+        let t2 = oracle.min_tree_view(0, view);
+        assert_eq!(t1, t2);
+        let stats = oracle.cache_stats();
+        assert_eq!(stats.misses, 3, "first query: one Dijkstra per member");
+        assert_eq!(stats.hits, 3, "second query: all fans served from cache");
+    }
+
+    #[test]
+    fn dynamic_cache_invalidates_touched_sources_only() {
+        let g = canned::theta(1.0);
+        let sessions = SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(4)], 1.0)]);
+        let oracle = DynamicOracle::new(&g, &sessions);
+        let mut lengths = unit_lengths(&g);
+        let mut epochs = EdgeEpochs::new(g.edge_count());
+        let t1 = oracle.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+        // Grow the chosen route's edges (monotone update + touch).
+        epochs.advance();
+        for e in &t1.hops[0].path.edges {
+            lengths[e.idx()] *= 100.0;
+            epochs.touch(e.idx());
+        }
+        let t2 = oracle.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+        assert_ne!(t1.canonical_key(), t2.canonical_key(), "grown route must be abandoned");
+        // Cross-check against an uncached oracle on identical lengths.
+        let reference = DynamicOracle::uncached(&g, &sessions);
+        let fresh = reference.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+        assert_eq!(t2, fresh);
+    }
+
+    #[test]
+    fn fixed_cache_serves_tree_until_covered_edge_touched() {
+        let g = canned::grid(3, 3, 10.0);
+        let sessions =
+            SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(4), NodeId(8)], 1.0)]);
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let mut lengths = unit_lengths(&g);
+        let mut epochs = EdgeEpochs::new(g.edge_count());
+        let t1 = oracle.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+        let t2 = oracle.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+        assert_eq!(t1, t2);
+        assert_eq!(oracle.cache_stats(), CacheStats { hits: 1, misses: 1 });
+        // Touch an edge on the cached tree: next query recomputes.
+        epochs.advance();
+        let e = t1.hops[0].path.edges[0];
+        lengths[e.idx()] *= 10.0;
+        epochs.touch(e.idx());
+        let t3 = oracle.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+        t3.validate(sessions.session(0), &g);
+        assert_eq!(oracle.cache_stats(), CacheStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn stale_run_ids_never_validate() {
+        // A cache from one run must not leak into a new run even when the
+        // new run's clock has not touched anything.
+        let g = canned::theta(1.0);
+        let sessions = SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(4)], 1.0)]);
+        let oracle = DynamicOracle::new(&g, &sessions);
+        let cheap = unit_lengths(&g);
+        let run1 = EdgeEpochs::new(g.edge_count());
+        let t1 = oracle.min_tree_view(0, LengthView::with_epochs(&cheap, &run1));
+        // New run, completely different lengths, untouched clock.
+        let mut expensive = unit_lengths(&g);
+        for e in &t1.hops[0].path.edges {
+            expensive[e.idx()] = 100.0;
+        }
+        let run2 = EdgeEpochs::new(g.edge_count());
+        let t2 = oracle.min_tree_view(0, LengthView::with_epochs(&expensive, &run2));
+        assert_ne!(t1.canonical_key(), t2.canonical_key(), "run-id check must force recompute");
     }
 }

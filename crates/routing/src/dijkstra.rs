@@ -4,11 +4,15 @@
 //! FPTAS mutates them every iteration. Ties are broken toward the
 //! lower-numbered predecessor node so that fixed IP routes are reproducible
 //! across runs and platforms.
+//!
+//! The algorithm itself lives in [`crate::workspace::DijkstraWorkspace`];
+//! the free functions here are convenience wrappers that allocate a
+//! one-shot workspace and materialize an owned [`ShortestPathTree`]. Hot
+//! paths (the dynamic tree oracle) hold a workspace and reuse it instead.
 
 use crate::path::Path;
+use crate::workspace::DijkstraWorkspace;
 use omcf_topology::{EdgeId, Graph, NodeId};
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 /// Result of a single-source shortest-path computation.
 #[derive(Clone, Debug)]
@@ -19,6 +23,16 @@ pub struct ShortestPathTree {
 }
 
 impl ShortestPathTree {
+    /// Assembles a tree from raw parts (used by the workspace to export an
+    /// owned snapshot).
+    pub(crate) fn from_parts(
+        src: NodeId,
+        dist: Vec<f64>,
+        parent: Vec<Option<(EdgeId, NodeId)>>,
+    ) -> Self {
+        Self { src, dist, parent }
+    }
+
     /// The source node.
     #[must_use]
     pub fn source(&self) -> NodeId {
@@ -56,68 +70,15 @@ impl ShortestPathTree {
     }
 }
 
-#[derive(PartialEq)]
-struct HeapItem {
-    dist: f64,
-    node: NodeId,
-}
-
-impl Eq for HeapItem {}
-
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on distance, then on node id for determinism.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .expect("no NaN lengths")
-            .then_with(|| other.node.0.cmp(&self.node.0))
-    }
-}
-
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 /// Single-source Dijkstra under the given non-negative edge lengths.
 ///
 /// `lengths[e.idx()]` is the length of edge `e`; it must be finite and
 /// non-negative. Runs in `O(E log V)`.
 #[must_use]
 pub fn dijkstra(g: &Graph, src: NodeId, lengths: &[f64]) -> ShortestPathTree {
-    assert_eq!(lengths.len(), g.edge_count(), "length table size mismatch");
-    debug_assert!(lengths.iter().all(|l| *l >= 0.0 && l.is_finite()));
-    let n = g.node_count();
-    let mut dist = vec![f64::INFINITY; n];
-    let mut parent: Vec<Option<(EdgeId, NodeId)>> = vec![None; n];
-    let mut done = vec![false; n];
-    let mut heap = BinaryHeap::with_capacity(n);
-    dist[src.idx()] = 0.0;
-    heap.push(HeapItem { dist: 0.0, node: src });
-    while let Some(HeapItem { dist: d, node: u }) = heap.pop() {
-        if done[u.idx()] {
-            continue;
-        }
-        done[u.idx()] = true;
-        for (e, v) in g.neighbors(u) {
-            if done[v.idx()] {
-                continue;
-            }
-            let nd = d + lengths[e.idx()];
-            let better = nd < dist[v.idx()]
-                // Deterministic tie-break: prefer the lower-id predecessor.
-                || (nd == dist[v.idx()]
-                    && parent[v.idx()].is_some_and(|(_, p)| u.0 < p.0));
-            if better {
-                dist[v.idx()] = nd;
-                parent[v.idx()] = Some((e, u));
-                heap.push(HeapItem { dist: nd, node: v });
-            }
-        }
-    }
-    ShortestPathTree { src, dist, parent }
+    let mut ws = DijkstraWorkspace::new(g.node_count());
+    ws.run(g, src, lengths);
+    ws.into_tree()
 }
 
 /// Dijkstra with unit lengths — hop-count shortest paths (IP routing

@@ -11,14 +11,20 @@
 //!   edge-length assignment, recomputed every iteration. Modeled by
 //!   [`dynamic::shortest_paths_from`] et al.
 //!
-//! Both are built on a single binary-heap Dijkstra ([`dijkstra()`]) over the
-//! [`omcf_topology::Graph`] with externally supplied per-edge lengths.
+//! Both are built on a single binary-heap Dijkstra over the
+//! [`omcf_topology::Graph`] with externally supplied per-edge lengths. The
+//! algorithm lives in [`DijkstraWorkspace`], a pre-allocated, reusable
+//! buffer set with generation-stamped O(1) resets and a multi-target
+//! early-exit entry point; [`dijkstra()`] is the one-shot convenience
+//! wrapper around it.
 
 pub mod dijkstra;
 pub mod dynamic;
 pub mod fixed;
 pub mod path;
+pub mod workspace;
 
 pub use dijkstra::{dijkstra, ShortestPathTree};
 pub use fixed::FixedRoutes;
 pub use path::Path;
+pub use workspace::DijkstraWorkspace;

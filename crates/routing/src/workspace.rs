@@ -1,0 +1,369 @@
+//! Reusable Dijkstra workspace: the solver hot path.
+//!
+//! Every oracle call of the dynamic-routing FPTAS runs one Dijkstra per
+//! session member, thousands of times per solve. A fresh [`dijkstra`]
+//! allocates four `Vec`s per call; [`DijkstraWorkspace`] pre-allocates them
+//! once and resets in O(1) via generation stamps, and its multi-target
+//! entry point stops as soon as every requested target is settled.
+//!
+//! Both entry points run *exactly* the algorithm of [`dijkstra`] —
+//! identical relaxation order, identical deterministic tie-breaking —
+//! so distances and extracted paths are bit-identical to the fresh-
+//! allocation implementation (the property tests in `tests/prop.rs` pin
+//! this). Early exit is safe for the same reason Dijkstra is correct:
+//! once a node is settled its distance and parent are final, so any
+//! settled target's path is the same whether or not the remaining nodes
+//! are ever popped.
+//!
+//! [`dijkstra`]: crate::dijkstra::dijkstra
+
+use crate::dijkstra::ShortestPathTree;
+use crate::path::Path;
+use omcf_topology::{EdgeId, Graph, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, PartialEq)]
+struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance, then on node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("no NaN lengths")
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Pre-allocated single-source shortest-path state, reusable across runs.
+///
+/// A run fills the workspace in place; [`Self::dist`] and [`Self::path_to`]
+/// then read the result without copying. After an early-exited
+/// [`Self::run_targets`] only the requested targets (and any other settled
+/// node) carry final values — query those only.
+#[derive(Debug)]
+pub struct DijkstraWorkspace {
+    src: NodeId,
+    dist: Vec<f64>,
+    parent: Vec<Option<(EdgeId, NodeId)>>,
+    /// Generation stamp per node: `dist`/`parent` are valid iff equal to
+    /// `gen` (O(1) reset — no per-run clearing of the dense arrays).
+    seen: Vec<u32>,
+    done: Vec<u32>,
+    target: Vec<u32>,
+    gen: u32,
+    heap: BinaryHeap<HeapItem>,
+}
+
+impl DijkstraWorkspace {
+    /// Creates a workspace for graphs of `n` nodes.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self {
+            src: NodeId(0),
+            dist: vec![f64::INFINITY; n],
+            parent: vec![None; n],
+            seen: vec![0; n],
+            done: vec![0; n],
+            target: vec![0; n],
+            gen: 0,
+            heap: BinaryHeap::with_capacity(n),
+        }
+    }
+
+    /// Number of nodes the workspace is sized for.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.dist.len()
+    }
+
+    fn begin(&mut self, src: NodeId) {
+        debug_assert!(src.idx() < self.dist.len(), "source outside workspace");
+        if self.gen == u32::MAX {
+            // Stamp wrap: hard-reset so stale stamps can never alias.
+            self.seen.fill(0);
+            self.done.fill(0);
+            self.target.fill(0);
+            self.gen = 0;
+        }
+        self.gen += 1;
+        self.heap.clear();
+        self.src = src;
+        self.dist[src.idx()] = 0.0;
+        self.parent[src.idx()] = None;
+        self.seen[src.idx()] = self.gen;
+        self.heap.push(HeapItem { dist: 0.0, node: src });
+    }
+
+    #[inline]
+    fn tentative(&self, v: usize) -> f64 {
+        if self.seen[v] == self.gen {
+            self.dist[v]
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Runs single-source Dijkstra from `src`, settling every reachable
+    /// node. Equivalent to [`crate::dijkstra::dijkstra`] with the state
+    /// left in the workspace.
+    pub fn run(&mut self, g: &Graph, src: NodeId, lengths: &[f64]) {
+        self.run_inner(g, src, lengths, &[]);
+    }
+
+    /// Runs Dijkstra from `src` but stops as soon as every node in
+    /// `targets` is settled. Distances, parents and paths of the targets
+    /// are identical to a full run; unlisted nodes may be left unsettled.
+    pub fn run_targets(&mut self, g: &Graph, src: NodeId, lengths: &[f64], targets: &[NodeId]) {
+        debug_assert!(!targets.is_empty(), "run_targets needs at least one target");
+        self.run_inner(g, src, lengths, targets);
+    }
+
+    fn run_inner(&mut self, g: &Graph, src: NodeId, lengths: &[f64], targets: &[NodeId]) {
+        assert_eq!(lengths.len(), g.edge_count(), "length table size mismatch");
+        assert_eq!(self.dist.len(), g.node_count(), "workspace sized for a different graph");
+        debug_assert!(lengths.iter().all(|l| *l >= 0.0 && l.is_finite()));
+        self.begin(src);
+        let gen = self.gen;
+        let mut pending = 0usize;
+        for &t in targets {
+            if self.target[t.idx()] != gen {
+                self.target[t.idx()] = gen;
+                pending += 1;
+            }
+        }
+        while let Some(HeapItem { dist: d, node: u }) = self.heap.pop() {
+            if self.done[u.idx()] == gen {
+                continue;
+            }
+            self.done[u.idx()] = gen;
+            if !targets.is_empty() && self.target[u.idx()] == gen {
+                pending -= 1;
+                if pending == 0 {
+                    return;
+                }
+            }
+            for (e, v) in g.neighbors(u) {
+                if self.done[v.idx()] == gen {
+                    continue;
+                }
+                let nd = d + lengths[e.idx()];
+                let cur = self.tentative(v.idx());
+                let better = nd < cur
+                    // Deterministic tie-break: prefer the lower-id
+                    // predecessor (identical rule to `dijkstra`).
+                    || (nd == cur
+                        && self.parent[v.idx()].is_some_and(|(_, p)| u.0 < p.0));
+                if better {
+                    self.dist[v.idx()] = nd;
+                    self.parent[v.idx()] = Some((e, u));
+                    self.seen[v.idx()] = gen;
+                    self.heap.push(HeapItem { dist: nd, node: v });
+                }
+            }
+        }
+    }
+
+    /// The source of the last run.
+    #[must_use]
+    pub fn source(&self) -> NodeId {
+        self.src
+    }
+
+    /// Distance from the source to `n` (`f64::INFINITY` if unreached).
+    /// After an early-exited run, only settled nodes carry final values.
+    #[must_use]
+    pub fn dist(&self, n: NodeId) -> f64 {
+        self.tentative(n.idx())
+    }
+
+    /// Appends the edge ids of the shortest path to `dst` onto `out`
+    /// (allocation-free alternative to [`Self::path_to`]); returns `false`
+    /// if `dst` is unreached. The ids are pushed in reverse (`dst` → source)
+    /// order — unlike [`Self::path_to`] — so treat the result as an
+    /// unordered set or reverse it. After an early-exited run, query
+    /// settled targets only.
+    pub fn path_edges_into(&self, dst: NodeId, out: &mut Vec<u32>) -> bool {
+        if !self.dist(dst).is_finite() {
+            return false;
+        }
+        let mut cur = dst;
+        while cur != self.src {
+            let (e, prev) = self.parent[cur.idx()].expect("reachable non-source has a parent");
+            out.push(e.0);
+            cur = prev;
+        }
+        true
+    }
+
+    /// Extracts the shortest path to `dst`, or `None` if unreached.
+    /// After an early-exited run, query settled targets only.
+    #[must_use]
+    pub fn path_to(&self, dst: NodeId) -> Option<Path> {
+        if !self.dist(dst).is_finite() {
+            return None;
+        }
+        let mut edges = Vec::new();
+        let mut cur = dst;
+        while cur != self.src {
+            let (e, prev) = self.parent[cur.idx()].expect("reachable non-source has a parent");
+            edges.push(e);
+            cur = prev;
+        }
+        edges.reverse();
+        Some(Path { src: self.src, dst, edges: edges.into_boxed_slice() })
+    }
+
+    /// Materializes the full run as an owned [`ShortestPathTree`]. Only
+    /// meaningful after [`Self::run`] (a full run); an early-exited run
+    /// holds tentative values for unsettled nodes.
+    #[must_use]
+    pub fn to_tree(&self) -> ShortestPathTree {
+        let n = self.dist.len();
+        let dist = (0..n).map(|v| self.tentative(v)).collect();
+        let parent =
+            (0..n).map(|v| if self.seen[v] == self.gen { self.parent[v] } else { None }).collect();
+        ShortestPathTree::from_parts(self.src, dist, parent)
+    }
+
+    /// Like [`Self::to_tree`] but consumes the workspace, handing its
+    /// `dist`/`parent` buffers over without copying (the one-shot
+    /// [`crate::dijkstra::dijkstra`] path). Slots untouched since the last
+    /// run are scrubbed back to unreached first — a no-op after the first
+    /// run, whose unseen slots still hold their initial values.
+    #[must_use]
+    pub fn into_tree(mut self) -> ShortestPathTree {
+        if self.gen > 1 {
+            for v in 0..self.dist.len() {
+                if self.seen[v] != self.gen {
+                    self.dist[v] = f64::INFINITY;
+                    self.parent[v] = None;
+                }
+            }
+        }
+        ShortestPathTree::from_parts(self.src, self.dist, self.parent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use omcf_topology::{canned, GraphBuilder};
+
+    #[test]
+    fn matches_fresh_dijkstra_on_a_grid() {
+        let g = canned::grid(4, 4, 1.0);
+        let lengths: Vec<f64> = (0..g.edge_count()).map(|e| 1.0 + (e % 5) as f64).collect();
+        let mut ws = DijkstraWorkspace::new(g.node_count());
+        for src in g.nodes() {
+            ws.run(&g, src, &lengths);
+            let fresh = dijkstra(&g, src, &lengths);
+            for n in g.nodes() {
+                assert_eq!(ws.dist(n), fresh.dist(n));
+                assert_eq!(ws.path_to(n), fresh.path_to(n));
+            }
+        }
+    }
+
+    #[test]
+    fn reuse_does_not_leak_state_between_runs() {
+        let g = canned::ring(8, 1.0);
+        let unit = vec![1.0; g.edge_count()];
+        let mut ws = DijkstraWorkspace::new(g.node_count());
+        ws.run(&g, NodeId(0), &unit);
+        let d03 = ws.dist(NodeId(3));
+        ws.run(&g, NodeId(4), &unit);
+        assert_eq!(ws.source(), NodeId(4));
+        assert_eq!(ws.dist(NodeId(4)), 0.0);
+        // Rerun from 0: identical to the first run.
+        ws.run(&g, NodeId(0), &unit);
+        assert_eq!(ws.dist(NodeId(3)), d03);
+    }
+
+    #[test]
+    fn early_exit_settles_all_targets_identically() {
+        let g = canned::grid(5, 5, 1.0);
+        let lengths: Vec<f64> = (0..g.edge_count()).map(|e| 0.5 + (e % 3) as f64).collect();
+        let targets = [NodeId(0), NodeId(12), NodeId(24)];
+        let mut ws = DijkstraWorkspace::new(g.node_count());
+        ws.run_targets(&g, NodeId(0), &lengths, &targets);
+        let fresh = dijkstra(&g, NodeId(0), &lengths);
+        for &t in &targets {
+            assert_eq!(ws.dist(t), fresh.dist(t));
+            assert_eq!(ws.path_to(t), fresh.path_to(t));
+        }
+    }
+
+    #[test]
+    fn early_exit_with_source_as_only_target_is_trivial() {
+        let g = canned::path(6, 1.0);
+        let unit = vec![1.0; g.edge_count()];
+        let mut ws = DijkstraWorkspace::new(g.node_count());
+        ws.run_targets(&g, NodeId(2), &unit, &[NodeId(2)]);
+        assert_eq!(ws.dist(NodeId(2)), 0.0);
+        assert_eq!(ws.path_to(NodeId(2)).unwrap().hops(), 0);
+    }
+
+    #[test]
+    fn unreachable_node_reported_unreached() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        let g = b.finish();
+        let mut ws = DijkstraWorkspace::new(3);
+        ws.run(&g, NodeId(0), &[1.0]);
+        assert!(!ws.dist(NodeId(2)).is_finite());
+        assert!(ws.path_to(NodeId(2)).is_none());
+        let tree = ws.to_tree();
+        assert!(!tree.reachable(NodeId(2)));
+    }
+
+    #[test]
+    fn into_tree_scrubs_stale_slots_from_earlier_runs() {
+        // Two components: nodes {0,1} and {2,3}. A run from 0 reaches 1,
+        // a later run from 2 reaches 3 — node 1's slot is stale there and
+        // must come back unreached, not with run-1 leftovers.
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(NodeId(0), NodeId(1), 1.0);
+        b.add_edge(NodeId(2), NodeId(3), 1.0);
+        let g = b.finish();
+        let unit = vec![1.0; g.edge_count()];
+        let mut ws = DijkstraWorkspace::new(g.node_count());
+        ws.run(&g, NodeId(0), &unit);
+        ws.run(&g, NodeId(2), &unit);
+        let owned = ws.into_tree();
+        let fresh = dijkstra(&g, NodeId(2), &unit);
+        for n in g.nodes() {
+            assert_eq!(owned.dist(n), fresh.dist(n));
+            assert_eq!(owned.path_to(n), fresh.path_to(n));
+        }
+        assert!(!owned.reachable(NodeId(1)));
+    }
+
+    #[test]
+    fn to_tree_round_trips() {
+        let g = canned::theta(1.0);
+        let lengths = [1.0, 1.0, 2.0, 2.0, 3.0, 0.5];
+        let mut ws = DijkstraWorkspace::new(g.node_count());
+        ws.run(&g, NodeId(0), &lengths);
+        let owned = ws.to_tree();
+        let fresh = dijkstra(&g, NodeId(0), &lengths);
+        for n in g.nodes() {
+            assert_eq!(owned.dist(n), fresh.dist(n));
+            assert_eq!(owned.path_to(n), fresh.path_to(n));
+        }
+    }
+}

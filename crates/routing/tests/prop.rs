@@ -2,7 +2,7 @@
 
 use omcf_numerics::{Rng64, Xoshiro256pp};
 use omcf_routing::dijkstra::{dijkstra, dijkstra_hops};
-use omcf_routing::FixedRoutes;
+use omcf_routing::{DijkstraWorkspace, FixedRoutes};
 use omcf_topology::waxman::{self, WaxmanParams};
 use omcf_topology::{Graph, NodeId};
 use proptest::prelude::*;
@@ -72,6 +72,50 @@ proptest! {
             }
         }
         prop_assert!(routes.max_route_hops() < n);
+    }
+
+    /// The reusable workspace is bit-identical to fresh-allocation
+    /// Dijkstra: equal distances and equal deterministic tie-broken paths
+    /// from every source, across reuses of the same workspace and random
+    /// length perturbations.
+    #[test]
+    fn workspace_matches_fresh_dijkstra(seed in any::<u64>(), n in 8usize..40) {
+        let g = graph(seed, n);
+        let mut rng = Xoshiro256pp::new(seed ^ 5);
+        let mut ws = DijkstraWorkspace::new(g.node_count());
+        for round in 0..3u32 {
+            // Integer-ish lengths provoke ties; fractional ones don't.
+            let lengths: Vec<f64> = (0..g.edge_count())
+                .map(|_| if round % 2 == 0 { rng.index(3) as f64 + 1.0 } else { rng.range_f64(0.1, 3.0) })
+                .collect();
+            for src in g.nodes() {
+                ws.run(&g, src, &lengths);
+                let fresh = dijkstra(&g, src, &lengths);
+                for v in g.nodes() {
+                    prop_assert_eq!(ws.dist(v), fresh.dist(v));
+                    prop_assert_eq!(ws.path_to(v), fresh.path_to(v));
+                }
+            }
+        }
+    }
+
+    /// Multi-target early exit settles the requested targets with exactly
+    /// the distances and paths of a full run.
+    #[test]
+    fn workspace_early_exit_matches_full_run(seed in any::<u64>(), n in 8usize..40) {
+        let g = graph(seed, n);
+        let mut rng = Xoshiro256pp::new(seed ^ 6);
+        let lengths: Vec<f64> = (0..g.edge_count()).map(|_| rng.index(4) as f64 + 0.5).collect();
+        let targets: Vec<NodeId> =
+            rng.sample_indices(n, 4.min(n)).into_iter().map(|i| NodeId(i as u32)).collect();
+        let src = targets[0];
+        let mut ws = DijkstraWorkspace::new(g.node_count());
+        ws.run_targets(&g, src, &lengths, &targets);
+        let fresh = dijkstra(&g, src, &lengths);
+        for &t in &targets {
+            prop_assert_eq!(ws.dist(t), fresh.dist(t));
+            prop_assert_eq!(ws.path_to(t), fresh.path_to(t));
+        }
     }
 
     /// Under uniform lengths scaled by any constant, the chosen routes'

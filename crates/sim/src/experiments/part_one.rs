@@ -10,7 +10,7 @@ use omcf_core::{
     max_concurrent_flow_maxmin, max_flow, online_min_congestion, rounding, MaxFlowOutcome,
     McfOutcome,
 };
-use omcf_numerics::{Rng64, SplitMix64, Xoshiro256pp};
+use omcf_numerics::{SplitMix64, Xoshiro256pp};
 use omcf_overlay::{DynamicOracle, FixedIpOracle, TreeOracle};
 use omcf_topology::EdgeId;
 use rayon::prelude::*;
@@ -269,10 +269,7 @@ pub fn limited_trees(cfg: &Config, mode: RoutingMode, name_prefix: &str) -> Limi
         let series: Vec<(usize, rounding::TrialStats)> = budgets
             .par_iter()
             .map(|&n| {
-                let mut rng = Xoshiro256pp::new({
-                    let mut c = root.derive(n as u64);
-                    c.next_u64()
-                });
+                let mut rng = Xoshiro256pp::new(root.derive_seed(n as u64));
                 (
                     n,
                     rounding::rounding_trials(

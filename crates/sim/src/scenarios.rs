@@ -40,9 +40,9 @@ impl ScenarioA {
             Scale::Paper => 100,
         };
         let params = WaxmanParams { n, capacity: 100.0, ..WaxmanParams::default() };
-        let mut topo_rng = Xoshiro256pp::new(derive(&root, 1));
+        let mut topo_rng = Xoshiro256pp::new(root.derive_seed(1));
         let graph = omcf_topology::waxman::generate(&params, &mut topo_rng);
-        let mut sess_rng = Xoshiro256pp::new(derive(&root, 2));
+        let mut sess_rng = Xoshiro256pp::new(root.derive_seed(2));
         // Two sessions: 7 and 5 members, drawn independently (may overlap).
         let s1: Vec<NodeId> =
             sess_rng.sample_indices(n, 7).into_iter().map(|i| NodeId(i as u32)).collect();
@@ -139,11 +139,6 @@ impl ScenarioB {
             Xoshiro256pp::new(self.seed ^ (count as u64) << 32 ^ (size as u64) << 8 ^ 0x5E55);
         random_sessions(&self.graph, count, size, 1.0, &mut rng)
     }
-}
-
-fn derive(root: &SplitMix64, label: u64) -> u64 {
-    let mut child = root.derive(label);
-    child.next_u64()
 }
 
 #[cfg(test)]

@@ -73,7 +73,7 @@ pub fn two_level(params: &HierParams, seed: u64) -> Graph {
         capacity: params.capacity,
         side: 1000.0,
     };
-    let mut as_rng = Xoshiro256pp::new(root.derive(0xA5).next_raw());
+    let mut as_rng = Xoshiro256pp::new(root.derive_seed(0xA5));
     let as_graph = waxman::generate(&as_params, &mut as_rng);
 
     // Level 2: one router-level Waxman graph per AS.
@@ -86,7 +86,7 @@ pub fn two_level(params: &HierParams, seed: u64) -> Graph {
     };
     let mut b = GraphBuilder::new(params.total_nodes());
     for a in 0..params.as_count {
-        let mut rng = Xoshiro256pp::new(root.derive(0x100 + a as u64).next_raw());
+        let mut rng = Xoshiro256pp::new(root.derive_seed(0x100 + a as u64));
         let sub = waxman::generate(&per_as, &mut rng);
         let base = (a * params.routers_per_as) as u32;
         // Offset sub-positions into a per-AS tile so DOT output is legible.
@@ -102,7 +102,7 @@ pub fn two_level(params: &HierParams, seed: u64) -> Graph {
     }
 
     // Level 3: realize AS-level edges through random border routers.
-    let mut border_rng = Xoshiro256pp::new(root.derive(0xB0).next_raw());
+    let mut border_rng = Xoshiro256pp::new(root.derive_seed(0xB0));
     for e in as_graph.edge_ids() {
         let edge = as_graph.edge(e);
         let u_router = border_rng.index(params.routers_per_as) as u32
@@ -114,7 +114,7 @@ pub fn two_level(params: &HierParams, seed: u64) -> Graph {
 
     // Safety net: the AS graph is connected, so the expansion is too, but
     // keep the stitch pass for defensive parity with BRITE.
-    let mut fix_rng = Xoshiro256pp::new(root.derive(0xF1).next_raw());
+    let mut fix_rng = Xoshiro256pp::new(root.derive_seed(0xF1));
     connect_components(&mut b, &mut fix_rng, params.capacity);
     let g = b.finish();
     debug_assert_eq!(components(&g).len(), 1);
@@ -125,17 +125,6 @@ pub fn two_level(params: &HierParams, seed: u64) -> Graph {
 #[must_use]
 pub fn as_of(node: NodeId, params: &HierParams) -> usize {
     node.idx() / params.routers_per_as
-}
-
-trait NextRaw {
-    fn next_raw(&self) -> u64;
-}
-
-impl NextRaw for SplitMix64 {
-    fn next_raw(&self) -> u64 {
-        let mut c = self.clone();
-        c.next_u64()
-    }
 }
 
 #[cfg(test)]

@@ -59,10 +59,7 @@ pub fn transit_stub(params: &TransitStubParams, seed: u64) -> Graph {
     assert!(params.transit_domains >= 1 && params.transit_size >= 1);
     assert!(params.stub_size >= 1);
     let root = SplitMix64::new(seed);
-    let derive = |label: u64| {
-        let mut c = root.derive(label);
-        c.next_u64()
-    };
+    let derive = |label: u64| root.derive_seed(label);
     let mut b = GraphBuilder::new(params.total_nodes());
     let transit_total = params.transit_domains * params.transit_size;
 

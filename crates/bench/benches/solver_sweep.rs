@@ -1,0 +1,68 @@
+//! Sweep-driver bench: the full scenario registry × all four solvers,
+//! through the `omcf-sim` sweep driver, parallel and serial. Also emits
+//! `BENCH_sweep.json` at the workspace root — the unified-schema result
+//! grid plus wall times — and asserts the parallel CSV is byte-identical
+//! to the serial one (the driver's determinism contract).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omcf_core::solver::SolverKind;
+use omcf_sim::registry;
+use omcf_sim::sweep::{run_sweep, SweepConfig};
+use omcf_sim::Scale;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SEEDS: [u64; 2] = [2004, 7];
+
+fn bench_sweep_grid(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("solver_sweep/full_registry_micro");
+    grp.sample_size(10);
+    let parallel = SweepConfig::full(Scale::Micro, vec![SEEDS[0]]);
+    let mut serial = parallel.clone();
+    serial.parallel = false;
+    grp.bench_function("parallel", |b| b.iter(|| black_box(run_sweep(&parallel))));
+    grp.bench_function("serial", |b| b.iter(|| black_box(run_sweep(&serial))));
+    grp.finish();
+}
+
+/// Not a throughput bench: runs the grid once per mode and writes
+/// `BENCH_sweep.json`.
+fn emit_bench_json(_c: &mut Criterion) {
+    let cfg = SweepConfig::full(Scale::Micro, SEEDS.to_vec());
+    let mut serial_cfg = cfg.clone();
+    serial_cfg.parallel = false;
+
+    let start = Instant::now();
+    let parallel = run_sweep(&cfg);
+    let parallel_ms = start.elapsed().as_secs_f64() * 1e3;
+    let start = Instant::now();
+    let serial = run_sweep(&serial_cfg);
+    let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        parallel.to_csv(),
+        serial.to_csv(),
+        "parallel sweep output must be byte-identical to serial"
+    );
+
+    let scenarios = registry::registry().len();
+    let solvers = SolverKind::ALL.len();
+    let json = format!(
+        "{{\n  \"bench\": \"solver_sweep\",\n  \"scale\": \"micro\",\n  \"seeds\": {SEEDS:?},\n  \
+         \"scenarios\": {scenarios},\n  \"solvers\": {solvers},\n  \"cells\": {},\n  \
+         \"parallel_matches_serial\": true,\n  \"wall_ms_parallel\": {parallel_ms:.3},\n  \
+         \"wall_ms_serial\": {serial_ms:.3},\n  \"records\": {}}}\n",
+        parallel.records.len(),
+        parallel.to_json(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
+    std::fs::write(path, &json).expect("write BENCH_sweep.json");
+    println!("bench solver_sweep: wrote {path}");
+    println!(
+        "grid {scenarios}x{solvers}x{} = {} cells; parallel {parallel_ms:.1} ms, serial {serial_ms:.1} ms",
+        SEEDS.len(),
+        parallel.records.len(),
+    );
+}
+
+criterion_group!(benches, bench_sweep_grid, emit_bench_json);
+criterion_main!(benches);

@@ -36,6 +36,7 @@ pub mod ratio;
 pub mod residual;
 pub mod rounding;
 pub mod solution;
+pub mod solver;
 
 pub use dynamics::{JoinRouting, LiveId, OnlineSystem};
 pub use engine::{Engine, EngineRun, LengthGrowth};
@@ -48,3 +49,4 @@ pub use ratio::ApproxParams;
 pub use residual::max_concurrent_flow_maxmin;
 pub use rounding::{random_min_congestion, RoundingOutcome};
 pub use solution::{session_rates, FlowSummary};
+pub use solver::{Instance, RoutingMode, Solver, SolverKind, SolverOutcome};

@@ -27,6 +27,7 @@ pub mod oracle;
 pub mod session;
 pub mod store;
 pub mod tree;
+pub mod workload;
 
 pub use baselines::{forest_session_rate, star_forest, star_tree};
 pub use epoch::{EdgeEpochs, LengthView};
@@ -34,3 +35,4 @@ pub use oracle::{CacheStats, DynamicOracle, FixedIpOracle, TreeOracle};
 pub use session::{random_sessions, Session, SessionSet};
 pub use store::TreeStore;
 pub use tree::{OverlayHop, OverlayTree};
+pub use workload::{hotspot_capacities, random_churn, ChurnEvent, ChurnSchedule};

@@ -23,10 +23,70 @@
 use crate::epoch::LengthView;
 use crate::session::SessionSet;
 use crate::tree::{OverlayHop, OverlayTree};
-use omcf_routing::{dijkstra, DijkstraWorkspace, FixedRoutes};
+use omcf_routing::{dijkstra, DijkstraWorkspace, FixedRoutes, WorkspacePool};
 use omcf_topology::Graph;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Baseline for the cache auto-bypass: consecutive epoch-path misses
+/// (with zero hits ever) after which an oracle stops probing its cache
+/// entirely. On instances where hits are structurally impossible — e.g. a
+/// near-tree graph where every augmentation touches every session's fan —
+/// the probe-and-maintain overhead is pure loss; once the threshold is
+/// reached without a single hit the oracle routes epoch-backed queries
+/// straight to the fresh-compute path. The first query round is cold by
+/// construction (hits are only possible from the second round onward), so
+/// each oracle's effective threshold is the larger of this constant and
+/// **twice its total cacheable-entry count** — a large instance cannot
+/// trip the gauge before its caches had a full round to prove themselves.
+/// The gauge is sticky per oracle (results are unaffected either way: a
+/// bypassed query computes exactly what a missed probe would), and any
+/// hit before the threshold disarms it for good.
+const CACHE_BYPASS_MISSES: u64 = 256;
+
+/// Miss-streak tracker backing the cache auto-bypass.
+#[derive(Debug)]
+struct BypassGauge {
+    threshold: u64,
+    consecutive_misses: AtomicU64,
+    tripped: AtomicBool,
+    disarmed: AtomicBool,
+}
+
+impl BypassGauge {
+    /// A gauge for an oracle with `entries` cacheable entries (member fans
+    /// for the dynamic oracle, sessions for the fixed one).
+    fn sized_for(entries: usize) -> Self {
+        Self {
+            threshold: CACHE_BYPASS_MISSES.max(2 * entries as u64),
+            consecutive_misses: AtomicU64::new(0),
+            tripped: AtomicBool::new(false),
+            disarmed: AtomicBool::new(false),
+        }
+    }
+
+    fn on_hit(&self) {
+        self.consecutive_misses.store(0, Ordering::Relaxed);
+        self.disarmed.store(true, Ordering::Relaxed);
+    }
+
+    fn on_miss(&self) {
+        let streak = self.consecutive_misses.fetch_add(1, Ordering::Relaxed) + 1;
+        if streak >= self.threshold && !self.disarmed.load(Ordering::Relaxed) {
+            self.tripped.store(true, Ordering::Relaxed);
+        }
+    }
+
+    fn tripped(&self) -> bool {
+        self.tripped.load(Ordering::Relaxed)
+    }
+}
+
+/// Total member count across sessions — the dynamic oracle's
+/// cacheable-fan count (one persistent workspace per member).
+fn total_fans(sessions: &SessionSet) -> usize {
+    sessions.sessions().iter().map(crate::session::Session::size).sum()
+}
 
 /// Oracle interface used by the solvers.
 pub trait TreeOracle {
@@ -128,6 +188,7 @@ pub struct FixedIpOracle {
     state: Mutex<FixedState>,
     hits: AtomicU64,
     misses: AtomicU64,
+    bypass: BypassGauge,
 }
 
 impl Clone for FixedIpOracle {
@@ -142,6 +203,7 @@ impl Clone for FixedIpOracle {
             }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            bypass: BypassGauge::sized_for(self.sessions.len()),
         }
     }
 }
@@ -163,6 +225,7 @@ impl FixedIpOracle {
             state,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            bypass: BypassGauge::sized_for(sessions.len()),
         }
     }
 
@@ -200,6 +263,14 @@ impl FixedIpOracle {
         }
     }
 
+    /// True once the auto-bypass tripped: epoch-backed queries skip the
+    /// cache probe because `CACHE_BYPASS_MISSES` (256) consecutive misses
+    /// accumulated without a single hit.
+    #[must_use]
+    pub fn cache_bypassed(&self) -> bool {
+        self.bypass.tripped()
+    }
+
     fn compute_tree(&self, session_idx: usize, lengths: &[f64]) -> OverlayTree {
         let session = self.sessions.session(session_idx);
         let routes = &self.routes[session_idx];
@@ -231,7 +302,7 @@ impl TreeOracle for FixedIpOracle {
     }
 
     fn min_tree_view(&self, session_idx: usize, view: LengthView<'_>) -> OverlayTree {
-        let Some(epochs) = view.epochs.filter(|_| self.caching) else {
+        let Some(epochs) = view.epochs.filter(|_| self.caching && !self.bypass.tripped()) else {
             return self.min_tree(session_idx, view.lengths);
         };
         // Contended (another solver run shares this oracle, e.g. a rayon
@@ -246,9 +317,11 @@ impl TreeOracle for FixedIpOracle {
         });
         if valid {
             self.hits.fetch_add(1, Ordering::Relaxed);
+            self.bypass.on_hit();
             return st.entries[session_idx].as_ref().expect("validated above").tree.clone();
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.bypass.on_miss();
         let tree = self.compute_tree(session_idx, view.lengths);
         st.entries[session_idx] = Some(FixedCache {
             run_id: epochs.run_id(),
@@ -313,6 +386,11 @@ pub struct DynamicOracle {
     state: Mutex<DynState>,
     hits: AtomicU64,
     misses: AtomicU64,
+    bypass: BypassGauge,
+    /// Fan workspaces are leased from here (and returned on drop) when the
+    /// oracle was built via [`Self::with_pool`] — the sweep driver's
+    /// cross-instance buffer recycling.
+    pool: Option<Arc<WorkspacePool>>,
 }
 
 impl Clone for DynamicOracle {
@@ -324,24 +402,46 @@ impl Clone for DynamicOracle {
             state: Mutex::new(DynState::new(&self.sessions)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            bypass: BypassGauge::sized_for(total_fans(&self.sessions)),
+            pool: self.pool.clone(),
         }
     }
 }
 
 impl DynamicOracle {
+    fn build(
+        g: &Graph,
+        sessions: &SessionSet,
+        caching: bool,
+        pool: Option<Arc<WorkspacePool>>,
+    ) -> Self {
+        Self {
+            g: g.clone(),
+            sessions: sessions.clone(),
+            caching,
+            state: Mutex::new(DynState::new(sessions)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bypass: BypassGauge::sized_for(total_fans(sessions)),
+            pool,
+        }
+    }
+
     /// Creates the oracle over a clone of the physical graph, with the
     /// epoch-cached, workspace-reusing query path enabled.
     #[must_use]
     pub fn new(g: &Graph, sessions: &SessionSet) -> Self {
-        let state = Mutex::new(DynState::new(sessions));
-        Self {
-            g: g.clone(),
-            sessions: sessions.clone(),
-            caching: true,
-            state,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-        }
+        Self::build(g, sessions, true, None)
+    }
+
+    /// Like [`Self::new`], but per-member fan workspaces are leased from
+    /// `pool` instead of allocated, and handed back when the oracle drops.
+    /// Drivers that solve many instances over same-sized graphs (the
+    /// scenario sweep) share one pool so the dense Dijkstra buffers are
+    /// recycled across cells.
+    #[must_use]
+    pub fn with_pool(g: &Graph, sessions: &SessionSet, pool: Arc<WorkspacePool>) -> Self {
+        Self::build(g, sessions, true, Some(pool))
     }
 
     /// Like [`Self::new`] but with the epoch path disabled: every query
@@ -350,7 +450,7 @@ impl DynamicOracle {
     /// baseline.
     #[must_use]
     pub fn uncached(g: &Graph, sessions: &SessionSet) -> Self {
-        Self { caching: false, ..Self::new(g, sessions) }
+        Self::build(g, sessions, false, None)
     }
 
     /// Cache hit/miss counts (per member-level Dijkstra) since
@@ -360,6 +460,29 @@ impl DynamicOracle {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// True once the auto-bypass tripped (see [`FixedIpOracle::cache_bypassed`]).
+    #[must_use]
+    pub fn cache_bypassed(&self) -> bool {
+        self.bypass.tripped()
+    }
+}
+
+impl Drop for DynamicOracle {
+    fn drop(&mut self) {
+        let Some(pool) = self.pool.take() else {
+            return;
+        };
+        if let Ok(mut st) = self.state.lock() {
+            for fans in &mut st.fans {
+                for slot in fans.iter_mut() {
+                    if let Some(cache) = slot.take() {
+                        pool.give_back(cache.ws);
+                    }
+                }
+            }
         }
     }
 }
@@ -387,7 +510,7 @@ impl TreeOracle for DynamicOracle {
     }
 
     fn min_tree_view(&self, session_idx: usize, view: LengthView<'_>) -> OverlayTree {
-        let Some(epochs) = view.epochs.filter(|_| self.caching) else {
+        let Some(epochs) = view.epochs.filter(|_| self.caching && !self.bypass.tripped()) else {
             return self.min_tree(session_idx, view.lengths);
         };
         // Contended (another solver run shares this oracle, e.g. a rayon
@@ -406,11 +529,16 @@ impl TreeOracle for DynamicOracle {
             });
             if valid {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.bypass.on_hit();
                 continue;
             }
             self.misses.fetch_add(1, Ordering::Relaxed);
+            self.bypass.on_miss();
             let fan = slot.get_or_insert_with(|| FanCache {
-                ws: DijkstraWorkspace::new(self.g.node_count()),
+                ws: match &self.pool {
+                    Some(pool) => pool.lease(self.g.node_count()),
+                    None => DijkstraWorkspace::new(self.g.node_count()),
+                },
                 run_id: 0,
                 epoch: 0,
                 fan_edges: Vec::new(),
@@ -622,6 +750,119 @@ mod tests {
         let t3 = oracle.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
         t3.validate(sessions.session(0), &g);
         assert_eq!(oracle.cache_stats(), CacheStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn auto_bypass_trips_on_hitless_miss_streak_without_changing_results() {
+        // Theta graph, one 2-member session: every augmentation touches the
+        // chosen route, so the fan cache can never hit — the Scenario-A
+        // pathology in miniature.
+        let g = canned::theta(1.0);
+        let sessions = SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(4)], 1.0)]);
+        let oracle = DynamicOracle::new(&g, &sessions);
+        let reference = DynamicOracle::uncached(&g, &sessions);
+        let mut lengths = unit_lengths(&g);
+        let mut epochs = EdgeEpochs::new(g.edge_count());
+        for step in 0..200 {
+            let view = LengthView::with_epochs(&lengths, &epochs);
+            let t = oracle.min_tree_view(0, view);
+            let fresh = reference.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+            assert_eq!(t, fresh, "bypass must not change results (step {step})");
+            // Grow the chosen route (monotone) and stamp the clock.
+            epochs.advance();
+            for e in t.edge_multiplicities() {
+                lengths[e.0.idx()] *= 1.01;
+                epochs.touch(e.0.idx());
+            }
+        }
+        // 200 queries × 2 members = 400 misses > threshold, zero hits.
+        assert!(oracle.cache_bypassed(), "hitless streak must trip the bypass");
+        assert_eq!(oracle.cache_stats().hits, 0);
+        // Bypassed queries still count as misses on the plain path.
+        assert!(oracle.cache_stats().misses >= super::CACHE_BYPASS_MISSES);
+    }
+
+    #[test]
+    fn auto_bypass_disarmed_by_an_early_hit() {
+        // Re-query without touching anything: the second query hits, which
+        // permanently disarms the gauge no matter how many misses follow.
+        let g = canned::grid(4, 4, 10.0);
+        let sessions =
+            SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(5), NodeId(15)], 1.0)]);
+        let oracle = DynamicOracle::new(&g, &sessions);
+        let mut lengths = unit_lengths(&g);
+        let mut epochs = EdgeEpochs::new(g.edge_count());
+        let t = oracle.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+        let _ = oracle.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+        assert!(oracle.cache_stats().hits > 0);
+        // Now force a long miss streak by touching the whole graph.
+        for _ in 0..200 {
+            epochs.advance();
+            for (e, len) in lengths.iter_mut().enumerate() {
+                *len *= 1.001;
+                epochs.touch(e);
+            }
+            let _ = oracle.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+        }
+        assert!(!oracle.cache_bypassed(), "a hit before the threshold disarms the bypass");
+        drop(t);
+    }
+
+    #[test]
+    fn auto_bypass_threshold_scales_with_instance_size() {
+        // 100 sessions × 3 members = 300 fans > 256: the cold first query
+        // round alone must NOT trip the gauge — hits only become possible
+        // from the second round, and they must still disarm it.
+        let g = canned::grid(6, 6, 10.0);
+        let sessions = SessionSet::new(
+            (0..100)
+                .map(|i| {
+                    Session::new(
+                        vec![NodeId(i % 36), NodeId((i + 7) % 36), NodeId((i + 19) % 36)],
+                        1.0,
+                    )
+                })
+                .collect(),
+        );
+        let oracle = DynamicOracle::new(&g, &sessions);
+        let lengths = unit_lengths(&g);
+        let epochs = EdgeEpochs::new(g.edge_count());
+        for i in 0..sessions.len() {
+            let _ = oracle.min_tree_view(i, LengthView::with_epochs(&lengths, &epochs));
+        }
+        assert_eq!(oracle.cache_stats().misses, 300, "cold round misses every fan");
+        assert!(
+            !oracle.cache_bypassed(),
+            "the unavoidable cold round must not trip the bypass on a large instance"
+        );
+        // Second round: untouched clock ⇒ all hits; gauge disarmed forever.
+        let _ = oracle.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+        assert!(oracle.cache_stats().hits >= 3);
+        assert!(!oracle.cache_bypassed());
+    }
+
+    #[test]
+    fn pooled_oracle_returns_workspaces_on_drop() {
+        let g = canned::grid(4, 4, 10.0);
+        let sessions =
+            SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(5), NodeId(15)], 1.0)]);
+        let pool = Arc::new(WorkspacePool::new());
+        let epochs = EdgeEpochs::new(g.edge_count());
+        let lengths = unit_lengths(&g);
+        {
+            let oracle = DynamicOracle::with_pool(&g, &sessions, Arc::clone(&pool));
+            let t = oracle.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+            t.validate(sessions.session(0), &g);
+            assert_eq!(pool.idle(), 0, "workspaces are in use while the oracle lives");
+        }
+        assert_eq!(pool.idle(), 3, "one workspace per member returned on drop");
+        // A second pooled oracle reuses them and computes the same tree.
+        let oracle2 = DynamicOracle::with_pool(&g, &sessions, Arc::clone(&pool));
+        let reference = DynamicOracle::new(&g, &sessions);
+        let t2 = oracle2.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+        let tr = reference.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+        assert_eq!(t2, tr);
+        assert_eq!(pool.idle(), 0);
     }
 
     #[test]

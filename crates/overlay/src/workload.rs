@@ -1,0 +1,255 @@
+//! Workload transforms beyond the paper's two static scenarios.
+//!
+//! The paper evaluates uniform-capacity topologies with a fixed session
+//! population. Two generalizations the scenario registry exercises live
+//! here, at the overlay layer where sessions and graphs meet:
+//!
+//! * [`hotspot_capacities`] — heterogeneous capacities: a random subset of
+//!   *hotspot* nodes gets all incident links scaled by a factor, modeling
+//!   well-provisioned server sites (factor > 1) or congested access points
+//!   (factor < 1).
+//! * [`ChurnSchedule`] / [`random_churn`] — a session-churn workload: an
+//!   ordered trace of joins and leaves for the online algorithm, with the
+//!   surviving population available as a static [`SessionSet`] so offline
+//!   solvers can answer "what would an omniscient batch solution to the
+//!   final state look like?" on the same instance.
+
+use crate::session::{Session, SessionSet};
+use omcf_numerics::Rng64;
+use omcf_topology::{Graph, GraphBuilder, NodeId};
+
+/// Rebuilds `g` with every edge incident to a hotspot node scaled by
+/// `factor`. Hotspots are `ceil(hotspot_fraction · n)` nodes sampled
+/// uniformly without replacement. Positions and edge order are preserved,
+/// so `EdgeId`s of the returned graph line up with `g`'s.
+#[must_use]
+pub fn hotspot_capacities(
+    g: &Graph,
+    hotspot_fraction: f64,
+    factor: f64,
+    rng: &mut impl Rng64,
+) -> Graph {
+    assert!(
+        hotspot_fraction > 0.0 && hotspot_fraction <= 1.0,
+        "hotspot fraction must be in (0, 1]"
+    );
+    assert!(factor > 0.0 && factor.is_finite(), "capacity factor must be positive");
+    let n = g.node_count();
+    let count = (hotspot_fraction * n as f64).ceil() as usize;
+    let mut hot = vec![false; n];
+    for i in rng.sample_indices(n, count.min(n)) {
+        hot[i] = true;
+    }
+    let mut b = GraphBuilder::new(n);
+    for node in g.nodes() {
+        let (x, y) = g.position(node);
+        b.set_position(node, x, y);
+    }
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        let cap = if hot[edge.u.idx()] || hot[edge.v.idx()] {
+            edge.capacity * factor
+        } else {
+            edge.capacity
+        };
+        b.add_edge(edge.u, edge.v, cap);
+    }
+    b.finish()
+}
+
+/// One event of a churn trace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ChurnEvent {
+    /// A session joins the system.
+    Join(Session),
+    /// The session admitted by the `i`-th [`ChurnEvent::Join`] (0-based)
+    /// leaves.
+    Leave(usize),
+}
+
+/// An ordered, validated join/leave trace.
+///
+/// Invariants enforced at construction: every `Leave(i)` refers to an
+/// earlier join that is still live, and at least one session survives the
+/// whole trace (so the surviving population is a valid [`SessionSet`]).
+#[derive(Clone, Debug)]
+pub struct ChurnSchedule {
+    events: Vec<ChurnEvent>,
+}
+
+impl ChurnSchedule {
+    /// Validates and wraps a trace.
+    #[must_use]
+    pub fn new(events: Vec<ChurnEvent>) -> Self {
+        let mut live: Vec<bool> = Vec::new();
+        for ev in &events {
+            match ev {
+                ChurnEvent::Join(_) => live.push(true),
+                ChurnEvent::Leave(i) => {
+                    assert!(
+                        live.get(*i).copied() == Some(true),
+                        "Leave({i}) does not match a live earlier join"
+                    );
+                    live[*i] = false;
+                }
+            }
+        }
+        assert!(live.iter().any(|l| *l), "churn trace must leave at least one survivor");
+        Self { events }
+    }
+
+    /// The trace, in arrival order.
+    #[must_use]
+    pub fn events(&self) -> &[ChurnEvent] {
+        &self.events
+    }
+
+    /// Total number of joins.
+    #[must_use]
+    pub fn join_count(&self) -> usize {
+        self.events.iter().filter(|e| matches!(e, ChurnEvent::Join(_))).count()
+    }
+
+    /// Join indices (0-based) of the sessions still live at the end.
+    #[must_use]
+    pub fn survivor_joins(&self) -> Vec<usize> {
+        let mut live: Vec<bool> = vec![true; self.join_count()];
+        for ev in &self.events {
+            if let ChurnEvent::Leave(i) = ev {
+                live[*i] = false;
+            }
+        }
+        live.iter().enumerate().filter(|(_, l)| **l).map(|(i, _)| i).collect()
+    }
+
+    /// The surviving population as a static session set (join order).
+    #[must_use]
+    pub fn survivors(&self) -> SessionSet {
+        let joins: Vec<&Session> = self
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                ChurnEvent::Join(s) => Some(s),
+                ChurnEvent::Leave(_) => None,
+            })
+            .collect();
+        SessionSet::new(self.survivor_joins().into_iter().map(|i| joins[i].clone()).collect())
+    }
+}
+
+/// Draws a deterministic churn trace over `g`: `joins` sessions of `size`
+/// uniformly sampled members at demand `demand`; after each join (past the
+/// first), a departure of a uniformly chosen live session follows with
+/// probability `leave_prob`. The last survivor never leaves.
+#[must_use]
+pub fn random_churn(
+    g: &Graph,
+    joins: usize,
+    size: usize,
+    demand: f64,
+    leave_prob: f64,
+    rng: &mut impl Rng64,
+) -> ChurnSchedule {
+    assert!(joins >= 1, "need at least one join");
+    assert!((0.0..=1.0).contains(&leave_prob), "leave probability out of [0, 1]");
+    let mut events = Vec::new();
+    let mut live: Vec<usize> = Vec::new();
+    for j in 0..joins {
+        let members: Vec<NodeId> = rng
+            .sample_indices(g.node_count(), size)
+            .into_iter()
+            .map(|i| NodeId(i as u32))
+            .collect();
+        events.push(ChurnEvent::Join(Session::new(members, demand)));
+        live.push(j);
+        if live.len() >= 2 && rng.next_f64() < leave_prob {
+            let idx = live.swap_remove(rng.index(live.len()));
+            events.push(ChurnEvent::Leave(idx));
+        }
+    }
+    ChurnSchedule::new(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omcf_numerics::Xoshiro256pp;
+    use omcf_topology::canned;
+
+    #[test]
+    fn hotspot_scales_only_incident_edges() {
+        let g = canned::grid(4, 4, 10.0);
+        let mut rng = Xoshiro256pp::new(5);
+        let h = hotspot_capacities(&g, 0.25, 5.0, &mut rng);
+        assert_eq!(h.edge_count(), g.edge_count());
+        let mut scaled = 0;
+        for (e, he) in g.edge_ids().zip(h.edge_ids()) {
+            let (a, b) = (g.capacity(e), h.capacity(he));
+            assert!((b - a).abs() < 1e-12 || (b - 5.0 * a).abs() < 1e-12);
+            if (b - 5.0 * a).abs() < 1e-12 {
+                scaled += 1;
+            }
+            assert_eq!(g.edge(e).u, h.edge(he).u);
+            assert_eq!(g.edge(e).v, h.edge(he).v);
+        }
+        // 4 hotspot nodes on a 4×4 grid touch at least their own degree.
+        assert!(scaled >= 4, "expected several scaled edges, got {scaled}");
+        assert!(scaled < g.edge_count(), "not every edge may be scaled");
+    }
+
+    #[test]
+    fn hotspot_is_deterministic_in_seed() {
+        let g = canned::grid(3, 3, 4.0);
+        let a = hotspot_capacities(&g, 0.3, 0.5, &mut Xoshiro256pp::new(9));
+        let b = hotspot_capacities(&g, 0.3, 0.5, &mut Xoshiro256pp::new(9));
+        for (x, y) in a.edge_ids().zip(b.edge_ids()) {
+            assert_eq!(a.capacity(x), b.capacity(y));
+        }
+    }
+
+    #[test]
+    fn churn_schedule_tracks_survivors() {
+        let s = |a: u32, b: u32| Session::new(vec![NodeId(a), NodeId(b)], 1.0);
+        let sched = ChurnSchedule::new(vec![
+            ChurnEvent::Join(s(0, 1)),
+            ChurnEvent::Join(s(2, 3)),
+            ChurnEvent::Leave(0),
+            ChurnEvent::Join(s(4, 5)),
+        ]);
+        assert_eq!(sched.join_count(), 3);
+        assert_eq!(sched.survivor_joins(), vec![1, 2]);
+        let survivors = sched.survivors();
+        assert_eq!(survivors.len(), 2);
+        assert_eq!(survivors.session(0).members, vec![NodeId(2), NodeId(3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match a live earlier join")]
+    fn double_leave_rejected() {
+        let s = Session::new(vec![NodeId(0), NodeId(1)], 1.0);
+        let _ = ChurnSchedule::new(vec![
+            ChurnEvent::Join(s.clone()),
+            ChurnEvent::Join(s),
+            ChurnEvent::Leave(0),
+            ChurnEvent::Leave(0),
+        ]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one survivor")]
+    fn empty_survivor_set_rejected() {
+        let s = Session::new(vec![NodeId(0), NodeId(1)], 1.0);
+        let _ = ChurnSchedule::new(vec![ChurnEvent::Join(s), ChurnEvent::Leave(0)]);
+    }
+
+    #[test]
+    fn random_churn_is_valid_and_deterministic() {
+        let g = canned::grid(5, 5, 10.0);
+        let a = random_churn(&g, 12, 3, 1.0, 0.4, &mut Xoshiro256pp::new(77));
+        let b = random_churn(&g, 12, 3, 1.0, 0.4, &mut Xoshiro256pp::new(77));
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.join_count(), 12);
+        assert!(!a.survivors().is_empty());
+        assert!(a.events().len() > 12, "seed 77 should produce at least one leave");
+    }
+}

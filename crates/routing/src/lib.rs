@@ -27,4 +27,4 @@ pub mod workspace;
 pub use dijkstra::{dijkstra, ShortestPathTree};
 pub use fixed::FixedRoutes;
 pub use path::Path;
-pub use workspace::DijkstraWorkspace;
+pub use workspace::{DijkstraWorkspace, WorkspacePool};

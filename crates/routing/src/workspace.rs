@@ -258,6 +258,60 @@ impl DijkstraWorkspace {
     }
 }
 
+/// A shared pool of [`DijkstraWorkspace`]s for drivers that run many solver
+/// instances over same-sized graphs (the sweep driver): instead of every
+/// oracle allocating its per-member workspaces from scratch, it leases them
+/// here and returns them when dropped, so the dense `dist`/`parent`/stamp
+/// buffers are recycled across cells. Lock contention is a non-issue: the
+/// pool is touched once per lease/return, not per Dijkstra run — workspaces
+/// are private to their holder between the two.
+///
+/// Workspaces are pooled per node count; a lease for a size the pool has
+/// never seen simply allocates. The pool never shrinks on its own; callers
+/// that finish a sweep drop the pool (or call [`Self::clear`]).
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    free: std::sync::Mutex<Vec<DijkstraWorkspace>>,
+}
+
+impl WorkspacePool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Leases a workspace sized for `n` nodes: recycles a pooled one of the
+    /// exact size if available, otherwise allocates fresh.
+    #[must_use]
+    pub fn lease(&self, n: usize) -> DijkstraWorkspace {
+        let mut free = self.free.lock().expect("workspace pool poisoned");
+        if let Some(pos) = free.iter().position(|ws| ws.node_count() == n) {
+            free.swap_remove(pos)
+        } else {
+            DijkstraWorkspace::new(n)
+        }
+    }
+
+    /// Returns a workspace to the pool for future leases. The workspace's
+    /// generation stamps make any prior contents unreadable to the next
+    /// holder — no reset pass is needed.
+    pub fn give_back(&self, ws: DijkstraWorkspace) {
+        self.free.lock().expect("workspace pool poisoned").push(ws);
+    }
+
+    /// Number of idle pooled workspaces.
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("workspace pool poisoned").len()
+    }
+
+    /// Drops all pooled workspaces.
+    pub fn clear(&self) {
+        self.free.lock().expect("workspace pool poisoned").clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -351,6 +405,45 @@ mod tests {
             assert_eq!(owned.path_to(n), fresh.path_to(n));
         }
         assert!(!owned.reachable(NodeId(1)));
+    }
+
+    #[test]
+    fn pool_recycles_matching_sizes_only() {
+        let pool = WorkspacePool::new();
+        let a = pool.lease(10);
+        assert_eq!(a.node_count(), 10);
+        pool.give_back(a);
+        assert_eq!(pool.idle(), 1);
+        // Mismatched size: fresh allocation, pooled one stays idle.
+        let b = pool.lease(20);
+        assert_eq!(b.node_count(), 20);
+        assert_eq!(pool.idle(), 1);
+        // Matching size: recycled.
+        let c = pool.lease(10);
+        assert_eq!(c.node_count(), 10);
+        assert_eq!(pool.idle(), 0);
+        pool.give_back(b);
+        pool.give_back(c);
+        assert_eq!(pool.idle(), 2);
+        pool.clear();
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn recycled_workspace_computes_identically() {
+        let g = canned::grid(4, 4, 1.0);
+        let lengths: Vec<f64> = (0..g.edge_count()).map(|e| 1.0 + (e % 4) as f64).collect();
+        let pool = WorkspacePool::new();
+        let mut first = pool.lease(g.node_count());
+        first.run(&g, NodeId(3), &lengths);
+        pool.give_back(first);
+        let mut again = pool.lease(g.node_count());
+        again.run(&g, NodeId(0), &lengths);
+        let fresh = dijkstra(&g, NodeId(0), &lengths);
+        for n in g.nodes() {
+            assert_eq!(again.dist(n), fresh.dist(n));
+            assert_eq!(again.path_to(n), fresh.path_to(n));
+        }
     }
 
     #[test]

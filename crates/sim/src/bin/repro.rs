@@ -1,22 +1,27 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--paper] [--seed N] [--out DIR] <artifact>...
+//! repro [--paper] [--micro] [--seed N] [--out DIR] <artifact>...
 //!
 //! artifacts: fig1 table2 fig2 table4 fig3 fig4 fig5 fig6
 //!            table7 table8 fig7 fig8 fig9 fig10 fig11
 //!            fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19
-//!            part-one evaluation all
+//!            part-one evaluation sweep all
 //! ```
 //!
 //! Tables print to stdout and are written as CSV; figures are written as
 //! long-format CSV under `--out` (default `./repro-out`) with a terminal
 //! sketch printed. `--paper` switches from the fast shape-preserving
-//! instances to full paper scale (Scenario B then takes a long time).
+//! instances to full paper scale (Scenario B then takes a long time);
+//! `--micro` shrinks to the bench-sized instances (used by the CI sweep
+//! smoke job). The `sweep` artifact runs the whole scenario registry
+//! through all four solvers (see `docs/WORKLOADS.md`) and writes
+//! `sweep.csv` / `sweep.json`.
 
 use omcf_sim::experiments::{evaluation, fig1, part_one, sensitivity, Config};
 use omcf_sim::figures::Figure;
 use omcf_sim::scenarios::Scale;
+use omcf_sim::sweep::{run_sweep, SweepConfig};
 use omcf_sim::tables::{GridSurface, RatioTable};
 use std::path::{Path, PathBuf};
 
@@ -34,6 +39,7 @@ fn parse_args() -> Cli {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--paper" => cfg.scale = Scale::Paper,
+            "--micro" => cfg.scale = Scale::Micro,
             "--seed" => {
                 cfg.seed = args
                     .next()
@@ -57,10 +63,10 @@ fn parse_args() -> Cli {
     Cli { cfg, out, artifacts }
 }
 
-const HELP: &str = "repro [--paper] [--seed N] [--out DIR] <artifact>...\n\
+const HELP: &str = "repro [--paper] [--micro] [--seed N] [--out DIR] <artifact>...\n\
   artifacts: fig1 table2 fig2 table4 fig3 fig4 fig5 fig6 table7 table8\n\
              fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16\n\
-             fig17 fig18 fig19 part-one evaluation all";
+             fig17 fig18 fig19 part-one evaluation sweep all";
 
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}\n{HELP}");
@@ -229,6 +235,19 @@ fn main() {
         for (i, s) in e.fig19_online_minrate_ratio.iter().enumerate() {
             emit_surface(out, &format!("fig19-{}trees", e.online_budgets[i]), s);
         }
+    }
+    if cli.artifacts.iter().any(|a| a == "sweep" || a == "all") {
+        let sweep_cfg = SweepConfig::full(cfg.scale, vec![cfg.seed]);
+        let res = run_sweep(&sweep_cfg);
+        println!("== Scenario sweep ({} cells) ==", res.records.len());
+        println!("{}", res.render());
+        std::fs::create_dir_all(out).expect("create out dir");
+        let csv_path = out.join("sweep.csv");
+        std::fs::write(&csv_path, res.to_csv()).expect("write sweep csv");
+        println!("  -> {}", csv_path.display());
+        let json_path = out.join("sweep.json");
+        std::fs::write(&json_path, res.to_json()).expect("write sweep json");
+        println!("  -> {}", json_path.display());
     }
 
     println!("\n# done in {:.1}s", t0.elapsed().as_secs_f64());

@@ -1,14 +1,36 @@
 //! Scenario B artifacts: the §VI evaluation surfaces (Figs. 12–19).
 
-use super::Config;
+use super::{Config, RoutingMode};
 use crate::experiment_params;
 use crate::figures::{Figure, Series};
 use crate::metrics;
 use crate::scenarios::{replicate_sessions, ScenarioB};
 use crate::tables::GridSurface;
-use omcf_core::{max_concurrent_flow_maxmin, max_flow, online_min_congestion};
-use omcf_overlay::FixedIpOracle;
+use omcf_core::online_min_congestion;
+use omcf_core::solver::{Instance, SolverKind, SolverOutcome};
+use omcf_overlay::{FixedIpOracle, SessionSet};
+use omcf_topology::Graph;
 use rayon::prelude::*;
+
+/// The §VI grid point as a solver-layer [`Instance`] — the single
+/// construction shared by the surfaces, the figures and the tests.
+fn instance_b(graph: &Graph, sessions: &SessionSet, eps: f64) -> Instance {
+    Instance::new("scenario-b", graph.clone(), sessions.clone(), RoutingMode::FixedIp).with_eps(eps)
+}
+
+/// One grid point's offline solves, through the [`omcf_core::Solver`]
+/// front door (shared oracle between the M1 and M2 runs).
+fn solve_point(
+    graph: &Graph,
+    sessions: &SessionSet,
+    eps: f64,
+    oracle: &FixedIpOracle,
+) -> (SolverOutcome, SolverOutcome) {
+    let inst = instance_b(graph, sessions, eps);
+    let mf = SolverKind::M1.solver().solve(&inst, oracle);
+    let mcf = SolverKind::M2.solver().solve(&inst, oracle);
+    (mf, mcf)
+}
 
 /// Everything the §VI grid yields in one sweep.
 #[derive(Clone, Debug)]
@@ -73,10 +95,8 @@ pub fn evaluation(cfg: &Config) -> EvalResults {
             let size = scenario.session_sizes[si];
             let sessions = scenario.sessions_for(count, size);
             let oracle = FixedIpOracle::new(&scenario.graph, &sessions);
-            let mf = max_flow(&scenario.graph, &oracle, params);
-            let mcf = max_concurrent_flow_maxmin(&scenario.graph, &oracle, params);
-            let mcf_min_rate =
-                mcf.summary.session_rates.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+            let (mf, mcf) = solve_point(&scenario.graph, &sessions, params.eps, &oracle);
+            let mcf_min_rate = mcf.min_rate();
             let epn = metrics::edges_per_node(&oracle, &sessions);
 
             // Online at each budget, averaged over arrival orders.
@@ -209,8 +229,7 @@ pub fn fig14(cfg: &Config) -> Vec<Figure> {
                 let sessions = scenario.sessions_for(count, size);
                 let oracle = FixedIpOracle::new(&scenario.graph, &sessions);
                 let covered = oracle.covered_edges();
-                let mf = max_flow(&scenario.graph, &oracle, params);
-                let mcf = max_concurrent_flow_maxmin(&scenario.graph, &oracle, params);
+                let (mf, mcf) = solve_point(&scenario.graph, &sessions, params.eps, &oracle);
                 (
                     size,
                     metrics::link_utilization(&mcf.store, &scenario.graph, &covered),
@@ -249,7 +268,8 @@ pub fn fig17(cfg: &Config) -> Vec<Figure> {
             .map(|&size| {
                 let sessions = scenario.sessions_for(count, size);
                 let oracle = FixedIpOracle::new(&scenario.graph, &sessions);
-                let mf = max_flow(&scenario.graph, &oracle, params);
+                let inst = instance_b(&scenario.graph, &sessions, params.eps);
+                let mf = SolverKind::M1.solver().solve(&inst, &oracle);
                 (size, metrics::rate_cdf(&mf.store, 0))
             })
             .collect();
@@ -305,8 +325,12 @@ mod tests {
         let large_sessions = scenario.sessions_for(1, 24);
         let o_small = FixedIpOracle::new(&scenario.graph, &small_sessions);
         let o_large = FixedIpOracle::new(&scenario.graph, &large_sessions);
-        let small = max_flow(&scenario.graph, &o_small, params);
-        let large = max_flow(&scenario.graph, &o_large, params);
+        let m1 = |sessions: &SessionSet, oracle: &FixedIpOracle| {
+            let inst = instance_b(&scenario.graph, sessions, params.eps);
+            SolverKind::M1.solver().solve(&inst, oracle)
+        };
+        let small = m1(&small_sessions, &o_small);
+        let large = m1(&large_sessions, &o_large);
         let conc_small = metrics::tree_concentration(&small.store, 0, 0.9);
         let conc_large = metrics::tree_concentration(&large.store, 0, 0.9);
         // Asymmetry diminishes with size: the large session needs a larger

@@ -27,13 +27,9 @@ pub mod sensitivity;
 use crate::scenarios::Scale;
 
 /// Routing regime selector mirroring the paper's §II vs §V algorithms.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum RoutingMode {
-    /// Frozen IP shortest-path routes (§II–IV).
-    FixedIp,
-    /// Arbitrary dynamic unicast routing (§V).
-    Arbitrary,
-}
+/// (Re-exported from `omcf_core`, where it is instance data for the
+/// [`omcf_core::solver::Solver`] layer.)
+pub use omcf_core::solver::RoutingMode;
 
 /// Experiment configuration.
 #[derive(Clone, Copy, Debug)]

@@ -6,21 +6,17 @@ use crate::figures::{Figure, Series};
 use crate::metrics;
 use crate::scenarios::ScenarioA;
 use crate::tables::RatioTable;
-use omcf_core::{
-    max_concurrent_flow_maxmin, max_flow, online_min_congestion, rounding, MaxFlowOutcome,
-    McfOutcome,
-};
+use omcf_core::solver::{Instance, SolverKind, SolverOutcome};
+use omcf_core::{max_concurrent_flow_maxmin, online_min_congestion, rounding};
 use omcf_numerics::{SplitMix64, Xoshiro256pp};
 use omcf_overlay::{DynamicOracle, FixedIpOracle, TreeOracle};
 use omcf_topology::EdgeId;
 use rayon::prelude::*;
 
-/// Builds the oracle for a routing mode.
-fn oracle_for(scenario: &ScenarioA, mode: RoutingMode) -> Box<dyn TreeOracle + Sync> {
-    match mode {
-        RoutingMode::FixedIp => Box::new(FixedIpOracle::new(&scenario.graph, &scenario.sessions)),
-        RoutingMode::Arbitrary => Box::new(DynamicOracle::new(&scenario.graph, &scenario.sessions)),
-    }
+/// The Scenario A workload as a solver-layer [`Instance`] (default ε; the
+/// ratio sweeps override it per run).
+fn instance_for(scenario: &ScenarioA, mode: RoutingMode) -> Instance {
+    Instance::new("scenario-a", scenario.graph.clone(), scenario.sessions.clone(), mode)
 }
 
 /// Physical edges belonging to at least one overlay link of a live session
@@ -32,39 +28,47 @@ pub fn covered_edges(scenario: &ScenarioA) -> Vec<EdgeId> {
     FixedIpOracle::new(&scenario.graph, &scenario.sessions).covered_edges()
 }
 
-/// One MaxFlow run per ratio (parallel over the sweep).
+/// One run of `kind` per ratio (parallel over the sweep), all through the
+/// [`omcf_core::Solver`] front door against one shared epoch-cached
+/// oracle.
 #[must_use]
-pub fn max_flow_sweep(cfg: &Config, mode: RoutingMode) -> (ScenarioA, Vec<MaxFlowOutcome>) {
+pub fn solver_ratio_sweep(
+    cfg: &Config,
+    mode: RoutingMode,
+    kind: SolverKind,
+) -> (ScenarioA, Vec<SolverOutcome>) {
     let scenario = ScenarioA::build(cfg.seed, cfg.scale);
-    let oracle = oracle_for(&scenario, mode);
-    let outs: Vec<MaxFlowOutcome> = cfg
+    let base = instance_for(&scenario, mode);
+    let oracle = base.oracle();
+    let outs: Vec<SolverOutcome> = cfg
         .ratios()
         .par_iter()
-        .map(|&r| max_flow(&scenario.graph, oracle.as_ref(), experiment_params(r)))
+        .map(|&r| {
+            let inst = base.clone().with_eps(experiment_params(r).eps);
+            kind.solver().solve(&inst, oracle.as_ref())
+        })
         .collect();
     (scenario, outs)
 }
 
-/// One MaxConcurrentFlow run per ratio (parallel over the sweep).
+/// One MaxFlow run per ratio (parallel over the sweep).
 #[must_use]
-pub fn mcf_sweep(cfg: &Config, mode: RoutingMode) -> (ScenarioA, Vec<McfOutcome>) {
-    let scenario = ScenarioA::build(cfg.seed, cfg.scale);
-    let oracle = oracle_for(&scenario, mode);
-    let outs: Vec<McfOutcome> = cfg
-        .ratios()
-        .par_iter()
-        .map(|&r| {
-            max_concurrent_flow_maxmin(&scenario.graph, oracle.as_ref(), experiment_params(r))
-        })
-        .collect();
-    (scenario, outs)
+pub fn max_flow_sweep(cfg: &Config, mode: RoutingMode) -> (ScenarioA, Vec<SolverOutcome>) {
+    solver_ratio_sweep(cfg, mode, SolverKind::M1)
+}
+
+/// One max-min-completed MaxConcurrentFlow run per ratio (parallel over
+/// the sweep).
+#[must_use]
+pub fn mcf_sweep(cfg: &Config, mode: RoutingMode) -> (ScenarioA, Vec<SolverOutcome>) {
+    solver_ratio_sweep(cfg, mode, SolverKind::M2)
 }
 
 fn max_flow_table(cfg: &Config, mode: RoutingMode, title: &str) -> RatioTable {
     let (_, outs) = max_flow_sweep(cfg, mode);
     let ratios = cfg.ratios();
     let mut t = RatioTable::new(title, &ratios);
-    let col = |f: &dyn Fn(&MaxFlowOutcome) -> f64| outs.iter().map(f).collect::<Vec<_>>();
+    let col = |f: &dyn Fn(&SolverOutcome) -> f64| outs.iter().map(f).collect::<Vec<_>>();
     t.push_row("Rate of Session 1", col(&|o| o.summary.session_rates[0]), 2);
     t.push_row("Rate of Session 2", col(&|o| o.summary.session_rates[1]), 2);
     t.push_row("Overall Throughput", col(&|o| o.summary.overall_throughput), 2);
@@ -78,13 +82,13 @@ fn mcf_table(cfg: &Config, mode: RoutingMode, title: &str) -> RatioTable {
     let (_, outs) = mcf_sweep(cfg, mode);
     let ratios = cfg.ratios();
     let mut t = RatioTable::new(title, &ratios);
-    let col = |f: &dyn Fn(&McfOutcome) -> f64| outs.iter().map(f).collect::<Vec<_>>();
+    let col = |f: &dyn Fn(&SolverOutcome) -> f64| outs.iter().map(f).collect::<Vec<_>>();
     t.push_row("Rate of Session 1", col(&|o| o.summary.session_rates[0]), 2);
     t.push_row("Rate of Session 2", col(&|o| o.summary.session_rates[1]), 2);
     t.push_row("Overall Throughput", col(&|o| o.summary.overall_throughput), 2);
     t.push_row("Number of Trees in Session 1", col(&|o| o.summary.tree_counts[0] as f64), 0);
     t.push_row("Number of Trees in Session 2", col(&|o| o.summary.tree_counts[1] as f64), 0);
-    t.push_row("Running Time: main loop (MST ops)", col(&|o| o.mst_ops_main as f64), 0);
+    t.push_row("Running Time: main loop (MST ops)", col(&|o| o.mst_ops as f64), 0);
     t.push_row("Running Time: lambda pre-pass (MST ops)", col(&|o| o.mst_ops_prepass as f64), 0);
     t
 }
@@ -228,7 +232,7 @@ pub struct LimitedTreesResult {
 #[must_use]
 pub fn limited_trees(cfg: &Config, mode: RoutingMode, name_prefix: &str) -> LimitedTreesResult {
     let scenario = ScenarioA::build(cfg.seed, cfg.scale);
-    let oracle = oracle_for(&scenario, mode);
+    let oracle = instance_for(&scenario, mode).oracle();
     let budgets = cfg.tree_budgets();
     let trials = cfg.trials();
     let root = SplitMix64::new(cfg.seed ^ 0xF15);

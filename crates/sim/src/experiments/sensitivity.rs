@@ -13,18 +13,33 @@
 //! * [`seed_variance`] — the Scenario A headline numbers across
 //!   independent topology/session seeds.
 
-use super::Config;
+use super::{Config, RoutingMode};
 use crate::experiment_params;
 use crate::metrics;
-use omcf_core::{max_concurrent_flow_maxmin, max_flow};
+use omcf_core::solver::{Instance, SolverKind, SolverOutcome};
 use omcf_numerics::{Summary, Xoshiro256pp};
-use omcf_overlay::{random_sessions, FixedIpOracle};
+use omcf_overlay::{random_sessions, FixedIpOracle, SessionSet};
 use omcf_topology::{
     barabasi, transit_stub, two_level, waxman, BarabasiParams, Graph, HierParams,
     TransitStubParams, WaxmanParams,
 };
 use rayon::prelude::*;
 use std::fmt::Write as _;
+
+/// Runs M1 and max-min M2 through the solver front door against one shared
+/// fixed-IP oracle.
+fn solve_pair(
+    name: &str,
+    g: &Graph,
+    sessions: &SessionSet,
+    eps: f64,
+    oracle: &FixedIpOracle,
+) -> (SolverOutcome, SolverOutcome) {
+    let inst = Instance::new(name, g.clone(), sessions.clone(), RoutingMode::FixedIp).with_eps(eps);
+    let mf = SolverKind::M1.solver().solve(&inst, oracle);
+    let mcf = SolverKind::M2.solver().solve(&inst, oracle);
+    (mf, mcf)
+}
 
 /// One topology family's results.
 #[derive(Clone, Debug)]
@@ -86,8 +101,7 @@ pub fn topology_sensitivity(cfg: &Config) -> Vec<FamilyResult> {
             sessions.push(random_sessions(&g, 1, 5, 100.0, &mut rng).session(0).clone());
             let oracle = FixedIpOracle::new(&g, &sessions);
             let covered = oracle.covered_edges();
-            let mf = max_flow(&g, &oracle, params);
-            let mcf = max_concurrent_flow_maxmin(&g, &oracle, params);
+            let (mf, mcf) = solve_pair(&family, &g, &sessions, params.eps, &oracle);
             let profile = metrics::link_utilization(&mf.store, &g, &covered);
             FamilyResult {
                 family,
@@ -152,8 +166,8 @@ pub fn seed_variance(cfg: &Config, n_seeds: usize) -> VarianceResult {
         .map(|&seed| {
             let scenario = crate::scenarios::ScenarioA::build(seed, cfg.scale);
             let oracle = FixedIpOracle::new(&scenario.graph, &scenario.sessions);
-            let mf = max_flow(&scenario.graph, &oracle, params);
-            let mcf = max_concurrent_flow_maxmin(&scenario.graph, &oracle, params);
+            let (mf, mcf) =
+                solve_pair("scenario-a", &scenario.graph, &scenario.sessions, params.eps, &oracle);
             (
                 mf.summary.overall_throughput,
                 mcf.summary.overall_throughput / mf.summary.overall_throughput,

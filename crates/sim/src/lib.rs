@@ -30,10 +30,14 @@
 pub mod experiments;
 pub mod figures;
 pub mod metrics;
+pub mod registry;
 pub mod scenarios;
+pub mod sweep;
 pub mod tables;
 
-pub use scenarios::{Scale, ScenarioA, ScenarioB};
+pub use registry::ScenarioSpec;
+pub use scenarios::{Scale, ScaleDims, ScenarioA, ScenarioB};
+pub use sweep::{run_sweep, SweepConfig, SweepRecord, SweepResults};
 
 /// ε for an experiment-sweep approximation ratio (see crate docs).
 #[must_use]

@@ -1,0 +1,262 @@
+//! The scenario registry: every workload the repo knows how to build, as
+//! named, declarative specs.
+//!
+//! A [`ScenarioSpec`] is a pure function `(seed, Scale) → Instance`. The
+//! registry covers the paper's two evaluation settings under both routing
+//! regimes plus the extension families the ROADMAP asks for — scale-free
+//! topology, ring/grid lattices, heterogeneous (hotspot) capacities, and
+//! session churn. Drivers ([`crate::sweep`], the `repro` binary, benches)
+//! enumerate [`registry`] instead of hard-coding workloads; adding a
+//! scenario is one entry here, and every driver picks it up.
+//!
+//! Naming: lowercase kebab-case, `<family>[-<variant>]`. Instance
+//! dimensions come from the central [`Scale::dims`] table — specs contain
+//! no magic numbers of their own.
+
+use crate::scenarios::{Scale, ScenarioA, ScenarioB};
+use omcf_core::solver::{Instance, RoutingMode};
+use omcf_numerics::{SplitMix64, Xoshiro256pp};
+use omcf_overlay::{hotspot_capacities, random_churn, random_sessions};
+use omcf_topology::{barabasi, lattice, waxman, BarabasiParams, LatticeParams, WaxmanParams};
+
+/// A named, reproducible workload family.
+#[derive(Clone, Copy, Debug)]
+pub struct ScenarioSpec {
+    /// Registry key (stable, kebab-case).
+    pub name: &'static str,
+    /// One-line description for listings and docs.
+    pub description: &'static str,
+    /// Constructs the instance for a master seed at a scale.
+    pub build: fn(u64, Scale) -> Instance,
+}
+
+impl ScenarioSpec {
+    /// Builds the instance (convenience over the fn pointer field).
+    #[must_use]
+    pub fn instance(&self, seed: u64, scale: Scale) -> Instance {
+        (self.build)(seed, scale)
+    }
+}
+
+/// All registered scenarios, in presentation order.
+#[must_use]
+pub fn registry() -> &'static [ScenarioSpec] {
+    &REGISTRY
+}
+
+/// Looks a scenario up by its registry key.
+#[must_use]
+pub fn find(name: &str) -> Option<&'static ScenarioSpec> {
+    REGISTRY.iter().find(|s| s.name == name)
+}
+
+static REGISTRY: [ScenarioSpec; 8] = [
+    ScenarioSpec {
+        name: "scenario-a",
+        description: "paper §III-B: Waxman router graph, two sessions (7+5), fixed IP routing",
+        build: build_scenario_a_fixed,
+    },
+    ScenarioSpec {
+        name: "scenario-a-dynamic",
+        description: "paper §V: the Scenario A workload under arbitrary dynamic routing",
+        build: build_scenario_a_dynamic,
+    },
+    ScenarioSpec {
+        name: "scenario-b",
+        description: "paper §VI: two-level AS/router hierarchy, mid grid point, fixed IP routing",
+        build: build_scenario_b,
+    },
+    ScenarioSpec {
+        name: "scale-free",
+        description: "Barabási–Albert scale-free topology, uniform-capacity, random sessions",
+        build: build_scale_free,
+    },
+    ScenarioSpec {
+        name: "ring-lattice",
+        description: "ring lattice: exactly two edge-disjoint routes per pair",
+        build: build_ring_lattice,
+    },
+    ScenarioSpec {
+        name: "grid-lattice",
+        description: "√n × √n grid lattice (open boundary), random sessions",
+        build: build_grid_lattice,
+    },
+    ScenarioSpec {
+        name: "hotspot",
+        description: "Waxman topology with heterogeneous capacities: hotspot nodes 4× provisioned",
+        build: build_hotspot,
+    },
+    ScenarioSpec {
+        name: "churn",
+        description: "session churn: online join/leave trace over a Waxman topology",
+        build: build_churn,
+    },
+];
+
+/// Seed-stream labels for the instance components, shared by all builders
+/// so every random draw forks from the master seed through one
+/// `SplitMix64::derive_seed` convention.
+mod label {
+    pub const TOPOLOGY: u64 = 1;
+    pub const SESSIONS: u64 = 2;
+    pub const CAPACITIES: u64 = 3;
+    pub const CHURN: u64 = 4;
+}
+
+fn build_scenario_a_fixed(seed: u64, scale: Scale) -> Instance {
+    let a = ScenarioA::build(seed, scale);
+    Instance::new("scenario-a", a.graph, a.sessions, RoutingMode::FixedIp)
+}
+
+fn build_scenario_a_dynamic(seed: u64, scale: Scale) -> Instance {
+    let a = ScenarioA::build(seed, scale);
+    Instance::new("scenario-a-dynamic", a.graph, a.sessions, RoutingMode::Arbitrary)
+}
+
+/// Scenario B is a whole grid; the registry entry solves its middle point
+/// (median session count × median size) — the full grid stays the domain
+/// of [`crate::experiments::evaluation`].
+fn build_scenario_b(seed: u64, scale: Scale) -> Instance {
+    let b = ScenarioB::build(seed, scale);
+    let count = b.session_counts[b.session_counts.len() / 2];
+    let size = b.session_sizes[b.session_sizes.len() / 2];
+    let sessions = b.sessions_for(count, size);
+    Instance::new("scenario-b", b.graph, sessions, RoutingMode::FixedIp)
+}
+
+fn build_scale_free(seed: u64, scale: Scale) -> Instance {
+    let dims = scale.dims();
+    let root = SplitMix64::new(seed);
+    let params = BarabasiParams { n: dims.family_nodes, m: 2, ..BarabasiParams::default() };
+    let g = barabasi::generate(&params, &mut Xoshiro256pp::new(root.derive_seed(label::TOPOLOGY)));
+    let sessions = random_sessions(
+        &g,
+        dims.family_sessions,
+        dims.family_size,
+        1.0,
+        &mut Xoshiro256pp::new(root.derive_seed(label::SESSIONS)),
+    );
+    Instance::new("scale-free", g, sessions, RoutingMode::FixedIp)
+}
+
+fn build_ring_lattice(seed: u64, scale: Scale) -> Instance {
+    let dims = scale.dims();
+    let root = SplitMix64::new(seed);
+    let g = lattice::ring(dims.family_nodes, 100.0);
+    let sessions = random_sessions(
+        &g,
+        dims.family_sessions,
+        dims.family_size,
+        1.0,
+        &mut Xoshiro256pp::new(root.derive_seed(label::SESSIONS)),
+    );
+    Instance::new("ring-lattice", g, sessions, RoutingMode::FixedIp)
+}
+
+fn build_grid_lattice(seed: u64, scale: Scale) -> Instance {
+    let dims = scale.dims();
+    let root = SplitMix64::new(seed);
+    let side = (dims.family_nodes as f64).sqrt().round() as usize;
+    debug_assert_eq!(side * side, dims.family_nodes, "family_nodes must be a perfect square");
+    let g =
+        lattice::generate(&LatticeParams { rows: side, cols: side, wrap: false, capacity: 100.0 });
+    let sessions = random_sessions(
+        &g,
+        dims.family_sessions,
+        dims.family_size,
+        1.0,
+        &mut Xoshiro256pp::new(root.derive_seed(label::SESSIONS)),
+    );
+    Instance::new("grid-lattice", g, sessions, RoutingMode::FixedIp)
+}
+
+fn build_hotspot(seed: u64, scale: Scale) -> Instance {
+    let dims = scale.dims();
+    let root = SplitMix64::new(seed);
+    let params = WaxmanParams { n: dims.family_nodes, capacity: 100.0, ..WaxmanParams::default() };
+    let base = waxman::generate(&params, &mut Xoshiro256pp::new(root.derive_seed(label::TOPOLOGY)));
+    let g = hotspot_capacities(
+        &base,
+        0.15,
+        4.0,
+        &mut Xoshiro256pp::new(root.derive_seed(label::CAPACITIES)),
+    );
+    let sessions = random_sessions(
+        &g,
+        dims.family_sessions,
+        dims.family_size,
+        1.0,
+        &mut Xoshiro256pp::new(root.derive_seed(label::SESSIONS)),
+    );
+    Instance::new("hotspot", g, sessions, RoutingMode::FixedIp)
+}
+
+fn build_churn(seed: u64, scale: Scale) -> Instance {
+    let dims = scale.dims();
+    let root = SplitMix64::new(seed);
+    let params = WaxmanParams { n: dims.family_nodes, capacity: 100.0, ..WaxmanParams::default() };
+    let g = waxman::generate(&params, &mut Xoshiro256pp::new(root.derive_seed(label::TOPOLOGY)));
+    let churn = random_churn(
+        &g,
+        dims.churn_joins,
+        dims.family_size,
+        1.0,
+        0.35,
+        &mut Xoshiro256pp::new(root.derive_seed(label::CHURN)),
+    );
+    let survivors = churn.survivors();
+    Instance::new("churn", g, survivors, RoutingMode::FixedIp).with_churn(churn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        let mut names: Vec<&str> = registry().iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate registry keys");
+        assert!(before >= 6, "the sweep grid needs at least six scenarios");
+        for spec in registry() {
+            assert!(std::ptr::eq(find(spec.name).unwrap(), spec));
+        }
+        assert!(find("missing").is_none());
+    }
+
+    #[test]
+    fn every_scenario_builds_deterministically_at_micro() {
+        for spec in registry() {
+            let a = spec.instance(11, Scale::Micro);
+            let b = spec.instance(11, Scale::Micro);
+            assert_eq!(a.name, spec.name);
+            assert_eq!(a.graph.edge_count(), b.graph.edge_count(), "{}", spec.name);
+            assert_eq!(a.sessions.sessions(), b.sessions.sessions(), "{}", spec.name);
+            assert!(!a.sessions.is_empty(), "{}", spec.name);
+            // A different seed must actually change the workload (even on
+            // lattices, whose topology is seed-independent, the session
+            // draw moves).
+            let c = spec.instance(12, Scale::Micro);
+            assert_ne!(a.sessions.sessions(), c.sessions.sessions(), "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn churn_scenario_carries_its_trace() {
+        let inst = find("churn").unwrap().instance(3, Scale::Micro);
+        let churn = inst.churn.as_ref().expect("churn scenario must attach a trace");
+        assert_eq!(churn.survivors().len(), inst.sessions.len());
+        assert!(churn.join_count() >= inst.sessions.len());
+    }
+
+    #[test]
+    fn hotspot_scenario_has_heterogeneous_capacities() {
+        let inst = find("hotspot").unwrap().instance(7, Scale::Micro);
+        let caps: Vec<f64> = inst.graph.edge_ids().map(|e| inst.graph.capacity(e)).collect();
+        let has_base = caps.iter().any(|c| (*c - 100.0).abs() < 1e-9);
+        let has_hot = caps.iter().any(|c| (*c - 400.0).abs() < 1e-9);
+        assert!(has_base && has_hot, "expected a capacity mix, got {caps:?}");
+    }
+}

@@ -15,6 +15,76 @@ pub enum Scale {
     Paper,
 }
 
+/// Instance dimensions per [`Scale`] — the single table every scenario
+/// builder reads instead of scattering per-scenario `match` arms with
+/// magic numbers. `a_*` sizes Scenario A, `b_*` Scenario B, `family_*`
+/// the registry's non-paper families (scale-free, lattices, hotspot,
+/// churn).
+#[derive(Clone, Copy, Debug)]
+pub struct ScaleDims {
+    /// Scenario A Waxman node count (paper: 100).
+    pub a_nodes: usize,
+    /// Scenario B AS count (paper: 10).
+    pub b_as_count: usize,
+    /// Scenario B routers per AS (paper: 100).
+    pub b_routers_per_as: usize,
+    /// Scenario B session-count axis (paper: 1..=9).
+    pub b_session_counts: &'static [usize],
+    /// Scenario B session-size axis (paper: 10, 20, …, 90).
+    pub b_session_sizes: &'static [usize],
+    /// Node count for the non-paper families — a perfect square, so the
+    /// grid-lattice scenario is exactly `√n × √n`.
+    pub family_nodes: usize,
+    /// Sessions per non-paper family instance.
+    pub family_sessions: usize,
+    /// Members per non-paper family session.
+    pub family_size: usize,
+    /// Joins in the churn scenario's trace.
+    pub churn_joins: usize,
+}
+
+impl Scale {
+    /// The dimension table for this scale.
+    #[must_use]
+    pub fn dims(self) -> ScaleDims {
+        match self {
+            Scale::Micro => ScaleDims {
+                a_nodes: 40,
+                b_as_count: 2,
+                b_routers_per_as: 12,
+                b_session_counts: &[1, 3],
+                b_session_sizes: &[4, 8, 12],
+                family_nodes: 36,
+                family_sessions: 3,
+                family_size: 3,
+                churn_joins: 8,
+            },
+            Scale::Fast => ScaleDims {
+                a_nodes: 60,
+                b_as_count: 4,
+                b_routers_per_as: 25,
+                b_session_counts: &[1, 3, 5, 7, 9],
+                b_session_sizes: &[4, 8, 12, 16, 20, 24, 28, 32, 36],
+                family_nodes: 64,
+                family_sessions: 4,
+                family_size: 4,
+                churn_joins: 16,
+            },
+            Scale::Paper => ScaleDims {
+                a_nodes: 100,
+                b_as_count: 10,
+                b_routers_per_as: 100,
+                b_session_counts: &[1, 2, 3, 4, 5, 6, 7, 8, 9],
+                b_session_sizes: &[10, 20, 30, 40, 50, 60, 70, 80, 90],
+                family_nodes: 100,
+                family_sessions: 6,
+                family_size: 6,
+                churn_joins: 40,
+            },
+        }
+    }
+}
+
 /// §III-B setting: 100-node Waxman graph, capacity 100, sessions of 7 and
 /// 5 members, demand 100.
 #[derive(Clone, Debug)]
@@ -34,11 +104,7 @@ impl ScenarioA {
     #[must_use]
     pub fn build(seed: u64, scale: Scale) -> Self {
         let root = SplitMix64::new(seed);
-        let n = match scale {
-            Scale::Micro => 40,
-            Scale::Fast => 60,
-            Scale::Paper => 100,
-        };
+        let n = scale.dims().a_nodes;
         let params = WaxmanParams { n, capacity: 100.0, ..WaxmanParams::default() };
         let mut topo_rng = Xoshiro256pp::new(root.derive_seed(1));
         let graph = omcf_topology::waxman::generate(&params, &mut topo_rng);
@@ -112,23 +178,19 @@ impl ScenarioB {
     /// the 9 × 9 grid.
     #[must_use]
     pub fn build(seed: u64, scale: Scale) -> Self {
-        let (hier, counts, sizes) = match scale {
-            Scale::Micro => (
-                HierParams { as_count: 2, routers_per_as: 12, ..HierParams::default() },
-                vec![1, 3],
-                vec![4, 8, 12],
-            ),
-            Scale::Fast => (
-                HierParams { as_count: 4, routers_per_as: 25, ..HierParams::default() },
-                vec![1, 3, 5, 7, 9],
-                vec![4, 8, 12, 16, 20, 24, 28, 32, 36],
-            ),
-            Scale::Paper => {
-                (HierParams::default(), (1..=9).collect(), (1..=9).map(|i| i * 10).collect())
-            }
+        let dims = scale.dims();
+        let hier = HierParams {
+            as_count: dims.b_as_count,
+            routers_per_as: dims.b_routers_per_as,
+            ..HierParams::default()
         };
         let graph = omcf_topology::two_level(&hier, seed ^ 0xB0B0);
-        Self { graph, session_counts: counts, session_sizes: sizes, seed }
+        Self {
+            graph,
+            session_counts: dims.b_session_counts.to_vec(),
+            session_sizes: dims.b_session_sizes.to_vec(),
+            seed,
+        }
     }
 
     /// Draws the session set for one grid point (deterministic in

@@ -1,0 +1,60 @@
+//! Sweep-driver integration tests: the full registry runs, and parallel
+//! execution is byte-identical to serial for fixed seeds.
+
+use omcf_core::solver::SolverKind;
+use omcf_sim::registry;
+use omcf_sim::sweep::{run_sweep, SweepConfig};
+use omcf_sim::Scale;
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    let mut cfg = SweepConfig::full(Scale::Micro, vec![2004, 7]);
+    cfg.parallel = false;
+    let serial = run_sweep(&cfg);
+    cfg.parallel = true;
+    let parallel = run_sweep(&cfg);
+    assert_eq!(
+        serial.to_csv(),
+        parallel.to_csv(),
+        "parallel sweep must reproduce the serial bytes exactly"
+    );
+    // Repeat runs are stable too (no hidden global state).
+    let again = run_sweep(&cfg);
+    assert_eq!(parallel.to_csv(), again.to_csv());
+}
+
+#[test]
+fn full_registry_times_all_solvers_produces_the_whole_grid() {
+    let cfg = SweepConfig::full(Scale::Micro, vec![11]);
+    let res = run_sweep(&cfg);
+    let expected = registry::registry().len() * SolverKind::ALL.len();
+    assert!(expected >= 6 * 4, "acceptance floor: ≥ 6 scenarios × 4 solvers");
+    assert_eq!(res.records.len(), expected);
+    for r in &res.records {
+        assert!(r.throughput > 0.0, "{}/{} routed nothing", r.scenario, r.solver.name());
+        assert!(
+            r.max_congestion <= 1.0 + 1e-6,
+            "{}/{} infeasible: congestion {}",
+            r.scenario,
+            r.solver.name(),
+            r.max_congestion
+        );
+        assert!(r.mst_ops > 0);
+        assert!(r.nodes > 0 && r.edges > 0 && r.sessions > 0);
+    }
+    // Every scenario and every solver appears.
+    for spec in registry::registry() {
+        assert!(res.records.iter().any(|r| r.scenario == spec.name), "missing {}", spec.name);
+    }
+    for kind in SolverKind::ALL {
+        assert!(res.records.iter().any(|r| r.solver == kind), "missing {kind:?}");
+    }
+}
+
+#[test]
+fn scenario_subset_selection_works() {
+    let cfg = SweepConfig::full(Scale::Micro, vec![3]).with_scenarios(&["hotspot", "churn"]);
+    let res = run_sweep(&cfg);
+    assert_eq!(res.records.len(), 2 * SolverKind::ALL.len());
+    assert!(res.records.iter().all(|r| r.scenario == "hotspot" || r.scenario == "churn"));
+}

@@ -12,6 +12,8 @@
 //!   router-level mode, with the BRITE connectivity post-pass.
 //! * [`barabasi`] — Barabási–Albert preferential attachment (BRITE's other
 //!   router model), used for robustness experiments.
+//! * [`lattice`] — deterministic ring/grid/torus lattices for the workload
+//!   registry's structured-topology scenarios.
 //! * [`hier`] — the two-level AS/router hierarchy of §VI.
 //! * [`canned`] — deterministic small graphs (path, ring, star, complete,
 //!   grid, the paper's Fig. 1 example) for tests and documentation.
@@ -27,5 +29,6 @@ pub mod transit_stub;
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
 pub use hier::{two_level, HierParams};
 pub use models::barabasi::{self, BarabasiParams};
+pub use models::lattice::{self, LatticeParams};
 pub use models::waxman::{self, WaxmanParams};
 pub use transit_stub::{transit_stub, TransitStubParams};

@@ -1,0 +1,140 @@
+//! Regular lattices — ring and grid families for the workload registry.
+//!
+//! The random models ([`super::waxman`], [`super::barabasi`]) answer "does
+//! the phenomenon survive on Internet-like graphs?"; lattices answer the
+//! complementary question: what do the algorithms do on *structured*
+//! topologies with known cut structure? A ring has exactly two edge-disjoint
+//! routes between any pair; a grid's bisection grows with its side; a torus
+//! removes the boundary asymmetry. All three are deterministic in their
+//! parameters (no RNG — sessions remain the only random component of a
+//! lattice scenario).
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+
+/// Parameters of a rectangular lattice.
+#[derive(Clone, Copy, Debug)]
+pub struct LatticeParams {
+    /// Rows of the lattice.
+    pub rows: usize,
+    /// Columns of the lattice.
+    pub cols: usize,
+    /// Wrap both dimensions (torus). Wraparound links are only added along
+    /// dimensions of extent ≥ 3 — at extent 2 they would duplicate an
+    /// existing edge, and at 1 they would be self-loops.
+    pub wrap: bool,
+    /// Capacity for every edge.
+    pub capacity: f64,
+}
+
+impl Default for LatticeParams {
+    fn default() -> Self {
+        Self { rows: 10, cols: 10, wrap: false, capacity: 100.0 }
+    }
+}
+
+impl LatticeParams {
+    /// Validates parameter ranges.
+    pub fn validate(&self) {
+        assert!(self.rows >= 1 && self.cols >= 1, "lattice needs positive dimensions");
+        assert!(self.rows * self.cols >= 2, "lattice needs at least two nodes");
+        assert!(self.capacity > 0.0 && self.capacity.is_finite(), "capacity must be positive");
+    }
+}
+
+/// Generates the `rows × cols` lattice. Node `(r, c)` is `r * cols + c`;
+/// positions are laid out on a unit grid for DOT output.
+#[must_use]
+pub fn generate(params: &LatticeParams) -> Graph {
+    params.validate();
+    let (rows, cols) = (params.rows, params.cols);
+    let mut b = GraphBuilder::new(rows * cols);
+    let id = |r: usize, c: usize| NodeId((r * cols + c) as u32);
+    for r in 0..rows {
+        for c in 0..cols {
+            b.set_position(id(r, c), c as f64 * 10.0, r as f64 * 10.0);
+            if c + 1 < cols {
+                b.add_edge(id(r, c), id(r, c + 1), params.capacity);
+            }
+            if r + 1 < rows {
+                b.add_edge(id(r, c), id(r + 1, c), params.capacity);
+            }
+        }
+    }
+    if params.wrap {
+        if cols >= 3 {
+            for r in 0..rows {
+                b.add_edge(id(r, cols - 1), id(r, 0), params.capacity);
+            }
+        }
+        if rows >= 3 {
+            for c in 0..cols {
+                b.add_edge(id(rows - 1, c), id(0, c), params.capacity);
+            }
+        }
+    }
+    b.finish()
+}
+
+/// A ring (cycle) over `n ≥ 3` nodes: the 1 × n wrapped lattice.
+#[must_use]
+pub fn ring(n: usize, capacity: f64) -> Graph {
+    assert!(n >= 3, "a ring needs at least three nodes");
+    generate(&LatticeParams { rows: 1, cols: n, wrap: true, capacity })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::components;
+
+    #[test]
+    fn grid_dimensions_and_connectivity() {
+        let g = generate(&LatticeParams { rows: 4, cols: 6, ..LatticeParams::default() });
+        assert_eq!(g.node_count(), 24);
+        // r(c-1) horizontal + c(r-1) vertical edges.
+        assert_eq!(g.edge_count(), 4 * 5 + 6 * 3);
+        assert_eq!(components(&g).len(), 1);
+    }
+
+    #[test]
+    fn torus_is_regular() {
+        let g = generate(&LatticeParams { rows: 4, cols: 5, wrap: true, capacity: 7.0 });
+        for n in g.nodes() {
+            assert_eq!(g.degree(n), 4, "torus must be 4-regular at {n:?}");
+        }
+        for e in g.edge_ids() {
+            assert_eq!(g.capacity(e), 7.0);
+        }
+    }
+
+    #[test]
+    fn ring_is_a_cycle() {
+        let g = ring(8, 3.0);
+        assert_eq!(g.node_count(), 8);
+        assert_eq!(g.edge_count(), 8);
+        for n in g.nodes() {
+            assert_eq!(g.degree(n), 2);
+        }
+        assert_eq!(components(&g).len(), 1);
+    }
+
+    #[test]
+    fn wrap_skips_short_dimensions() {
+        // 2×4: wrapping the 2-extent dimension would duplicate an edge.
+        let g = generate(&LatticeParams { rows: 2, cols: 4, wrap: true, ..Default::default() });
+        // Horizontal: 2·3 + 2 wrap; vertical: 4·1, no wrap at extent 2.
+        assert_eq!(g.edge_count(), 6 + 2 + 4);
+    }
+
+    #[test]
+    fn degenerate_path_still_builds() {
+        let g = generate(&LatticeParams { rows: 1, cols: 2, ..Default::default() });
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two nodes")]
+    fn rejects_single_node() {
+        let _ = generate(&LatticeParams { rows: 1, cols: 1, ..Default::default() });
+    }
+}

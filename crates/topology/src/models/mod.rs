@@ -1,6 +1,7 @@
 //! Random-graph models mirroring BRITE's router-level generators.
 
 pub mod barabasi;
+pub mod lattice;
 pub mod waxman;
 
 use crate::graph::{Graph, GraphBuilder, NodeId};

@@ -1,0 +1,105 @@
+//! Generator-level integration tests: every topology family the scenario
+//! registry draws from must be connected, self-loop-free, and shaped the
+//! way its model predicts, across seeds.
+
+use omcf_numerics::Xoshiro256pp;
+use omcf_topology::{barabasi, lattice, waxman, BarabasiParams, Graph, LatticeParams, NodeId};
+
+/// Connected-components count via DFS (the crate-internal helper is
+/// private; tests recompute independently).
+fn component_count(g: &Graph) -> usize {
+    let n = g.node_count();
+    let mut seen = vec![false; n];
+    let mut comps = 0;
+    for start in g.nodes() {
+        if seen[start.idx()] {
+            continue;
+        }
+        comps += 1;
+        let mut stack = vec![start];
+        seen[start.idx()] = true;
+        while let Some(u) = stack.pop() {
+            for (_, v) in g.neighbors(u) {
+                if !seen[v.idx()] {
+                    seen[v.idx()] = true;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    comps
+}
+
+fn assert_no_self_loops(g: &Graph) {
+    for e in g.edge_ids() {
+        let edge = g.edge(e);
+        assert_ne!(edge.u, edge.v, "self-loop at {e:?}");
+    }
+}
+
+#[test]
+fn barabasi_connected_and_loop_free_across_seeds() {
+    for seed in [1u64, 7, 42, 1013, 0xDEAD] {
+        let p = BarabasiParams { n: 150, m: 2, ..BarabasiParams::default() };
+        let g = barabasi::generate(&p, &mut Xoshiro256pp::new(seed));
+        assert_eq!(component_count(&g), 1, "seed {seed}: disconnected");
+        assert_no_self_loops(&g);
+        // m distinct targets per arrival: no parallel edges either.
+        let mut pairs: Vec<(u32, u32)> =
+            g.edge_ids().map(|e| (g.edge(e).u.0, g.edge(e).v.0)).collect();
+        pairs.sort_unstable();
+        let before = pairs.len();
+        pairs.dedup();
+        assert_eq!(pairs.len(), before, "seed {seed}: parallel edge");
+    }
+}
+
+#[test]
+fn barabasi_degree_distribution_sanity() {
+    // Preferential attachment: min degree ≥ m, heavy tail (max ≫ median),
+    // and mean degree ≈ 2m for n ≫ m.
+    let p = BarabasiParams { n: 500, m: 3, ..BarabasiParams::default() };
+    let g = barabasi::generate(&p, &mut Xoshiro256pp::new(2004));
+    let mut degrees: Vec<usize> = g.nodes().map(|n| g.degree(n)).collect();
+    assert!(degrees.iter().all(|&d| d >= p.m), "every node attaches with ≥ m edges");
+    degrees.sort_unstable();
+    let median = degrees[degrees.len() / 2];
+    let max = *degrees.last().unwrap();
+    assert!(max >= 4 * median, "no hub: max {max} vs median {median}");
+    let mean = degrees.iter().sum::<usize>() as f64 / degrees.len() as f64;
+    assert!((mean - 2.0 * p.m as f64).abs() < 0.5, "mean degree {mean} should be ≈ {}", 2 * p.m);
+}
+
+#[test]
+fn lattices_connected_and_loop_free() {
+    for params in [
+        LatticeParams { rows: 1, cols: 16, wrap: true, capacity: 5.0 },
+        LatticeParams { rows: 5, cols: 5, wrap: false, capacity: 5.0 },
+        LatticeParams { rows: 4, cols: 7, wrap: true, capacity: 5.0 },
+        LatticeParams { rows: 2, cols: 2, wrap: true, capacity: 5.0 },
+    ] {
+        let g = lattice::generate(&params);
+        assert_eq!(component_count(&g), 1, "{params:?}: disconnected");
+        assert_no_self_loops(&g);
+        assert_eq!(g.node_count(), params.rows * params.cols);
+    }
+}
+
+#[test]
+fn lattice_shortest_cycle_structure() {
+    // On a ring, the two neighbors of node 0 are exactly nodes 1 and n-1.
+    let g = lattice::ring(10, 1.0);
+    let mut nbrs: Vec<u32> = g.neighbors(NodeId(0)).map(|(_, v)| v.0).collect();
+    nbrs.sort_unstable();
+    assert_eq!(nbrs, vec![1, 9]);
+}
+
+#[test]
+fn waxman_connectivity_post_pass_holds_across_seeds() {
+    for seed in [3u64, 9, 27, 81] {
+        let p = waxman::WaxmanParams { n: 80, ..Default::default() };
+        let g = waxman::generate(&p, &mut Xoshiro256pp::new(seed));
+        assert_eq!(component_count(&g), 1, "seed {seed}: disconnected");
+        assert_no_self_loops(&g);
+    }
+}

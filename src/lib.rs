@@ -55,4 +55,5 @@ pub mod prelude {
         max_concurrent_flow, max_flow, online_min_congestion, random_min_congestion, ApproxParams,
         FlowSummary, MaxFlowOutcome, McfOutcome, OnlineOutcome, RoundingOutcome,
     };
+    pub use omcf_core::{Instance, RoutingMode, Solver, SolverKind, SolverOutcome};
 }

@@ -1,0 +1,134 @@
+//! Runtime replay bench: incremental event processing vs cold
+//! re-solve-per-event on the churn-bearing scenarios, ≥2 seeds. Also
+//! emits `BENCH_runtime.json` at the workspace root and asserts the two
+//! strategies end bit-identically.
+//!
+//! * **replay** — one `omcf-runtime` event loop over the whole trace:
+//!   warm lengths/loads/store, one oracle call per join, exact rollback
+//!   per leave. O(events) oracle work.
+//! * **cold** — what a service without the runtime would do: after every
+//!   churn event, re-answer the current population from scratch with the
+//!   batch online solver on the trace prefix. O(events²) oracle work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omcf_core::solver::{Instance, SolverKind};
+use omcf_overlay::ChurnSchedule;
+use omcf_runtime::{replay_churn, ReplayConfig};
+use omcf_sim::registry;
+use omcf_sim::Scale;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEEDS: [u64; 2] = [2004, 7];
+
+/// Final rates of the incremental replay (no drift checkpoints: this
+/// bench times the event loop itself).
+fn run_replay(inst: &Instance, churn: &ChurnSchedule) -> Vec<f64> {
+    let cfg = ReplayConfig::new(inst.rho, inst.routing).with_reopt_every(0);
+    let report = replay_churn(Arc::clone(&inst.graph), churn, &cfg);
+    report.final_rates.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Cold baseline: one batch online solve per trace prefix, returning the
+/// final prefix's rates.
+fn run_cold(inst: &Instance, churn: &ChurnSchedule) -> Vec<f64> {
+    let mut last = Vec::new();
+    for p in 1..=churn.events().len() {
+        let prefix = ChurnSchedule::new(churn.events()[..p].to_vec());
+        let cold = Instance::new(
+            inst.name.clone(),
+            Arc::clone(&inst.graph),
+            prefix.survivors(),
+            inst.routing,
+        )
+        .with_rho(inst.rho)
+        .with_churn(prefix);
+        let out = SolverKind::Online.solver().run(&cold);
+        last = out.summary.session_rates;
+    }
+    last
+}
+
+fn bench_replay_vs_cold(c: &mut Criterion) {
+    let spec = registry::find("churn").expect("churn scenario registered");
+    let inst = spec.instance(SEEDS[0], Scale::Micro);
+    let churn = inst.churn.clone().expect("churn trace");
+    let mut grp = c.benchmark_group("runtime_replay/churn_micro");
+    grp.sample_size(10);
+    grp.bench_function("incremental_replay", |b| {
+        b.iter(|| black_box(run_replay(&inst, &churn)));
+    });
+    grp.bench_function("cold_resolve_per_event", |b| {
+        b.iter(|| black_box(run_cold(&inst, &churn)));
+    });
+    grp.finish();
+}
+
+/// Not a throughput bench: runs every churn-bearing scenario × seed once
+/// per strategy, checks the end states agree bit-for-bit, and writes
+/// `BENCH_runtime.json`.
+fn emit_bench_json(_c: &mut Criterion) {
+    let mut records = String::from("[\n");
+    let specs = registry::churn_bearing();
+    let mut first = true;
+    for spec in &specs {
+        for seed in SEEDS {
+            let inst = spec.instance(seed, Scale::Micro);
+            let churn = inst.churn.clone().expect("churn trace");
+
+            let start = Instant::now();
+            let replay_rates = run_replay(&inst, &churn);
+            let replay_ms = start.elapsed().as_secs_f64() * 1e3;
+            let start = Instant::now();
+            let cold_rates = run_cold(&inst, &churn);
+            let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+
+            assert_eq!(replay_rates.len(), cold_rates.len(), "{}/{seed}", spec.name);
+            for (a, b) in replay_rates.iter().zip(&cold_rates) {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{}/{seed}: replay end state diverged from cold baseline",
+                    spec.name
+                );
+            }
+
+            if !first {
+                records.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                records,
+                "  {{ \"scenario\": \"{}\", \"seed\": {seed}, \"events\": {}, \"joins\": {}, \
+                 \"survivors\": {}, \"wall_ms_replay\": {replay_ms:.3}, \
+                 \"wall_ms_cold\": {cold_ms:.3}, \"speedup\": {:.2}, \"rates_match\": true }}",
+                spec.name,
+                churn.events().len(),
+                churn.join_count(),
+                replay_rates.len(),
+                cold_ms / replay_ms,
+            );
+            println!(
+                "bench runtime_replay: {}/{seed} replay {replay_ms:.1} ms vs cold {cold_ms:.1} ms \
+                 ({:.1}x)",
+                spec.name,
+                cold_ms / replay_ms
+            );
+        }
+    }
+    records.push_str("\n]\n");
+    let json = format!(
+        "{{\n  \"bench\": \"runtime_replay\",\n  \"scale\": \"micro\",\n  \"seeds\": {SEEDS:?},\n  \
+         \"scenarios\": {},\n  \"strategy_replay\": \"omcf-runtime incremental event loop\",\n  \
+         \"strategy_cold\": \"batch online re-solve per event prefix\",\n  \"records\": {records}}}\n",
+        specs.len(),
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
+    std::fs::write(path, &json).expect("write BENCH_runtime.json");
+    println!("bench runtime_replay: wrote {path}");
+}
+
+criterion_group!(benches, bench_replay_vs_cold, emit_bench_json);
+criterion_main!(benches);

@@ -5,10 +5,16 @@
 //! arrivals. [`OnlineSystem`] completes the picture: it maintains the
 //! exponential link lengths incrementally, and because every arrival's
 //! contribution to a length is an exact multiplicative factor
-//! `(1 + ρ·n_e(t)·dem/c_e)`, a departure can *divide the factor back out*,
-//! restoring the lengths to exactly the state they would have had without
-//! the session's own contribution. Loads are additive and reversed the
-//! same way.
+//! `(1 + ρ·n_e(t)·dem/c_e)`, a departure can be rolled back *exactly*: the
+//! affected edges are recomputed from their base value `1/c_e` by
+//! replaying the surviving sessions' factors in admission order
+//! ([`crate::engine::replay_edge`] — the same primitive
+//! `omcf-runtime`'s event loop uses). Replaying instead of dividing
+//! matters: `(x·f)/f` is not bit-exact in IEEE-754, while the replayed
+//! product is the identical float-op sequence a run that never admitted
+//! the departed session would have executed, so restored lengths and
+//! loads are bit-identical to that counterfactual trajectory (see
+//! `docs/RUNTIME.md`).
 //!
 //! Rates are assigned as in Table VI: session `i` gets
 //! `dem(i)/max(1, l_max^i)` where `l_max^i` is the current maximum
@@ -114,21 +120,29 @@ impl OnlineSystem {
         id
     }
 
-    /// Removes a session, exactly reversing its length factors and load
-    /// contributions. Returns `false` if the id is unknown (already left).
+    /// Removes a session, exactly rolling back its length factors and
+    /// load contributions: every edge its tree crossed is recomputed from
+    /// the base `1/c_e` by replaying the surviving sessions' factors in
+    /// admission order, so the restored state is bit-identical to a run
+    /// that admitted only the survivors with the same trees. Returns
+    /// `false` if the id is unknown (already left).
     pub fn leave(&mut self, id: LiveId) -> bool {
         let Some(pos) = self.live.iter().position(|l| l.id == id) else {
             return false;
         };
-        let live = self.live.swap_remove(pos);
-        for &(e, n) in &live.edges {
-            let add = f64::from(n) * live.session.demand
-                / self.g.capacity(omcf_topology::EdgeId(e as u32));
-            self.load[e] -= add;
-            if self.load[e].abs() < 1e-12 {
-                self.load[e] = 0.0;
-            }
-            self.lengths[e] /= 1.0 + self.rho * add;
+        // `remove`, not `swap_remove`: `live` must stay in admission order
+        // for the replay below to be the exact float-op sequence of a
+        // fresh run.
+        let departed = self.live.remove(pos);
+        for &(e, _) in &departed.edges {
+            let cap = self.g.capacity(omcf_topology::EdgeId(e as u32));
+            let adds = self.live.iter().filter_map(|l| {
+                let k = l.edges.binary_search_by_key(&e, |p| p.0).ok()?;
+                Some(f64::from(l.edges[k].1) * l.session.demand / cap)
+            });
+            let (load, length) = crate::engine::replay_edge(1.0 / cap, self.rho, adds);
+            self.load[e] = load;
+            self.lengths[e] = length;
         }
         true
     }
@@ -206,7 +220,7 @@ mod tests {
     }
 
     #[test]
-    fn join_then_leave_restores_lengths_exactly() {
+    fn join_then_leave_restores_lengths_bit_exactly() {
         let g = canned::grid(4, 4, 10.0);
         let mut sys = OnlineSystem::new(&g, 25.0, JoinRouting::FixedIp);
         let initial = sys.lengths().to_vec();
@@ -214,9 +228,35 @@ mod tests {
         assert_ne!(sys.lengths(), initial.as_slice());
         assert!(sys.leave(id));
         for (a, b) in sys.lengths().iter().zip(&initial) {
-            assert!((a - b).abs() <= 1e-12 * b, "length not restored: {a} vs {b}");
+            assert_eq!(a.to_bits(), b.to_bits(), "length not restored: {a} vs {b}");
         }
         assert_eq!(sys.live_count(), 0);
+    }
+
+    #[test]
+    fn interleaved_leave_matches_counterfactual_run_bit_exactly() {
+        // a, b, c join; b leaves. Because 2-member fixed-IP sessions route
+        // independently of the lengths, state must equal a run that only
+        // ever admitted a and c — bit for bit.
+        let g = canned::grid(4, 4, 10.0);
+        let mut sys = OnlineSystem::new(&g, 25.0, JoinRouting::FixedIp);
+        let _a = sys.join(two_party(0, 15));
+        let b = sys.join(two_party(3, 12));
+        let _c = sys.join(two_party(1, 14));
+        assert!(sys.leave(b));
+
+        let mut fresh = OnlineSystem::new(&g, 25.0, JoinRouting::FixedIp);
+        let _ = fresh.join(two_party(0, 15));
+        let _ = fresh.join(two_party(1, 14));
+        for (a, b) in sys.lengths().iter().zip(fresh.lengths()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "rollback diverges from counterfactual");
+        }
+        let rates: Vec<f64> = sys.saturating_rates().iter().map(|&(_, r)| r).collect();
+        let fresh_rates: Vec<f64> = fresh.saturating_rates().iter().map(|&(_, r)| r).collect();
+        assert_eq!(rates.len(), fresh_rates.len());
+        for (a, b) in rates.iter().zip(&fresh_rates) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

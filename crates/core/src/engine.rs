@@ -41,6 +41,49 @@ use crate::lengths::ScaledLengths;
 use omcf_overlay::{EdgeEpochs, LengthView, OverlayTree, SessionSet, TreeOracle, TreeStore};
 use omcf_topology::{EdgeId, Graph};
 
+/// One admitted participant's routed contribution: the deduplicated
+/// per-edge multiplicities of its tree (sorted by edge id, as
+/// [`Engine::augment`] returns them) plus the amount routed along it.
+/// This is the unit of exact rollback: a long-running runtime records one
+/// `Contribution` per admission and hands the surviving ones back to
+/// [`EngineState::rollback`] when a session departs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Contribution {
+    /// `(edge, n_e(t))` pairs, sorted by edge id, each edge once.
+    pub edges: Vec<(EdgeId, u32)>,
+    /// Flow amount routed on the tree (the session demand, for the online
+    /// rule).
+    pub amount: f64,
+}
+
+impl Contribution {
+    /// The multiplicity this contribution places on edge `e` (0 if the
+    /// tree does not cross it).
+    #[must_use]
+    pub fn multiplicity(&self, e: EdgeId) -> u32 {
+        self.edges.binary_search_by_key(&e, |p| p.0).map_or(0, |k| self.edges[k].1)
+    }
+}
+
+/// Replays the online exponential-length trajectory of **one edge** from
+/// its base value: folds `load += add; length *= 1 + ρ·add` over `adds`
+/// in order, exactly the float-op sequence [`Engine::augment`] performs
+/// incrementally. Every exact-rollback path in the workspace
+/// ([`EngineState::rollback`], [`crate::OnlineSystem::leave`]) goes
+/// through this single function, so an edge recomputed after a departure
+/// is bit-identical to one that accumulated only the surviving
+/// contributions in the first place.
+#[must_use]
+pub fn replay_edge(base: f64, rho: f64, adds: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut load = 0.0;
+    let mut length = base;
+    for add in adds {
+        load += add;
+        length *= 1.0 + rho * add;
+    }
+    (load, length)
+}
+
 /// How an augmentation grows the lengths of the edges it crosses.
 #[derive(Clone, Copy, Debug)]
 pub enum LengthGrowth {
@@ -79,6 +122,106 @@ pub struct EngineRun {
     pub dual_bound: f64,
 }
 
+/// The engine's detachable mutable state: length store, epoch clock,
+/// load table, flow store and counters. A batch solver never sees this
+/// type — [`Engine::new`] builds one internally and [`Engine::finish`]
+/// consumes it — but an event-driven runtime keeps an `EngineState` alive
+/// across events, re-attaching it to a short-lived [`Engine`] per event
+/// via [`Engine::resume`] / [`Engine::suspend`] (the warm-start hooks)
+/// and rolling departures back through [`Self::rollback`].
+#[derive(Debug)]
+pub struct EngineState {
+    /// Live per-edge lengths.
+    pub lengths: ScaledLengths,
+    /// Touch clock entitling epoch-aware oracles to cache.
+    pub epochs: EdgeEpochs,
+    /// Per-edge congestion accumulated by [`LengthGrowth::Online`].
+    pub load: Vec<f64>,
+    /// Accumulated (unscaled) flow.
+    pub store: TreeStore,
+    /// Oracle invocations so far.
+    pub mst_ops: u64,
+    /// Augmentations so far.
+    pub iterations: u64,
+    /// Best weak-duality bound observed.
+    pub dual_bound: f64,
+}
+
+impl EngineState {
+    /// Fresh state for the online rule over `g`: identity-scale lengths at
+    /// the Table VI initialization `d_e = 1/c_e`, an empty load table and
+    /// an empty zero-session store (grow it with
+    /// [`TreeStore::push_session`] as participants join).
+    #[must_use]
+    pub fn online(g: &Graph) -> Self {
+        let inv_caps: Vec<f64> = g.edge_ids().map(|e| 1.0 / g.capacity(e)).collect();
+        Self::fresh(ScaledLengths::raw(&inv_caps), g.edge_count(), 0)
+    }
+
+    /// Fresh state with the given length store over `edge_count` edges and
+    /// `k` store sessions.
+    #[must_use]
+    pub fn fresh(lengths: ScaledLengths, edge_count: usize, k: usize) -> Self {
+        Self {
+            lengths,
+            epochs: EdgeEpochs::new(edge_count),
+            load: vec![0.0; edge_count],
+            store: TreeStore::new(k),
+            mst_ops: 0,
+            iterations: 0,
+            dual_bound: f64::INFINITY,
+        }
+    }
+
+    /// Exactly reverts session `session`'s departed contribution under the
+    /// online rule: every edge the departed tree crossed is recomputed
+    /// **from scratch** through [`replay_edge`] — base `1/c_e`, then the
+    /// surviving contributions' factors in admission order — rather than
+    /// divided out, so the restored lengths and loads are bit-identical to
+    /// a trajectory that only ever admitted the survivors with the same
+    /// trees (see `docs/RUNTIME.md` for why division cannot achieve this).
+    /// The departed session's trees are dropped from the store, and the
+    /// epoch clock is fully invalidated: a shrunk length voids the
+    /// monotone-growth reasoning that lets untouched cached routes survive,
+    /// so every cache entry must revalidate.
+    ///
+    /// `survivors` must list the live contributions in admission (join)
+    /// order and must not include the departed one.
+    pub fn rollback(
+        &mut self,
+        g: &Graph,
+        rho: f64,
+        session: usize,
+        departed: &Contribution,
+        survivors: &[&Contribution],
+    ) {
+        let edges: Vec<EdgeId> = departed.edges.iter().map(|&(e, _)| e).collect();
+        self.replay_edges(g, rho, &edges, survivors);
+        self.store.clear_session(session);
+        self.epochs.invalidate_all();
+    }
+
+    /// Recomputes `edges`' loads and lengths from the current capacities
+    /// and the live contributions (admission order) — the exact-replay
+    /// primitive behind [`Self::rollback`] and behind capacity
+    /// reconfiguration, where an edge's base length `1/c_e` and every
+    /// `n·dem/c_e` term change while the routed trees stay pinned. Callers
+    /// changing capacities must invalidate the epoch clock themselves if
+    /// any length can shrink.
+    pub fn replay_edges(&mut self, g: &Graph, rho: f64, edges: &[EdgeId], live: &[&Contribution]) {
+        for &e in edges {
+            let cap = g.capacity(e);
+            let adds = live.iter().filter_map(|c| {
+                let n = c.multiplicity(e);
+                (n > 0).then(|| f64::from(n) * c.amount / cap)
+            });
+            let (load, length) = replay_edge(1.0 / cap, rho, adds);
+            self.load[e.idx()] = load;
+            self.lengths.set_edge(e.idx(), length);
+        }
+    }
+}
+
 /// Shared state of one solver run: length store, epoch clock, flow store
 /// and counters. Policies drive it through [`Self::min_tree`] /
 /// [`Self::augment`] and read lengths through the accessors.
@@ -87,14 +230,12 @@ pub struct Engine<'a, O: TreeOracle + ?Sized> {
     g: &'a Graph,
     oracle: &'a O,
     growth: LengthGrowth,
-    lengths: ScaledLengths,
-    epochs: EdgeEpochs,
-    caps: Vec<f64>,
-    load: Vec<f64>,
-    store: TreeStore,
-    mst_ops: u64,
-    iterations: u64,
-    dual_bound: f64,
+    /// Capacity table for the dual objective, materialized on first use:
+    /// only the M1/M2 stop-test paths read it, and the per-event
+    /// resume/suspend cycle of an online runtime must stay O(1), not pay
+    /// an O(E) fill for a table it never touches.
+    caps: std::cell::OnceCell<Vec<f64>>,
+    state: EngineState,
 }
 
 impl<'a, O: TreeOracle + ?Sized> Engine<'a, O> {
@@ -103,20 +244,28 @@ impl<'a, O: TreeOracle + ?Sized> Engine<'a, O> {
     /// can never leak in.
     #[must_use]
     pub fn new(g: &'a Graph, oracle: &'a O, lengths: ScaledLengths, growth: LengthGrowth) -> Self {
-        let caps: Vec<f64> = g.edge_ids().map(|e| g.capacity(e)).collect();
-        Self {
-            g,
-            oracle,
-            growth,
-            lengths,
-            epochs: EdgeEpochs::new(g.edge_count()),
-            caps,
-            load: vec![0.0; g.edge_count()],
-            store: TreeStore::new(oracle.sessions().len()),
-            mst_ops: 0,
-            iterations: 0,
-            dual_bound: f64::INFINITY,
-        }
+        let state = EngineState::fresh(lengths, g.edge_count(), oracle.sessions().len());
+        Self::resume(g, oracle, growth, state)
+    }
+
+    /// Re-attaches persistent state from a previous engine — the
+    /// warm-start hook. An event-driven runtime holds one [`EngineState`]
+    /// across its whole life and wraps it in a fresh `Engine` (typically
+    /// with a fresh per-event oracle) for each event it processes; nothing
+    /// in the state is reset, so lengths, loads, store and counters carry
+    /// over exactly.
+    #[must_use]
+    pub fn resume(g: &'a Graph, oracle: &'a O, growth: LengthGrowth, state: EngineState) -> Self {
+        assert_eq!(state.lengths.stored().len(), g.edge_count(), "length store sized for g");
+        assert_eq!(state.load.len(), g.edge_count(), "load table sized for g");
+        Self { g, oracle, growth, caps: std::cell::OnceCell::new(), state }
+    }
+
+    /// Detaches the persistent state for the next [`Self::resume`] — the
+    /// counterpart warm-start hook to [`Self::resume`].
+    #[must_use]
+    pub fn suspend(self) -> EngineState {
+        self.state
     }
 
     /// The session set served by the run's oracle. The borrow is detached
@@ -129,8 +278,11 @@ impl<'a, O: TreeOracle + ?Sized> Engine<'a, O> {
     /// The minimum overlay spanning tree of session `i` under the current
     /// lengths, via the epoch-aware oracle path. Counts one `mst_op`.
     pub fn min_tree(&mut self, i: usize) -> OverlayTree {
-        self.mst_ops += 1;
-        self.oracle.min_tree_view(i, LengthView::with_epochs(self.lengths.stored(), &self.epochs))
+        self.state.mst_ops += 1;
+        self.oracle.min_tree_view(
+            i,
+            LengthView::with_epochs(self.state.lengths.stored(), &self.state.epochs),
+        )
     }
 
     /// One oracle sweep over `session_ids`, returning the tree of minimum
@@ -145,7 +297,7 @@ impl<'a, O: TreeOracle + ?Sized> Engine<'a, O> {
         let mut best: Option<(f64, OverlayTree)> = None;
         for &i in session_ids {
             let tree = self.min_tree(i);
-            let len_stored = tree.length(self.lengths.stored()) * norm(i);
+            let len_stored = tree.length(self.state.lengths.stored()) * norm(i);
             if best.as_ref().is_none_or(|(b, _)| len_stored < *b) {
                 best = Some((len_stored, tree));
             }
@@ -160,28 +312,28 @@ impl<'a, O: TreeOracle + ?Sized> Engine<'a, O> {
     /// the tree's per-edge multiplicities for policies that need them
     /// (the online post-pass).
     pub fn augment(&mut self, tree: OverlayTree, amount: f64) -> Vec<(EdgeId, u32)> {
-        self.iterations += 1;
-        self.epochs.advance();
+        self.state.iterations += 1;
+        self.state.epochs.advance();
         let mults = tree.edge_multiplicities();
-        self.store.add(tree, amount);
+        self.state.store.add(tree, amount);
         for &(e, n) in &mults {
             let cap = self.g.capacity(e);
             let factor = match self.growth {
                 LengthGrowth::Fptas { eps } => 1.0 + eps * f64::from(n) * amount / cap,
                 LengthGrowth::Online { rho } => {
                     let add = f64::from(n) * amount / cap;
-                    self.load[e.idx()] += add;
+                    self.state.load[e.idx()] += add;
                     1.0 + rho * add
                 }
             };
-            self.lengths.scale_edge(e.idx(), factor);
+            self.state.lengths.scale_edge(e.idx(), factor);
             if matches!(self.growth, LengthGrowth::Online { .. }) {
                 assert!(
-                    self.lengths.stored()[e.idx()].is_finite(),
+                    self.state.lengths.stored()[e.idx()].is_finite(),
                     "online length overflow; lower rho"
                 );
             }
-            self.epochs.touch(e.idx());
+            self.state.epochs.touch(e.idx());
         }
         mults
     }
@@ -190,8 +342,8 @@ impl<'a, O: TreeOracle + ?Sized> Engine<'a, O> {
     /// engine tracks the best weak-duality bound `min D/α` over the run.
     pub fn observe_alpha(&mut self, alpha_stored: f64) {
         let bound = self.dual_objective_stored() / alpha_stored;
-        if bound < self.dual_bound {
-            self.dual_bound = bound;
+        if bound < self.state.dual_bound {
+            self.state.dual_bound = bound;
         }
     }
 
@@ -199,43 +351,45 @@ impl<'a, O: TreeOracle + ?Sized> Engine<'a, O> {
     /// against [`Self::stored_one`].
     #[must_use]
     pub fn dual_objective_stored(&self) -> f64 {
-        self.lengths.weighted_sum_stored(&self.caps)
+        let caps =
+            self.caps.get_or_init(|| self.g.edge_ids().map(|e| self.g.capacity(e)).collect());
+        self.state.lengths.weighted_sum_stored(caps)
     }
 
     /// Stored image of the constant 1 (the stop-test threshold).
     #[must_use]
     pub fn stored_one(&self) -> f64 {
-        self.lengths.stored_one()
+        self.state.lengths.stored_one()
     }
 
     /// The live stored lengths (for policies computing tree lengths).
     #[must_use]
     pub fn stored_lengths(&self) -> &[f64] {
-        self.lengths.stored()
+        self.state.lengths.stored()
     }
 
     /// `mst_ops` so far.
     #[must_use]
     pub fn mst_ops(&self) -> u64 {
-        self.mst_ops
+        self.state.mst_ops
     }
 
     /// Augmentations so far.
     #[must_use]
     pub fn iterations(&self) -> u64 {
-        self.iterations
+        self.state.iterations
     }
 
     /// Ends the run, releasing the accumulated state to the policy.
     #[must_use]
     pub fn finish(self) -> EngineRun {
         EngineRun {
-            store: self.store,
-            lengths: self.lengths,
-            load: self.load,
-            mst_ops: self.mst_ops,
-            iterations: self.iterations,
-            dual_bound: self.dual_bound,
+            store: self.state.store,
+            lengths: self.state.lengths,
+            load: self.state.load,
+            mst_ops: self.state.mst_ops,
+            iterations: self.state.iterations,
+            dual_bound: self.state.dual_bound,
         }
     }
 }
@@ -311,6 +465,99 @@ mod tests {
         // Session 1's second query is the only hit: its own first query and
         // both of session 0's (initial, then invalidated) must recompute.
         assert_eq!((stats.hits, stats.misses), (1, 3), "unexpected cache behavior: {stats:?}");
+    }
+
+    #[test]
+    fn suspend_resume_carries_all_state() {
+        let (g, sessions) = setup();
+        let oracle = FixedIpOracle::new(&g, &sessions);
+        let inv_caps: Vec<f64> = g.edge_ids().map(|e| 1.0 / g.capacity(e)).collect();
+        let mut engine = Engine::new(
+            &g,
+            &oracle,
+            ScaledLengths::raw(&inv_caps),
+            LengthGrowth::Online { rho: 10.0 },
+        );
+        let tree = engine.min_tree(0);
+        engine.augment(tree, 1.0);
+        let lengths_before = engine.stored_lengths().to_vec();
+
+        // Detach, re-attach (fresh oracle, as a runtime would), continue.
+        let state = engine.suspend();
+        let oracle2 = FixedIpOracle::new(&g, &sessions);
+        let mut engine = Engine::resume(&g, &oracle2, LengthGrowth::Online { rho: 10.0 }, state);
+        assert_eq!(engine.stored_lengths(), lengths_before.as_slice());
+        assert_eq!(engine.mst_ops(), 1);
+        assert_eq!(engine.iterations(), 1);
+        let tree = engine.min_tree(1);
+        engine.augment(tree, 1.0);
+        let run = engine.finish();
+        assert_eq!(run.mst_ops, 2);
+        assert_eq!(run.iterations, 2);
+        assert!(run.load.iter().any(|l| *l > 0.0));
+    }
+
+    #[test]
+    fn rollback_restores_counterfactual_state_bit_exactly() {
+        // Three single-hop contributions on disjoint edges plus one
+        // overlapping one; rolling the overlapper back must leave every
+        // edge bit-identical to a state that only admitted the survivors.
+        let g = canned::grid(3, 3, 10.0);
+        let rho = 25.0;
+        let session =
+            |a: u32, b: u32| SessionSet::new(vec![Session::new(vec![NodeId(a), NodeId(b)], 1.0)]);
+        let arrivals = [session(0, 1), session(0, 1), session(3, 4), session(7, 8)];
+
+        let admit = |state: EngineState, set: &SessionSet, slot: usize| {
+            let oracle = FixedIpOracle::new(&g, set);
+            let mut engine = Engine::resume(&g, &oracle, LengthGrowth::Online { rho }, state);
+            let mut tree = engine.min_tree(0);
+            tree.session = slot;
+            let edges = engine.augment(tree, 1.0);
+            (engine.suspend(), Contribution { edges, amount: 1.0 })
+        };
+
+        let mut state = EngineState::online(&g);
+        let mut contribs = Vec::new();
+        for (slot, set) in arrivals.iter().enumerate() {
+            state.store.push_session();
+            let (next, c) = admit(state, set, slot);
+            state = next;
+            contribs.push(c);
+        }
+        // Roll back arrival 1 (shares its edge with arrival 0).
+        let survivors: Vec<&Contribution> = [0usize, 2, 3].iter().map(|&i| &contribs[i]).collect();
+        state.rollback(&g, rho, 1, &contribs[1], &survivors);
+        assert_eq!(state.store.tree_count(1), 0);
+        assert_eq!(state.store.tree_count(0), 1, "survivor flow untouched");
+
+        // Counterfactual run that never admitted arrival 1.
+        let mut fresh = EngineState::online(&g);
+        for (slot, i) in [0usize, 2, 3].into_iter().enumerate() {
+            fresh.store.push_session();
+            let (next, _) = admit(fresh, &arrivals[i], slot);
+            fresh = next;
+        }
+        for (a, b) in state.lengths.stored().iter().zip(fresh.lengths.stored()) {
+            assert_eq!(a.to_bits(), b.to_bits(), "length not rolled back exactly");
+        }
+        for (a, b) in state.load.iter().zip(&fresh.load) {
+            assert_eq!(a.to_bits(), b.to_bits(), "load not rolled back exactly");
+        }
+    }
+
+    #[test]
+    fn replay_edge_matches_incremental_fold() {
+        let adds = [0.25, 0.5, 0.125];
+        let rho = 30.0;
+        let (mut load, mut len) = (0.0f64, 0.01f64);
+        for &a in &adds {
+            load += a;
+            len *= 1.0 + rho * a;
+        }
+        let (rl, rlen) = replay_edge(0.01, rho, adds.iter().copied());
+        assert_eq!(load.to_bits(), rl.to_bits());
+        assert_eq!(len.to_bits(), rlen.to_bits());
     }
 
     #[test]

@@ -97,6 +97,17 @@ impl ScaledLengths {
         debug_assert!(self.stored[e].is_finite(), "length overflow on edge {e}");
     }
 
+    /// Overwrites edge `e`'s stored length — the rollback hook. Unlike
+    /// [`Self::scale_edge`] this may *shrink* a length (a departing
+    /// session's contribution is replayed out), which voids the
+    /// monotone-growth reasoning behind epoch-based oracle caching: the
+    /// caller owns invalidating any epoch clock covering this store
+    /// (`EdgeEpochs::invalidate_all`).
+    pub fn set_edge(&mut self, e: usize, stored: f64) {
+        assert!(stored > 0.0 && stored.is_finite(), "lengths must stay positive and finite");
+        self.stored[e] = stored;
+    }
+
     /// True natural log of edge `e`'s length.
     #[must_use]
     pub fn ln_true(&self, e: usize) -> f64 {

@@ -198,10 +198,19 @@ impl SolverKind {
         }
     }
 
-    /// Parses [`Self::name`] back.
+    /// Parses [`Self::name`] back, ignoring ASCII case and surrounding
+    /// whitespace (`"M1"`, `" Online "` and `"m1-Fleischer"` all parse).
     #[must_use]
     pub fn parse(s: &str) -> Option<Self> {
-        Self::ALL.into_iter().find(|k| k.name() == s)
+        let s = s.trim();
+        Self::ALL.into_iter().find(|k| k.name().eq_ignore_ascii_case(s))
+    }
+
+    /// The valid solver names, comma-separated — CLI error paths quote
+    /// this so a typo tells the user what would have parsed.
+    #[must_use]
+    pub fn name_list() -> String {
+        Self::ALL.map(Self::name).join(", ")
     }
 
     /// The shared adapter implementing this kind.
@@ -455,6 +464,18 @@ mod tests {
             assert_eq!(kind.solver().kind(), kind);
         }
         assert_eq!(SolverKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn parse_ignores_case_and_whitespace() {
+        assert_eq!(SolverKind::parse("M1"), Some(SolverKind::M1));
+        assert_eq!(SolverKind::parse("  Online "), Some(SolverKind::Online));
+        assert_eq!(SolverKind::parse("M1-Fleischer"), Some(SolverKind::M1Fleischer));
+        assert_eq!(SolverKind::parse("m 1"), None, "inner whitespace is not a name");
+        let names = SolverKind::name_list();
+        for kind in SolverKind::ALL {
+            assert!(names.contains(kind.name()), "{names} missing {}", kind.name());
+        }
     }
 
     #[test]

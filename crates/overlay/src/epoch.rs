@@ -63,6 +63,19 @@ impl EdgeEpochs {
         self.stamp[e] = self.current;
     }
 
+    /// Invalidates every cache entry validated against this clock:
+    /// advances and stamps **all** edges. Required whenever a length
+    /// *shrinks* — a session leave rolling contributions back, or a
+    /// capacity increase lowering `1/c_e` — because the monotone-growth
+    /// argument no longer protects even routes that avoid the changed
+    /// edge: a shrunk length can make a previously rejected route the new
+    /// minimum. Stamping everything forces every cached route (which
+    /// necessarily crosses at least one edge) to revalidate and miss.
+    pub fn invalidate_all(&mut self) {
+        self.current += 1;
+        self.stamp.fill(self.current);
+    }
+
     /// The epoch edge `e` was last touched at (0 = never).
     #[must_use]
     pub fn stamp(&self, e: usize) -> u64 {
@@ -127,6 +140,21 @@ mod tests {
         assert!(!e.none_touched_since(&[0, 1], t0));
         // A cache computed *now* sees edge 1 as clean again.
         assert!(e.none_touched_since(&[0, 1, 2], e.current()));
+    }
+
+    #[test]
+    fn invalidate_all_stamps_every_edge() {
+        let mut e = EdgeEpochs::new(4);
+        e.advance();
+        e.touch(2);
+        let before = e.current();
+        e.invalidate_all();
+        assert!(e.current() > before, "invalidation advances the clock");
+        // No entry computed at any earlier epoch may validate now…
+        assert!(!e.none_touched_since(&[0], before));
+        assert!(!e.none_touched_since(&[3], 0));
+        // …but entries recomputed at the new epoch are clean again.
+        assert!(e.none_touched_since(&[0, 1, 2, 3], e.current()));
     }
 
     #[test]

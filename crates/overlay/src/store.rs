@@ -38,6 +38,21 @@ impl TreeStore {
         self.per_session.len()
     }
 
+    /// Appends an empty session slot, returning its index — the admission
+    /// hook for long-running runtimes whose population grows as sessions
+    /// join (batch solvers size the store up front via [`Self::new`]).
+    pub fn push_session(&mut self) -> usize {
+        self.per_session.push(BTreeMap::new());
+        self.per_session.len() - 1
+    }
+
+    /// Drops every tree of session `i`, leaving an empty slot — the
+    /// departure hook. Slots are never removed, so join indices stay
+    /// stable across departures.
+    pub fn clear_session(&mut self, i: usize) {
+        self.per_session[i].clear();
+    }
+
     /// Adds `flow` along `tree`, merging with a previous identical tree.
     pub fn add(&mut self, tree: OverlayTree, flow: f64) {
         assert!(flow >= 0.0, "negative flow");
@@ -224,6 +239,24 @@ mod tests {
         assert_eq!(store.session_total(0), 1.0);
         store.scale_all(2.0);
         assert_eq!(store.session_total(0), 2.0);
+    }
+
+    #[test]
+    fn push_and_clear_session_slots() {
+        let g = canned::path(3, 10.0);
+        let mut store = TreeStore::new(0);
+        assert_eq!(store.push_session(), 0);
+        assert_eq!(store.push_session(), 1);
+        assert_eq!(store.session_count(), 2);
+        let mut t = simple_tree(&g, 0);
+        store.add(t.clone(), 2.0);
+        t.session = 1;
+        store.add(t, 3.0);
+        store.clear_session(0);
+        assert_eq!(store.tree_count(0), 0);
+        assert_eq!(store.session_total(0), 0.0);
+        assert_eq!(store.session_count(), 2, "slots survive clearing");
+        assert_eq!(store.session_total(1), 3.0, "other sessions untouched");
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! The runtime's event vocabulary.
+//!
+//! A [`Runtime`](crate::Runtime) consumes an ordered stream of [`Event`]s.
+//! Churn traces ([`ChurnSchedule`]) translate directly into `Join`/`Leave`
+//! streams via [`Event::from_churn`]; [`Event::schedule`] additionally
+//! interleaves [`Event::Reoptimize`] checkpoints so drift against the
+//! batch optimum is sampled periodically along the trace.
+
+use omcf_overlay::{ChurnEvent, ChurnSchedule, Session};
+use omcf_topology::EdgeId;
+
+/// One event of a runtime's input stream.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A session joins: it is routed on the minimum overlay spanning tree
+    /// under the live lengths and charged to the links it crosses.
+    Join(Session),
+    /// The session admitted by the `i`-th `Join` (0-based) departs; its
+    /// contribution is rolled back exactly (see `docs/RUNTIME.md`).
+    Leave(usize),
+    /// Link reconfiguration: each listed edge's capacity is multiplied by
+    /// its factor (hotspot rescaling produces factors > 1 around
+    /// well-provisioned nodes, < 1 models degradation). Live trees stay
+    /// pinned; affected lengths and loads are re-derived exactly from the
+    /// new capacities.
+    CapacityChange(Vec<(EdgeId, f64)>),
+    /// Checkpoint: snapshot the live population for the
+    /// [`Reoptimizer`](crate::Reoptimizer), which re-solves it offline and
+    /// reports the runtime's congestion drift against that batch optimum.
+    Reoptimize,
+}
+
+impl Event {
+    /// Stable lowercase label for rendering and logs.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Join(_) => "join",
+            Self::Leave(_) => "leave",
+            Self::CapacityChange(_) => "capacity-change",
+            Self::Reoptimize => "reoptimize",
+        }
+    }
+
+    /// Translates a validated churn trace into the equivalent event
+    /// stream, in trace order.
+    #[must_use]
+    pub fn from_churn(churn: &ChurnSchedule) -> Vec<Event> {
+        churn
+            .events()
+            .iter()
+            .map(|ev| match ev {
+                ChurnEvent::Join(s) => Event::Join(s.clone()),
+                ChurnEvent::Leave(i) => Event::Leave(*i),
+            })
+            .collect()
+    }
+
+    /// [`Self::from_churn`] with a [`Event::Reoptimize`] checkpoint after
+    /// every `reopt_every` churn events and one after the final event (so
+    /// a nonzero cadence always yields a nonempty drift series).
+    /// `reopt_every == 0` disables checkpoints entirely.
+    #[must_use]
+    pub fn schedule(churn: &ChurnSchedule, reopt_every: usize) -> Vec<Event> {
+        let base = Self::from_churn(churn);
+        if reopt_every == 0 {
+            return base;
+        }
+        let mut out = Vec::with_capacity(base.len() + base.len() / reopt_every + 1);
+        for (i, ev) in base.iter().enumerate() {
+            out.push(ev.clone());
+            if (i + 1) % reopt_every == 0 {
+                out.push(Event::Reoptimize);
+            }
+        }
+        if out.last() != Some(&Event::Reoptimize) {
+            out.push(Event::Reoptimize);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omcf_topology::NodeId;
+
+    fn two(a: u32, b: u32) -> Session {
+        Session::new(vec![NodeId(a), NodeId(b)], 1.0)
+    }
+
+    fn sample_churn() -> ChurnSchedule {
+        ChurnSchedule::new(vec![
+            ChurnEvent::Join(two(0, 1)),
+            ChurnEvent::Join(two(2, 3)),
+            ChurnEvent::Leave(0),
+            ChurnEvent::Join(two(4, 5)),
+        ])
+    }
+
+    #[test]
+    fn from_churn_preserves_order() {
+        let evs = Event::from_churn(&sample_churn());
+        assert_eq!(evs.len(), 4);
+        assert!(matches!(evs[0], Event::Join(_)));
+        assert_eq!(evs[2], Event::Leave(0));
+        assert_eq!(evs[2].label(), "leave");
+    }
+
+    #[test]
+    fn schedule_interleaves_and_terminates_with_checkpoint() {
+        let evs = Event::schedule(&sample_churn(), 2);
+        let reopts = evs.iter().filter(|e| **e == Event::Reoptimize).count();
+        assert_eq!(reopts, 2, "after events 2 and 4: {evs:?}");
+        assert_eq!(evs.last(), Some(&Event::Reoptimize));
+        // Cadence 3: one mid-trace checkpoint plus the appended final one.
+        let evs = Event::schedule(&sample_churn(), 3);
+        assert_eq!(evs.iter().filter(|e| **e == Event::Reoptimize).count(), 2);
+        assert_eq!(evs.last(), Some(&Event::Reoptimize));
+        // Cadence 0 disables checkpoints.
+        assert!(Event::schedule(&sample_churn(), 0).iter().all(|e| *e != Event::Reoptimize));
+    }
+}

@@ -1,0 +1,566 @@
+//! Versioned snapshot save/restore for [`Runtime`].
+//!
+//! A snapshot captures everything a resumed replay needs — topology
+//! (capacities included, since [`Event::CapacityChange`] mutates them),
+//! exponential lengths, load table, the admission log with live trees,
+//! and the counters — in a line-based text format. Every `f64` is
+//! serialized as its IEEE-754 bit pattern (16 hex digits), so
+//! `save → restore` is **bit-identical**: a replay resumed from a
+//! snapshot produces exactly the bytes an uninterrupted run would
+//! (pinned by `tests/snapshot.rs`).
+//!
+//! Format `v1` (the leading header line is the version gate; restoring a
+//! snapshot written by a future incompatible version fails loudly rather
+//! than misparsing):
+//!
+//! ```text
+//! omcf-runtime-snapshot v1
+//! rho <bits>
+//! routing fixed-ip|arbitrary
+//! events <count>
+//! counters <mst_ops> <iterations>
+//! graph <nodes> <edges>
+//! node <idx> <xbits> <ybits>          (× nodes)
+//! edge <u> <v> <capbits>              (× edges)
+//! lengths <bits…>                     (edges words)
+//! loads <bits…>                       (edges words)
+//! admitted <count>
+//! session <idx> <alive> <dembits> <k> <members…>
+//! hops <idx> <count>
+//! hop <a> <b> <src> <dst> <n> <edges…>  (× count, per admitted session)
+//! end
+//! ```
+//!
+//! Not serialized (reconstructed on restore): the
+//! [`TreeStore`](omcf_overlay::TreeStore) (rebuilt
+//! from the live trees at their demands — bit-identical, flows were never
+//! mutated in place) and the epoch clock (a fresh clock is correct
+//! because oracles are per-event; a restored runtime's first queries
+//! simply miss).
+//!
+//! [`Event::CapacityChange`]: crate::Event::CapacityChange
+
+use crate::runtime::{Admitted, Runtime, RuntimeConfig};
+use omcf_core::engine::{Contribution, EngineState};
+use omcf_core::solver::RoutingMode;
+use omcf_overlay::{OverlayHop, OverlayTree, Session};
+use omcf_routing::Path;
+use omcf_topology::{EdgeId, GraphBuilder, NodeId};
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Current snapshot format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+const HEADER: &str = "omcf-runtime-snapshot v1";
+
+/// Why a snapshot failed to restore.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The header line names an unknown format version.
+    UnsupportedVersion(String),
+    /// A line failed to parse.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnsupportedVersion(h) => {
+                write!(f, "unsupported snapshot header `{h}` (expected `{HEADER}`)")
+            }
+            Self::Malformed { line, what } => write!(f, "snapshot line {line}: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl Runtime {
+    /// Serializes the full runtime state to the versioned text format.
+    #[must_use]
+    pub fn snapshot(&self) -> String {
+        let g = &self.graph;
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "rho {:016x}", self.rho.to_bits());
+        let _ = writeln!(out, "routing {}", self.routing.label());
+        let _ = writeln!(out, "events {}", self.events_processed);
+        let _ = writeln!(out, "counters {} {}", self.state.mst_ops, self.state.iterations);
+        let _ = writeln!(out, "graph {} {}", g.node_count(), g.edge_count());
+        for n in g.nodes() {
+            let (x, y) = g.position(n);
+            let _ = writeln!(out, "node {} {:016x} {:016x}", n.0, x.to_bits(), y.to_bits());
+        }
+        for e in g.edge_ids() {
+            let edge = g.edge(e);
+            let _ =
+                writeln!(out, "edge {} {} {:016x}", edge.u.0, edge.v.0, edge.capacity.to_bits());
+        }
+        let _ = write!(out, "lengths");
+        for l in self.state.lengths.stored() {
+            let _ = write!(out, " {:016x}", l.to_bits());
+        }
+        out.push('\n');
+        let _ = write!(out, "loads");
+        for l in &self.state.load {
+            let _ = write!(out, " {:016x}", l.to_bits());
+        }
+        out.push('\n');
+        let _ = writeln!(out, "admitted {}", self.admitted.len());
+        for (i, a) in self.admitted.iter().enumerate() {
+            let _ = write!(
+                out,
+                "session {i} {} {:016x} {}",
+                u8::from(a.alive),
+                a.session.demand.to_bits(),
+                a.session.members.len()
+            );
+            for m in &a.session.members {
+                let _ = write!(out, " {}", m.0);
+            }
+            out.push('\n');
+            let _ = writeln!(out, "hops {i} {}", a.tree.hops.len());
+            for h in &a.tree.hops {
+                let _ = write!(
+                    out,
+                    "hop {} {} {} {} {}",
+                    h.a,
+                    h.b,
+                    h.path.src.0,
+                    h.path.dst.0,
+                    h.path.edges.len()
+                );
+                for e in h.path.edges.iter() {
+                    let _ = write!(out, " {}", e.0);
+                }
+                out.push('\n');
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// Restores a runtime from [`Self::snapshot`] output. The restored
+    /// state is bit-identical: lengths, loads, counters, admission log
+    /// and the reconstructed flow store all match the snapshotted
+    /// runtime exactly.
+    ///
+    /// Corruption is an `Err`, never a panic: beyond line-shape parsing,
+    /// every semantic invariant a flipped bit could violate — positive
+    /// finite capacities/lengths/demands/ρ, in-range node/edge/member
+    /// indices, distinct session members, trees that actually span and
+    /// embed — is checked here, so a service restoring a persisted blob
+    /// can handle a bad one instead of aborting.
+    pub fn restore(text: &str) -> Result<Runtime, SnapshotError> {
+        // Every node/edge/session record occupies at least one line, so
+        // the line count bounds any declared count a corrupt header could
+        // inflate (guards the pre-allocations below).
+        let total_lines = text.lines().count();
+        let mut p = Parser { lines: text.lines().enumerate(), line: 0 };
+        let header = p.next_line()?;
+        if header != HEADER {
+            return Err(SnapshotError::UnsupportedVersion(header.to_string()));
+        }
+        let rho = f64::from_bits(p.tagged_u64_hex("rho")?);
+        if !(rho > 0.0 && rho.is_finite()) {
+            return Err(p.err(format!("step size must be positive and finite, got {rho}")));
+        }
+        let routing = match p.tagged_str("routing")?.as_str() {
+            "fixed-ip" => RoutingMode::FixedIp,
+            "arbitrary" => RoutingMode::Arbitrary,
+            other => return Err(p.err(format!("unknown routing `{other}`"))),
+        };
+        let events_processed = p.tagged_u64("events")?;
+        let (mst_ops, iterations) = {
+            let toks = p.tagged_tokens("counters", 2)?;
+            (p.parse_u64(&toks[0])?, p.parse_u64(&toks[1])?)
+        };
+        let (n, m) = {
+            let toks = p.tagged_tokens("graph", 2)?;
+            (p.parse_usize(&toks[0])?, p.parse_usize(&toks[1])?)
+        };
+        if n > total_lines || m > total_lines {
+            return Err(p.err(format!("implausible graph dimensions {n}x{m}")));
+        }
+        let mut b = GraphBuilder::new(n);
+        for _ in 0..n {
+            let toks = p.tagged_tokens("node", 3)?;
+            let idx = p.parse_usize(&toks[0])?;
+            if idx >= n {
+                return Err(p.err(format!("node index {idx} out of range")));
+            }
+            let x = f64::from_bits(p.parse_u64_hex(&toks[1])?);
+            let y = f64::from_bits(p.parse_u64_hex(&toks[2])?);
+            b.set_position(NodeId(idx as u32), x, y);
+        }
+        for _ in 0..m {
+            let toks = p.tagged_tokens("edge", 3)?;
+            let u = p.parse_usize(&toks[0])?;
+            let v = p.parse_usize(&toks[1])?;
+            let cap = f64::from_bits(p.parse_u64_hex(&toks[2])?);
+            if u >= n || v >= n || u == v {
+                return Err(p.err(format!("bad edge endpoints {u}-{v}")));
+            }
+            if !(cap > 0.0 && cap.is_finite()) {
+                return Err(p.err(format!("capacity must be positive and finite, got {cap}")));
+            }
+            b.add_edge(NodeId(u as u32), NodeId(v as u32), cap);
+        }
+        let graph = Arc::new(b.finish());
+
+        let lengths = p.tagged_f64_bits("lengths", m)?;
+        if let Some(bad) = lengths.iter().find(|l| !(**l > 0.0 && l.is_finite())) {
+            return Err(p.err(format!("length must be positive and finite, got {bad}")));
+        }
+        let loads = p.tagged_f64_bits("loads", m)?;
+        if let Some(bad) = loads.iter().find(|l| !(**l >= 0.0 && l.is_finite())) {
+            return Err(p.err(format!("load must be nonnegative and finite, got {bad}")));
+        }
+
+        let admitted_count = p.tagged_u64("admitted")? as usize;
+        if admitted_count > total_lines {
+            return Err(p.err(format!("implausible admission count {admitted_count}")));
+        }
+        let mut admitted = Vec::with_capacity(admitted_count);
+        for i in 0..admitted_count {
+            let toks = p.line_tokens("session")?;
+            if toks.len() < 4 {
+                return Err(p.err("truncated session line".to_string()));
+            }
+            if p.parse_usize(&toks[0])? != i {
+                return Err(p.err(format!("session index mismatch (expected {i})")));
+            }
+            let alive = match toks[1].as_str() {
+                "0" => false,
+                "1" => true,
+                other => return Err(p.err(format!("bad alive flag `{other}`"))),
+            };
+            let demand = f64::from_bits(p.parse_u64_hex(&toks[2])?);
+            if !(demand > 0.0 && demand.is_finite()) {
+                return Err(p.err(format!("demand must be positive and finite, got {demand}")));
+            }
+            let k = p.parse_usize(&toks[3])?;
+            if k < 2 {
+                return Err(p.err(format!("a session needs at least 2 members, got {k}")));
+            }
+            if toks.len() != 4 + k {
+                return Err(p.err(format!("expected {k} members, got {}", toks.len() - 4)));
+            }
+            let members: Vec<NodeId> = toks[4..]
+                .iter()
+                .map(|t| p.parse_usize(t).map(|v| NodeId(v as u32)))
+                .collect::<Result<_, _>>()?;
+            if members.iter().any(|node| node.idx() >= n) {
+                return Err(p.err("session member out of range".to_string()));
+            }
+            let mut dedup: Vec<NodeId> = members.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            if dedup.len() != members.len() {
+                return Err(p.err("duplicate session members".to_string()));
+            }
+            let session = Session::new(members, demand);
+
+            let hop_toks = p.tagged_tokens("hops", 2)?;
+            if p.parse_usize(&hop_toks[0])? != i {
+                return Err(p.err(format!("hops index mismatch (expected {i})")));
+            }
+            let hop_count = p.parse_usize(&hop_toks[1])?;
+            let mut hops = Vec::with_capacity(hop_count);
+            for _ in 0..hop_count {
+                let t = p.line_tokens("hop")?;
+                if t.len() < 5 {
+                    return Err(p.err("truncated hop line".to_string()));
+                }
+                let a = p.parse_usize(&t[0])?;
+                let hb = p.parse_usize(&t[1])?;
+                let src = NodeId(p.parse_usize(&t[2])? as u32);
+                let dst = NodeId(p.parse_usize(&t[3])? as u32);
+                let ne = p.parse_usize(&t[4])?;
+                if t.len() != 5 + ne {
+                    return Err(p.err(format!("expected {ne} path edges, got {}", t.len() - 5)));
+                }
+                let edges: Vec<EdgeId> = t[5..]
+                    .iter()
+                    .map(|tok| p.parse_usize(tok).map(|v| EdgeId(v as u32)))
+                    .collect::<Result<_, _>>()?;
+                if edges.iter().any(|e| e.idx() >= m) {
+                    return Err(p.err("hop path edge out of range".to_string()));
+                }
+                hops.push(OverlayHop { a, b: hb, path: Path { src, dst, edges: edges.into() } });
+            }
+            let tree = OverlayTree { session: i, hops };
+            if let Err(what) = check_tree(&session, &tree, &graph) {
+                return Err(p.err(what));
+            }
+            let contribution =
+                Contribution { edges: tree.edge_multiplicities(), amount: session.demand };
+            admitted.push(Admitted { session, tree, contribution, alive });
+        }
+        if p.next_line()? != "end" {
+            return Err(p.err("missing `end` terminator".to_string()));
+        }
+
+        // Reassemble the engine state: bit-exact lengths/loads, a fresh
+        // epoch clock, and the store rebuilt from the live admission log.
+        let mut state = EngineState::online(&graph);
+        for (e, bits) in lengths.iter().enumerate() {
+            state.lengths.set_edge(e, *bits);
+        }
+        state.load = loads;
+        state.mst_ops = mst_ops;
+        state.iterations = iterations;
+        for a in &admitted {
+            let slot = state.store.push_session();
+            if a.alive {
+                debug_assert_eq!(slot, a.tree.session);
+                state.store.add(a.tree.clone(), a.session.demand);
+            }
+        }
+
+        let mut rt = Runtime::new(Arc::clone(&graph), RuntimeConfig::new(rho, routing));
+        rt.state = state;
+        rt.admitted = admitted;
+        rt.events_processed = events_processed;
+        Ok(rt)
+    }
+}
+
+/// Non-panicking twin of `OverlayTree::validate` for untrusted snapshot
+/// input: checks that the hops span the session's member indices without
+/// cycles and that every hop's path is a walk through `g` joining the
+/// right members. Indices into `g` must already be bounds-checked.
+fn check_tree(
+    session: &Session,
+    tree: &OverlayTree,
+    g: &omcf_topology::Graph,
+) -> Result<(), String> {
+    let k = session.size();
+    if tree.hops.len() != k - 1 {
+        return Err(format!("tree must have {} hops, got {}", k - 1, tree.hops.len()));
+    }
+    let mut parent: Vec<usize> = (0..k).collect();
+    fn root(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for h in &tree.hops {
+        if h.a >= k || h.b >= k || h.a == h.b {
+            return Err(format!("bad hop endpoints {}-{}", h.a, h.b));
+        }
+        let (ra, rb) = (root(&mut parent, h.a), root(&mut parent, h.b));
+        if ra == rb {
+            return Err("cycle in overlay tree".to_string());
+        }
+        parent[ra] = rb;
+        let (pa, pb) = (session.members[h.a], session.members[h.b]);
+        if !((h.path.src == pa && h.path.dst == pb) || (h.path.src == pb && h.path.dst == pa)) {
+            return Err("hop path endpoints disagree with members".to_string());
+        }
+        let mut cur = h.path.src;
+        for &e in h.path.edges.iter() {
+            let edge = g.edge(e);
+            cur = if edge.u == cur {
+                edge.v
+            } else if edge.v == cur {
+                edge.u
+            } else {
+                return Err(format!("path edge {e:?} not incident to walk"));
+            };
+        }
+        if cur != h.path.dst {
+            return Err("hop path does not reach its destination".to_string());
+        }
+    }
+    Ok(())
+}
+
+/// Line-cursor with tagged-line helpers; every error carries the 1-based
+/// line number.
+struct Parser<'a> {
+    lines: std::iter::Enumerate<std::str::Lines<'a>>,
+    line: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, what: String) -> SnapshotError {
+        SnapshotError::Malformed { line: self.line, what }
+    }
+
+    fn next_line(&mut self) -> Result<&str, SnapshotError> {
+        match self.lines.next() {
+            Some((i, l)) => {
+                self.line = i + 1;
+                Ok(l.trim_end())
+            }
+            None => {
+                Err(SnapshotError::Malformed { line: self.line + 1, what: "unexpected end".into() })
+            }
+        }
+    }
+
+    /// Next line, checked to start with `tag`; returns the remaining
+    /// whitespace-separated tokens.
+    fn line_tokens(&mut self, tag: &str) -> Result<Vec<String>, SnapshotError> {
+        let line = self.next_line()?.to_string();
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some(t) if t == tag => Ok(toks.map(str::to_string).collect()),
+            other => Err(self.err(format!("expected `{tag}` line, got `{}`", other.unwrap_or("")))),
+        }
+    }
+
+    fn tagged_tokens(&mut self, tag: &str, n: usize) -> Result<Vec<String>, SnapshotError> {
+        let toks = self.line_tokens(tag)?;
+        if toks.len() == n {
+            Ok(toks)
+        } else {
+            Err(self.err(format!("`{tag}` expects {n} fields, got {}", toks.len())))
+        }
+    }
+
+    fn tagged_str(&mut self, tag: &str) -> Result<String, SnapshotError> {
+        Ok(self.tagged_tokens(tag, 1)?.remove(0))
+    }
+
+    fn tagged_u64(&mut self, tag: &str) -> Result<u64, SnapshotError> {
+        let tok = self.tagged_str(tag)?;
+        self.parse_u64(&tok)
+    }
+
+    fn tagged_u64_hex(&mut self, tag: &str) -> Result<u64, SnapshotError> {
+        let tok = self.tagged_str(tag)?;
+        self.parse_u64_hex(&tok)
+    }
+
+    fn tagged_f64_bits(&mut self, tag: &str, n: usize) -> Result<Vec<f64>, SnapshotError> {
+        let toks = self.tagged_tokens(tag, n)?;
+        toks.iter().map(|t| self.parse_u64_hex(t).map(f64::from_bits)).collect()
+    }
+
+    fn parse_u64(&self, t: &str) -> Result<u64, SnapshotError> {
+        t.parse().map_err(|_| self.err(format!("bad integer `{t}`")))
+    }
+
+    fn parse_usize(&self, t: &str) -> Result<usize, SnapshotError> {
+        t.parse().map_err(|_| self.err(format!("bad index `{t}`")))
+    }
+
+    fn parse_u64_hex(&self, t: &str) -> Result<u64, SnapshotError> {
+        u64::from_str_radix(t, 16).map_err(|_| self.err(format!("bad hex word `{t}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omcf_topology::canned;
+
+    fn populated_runtime() -> Runtime {
+        let g = canned::grid(4, 4, 10.0);
+        let mut rt = Runtime::new(g, RuntimeConfig::new(25.0, RoutingMode::FixedIp));
+        let a = rt.join(Session::new(vec![NodeId(0), NodeId(15)], 1.0));
+        let _b = rt.join(Session::new(vec![NodeId(3), NodeId(12), NodeId(6)], 2.0));
+        let _ = rt.leave(a);
+        let _c = rt.join(Session::new(vec![NodeId(1), NodeId(14)], 1.0));
+        rt
+    }
+
+    #[test]
+    fn snapshot_roundtrip_is_bit_identical() {
+        let rt = populated_runtime();
+        let snap = rt.snapshot();
+        let restored = Runtime::restore(&snap).expect("restore");
+        assert_eq!(restored.snapshot(), snap, "snapshot of a restore re-serializes identically");
+        assert_eq!(restored.live_count(), rt.live_count());
+        assert_eq!(restored.admitted_count(), rt.admitted_count());
+        assert_eq!(restored.events_processed(), rt.events_processed());
+        assert_eq!(restored.mst_ops(), rt.mst_ops());
+        for (a, b) in restored.lengths().iter().zip(rt.lengths()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in restored.load().iter().zip(rt.load()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let (ra, rb) = (restored.saturating_rates(), rt.saturating_rates());
+        assert_eq!(ra.len(), rb.len());
+        for ((ia, va), (ib, vb)) in ra.iter().zip(&rb) {
+            assert_eq!(ia, ib);
+            assert_eq!(va.to_bits(), vb.to_bits());
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_version_and_garbage() {
+        let err = Runtime::restore("omcf-runtime-snapshot v999\n").unwrap_err();
+        assert!(matches!(err, SnapshotError::UnsupportedVersion(_)), "{err}");
+        let err = Runtime::restore("not a snapshot").unwrap_err();
+        assert!(matches!(err, SnapshotError::UnsupportedVersion(_)), "{err}");
+        let rt = populated_runtime();
+        let snap = rt.snapshot();
+        let truncated = &snap[..snap.len() / 2];
+        let err = Runtime::restore(truncated).unwrap_err();
+        assert!(matches!(err, SnapshotError::Malformed { .. }), "{err}");
+        let corrupted = snap.replace("routing fixed-ip", "routing pigeon");
+        let err = Runtime::restore(&corrupted).unwrap_err();
+        assert!(err.to_string().contains("pigeon"), "{err}");
+    }
+
+    /// Corruption that still parses as hex/integers must come back as a
+    /// `SnapshotError`, never a downstream panic or abort — the restore
+    /// path is a `Result` contract a service can actually handle.
+    #[test]
+    fn semantically_corrupt_snapshots_return_errors_not_panics() {
+        let snap = populated_runtime().snapshot();
+        type Mutation = Box<dyn Fn(&str) -> String>;
+        let zero = "0000000000000000";
+        let mutations: Vec<(&str, Mutation)> = vec![
+            ("zero rho", Box::new(|s: &str| rewrite(s, "rho", 1, zero))),
+            ("zero length word", Box::new(|s: &str| rewrite(s, "lengths", 1, zero))),
+            ("negative load word", Box::new(|s: &str| rewrite(s, "loads", 1, "bff0000000000000"))),
+            ("zero capacity", Box::new(|s: &str| rewrite(s, "edge", 3, zero))),
+            ("self-loop edge", Box::new(|s: &str| rewrite(s, "edge", 2, "0"))),
+            ("huge node count", Box::new(|s: &str| rewrite(s, "graph", 1, "99999999999"))),
+            ("huge admission count", Box::new(|s: &str| rewrite(s, "admitted", 1, "99999999999"))),
+            ("zero demand", Box::new(|s: &str| rewrite(s, "session", 3, zero))),
+            ("member out of range", Box::new(|s: &str| rewrite(s, "session", 5, "4096"))),
+            ("out-of-range hop edge", Box::new(|s: &str| rewrite(s, "hop", 6, "9999"))),
+            ("disconnected hop walk", Box::new(|s: &str| rewrite(s, "hop", 3, "2"))),
+        ];
+        for (what, mutate) in mutations {
+            let bad = mutate(&snap);
+            assert_ne!(bad, snap, "mutation `{what}` must change the blob");
+            let err = Runtime::restore(&bad).expect_err(what);
+            assert!(matches!(err, SnapshotError::Malformed { .. }), "{what}: {err}");
+        }
+    }
+
+    /// Replaces field `field_idx` (0 = the tag itself) on the first line
+    /// starting with `tag`.
+    fn rewrite(snap: &str, tag: &str, field_idx: usize, value: &str) -> String {
+        let mut done = false;
+        let lines: Vec<String> = snap
+            .lines()
+            .map(|l| {
+                if done || !l.starts_with(&format!("{tag} ")) {
+                    return l.to_string();
+                }
+                done = true;
+                let mut toks: Vec<&str> = l.split_whitespace().collect();
+                toks[field_idx] = value;
+                toks.join(" ")
+            })
+            .collect();
+        assert!(done, "no `{tag}` line found");
+        lines.join("\n") + "\n"
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests for the runtime's two core contracts.
+//!
+//! * **Rollback exactness**: `Join(a..z)` then `Leave(k)` leaves lengths,
+//!   loads and store state bit-identical to a fresh run that never
+//!   admitted session `k`. The sampled sessions are 2-member fixed-IP
+//!   sessions, whose tree (the frozen route between the two members) is
+//!   independent of the lengths — so the counterfactual run provably
+//!   picks the same trees and the comparison isolates the length/load
+//!   bookkeeping, which is exactly what the rollback contract governs
+//!   (see `docs/RUNTIME.md` for why later arrivals of *length-dependent*
+//!   trees may legitimately route differently in the counterfactual).
+//! * **Cross-implementation agreement**: a random churn trace (joins and
+//!   leaves, multi-member sessions, both routing regimes) replayed
+//!   through [`Runtime`] matches `omcf_core::OnlineSystem` — an
+//!   independently written event loop over the same arithmetic —
+//!   bit-for-bit in lengths, loads and saturating rates.
+//! * **Snapshot round-trip**: save → restore → continue equals the
+//!   uninterrupted run, bit for bit, at a random split point of a random
+//!   trace.
+
+use omcf_core::solver::RoutingMode;
+use omcf_core::{JoinRouting, OnlineSystem};
+use omcf_numerics::{Rng64, Xoshiro256pp};
+use omcf_overlay::{random_churn, ChurnEvent, Session};
+use omcf_runtime::{Event, Runtime, RuntimeConfig};
+use omcf_topology::{canned, Graph, NodeId};
+use proptest::prelude::*;
+
+fn grid() -> Graph {
+    canned::grid(5, 5, 10.0)
+}
+
+/// Distinct random node pair on the 5×5 grid.
+fn pair(rng: &mut Xoshiro256pp) -> (u32, u32) {
+    let a = rng.index(25) as u32;
+    let mut b = rng.index(25) as u32;
+    while b == a {
+        b = rng.index(25) as u32;
+    }
+    (a, b)
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "{what}[{i}]: {x} vs {y}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn join_then_leave_k_matches_run_that_never_admitted_k(
+        seed in any::<u64>(),
+        joins in 3usize..9,
+        leave_pick in 0usize..9,
+    ) {
+        let g = grid();
+        let mut rng = Xoshiro256pp::new(seed);
+        let sessions: Vec<Session> = (0..joins)
+            .map(|_| {
+                let (a, b) = pair(&mut rng);
+                Session::new(vec![NodeId(a), NodeId(b)], 1.0 + rng.next_f64())
+            })
+            .collect();
+        let k = leave_pick % joins;
+
+        let cfg = RuntimeConfig::new(25.0, RoutingMode::FixedIp);
+        let mut rt = Runtime::new(g.clone(), cfg);
+        for s in &sessions {
+            rt.join(s.clone());
+        }
+        prop_assert!(rt.leave(k));
+
+        let mut fresh = Runtime::new(g, cfg);
+        for (i, s) in sessions.iter().enumerate() {
+            if i != k {
+                fresh.join(s.clone());
+            }
+        }
+
+        assert_bits_eq(rt.lengths(), fresh.lengths(), "lengths");
+        assert_bits_eq(rt.load(), fresh.load(), "loads");
+        prop_assert_eq!(rt.live_count(), fresh.live_count());
+        // Store state: the departed slot is empty; every survivor carries
+        // the same flow the counterfactual accumulated.
+        let rates: Vec<f64> = rt.saturating_rates().into_iter().map(|(_, r)| r).collect();
+        let fresh_rates: Vec<f64> = fresh.saturating_rates().into_iter().map(|(_, r)| r).collect();
+        assert_bits_eq(&rates, &fresh_rates, "saturating rates");
+        prop_assert_eq!(rt.tree_of(k), None);
+        let scaled = rt.scaled_store();
+        let fresh_scaled = fresh.scaled_store();
+        prop_assert_eq!(scaled.session_count(), fresh_scaled.session_count());
+        for i in 0..scaled.session_count() {
+            prop_assert_eq!(
+                scaled.session_total(i).to_bits(),
+                fresh_scaled.session_total(i).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_matches_online_system_on_random_churn(
+        seed in any::<u64>(),
+        joins in 4usize..12,
+        size in 2usize..4,
+        arbitrary_routing in any::<bool>(),
+    ) {
+        let g = grid();
+        let churn = random_churn(&g, joins, size, 1.0, 0.4, &mut Xoshiro256pp::new(seed));
+        let (routing, join_routing) = if arbitrary_routing {
+            (RoutingMode::Arbitrary, JoinRouting::Arbitrary)
+        } else {
+            (RoutingMode::FixedIp, JoinRouting::FixedIp)
+        };
+
+        let mut rt = Runtime::new(g.clone(), RuntimeConfig::new(30.0, routing));
+        let mut sys = OnlineSystem::new(&g, 30.0, join_routing);
+        let mut ids = Vec::new();
+        for ev in churn.events() {
+            match ev {
+                ChurnEvent::Join(s) => {
+                    rt.join(s.clone());
+                    ids.push(sys.join(s.clone()));
+                }
+                ChurnEvent::Leave(i) => {
+                    prop_assert!(rt.leave(*i));
+                    prop_assert!(sys.leave(ids[*i]));
+                }
+            }
+        }
+        assert_bits_eq(rt.lengths(), sys.lengths(), "lengths");
+        prop_assert_eq!(rt.live_count(), sys.live_count());
+        let rt_rates: Vec<f64> = rt.saturating_rates().into_iter().map(|(_, r)| r).collect();
+        let sys_rates: Vec<f64> = sys.saturating_rates().into_iter().map(|(_, r)| r).collect();
+        assert_bits_eq(&rt_rates, &sys_rates, "saturating rates");
+    }
+
+    #[test]
+    fn snapshot_mid_trace_continues_bit_identically(
+        seed in any::<u64>(),
+        joins in 4usize..10,
+        split_pick in 1usize..32,
+    ) {
+        let g = grid();
+        let churn = random_churn(&g, joins, 3, 1.0, 0.35, &mut Xoshiro256pp::new(seed));
+        let events = Event::from_churn(&churn);
+        let split = split_pick % events.len();
+        let cfg = RuntimeConfig::new(25.0, RoutingMode::FixedIp);
+
+        // Uninterrupted run.
+        let mut whole = Runtime::new(g.clone(), cfg);
+        for ev in &events {
+            whole.apply(ev);
+        }
+
+        // Interrupted at `split`, serialized, restored, continued.
+        let mut first = Runtime::new(g, cfg);
+        for ev in &events[..split] {
+            first.apply(ev);
+        }
+        let snap = first.snapshot();
+        drop(first);
+        let mut resumed = Runtime::restore(&snap).expect("restore");
+        for ev in &events[split..] {
+            resumed.apply(ev);
+        }
+
+        assert_bits_eq(resumed.lengths(), whole.lengths(), "lengths");
+        assert_bits_eq(resumed.load(), whole.load(), "loads");
+        prop_assert_eq!(resumed.live_joins(), whole.live_joins());
+        prop_assert_eq!(resumed.events_processed(), whole.events_processed());
+        prop_assert_eq!(resumed.mst_ops(), whole.mst_ops());
+        let a: Vec<f64> = resumed.saturating_rates().into_iter().map(|(_, r)| r).collect();
+        let b: Vec<f64> = whole.saturating_rates().into_iter().map(|(_, r)| r).collect();
+        assert_bits_eq(&a, &b, "saturating rates");
+        prop_assert_eq!(resumed.snapshot(), whole.snapshot());
+    }
+}

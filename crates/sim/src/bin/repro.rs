@@ -1,40 +1,85 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--paper] [--micro] [--seed N] [--out DIR] <artifact>...
+//! repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers LIST] <artifact>...
 //!
 //! artifacts: fig1 table2 fig2 table4 fig3 fig4 fig5 fig6
 //!            table7 table8 fig7 fig8 fig9 fig10 fig11
 //!            fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19
-//!            part-one evaluation sweep all
+//!            part-one evaluation sensitivity sweep replay all
 //! ```
 //!
 //! Tables print to stdout and are written as CSV; figures are written as
 //! long-format CSV under `--out` (default `./repro-out`) with a terminal
 //! sketch printed. `--paper` switches from the fast shape-preserving
 //! instances to full paper scale (Scenario B then takes a long time);
-//! `--micro` shrinks to the bench-sized instances (used by the CI sweep
-//! smoke job). The `sweep` artifact runs the whole scenario registry
-//! through all four solvers (see `docs/WORKLOADS.md`) and writes
-//! `sweep.csv` / `sweep.json`.
+//! `--micro` shrinks to the bench-sized instances (used by the CI smoke
+//! jobs). The `sweep` artifact runs the whole scenario registry through
+//! the selected solvers (`--solvers`, default all four; see
+//! `docs/WORKLOADS.md`) and writes `sweep.csv` / `sweep.json`. The
+//! `replay` artifact drives every churn-bearing scenario through the
+//! `omcf-runtime` event loop, self-checks the final rates bit-for-bit
+//! against the batch online solver, and writes `replay.csv` /
+//! `replay_drift.csv` (see `docs/RUNTIME.md`). Unknown artifact names are
+//! rejected up front — a typo aborts the run instead of silently
+//! no-opping it.
 
+use omcf_core::solver::SolverKind;
+use omcf_runtime::{replay_churn, ReplayConfig};
 use omcf_sim::experiments::{evaluation, fig1, part_one, sensitivity, Config};
 use omcf_sim::figures::Figure;
+use omcf_sim::registry;
 use omcf_sim::scenarios::Scale;
 use omcf_sim::sweep::{run_sweep, SweepConfig};
 use omcf_sim::tables::{GridSurface, RatioTable};
+use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
 struct Cli {
     cfg: Config,
     out: PathBuf,
     artifacts: Vec<String>,
+    solvers: Vec<SolverKind>,
 }
+
+/// Every artifact name `repro` accepts, in presentation order.
+const ARTIFACTS: &[&str] = &[
+    "fig1",
+    "table2",
+    "fig2",
+    "table4",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "table7",
+    "table8",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "fig18",
+    "fig19",
+    "part-one",
+    "evaluation",
+    "sensitivity",
+    "sweep",
+    "replay",
+    "all",
+];
 
 fn parse_args() -> Cli {
     let mut cfg = Config::default();
     let mut out = PathBuf::from("repro-out");
     let mut artifacts = Vec::new();
+    let mut solvers = SolverKind::ALL.to_vec();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -49,6 +94,23 @@ fn parse_args() -> Cli {
             "--out" => {
                 out = PathBuf::from(args.next().unwrap_or_else(|| die("--out needs a path")));
             }
+            "--solvers" => {
+                let list = args.next().unwrap_or_else(|| die("--solvers needs a list"));
+                solvers = list
+                    .split(',')
+                    .map(|tok| {
+                        SolverKind::parse(tok).unwrap_or_else(|| {
+                            die(&format!(
+                                "unknown solver `{tok}`; valid solvers: {}",
+                                SolverKind::name_list()
+                            ))
+                        })
+                    })
+                    .collect();
+                if solvers.is_empty() {
+                    die("--solvers needs at least one name");
+                }
+            }
             "--help" | "-h" => {
                 println!("{}", HELP);
                 std::process::exit(0);
@@ -60,13 +122,20 @@ fn parse_args() -> Cli {
     if artifacts.is_empty() {
         artifacts.push("all".to_string());
     }
-    Cli { cfg, out, artifacts }
+    for a in &artifacts {
+        if !ARTIFACTS.contains(&a.as_str()) {
+            die(&format!("unknown artifact `{a}`; valid artifacts: {}", ARTIFACTS.join(" ")));
+        }
+    }
+    Cli { cfg, out, artifacts, solvers }
 }
 
-const HELP: &str = "repro [--paper] [--micro] [--seed N] [--out DIR] <artifact>...\n\
+const HELP: &str =
+    "repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers LIST] <artifact>...\n\
   artifacts: fig1 table2 fig2 table4 fig3 fig4 fig5 fig6 table7 table8\n\
              fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16\n\
-             fig17 fig18 fig19 part-one evaluation sweep all";
+             fig17 fig18 fig19 part-one evaluation sensitivity sweep replay all\n\
+  --solvers: comma-separated subset of the sweep solvers (case-insensitive)";
 
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}\n{HELP}");
@@ -237,7 +306,8 @@ fn main() {
         }
     }
     if cli.artifacts.iter().any(|a| a == "sweep" || a == "all") {
-        let sweep_cfg = SweepConfig::full(cfg.scale, vec![cfg.seed]);
+        let mut sweep_cfg = SweepConfig::full(cfg.scale, vec![cfg.seed]);
+        sweep_cfg.solvers = cli.solvers.clone();
         let res = run_sweep(&sweep_cfg);
         println!("== Scenario sweep ({} cells) ==", res.records.len());
         println!("{}", res.render());
@@ -249,6 +319,94 @@ fn main() {
         std::fs::write(&json_path, res.to_json()).expect("write sweep json");
         println!("  -> {}", json_path.display());
     }
+    if cli.artifacts.iter().any(|a| a == "replay" || a == "all") {
+        emit_replay(cfg, out);
+    }
 
     println!("\n# done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+/// The `replay` artifact: every churn-bearing registry scenario through
+/// the `omcf-runtime` event loop with drift checkpoints every 4 events
+/// (evaluated in parallel), self-checked bit-for-bit against the batch
+/// online solver on the same trace. Writes a per-scenario summary
+/// (`replay.csv`) and the combined drift time series
+/// (`replay_drift.csv`).
+fn emit_replay(cfg: &Config, out: &Path) {
+    let mut summary = String::from(
+        "scenario,seed,events,joins,leaves,survivors,min_rate,total_rate,max_drift,mst_ops\n",
+    );
+    let mut drift = String::from(
+        "scenario,seed,event_index,live_sessions,runtime_congestion,batch_congestion,drift\n",
+    );
+    println!("== Runtime replay (churn-bearing scenarios) ==");
+    println!(
+        "{:<16} {:>6} {:>7} {:>10} {:>9} {:>10} {:>10}",
+        "scenario", "seed", "events", "survivors", "min_rate", "max_drift", "batch"
+    );
+    for spec in registry::churn_bearing() {
+        let inst = spec.instance(cfg.seed, cfg.scale);
+        let churn = inst.churn.as_ref().expect("churn-bearing scenario carries a trace");
+        let replay_cfg =
+            ReplayConfig::new(inst.rho, inst.routing).with_reopt_every(4).with_parallel(true);
+        let report = replay_churn(std::sync::Arc::clone(&inst.graph), churn, &replay_cfg);
+
+        // Self-check: incremental replay must be bit-identical to the
+        // cold batch online solve of the same trace.
+        let batch = SolverKind::Online.solver().run(&inst);
+        assert_eq!(report.final_rates.len(), batch.summary.session_rates.len(), "{}", spec.name);
+        for ((_, r), b) in report.final_rates.iter().zip(&batch.summary.session_rates) {
+            assert_eq!(
+                r.to_bits(),
+                b.to_bits(),
+                "{}: replay diverged from the batch online solver ({r} vs {b})",
+                spec.name
+            );
+        }
+
+        let _ = writeln!(
+            summary,
+            "{},{},{},{},{},{},{},{},{},{}",
+            spec.name,
+            cfg.seed,
+            report.events,
+            report.joins,
+            report.leaves,
+            report.final_rates.len(),
+            report.min_rate(),
+            report.total_rate(),
+            report.max_drift(),
+            report.mst_ops
+        );
+        for s in &report.drift {
+            let _ = writeln!(
+                drift,
+                "{},{},{},{},{},{},{}",
+                spec.name,
+                cfg.seed,
+                s.event_index,
+                s.live_sessions,
+                s.runtime_congestion,
+                s.batch_congestion,
+                s.drift
+            );
+        }
+        println!(
+            "{:<16} {:>6} {:>7} {:>10} {:>9.3} {:>10.3} {:>10}",
+            spec.name,
+            cfg.seed,
+            report.events,
+            report.final_rates.len(),
+            report.min_rate(),
+            report.max_drift(),
+            "ok(bit=)"
+        );
+    }
+    std::fs::create_dir_all(out).expect("create out dir");
+    let summary_path = out.join("replay.csv");
+    std::fs::write(&summary_path, summary).expect("write replay csv");
+    println!("  -> {}", summary_path.display());
+    let drift_path = out.join("replay_drift.csv");
+    std::fs::write(&drift_path, drift).expect("write replay drift csv");
+    println!("  -> {}", drift_path.display());
 }

@@ -26,6 +26,9 @@ pub struct ScenarioSpec {
     pub name: &'static str,
     /// One-line description for listings and docs.
     pub description: &'static str,
+    /// True when instances carry a join/leave trace (the workloads the
+    /// `omcf-runtime` event loop can replay).
+    pub has_churn: bool,
     /// Constructs the instance for a master seed at a scale.
     pub build: fn(u64, Scale) -> Instance,
 }
@@ -50,48 +53,77 @@ pub fn find(name: &str) -> Option<&'static ScenarioSpec> {
     REGISTRY.iter().find(|s| s.name == name)
 }
 
-static REGISTRY: [ScenarioSpec; 8] = [
+static REGISTRY: [ScenarioSpec; 10] = [
     ScenarioSpec {
         name: "scenario-a",
         description: "paper §III-B: Waxman router graph, two sessions (7+5), fixed IP routing",
+        has_churn: false,
         build: build_scenario_a_fixed,
     },
     ScenarioSpec {
         name: "scenario-a-dynamic",
         description: "paper §V: the Scenario A workload under arbitrary dynamic routing",
+        has_churn: false,
         build: build_scenario_a_dynamic,
     },
     ScenarioSpec {
         name: "scenario-b",
         description: "paper §VI: two-level AS/router hierarchy, mid grid point, fixed IP routing",
+        has_churn: false,
         build: build_scenario_b,
     },
     ScenarioSpec {
         name: "scale-free",
         description: "Barabási–Albert scale-free topology, uniform-capacity, random sessions",
+        has_churn: false,
         build: build_scale_free,
     },
     ScenarioSpec {
         name: "ring-lattice",
         description: "ring lattice: exactly two edge-disjoint routes per pair",
+        has_churn: false,
         build: build_ring_lattice,
     },
     ScenarioSpec {
         name: "grid-lattice",
         description: "√n × √n grid lattice (open boundary), random sessions",
+        has_churn: false,
         build: build_grid_lattice,
     },
     ScenarioSpec {
         name: "hotspot",
         description: "Waxman topology with heterogeneous capacities: hotspot nodes 4× provisioned",
+        has_churn: false,
         build: build_hotspot,
     },
     ScenarioSpec {
         name: "churn",
         description: "session churn: online join/leave trace over a Waxman topology",
+        has_churn: true,
         build: build_churn,
     },
+    ScenarioSpec {
+        name: "churn-dynamic",
+        description: "the churn workload under arbitrary dynamic routing (§V joins)",
+        has_churn: true,
+        build: build_churn_dynamic,
+    },
+    ScenarioSpec {
+        name: "churn-hotspot",
+        description: "session churn over heterogeneous capacities: hotspot nodes 4x provisioned",
+        has_churn: true,
+        build: build_churn_hotspot,
+    },
 ];
+
+/// All scenarios that carry a join/leave trace — the workloads the
+/// `omcf-runtime` event loop replays (`repro replay`, the
+/// `runtime_replay` bench, and `crates/sim/tests/replay.rs` enumerate
+/// this instead of hard-coding names).
+#[must_use]
+pub fn churn_bearing() -> Vec<&'static ScenarioSpec> {
+    REGISTRY.iter().filter(|s| s.has_churn).collect()
+}
 
 /// Seed-stream labels for the instance components, shared by all builders
 /// so every random draw forks from the master seed through one
@@ -192,10 +224,40 @@ fn build_hotspot(seed: u64, scale: Scale) -> Instance {
 }
 
 fn build_churn(seed: u64, scale: Scale) -> Instance {
+    churn_over_waxman("churn", seed, scale, RoutingMode::FixedIp, false)
+}
+
+fn build_churn_dynamic(seed: u64, scale: Scale) -> Instance {
+    churn_over_waxman("churn-dynamic", seed, scale, RoutingMode::Arbitrary, false)
+}
+
+fn build_churn_hotspot(seed: u64, scale: Scale) -> Instance {
+    churn_over_waxman("churn-hotspot", seed, scale, RoutingMode::FixedIp, true)
+}
+
+/// Shared churn-family builder: a Waxman substrate (optionally with
+/// hotspot-rescaled capacities), one join/leave trace drawn over it, and
+/// the surviving population as the instance's static session set.
+fn churn_over_waxman(
+    name: &'static str,
+    seed: u64,
+    scale: Scale,
+    routing: RoutingMode,
+    hotspots: bool,
+) -> Instance {
     let dims = scale.dims();
     let root = SplitMix64::new(seed);
     let params = WaxmanParams { n: dims.family_nodes, capacity: 100.0, ..WaxmanParams::default() };
-    let g = waxman::generate(&params, &mut Xoshiro256pp::new(root.derive_seed(label::TOPOLOGY)));
+    let mut g =
+        waxman::generate(&params, &mut Xoshiro256pp::new(root.derive_seed(label::TOPOLOGY)));
+    if hotspots {
+        g = hotspot_capacities(
+            &g,
+            0.15,
+            4.0,
+            &mut Xoshiro256pp::new(root.derive_seed(label::CAPACITIES)),
+        );
+    }
     let churn = random_churn(
         &g,
         dims.churn_joins,
@@ -205,7 +267,7 @@ fn build_churn(seed: u64, scale: Scale) -> Instance {
         &mut Xoshiro256pp::new(root.derive_seed(label::CHURN)),
     );
     let survivors = churn.survivors();
-    Instance::new("churn", g, survivors, RoutingMode::FixedIp).with_churn(churn)
+    Instance::new(name, g, survivors, routing).with_churn(churn)
 }
 
 #[cfg(test)]
@@ -244,11 +306,28 @@ mod tests {
     }
 
     #[test]
-    fn churn_scenario_carries_its_trace() {
-        let inst = find("churn").unwrap().instance(3, Scale::Micro);
-        let churn = inst.churn.as_ref().expect("churn scenario must attach a trace");
-        assert_eq!(churn.survivors().len(), inst.sessions.len());
-        assert!(churn.join_count() >= inst.sessions.len());
+    fn churn_scenarios_carry_their_traces() {
+        let bearing = churn_bearing();
+        assert_eq!(bearing.len(), 3, "churn, churn-dynamic, churn-hotspot");
+        for spec in bearing {
+            let inst = spec.instance(3, Scale::Micro);
+            let churn = inst.churn.as_ref().expect("churn scenario must attach a trace");
+            assert_eq!(churn.survivors().len(), inst.sessions.len(), "{}", spec.name);
+            assert!(churn.join_count() >= inst.sessions.len(), "{}", spec.name);
+        }
+        assert_eq!(
+            find("churn-dynamic").unwrap().instance(3, Scale::Micro).routing.label(),
+            "arbitrary"
+        );
+    }
+
+    #[test]
+    fn churn_hotspot_mixes_capacities() {
+        let inst = find("churn-hotspot").unwrap().instance(5, Scale::Micro);
+        let caps: Vec<f64> = inst.graph.edge_ids().map(|e| inst.graph.capacity(e)).collect();
+        assert!(caps.iter().any(|c| (*c - 100.0).abs() < 1e-9));
+        assert!(caps.iter().any(|c| (*c - 400.0).abs() < 1e-9));
+        assert!(inst.churn.is_some());
     }
 
     #[test]

@@ -73,3 +73,63 @@ fn repro_rejects_unknown_flags() {
         .expect("failed to spawn the repro binary");
     assert!(!result.status.success());
 }
+
+#[test]
+fn repro_rejects_unknown_artifacts_listing_valid_ones() {
+    // A typo'd artifact must abort the run up front (historically it was
+    // silently carried and could no-op the whole invocation) and the error
+    // must teach the valid vocabulary.
+    let result = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--micro", "table2", "tabel3"])
+        .output()
+        .expect("failed to spawn the repro binary");
+    assert_eq!(result.status.code(), Some(2), "unknown artifact must exit 2");
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(stderr.contains("unknown artifact `tabel3`"), "stderr:\n{stderr}");
+    for known in ["table2", "sweep", "replay", "all"] {
+        assert!(stderr.contains(known), "error must list `{known}`:\n{stderr}");
+    }
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(!stdout.contains("Overall Throughput"), "no artifact may run after a typo");
+}
+
+#[test]
+fn repro_rejects_unknown_solvers_listing_valid_ones() {
+    let result = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--micro", "--solvers", "m1,turbo", "sweep"])
+        .output()
+        .expect("failed to spawn the repro binary");
+    assert_eq!(result.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&result.stderr);
+    assert!(stderr.contains("unknown solver `turbo`"), "stderr:\n{stderr}");
+    assert!(
+        stderr.contains("m1, m1-fleischer, m2, online"),
+        "error must list the valid solver names:\n{stderr}"
+    );
+}
+
+#[test]
+fn repro_replay_writes_nonempty_drift_series() {
+    let out = out_dir("replay");
+    let result = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--micro", "--seed", "2004", "--out"])
+        .arg(&out)
+        .arg("replay")
+        .output()
+        .expect("failed to spawn the repro binary");
+    let stdout = String::from_utf8_lossy(&result.stdout);
+    assert!(
+        result.status.success(),
+        "repro replay exited with {:?}\nstdout:\n{stdout}\nstderr:\n{}",
+        result.status,
+        String::from_utf8_lossy(&result.stderr)
+    );
+    let drift = std::fs::read_to_string(out.join("replay_drift.csv")).expect("drift csv");
+    assert!(drift.starts_with("scenario,seed,event_index"), "header:\n{drift}");
+    assert!(drift.lines().count() > 3, "expected drift rows for every churn scenario:\n{drift}");
+    let summary = std::fs::read_to_string(out.join("replay.csv")).expect("summary csv");
+    for scenario in ["churn", "churn-dynamic", "churn-hotspot"] {
+        assert!(summary.contains(scenario), "summary missing {scenario}:\n{summary}");
+    }
+    let _ = std::fs::remove_dir_all(&out);
+}

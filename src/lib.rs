@@ -12,6 +12,7 @@
 //! | [`overlay`] | `omcf-overlay` | sessions, overlay trees, MST oracles |
 //! | [`treepack`] | `omcf-treepack` | spanning-tree packing, network strength |
 //! | [`solver`] | `omcf-core` | M1/M2 FPTAS, rounding, online algorithm |
+//! | [`runtime`] | `omcf-runtime` | event-driven session runtime, snapshots, replay |
 //! | [`sim`] | `omcf-sim` | the paper's scenarios, tables and figures |
 //!
 //! The [`prelude`] pulls in the names a typical program needs:
@@ -34,6 +35,7 @@ pub use omcf_maxflow as maxflow;
 pub use omcf_numerics as numerics;
 pub use omcf_overlay as overlay;
 pub use omcf_routing as routing;
+pub use omcf_runtime as runtime;
 pub use omcf_sim as sim;
 pub use omcf_topology as topology;
 pub use omcf_treepack as treepack;
@@ -56,4 +58,8 @@ pub mod prelude {
         FlowSummary, MaxFlowOutcome, McfOutcome, OnlineOutcome, RoundingOutcome,
     };
     pub use omcf_core::{Instance, RoutingMode, Solver, SolverKind, SolverOutcome};
+
+    pub use omcf_runtime::{
+        replay_churn, Event, Reoptimizer, ReplayConfig, Runtime, RuntimeConfig,
+    };
 }

@@ -12,11 +12,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use omcf_core::solver::{Instance, SolverKind};
+use omcf_numerics::jsonfmt;
 use omcf_overlay::ChurnSchedule;
 use omcf_runtime::{replay_churn, ReplayConfig};
 use omcf_sim::registry;
 use omcf_sim::Scale;
-use std::fmt::Write as _;
 use std::hint::black_box;
 use std::sync::Arc;
 use std::time::Instant;
@@ -68,11 +68,10 @@ fn bench_replay_vs_cold(c: &mut Criterion) {
 
 /// Not a throughput bench: runs every churn-bearing scenario × seed once
 /// per strategy, checks the end states agree bit-for-bit, and writes
-/// `BENCH_runtime.json`.
+/// `BENCH_runtime.json` (sorted keys via `jsonfmt`).
 fn emit_bench_json(_c: &mut Criterion) {
-    let mut records = String::from("[\n");
+    let mut records: Vec<String> = Vec::new();
     let specs = registry::churn_bearing();
-    let mut first = true;
     for spec in &specs {
         for seed in SEEDS {
             let inst = spec.instance(seed, Scale::Micro);
@@ -95,20 +94,18 @@ fn emit_bench_json(_c: &mut Criterion) {
                 );
             }
 
-            if !first {
-                records.push_str(",\n");
-            }
-            first = false;
-            let _ = write!(
-                records,
-                "  {{ \"scenario\": \"{}\", \"seed\": {seed}, \"events\": {}, \"joins\": {}, \
-                 \"survivors\": {}, \"wall_ms_replay\": {replay_ms:.3}, \
-                 \"wall_ms_cold\": {cold_ms:.3}, \"speedup\": {:.2}, \"rates_match\": true }}",
-                spec.name,
-                churn.events().len(),
-                churn.join_count(),
-                replay_rates.len(),
-                cold_ms / replay_ms,
+            records.push(
+                jsonfmt::JsonObject::new()
+                    .text("scenario", spec.name)
+                    .field("seed", seed.to_string())
+                    .field("events", churn.events().len().to_string())
+                    .field("joins", churn.join_count().to_string())
+                    .field("survivors", replay_rates.len().to_string())
+                    .field("wall_ms_replay", jsonfmt::fixed(replay_ms, 3))
+                    .field("wall_ms_cold", jsonfmt::fixed(cold_ms, 3))
+                    .field("speedup", jsonfmt::fixed(cold_ms / replay_ms, 2))
+                    .field("rates_match", "true")
+                    .inline(),
             );
             println!(
                 "bench runtime_replay: {}/{seed} replay {replay_ms:.1} ms vs cold {cold_ms:.1} ms \
@@ -118,13 +115,16 @@ fn emit_bench_json(_c: &mut Criterion) {
             );
         }
     }
-    records.push_str("\n]\n");
-    let json = format!(
-        "{{\n  \"bench\": \"runtime_replay\",\n  \"scale\": \"micro\",\n  \"seeds\": {SEEDS:?},\n  \
-         \"scenarios\": {},\n  \"strategy_replay\": \"omcf-runtime incremental event loop\",\n  \
-         \"strategy_cold\": \"batch online re-solve per event prefix\",\n  \"records\": {records}}}\n",
-        specs.len(),
-    );
+    let mut json = jsonfmt::JsonObject::new()
+        .text("bench", "runtime_replay")
+        .text("scale", "micro")
+        .field("seeds", format!("{SEEDS:?}"))
+        .field("scenarios", specs.len().to_string())
+        .text("strategy_replay", "omcf-runtime incremental event loop")
+        .text("strategy_cold", "batch online re-solve per event prefix")
+        .field("records", jsonfmt::array(&records, 1))
+        .pretty(0);
+    json.push('\n');
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_runtime.json");
     std::fs::write(path, &json).expect("write BENCH_runtime.json");
     println!("bench runtime_replay: wrote {path}");

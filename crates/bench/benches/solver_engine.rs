@@ -17,7 +17,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use omcf_core::{max_flow, ApproxParams, MaxFlowOutcome};
-use omcf_numerics::Xoshiro256pp;
+use omcf_numerics::{jsonfmt, Xoshiro256pp};
 use omcf_overlay::SessionSet;
 use omcf_overlay::{random_sessions, CacheStats, DynamicOracle, FixedIpOracle, TreeOracle};
 use omcf_sim::scenarios::ScenarioA;
@@ -117,15 +117,16 @@ fn measure<O: TreeOracle + ?Sized>(
     (times[times.len() / 2], mst_ops, last)
 }
 
-fn json_entry(label: &str, wall_ms: f64, mst_ops: u64, stats: CacheStats) -> String {
-    format!(
-        "    \"{label}\": {{ \"wall_ms_median\": {wall_ms:.3}, \"mst_ops\": {mst_ops}, \
-         \"dijkstra_hits\": {}, \"dijkstra_misses\": {} }}",
-        stats.hits, stats.misses
-    )
+fn json_entry(wall_ms: f64, mst_ops: u64, stats: CacheStats) -> String {
+    jsonfmt::JsonObject::new()
+        .field("wall_ms_median", jsonfmt::fixed(wall_ms, 3))
+        .field("mst_ops", mst_ops.to_string())
+        .field("dijkstra_hits", stats.hits.to_string())
+        .field("dijkstra_misses", stats.misses.to_string())
+        .inline()
 }
 
-/// Cached-vs-uncached A/B of one oracle pair, as a JSON object body.
+/// Cached-vs-uncached A/B of one oracle pair, as a rendered JSON object.
 fn ab_json<O: TreeOracle + ?Sized, U: TreeOracle + ?Sized>(
     g: &Graph,
     cached: &O,
@@ -138,12 +139,11 @@ fn ab_json<O: TreeOracle + ?Sized, U: TreeOracle + ?Sized>(
     let (c_ms, c_ops, c_st) = measure(g, cached, ratio, runs, cached_stats);
     let (u_ms, u_ops, u_st) = measure(g, uncached, ratio, runs, uncached_stats);
     assert_eq!(c_ops, u_ops, "caching must not change the oracle call count");
-    format!(
-        "{{\n{},\n{},\n    \"speedup\": {:.3}\n  }}",
-        json_entry("cached", c_ms, c_ops, c_st),
-        json_entry("uncached", u_ms, u_ops, u_st),
-        u_ms / c_ms,
-    )
+    jsonfmt::JsonObject::new()
+        .field("cached", json_entry(c_ms, c_ops, c_st))
+        .field("uncached", json_entry(u_ms, u_ops, u_st))
+        .field("speedup", jsonfmt::fixed(u_ms / c_ms, 3))
+        .pretty(1)
 }
 
 /// Not a throughput bench: measures once and writes `BENCH_engine.json`.
@@ -163,13 +163,18 @@ fn emit_bench_json(_c: &mut Criterion) {
     let multi_dyn =
         ab_json(&gm, &mc, || mc.cache_stats(), &mu, || mu.cache_stats(), MULTI_RATIO, runs);
 
-    let json = format!(
-        "{{\n  \"bench\": \"solver_engine\",\n  \"solver\": \"m1_max_flow\",\n  \
-         \"seed\": {SEED},\n  \"ratio_scenario_a\": {RATIO},\n  \"ratio_multi_session\": {MULTI_RATIO},\n  \"runs_per_point\": {runs},\n  \
-         \"scenario_a_fast_dynamic\": {scen_dyn},\n  \
-         \"scenario_a_fast_fixed\": {scen_fix},\n  \
-         \"multi_session_dynamic\": {multi_dyn}\n}}\n"
-    );
+    let mut json = jsonfmt::JsonObject::new()
+        .text("bench", "solver_engine")
+        .text("solver", "m1_max_flow")
+        .field("seed", SEED.to_string())
+        .field("ratio_scenario_a", RATIO.to_string())
+        .field("ratio_multi_session", MULTI_RATIO.to_string())
+        .field("runs_per_point", runs.to_string())
+        .field("scenario_a_fast_dynamic", scen_dyn)
+        .field("scenario_a_fast_fixed", scen_fix)
+        .field("multi_session_dynamic", multi_dyn)
+        .pretty(0);
+    json.push('\n');
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");
     std::fs::write(path, &json).expect("write BENCH_engine.json");
     println!("bench solver_engine: wrote {path}");

@@ -1,11 +1,16 @@
-//! Sweep-driver bench: the full scenario registry × all four solvers,
-//! through the `omcf-sim` sweep driver, parallel and serial. Also emits
-//! `BENCH_sweep.json` at the workspace root — the unified-schema result
-//! grid plus wall times — and asserts the parallel CSV is byte-identical
-//! to the serial one (the driver's determinism contract).
+//! Sweep-driver bench: the standard scenario registry × all four
+//! solvers, through the `omcf-sim` sweep driver, parallel and serial.
+//! Also emits `BENCH_sweep.json` at the workspace root — the
+//! unified-schema result grid plus wall times — and asserts the parallel
+//! CSV is byte-identical to the serial one (the driver's determinism
+//! contract). The heavy ≥2k-node scenarios are excluded here (one cell
+//! would dominate the whole micro-bench); they run through
+//! `repro --micro sweep` in CI and are measured by the `routing_csr`
+//! bench at the Dijkstra level.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use omcf_core::solver::SolverKind;
+use omcf_numerics::jsonfmt;
 use omcf_sim::registry;
 use omcf_sim::sweep::{run_sweep, SweepConfig};
 use omcf_sim::Scale;
@@ -15,9 +20,9 @@ use std::time::Instant;
 const SEEDS: [u64; 2] = [2004, 7];
 
 fn bench_sweep_grid(c: &mut Criterion) {
-    let mut grp = c.benchmark_group("solver_sweep/full_registry_micro");
+    let mut grp = c.benchmark_group("solver_sweep/standard_registry_micro");
     grp.sample_size(10);
-    let parallel = SweepConfig::full(Scale::Micro, vec![SEEDS[0]]);
+    let parallel = SweepConfig::standard(Scale::Micro, vec![SEEDS[0]]);
     let mut serial = parallel.clone();
     serial.parallel = false;
     grp.bench_function("parallel", |b| b.iter(|| black_box(run_sweep(&parallel))));
@@ -26,9 +31,9 @@ fn bench_sweep_grid(c: &mut Criterion) {
 }
 
 /// Not a throughput bench: runs the grid once per mode and writes
-/// `BENCH_sweep.json`.
+/// `BENCH_sweep.json` (sorted keys via `jsonfmt`).
 fn emit_bench_json(_c: &mut Criterion) {
-    let cfg = SweepConfig::full(Scale::Micro, SEEDS.to_vec());
+    let cfg = SweepConfig::standard(Scale::Micro, SEEDS.to_vec());
     let mut serial_cfg = cfg.clone();
     serial_cfg.parallel = false;
 
@@ -44,16 +49,22 @@ fn emit_bench_json(_c: &mut Criterion) {
         "parallel sweep output must be byte-identical to serial"
     );
 
-    let scenarios = registry::registry().len();
+    let scenarios = registry::standard().len();
     let solvers = SolverKind::ALL.len();
-    let json = format!(
-        "{{\n  \"bench\": \"solver_sweep\",\n  \"scale\": \"micro\",\n  \"seeds\": {SEEDS:?},\n  \
-         \"scenarios\": {scenarios},\n  \"solvers\": {solvers},\n  \"cells\": {},\n  \
-         \"parallel_matches_serial\": true,\n  \"wall_ms_parallel\": {parallel_ms:.3},\n  \
-         \"wall_ms_serial\": {serial_ms:.3},\n  \"records\": {}}}\n",
-        parallel.records.len(),
-        parallel.to_json(),
-    );
+    let records_json = parallel.to_json();
+    let mut json = jsonfmt::JsonObject::new()
+        .text("bench", "solver_sweep")
+        .text("scale", "micro")
+        .field("seeds", format!("{SEEDS:?}"))
+        .field("scenarios", scenarios.to_string())
+        .field("solvers", solvers.to_string())
+        .field("cells", parallel.records.len().to_string())
+        .field("parallel_matches_serial", "true")
+        .field("wall_ms_parallel", jsonfmt::fixed(parallel_ms, 3))
+        .field("wall_ms_serial", jsonfmt::fixed(serial_ms, 3))
+        .field("records", records_json.trim_end())
+        .pretty(0);
+    json.push('\n');
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_sweep.json");
     std::fs::write(path, &json).expect("write BENCH_sweep.json");
     println!("bench solver_sweep: wrote {path}");

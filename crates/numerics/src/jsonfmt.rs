@@ -1,0 +1,176 @@
+//! Minimal sorted-key JSON emission for the repo's result artifacts.
+//!
+//! Every `BENCH_*.json` (and the sweep driver's `sweep.json`) is written
+//! through this module so that **object keys always come out in sorted
+//! order**: regenerating a benchmark then produces a minimal diff — only
+//! the measured numbers move, never the key layout. There is no parser
+//! and no serde dependency on purpose; the writers only ever need
+//! objects, arrays, strings, bools and numbers.
+//!
+//! Values are pre-rendered JSON fragments (`String`s), which keeps the
+//! builder one flat `Vec<(key, fragment)>` and lets callers nest objects
+//! and arrays by rendering them first.
+
+use std::fmt::Write as _;
+
+/// Renders an `f64` with fixed decimals — the convention for measured
+/// wall-times and ratios (`{v:.3}` style, locale-independent).
+#[must_use]
+pub fn fixed(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Renders a string value with the escapes the repo's labels can need.
+#[must_use]
+pub fn string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a JSON array from pre-rendered element fragments, one element
+/// per line at the given indent depth (two spaces per level).
+#[must_use]
+pub fn array(items: &[String], indent: usize) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let pad = "  ".repeat(indent + 1);
+    let close = "  ".repeat(indent);
+    let mut out = String::from("[\n");
+    for (i, item) in items.iter().enumerate() {
+        let _ = write!(out, "{pad}{item}{}", if i + 1 == items.len() { "\n" } else { ",\n" });
+    }
+    let _ = write!(out, "{close}]");
+    out
+}
+
+/// Builder for one JSON object; keys are emitted **sorted** regardless of
+/// insertion order. Duplicate keys are a caller bug and panic at render.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    fields: Vec<(String, String)>,
+}
+
+impl JsonObject {
+    /// An empty object.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a field with a pre-rendered JSON fragment value (use for
+    /// numbers via `format!`/[`fixed`], nested objects and arrays).
+    #[must_use]
+    pub fn field(mut self, key: &str, rendered: impl Into<String>) -> Self {
+        self.fields.push((key.to_string(), rendered.into()));
+        self
+    }
+
+    /// Adds a string field (escaped via [`string`]).
+    #[must_use]
+    pub fn text(self, key: &str, value: &str) -> Self {
+        let rendered = string(value);
+        self.field(key, rendered)
+    }
+
+    fn sorted(&self) -> Vec<&(String, String)> {
+        let mut fields: Vec<&(String, String)> = self.fields.iter().collect();
+        fields.sort_by(|a, b| a.0.cmp(&b.0));
+        for pair in fields.windows(2) {
+            assert_ne!(pair[0].0, pair[1].0, "duplicate JSON key `{}`", pair[0].0);
+        }
+        fields
+    }
+
+    /// Renders on one line: `{ "a": 1, "b": "x" }`, keys sorted.
+    #[must_use]
+    pub fn inline(&self) -> String {
+        let fields = self.sorted();
+        if fields.is_empty() {
+            return "{}".to_string();
+        }
+        let mut out = String::from("{ ");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            let _ =
+                write!(out, "{}: {v}{}", string(k), if i + 1 == fields.len() { "" } else { ", " });
+        }
+        out.push_str(" }");
+        out
+    }
+
+    /// Renders multi-line with two-space indentation at `indent` levels
+    /// deep, keys sorted. Top-level writers call `pretty(0)` and append a
+    /// trailing newline themselves.
+    #[must_use]
+    pub fn pretty(&self, indent: usize) -> String {
+        let fields = self.sorted();
+        if fields.is_empty() {
+            return "{}".to_string();
+        }
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        let mut out = String::from("{\n");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{pad}{}: {v}{}",
+                string(k),
+                if i + 1 == fields.len() { "\n" } else { ",\n" }
+            );
+        }
+        let _ = write!(out, "{close}}}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_come_out_sorted_no_matter_the_insertion_order() {
+        let obj =
+            JsonObject::new().field("zulu", "1").text("alpha", "x").field("mike", fixed(2.5, 3));
+        assert_eq!(obj.inline(), r#"{ "alpha": "x", "mike": 2.500, "zulu": 1 }"#);
+        let pretty = obj.pretty(0);
+        let keys: Vec<usize> = ["alpha", "mike", "zulu"]
+            .iter()
+            .map(|k| pretty.find(&format!("\"{k}\"")).unwrap())
+            .collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "unsorted: {pretty}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate JSON key")]
+    fn duplicate_keys_panic() {
+        let _ = JsonObject::new().field("k", "1").field("k", "2").inline();
+    }
+
+    #[test]
+    fn arrays_and_escapes() {
+        assert_eq!(array(&[], 0), "[]");
+        let a = array(&["1".into(), "2".into()], 1);
+        assert_eq!(a, "[\n    1,\n    2\n  ]");
+        assert_eq!(string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(fixed(1.0 / 3.0, 2), "0.33");
+    }
+
+    #[test]
+    fn empty_object_renders() {
+        assert_eq!(JsonObject::new().inline(), "{}");
+        assert_eq!(JsonObject::new().pretty(2), "{}");
+    }
+}

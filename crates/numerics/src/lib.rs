@@ -18,7 +18,10 @@
 //!   replayable from a single `u64` seed.
 //! * [`stats`] — empirical CDFs, quantiles and the normalized-rank
 //!   distributions that the paper's figures plot.
+//! * [`jsonfmt`] — sorted-key JSON emission for the `BENCH_*.json` /
+//!   `sweep.json` artifacts (regeneration produces minimal diffs).
 
+pub mod jsonfmt;
 pub mod kahan;
 pub mod rng;
 pub mod simplex;

@@ -23,7 +23,7 @@
 use crate::epoch::LengthView;
 use crate::session::SessionSet;
 use crate::tree::{OverlayHop, OverlayTree};
-use omcf_routing::{dijkstra, DijkstraWorkspace, FixedRoutes, WorkspacePool};
+use omcf_routing::{fanout_trees, DijkstraWorkspace, FixedRoutes, QueueKind, WorkspacePool};
 use omcf_topology::Graph;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -374,10 +374,13 @@ impl DynState {
 
 /// Oracle under **arbitrary dynamic routing** (§V): overlay edges follow the
 /// shortest path under the *current* lengths, recomputed per call via one
-/// Dijkstra per session member. Epoch-backed queries run through per-member
-/// persistent workspaces with multi-target early exit, and skip the Dijkstra
-/// entirely for members whose cached fan avoids every edge touched since it
-/// was computed (exact under monotone length growth).
+/// Dijkstra per session member. Plain queries batch the member fan through
+/// the rayon-parallel [`fanout_trees`] (deterministic member-order merge);
+/// epoch-backed queries run through per-member persistent workspaces with
+/// multi-target early exit, and skip the Dijkstra entirely for members
+/// whose cached fan avoids every edge touched since it was computed (exact
+/// under monotone length growth). All Dijkstras run the CSR core with the
+/// oracle's configured [`QueueKind`].
 #[derive(Debug)]
 pub struct DynamicOracle {
     g: Graph,
@@ -391,6 +394,9 @@ pub struct DynamicOracle {
     /// oracle was built via [`Self::with_pool`] — the sweep driver's
     /// cross-instance buffer recycling.
     pool: Option<Arc<WorkspacePool>>,
+    /// Priority-queue discipline of every Dijkstra this oracle runs
+    /// (results are discipline-independent; see `docs/PERF.md`).
+    queue: QueueKind,
 }
 
 impl Clone for DynamicOracle {
@@ -404,6 +410,7 @@ impl Clone for DynamicOracle {
             misses: AtomicU64::new(0),
             bypass: BypassGauge::sized_for(total_fans(&self.sessions)),
             pool: self.pool.clone(),
+            queue: self.queue,
         }
     }
 }
@@ -424,7 +431,23 @@ impl DynamicOracle {
             misses: AtomicU64::new(0),
             bypass: BypassGauge::sized_for(total_fans(sessions)),
             pool,
+            queue: QueueKind::Binary,
         }
+    }
+
+    /// Selects the priority-queue discipline for this oracle's Dijkstras
+    /// (default: binary heap). Every discipline computes bit-identical
+    /// trees; pick per `docs/PERF.md` guidance.
+    #[must_use]
+    pub fn with_queue_kind(mut self, kind: QueueKind) -> Self {
+        self.queue = kind;
+        self
+    }
+
+    /// The oracle's priority-queue discipline.
+    #[must_use]
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue
     }
 
     /// Creates the oracle over a clone of the physical graph, with the
@@ -492,8 +515,19 @@ impl TreeOracle for DynamicOracle {
         let session = self.sessions.session(session_idx);
         let members = &session.members;
         let m = members.len();
-        // One SPT per member under the live lengths (the §V-B procedure).
-        let spts: Vec<_> = members.iter().map(|&n| dijkstra(&self.g, n, lengths)).collect();
+        // One SPT per member under the live lengths (the §V-B procedure),
+        // batched through the parallel fan-out: members compute
+        // concurrently over per-worker workspaces and merge in member
+        // order, so the result is identical to the serial loop.
+        let ephemeral;
+        let pool = match &self.pool {
+            Some(pool) => pool.as_ref(),
+            None => {
+                ephemeral = WorkspacePool::new();
+                &ephemeral
+            }
+        };
+        let spts = fanout_trees(&self.g, members, lengths, pool, self.queue);
         self.misses.fetch_add(m as u64, Ordering::Relaxed);
         let edges = prim_dense(m, |i, j| spts[i].dist(members[j]));
         let hops = edges
@@ -536,8 +570,8 @@ impl TreeOracle for DynamicOracle {
             self.bypass.on_miss();
             let fan = slot.get_or_insert_with(|| FanCache {
                 ws: match &self.pool {
-                    Some(pool) => pool.lease(self.g.node_count()),
-                    None => DijkstraWorkspace::new(self.g.node_count()),
+                    Some(pool) => pool.lease_with(self.g.node_count(), self.queue),
+                    None => DijkstraWorkspace::with_queue(self.g.node_count(), self.queue),
                 },
                 run_id: 0,
                 epoch: 0,
@@ -839,6 +873,31 @@ mod tests {
         let _ = oracle.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
         assert!(oracle.cache_stats().hits >= 3);
         assert!(!oracle.cache_bypassed());
+    }
+
+    #[test]
+    fn queue_kinds_compute_identical_trees() {
+        // The pluggable queues must be invisible in results: same overlay
+        // trees from every discipline, on both the batch-fan-out path and
+        // the epoch-cached path.
+        let g = canned::grid(4, 4, 10.0);
+        let sessions =
+            SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(6), NodeId(15)], 1.0)]);
+        let mut lengths = unit_lengths(&g);
+        for (i, l) in lengths.iter_mut().enumerate() {
+            *l += (i % 5) as f64 * 0.25;
+        }
+        let reference = DynamicOracle::new(&g, &sessions);
+        let t_ref = reference.min_tree(0, &lengths);
+        let epochs = EdgeEpochs::new(g.edge_count());
+        let v_ref = reference.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+        for kind in QueueKind::ALL {
+            let oracle = DynamicOracle::new(&g, &sessions).with_queue_kind(kind);
+            assert_eq!(oracle.queue_kind(), kind);
+            assert_eq!(oracle.min_tree(0, &lengths), t_ref, "{kind:?} batch path");
+            let view = LengthView::with_epochs(&lengths, &epochs);
+            assert_eq!(oracle.min_tree_view(0, view), v_ref, "{kind:?} epoch path");
+        }
     }
 
     #[test]

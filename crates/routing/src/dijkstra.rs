@@ -15,7 +15,7 @@ use crate::workspace::DijkstraWorkspace;
 use omcf_topology::{EdgeId, Graph, NodeId};
 
 /// Result of a single-source shortest-path computation.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ShortestPathTree {
     src: NodeId,
     dist: Vec<f64>,
@@ -87,6 +87,21 @@ pub fn dijkstra(g: &Graph, src: NodeId, lengths: &[f64]) -> ShortestPathTree {
 pub fn dijkstra_hops(g: &Graph, src: NodeId) -> ShortestPathTree {
     let ones = vec![1.0; g.edge_count()];
     dijkstra(g, src, &ones)
+}
+
+/// Like [`dijkstra`] but with an explicit priority-queue discipline.
+/// Results are bit-identical for every [`QueueKind`](crate::QueueKind);
+/// only the constant factor differs (see `docs/PERF.md`).
+#[must_use]
+pub fn dijkstra_with(
+    g: &Graph,
+    src: NodeId,
+    lengths: &[f64],
+    kind: crate::queue::QueueKind,
+) -> ShortestPathTree {
+    let mut ws = DijkstraWorkspace::with_queue(g.node_count(), kind);
+    ws.run(g, src, lengths);
+    ws.into_tree()
 }
 
 #[cfg(test)]

@@ -1,0 +1,106 @@
+//! Batched parallel member fan-out: all of one session's shortest-path
+//! trees at once.
+//!
+//! The §V dynamic-routing oracle needs one tree per session member under
+//! the same length assignment — `|S_i|` independent Dijkstras. This
+//! module computes them concurrently via rayon, each worker leasing its
+//! own [`DijkstraWorkspace`](crate::DijkstraWorkspace) from a shared
+//! [`WorkspacePool`] (no shared
+//! mutable state between workers), and returns the trees **in member
+//! order** regardless of completion order: results are merged by input
+//! index, so the output is deterministic and byte-identical to the
+//! serial loop (pinned by `tests/prop.rs`). Under the offline rayon shim
+//! the fan-out degrades to exactly that serial loop.
+
+use crate::dijkstra::ShortestPathTree;
+use crate::queue::QueueKind;
+use crate::workspace::WorkspacePool;
+use omcf_topology::{Graph, NodeId};
+use rayon::prelude::*;
+
+/// Computes the full shortest-path tree of every source in `sources`
+/// under `lengths`, in parallel, returning trees in `sources` order.
+/// Workspaces come from (and return to) `pool`; `kind` selects the
+/// queue discipline (results are identical for every kind).
+#[must_use]
+pub fn fanout_trees(
+    g: &Graph,
+    sources: &[NodeId],
+    lengths: &[f64],
+    pool: &WorkspacePool,
+    kind: QueueKind,
+) -> Vec<ShortestPathTree> {
+    sources
+        .par_iter()
+        .map(|&src| {
+            let mut ws = pool.lease_with(g.node_count(), kind);
+            ws.run(g, src, lengths);
+            let tree = ws.to_tree();
+            pool.give_back(ws);
+            tree
+        })
+        .collect()
+}
+
+/// The serial twin of [`fanout_trees`]: one worker, same workspaces,
+/// same deterministic output. The determinism property test diffs the
+/// two; callers use it when single-threaded behaviour is wanted
+/// explicitly.
+#[must_use]
+pub fn fanout_trees_serial(
+    g: &Graph,
+    sources: &[NodeId],
+    lengths: &[f64],
+    pool: &WorkspacePool,
+    kind: QueueKind,
+) -> Vec<ShortestPathTree> {
+    sources
+        .iter()
+        .map(|&src| {
+            let mut ws = pool.lease_with(g.node_count(), kind);
+            ws.run(g, src, lengths);
+            let tree = ws.to_tree();
+            pool.give_back(ws);
+            tree
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dijkstra::dijkstra;
+    use omcf_topology::canned;
+
+    #[test]
+    fn fanout_matches_one_shot_dijkstra_per_source() {
+        let g = canned::grid(5, 5, 1.0);
+        let lengths: Vec<f64> = (0..g.edge_count()).map(|e| 1.0 + (e % 3) as f64).collect();
+        let sources = [NodeId(0), NodeId(7), NodeId(24), NodeId(7)];
+        let pool = WorkspacePool::new();
+        let trees = fanout_trees(&g, &sources, &lengths, &pool, QueueKind::Binary);
+        assert_eq!(trees.len(), sources.len());
+        for (i, &src) in sources.iter().enumerate() {
+            let fresh = dijkstra(&g, src, &lengths);
+            assert_eq!(trees[i].source(), src);
+            for v in g.nodes() {
+                assert_eq!(trees[i].dist(v).to_bits(), fresh.dist(v).to_bits());
+                assert_eq!(trees[i].path_to(v), fresh.path_to(v));
+            }
+        }
+        assert!(pool.idle() >= 1, "workspaces returned to the pool");
+    }
+
+    #[test]
+    fn serial_twin_is_identical() {
+        let g = canned::ring(12, 1.0);
+        let lengths: Vec<f64> = (0..g.edge_count()).map(|e| 0.5 + (e % 5) as f64).collect();
+        let sources: Vec<NodeId> = (0..12).step_by(3).map(NodeId).collect();
+        let pool = WorkspacePool::new();
+        for kind in QueueKind::ALL {
+            let par = fanout_trees(&g, &sources, &lengths, &pool, kind);
+            let ser = fanout_trees_serial(&g, &sources, &lengths, &pool, kind);
+            assert_eq!(par, ser, "{kind:?}");
+        }
+    }
+}

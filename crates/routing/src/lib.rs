@@ -11,20 +11,32 @@
 //!   edge-length assignment, recomputed every iteration. Modeled by
 //!   [`dynamic::shortest_paths_from`] et al.
 //!
-//! Both are built on a single binary-heap Dijkstra over the
-//! [`omcf_topology::Graph`] with externally supplied per-edge lengths. The
-//! algorithm lives in [`DijkstraWorkspace`], a pre-allocated, reusable
-//! buffer set with generation-stamped O(1) resets and a multi-target
-//! early-exit entry point; [`dijkstra()`] is the one-shot convenience
-//! wrapper around it.
+//! Both are built on a single Dijkstra over the graph's struct-of-arrays
+//! [`omcf_topology::CsrGraph`] view with externally supplied per-edge
+//! lengths. The algorithm lives in [`DijkstraWorkspace`] — a
+//! pre-allocated, reusable buffer set with generation-stamped O(1)
+//! resets, a multi-target early-exit entry point, and a pluggable
+//! priority queue ([`QueueKind`]: binary heap, 4-ary heap, or a
+//! bucket/Dial queue for bounded-length regimes) — which implements the
+//! [`ShortestPath`] trait, the seam a future alternative engine plugs
+//! into; [`dijkstra()`] is the one-shot convenience wrapper around it. [`fanout_trees`] batches all of one
+//! session's member trees concurrently over a [`WorkspacePool`] with a
+//! deterministic merge order, and [`reference::dijkstra_adjacency`]
+//! keeps the frozen pre-CSR adjacency-list implementation as the
+//! bit-exactness oracle and bench baseline.
 
 pub mod dijkstra;
 pub mod dynamic;
+pub mod fanout;
 pub mod fixed;
 pub mod path;
+pub mod queue;
+pub mod reference;
 pub mod workspace;
 
-pub use dijkstra::{dijkstra, ShortestPathTree};
+pub use dijkstra::{dijkstra, dijkstra_with, ShortestPathTree};
+pub use fanout::{fanout_trees, fanout_trees_serial};
 pub use fixed::FixedRoutes;
 pub use path::Path;
-pub use workspace::{DijkstraWorkspace, WorkspacePool};
+pub use queue::{DijkstraQueue, QueueKind};
+pub use workspace::{DijkstraWorkspace, ShortestPath, WorkspacePool};

@@ -1,0 +1,469 @@
+//! Pluggable priority queues for the Dijkstra hot path.
+//!
+//! All three disciplines realize **exactly the same total order** — pop
+//! the minimum `(dist, node)` pair, distances ascending, ties broken
+//! toward the lower node id — so swapping the queue never changes a
+//! single relaxation and the computed trees stay bit-identical (pinned by
+//! `tests/prop.rs`). What changes is the constant factor:
+//!
+//! * [`QueueKind::Binary`] — `std::collections::BinaryHeap`. The safe
+//!   default; best general-purpose behaviour.
+//! * [`QueueKind::Quaternary`] — a 4-ary array heap. Shallower than the
+//!   binary heap (¼ the levels per sift-down) and its four children share
+//!   one cache line pair, which favours the decrease-heavy access pattern
+//!   of sparse graphs.
+//! * [`QueueKind::Dial`] — a bucket queue in the spirit of Dial's
+//!   algorithm, for the **bounded-length regimes** the Garg–Könemann
+//!   engine guarantees: lengths grow multiplicatively from `1/c_e` within
+//!   a bounded dynamic range per phase, so distances fall into a modest
+//!   number of width-`max_len` buckets. Buckets are visited in order and
+//!   each bucket is a tiny binary heap, preserving the exact global pop
+//!   order (unlike classic Dial, which needs integer lengths). The
+//!   monotonicity argument: a relaxation pushed after popping distance
+//!   `d` has distance `≥ d`, and the bucket index is monotone in the
+//!   distance, so no push ever lands before the cursor.
+//!
+//! See `docs/PERF.md` for selection guidance and measured numbers.
+
+use omcf_topology::NodeId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Which priority-queue discipline a Dijkstra workspace uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// `std` binary heap (default).
+    Binary,
+    /// 4-ary array heap.
+    Quaternary,
+    /// Bucket/Dial queue for bounded-length regimes.
+    Dial,
+}
+
+impl QueueKind {
+    /// Every queue kind, in presentation order.
+    pub const ALL: [QueueKind; 3] = [QueueKind::Binary, QueueKind::Quaternary, QueueKind::Dial];
+
+    /// Stable lowercase name (used in the bench schemas).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Binary => "binary",
+            Self::Quaternary => "quaternary",
+            Self::Dial => "dial",
+        }
+    }
+
+    /// Parses a (case-insensitive) name — the inverse of [`Self::name`],
+    /// for config/CLI surfaces that select a discipline by string.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Self> {
+        Self::ALL.iter().copied().find(|k| k.name().eq_ignore_ascii_case(s.trim()))
+    }
+}
+
+/// Heap entry: `(tentative distance, node)`. Public only because the
+/// [`DijkstraQueue::Binary`] variant exposes its `BinaryHeap`; construct
+/// through [`DijkstraQueue::push`].
+#[derive(Debug, PartialEq)]
+pub struct HeapItem {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapItem {}
+
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance, then on node id for determinism.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .expect("no NaN lengths")
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// `(dist, node)` strict-weak-order "less" shared by the array-based
+/// queues: distance ascending, node id breaking ties.
+#[inline]
+fn less(a: (f64, u32), b: (f64, u32)) -> bool {
+    a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+/// 4-ary min-heap over `(dist, node)` pairs in one flat array.
+#[derive(Debug, Default)]
+pub struct QuaternaryHeap {
+    items: Vec<(f64, u32)>,
+}
+
+impl QuaternaryHeap {
+    const ARITY: usize = 4;
+
+    fn push(&mut self, item: (f64, u32)) {
+        self.items.push(item);
+        let mut i = self.items.len() - 1;
+        while i > 0 {
+            let parent = (i - 1) / Self::ARITY;
+            if less(self.items[i], self.items[parent]) {
+                self.items.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn pop(&mut self) -> Option<(f64, u32)> {
+        let last = self.items.len().checked_sub(1)?;
+        self.items.swap(0, last);
+        let top = self.items.pop().expect("nonempty");
+        let n = self.items.len();
+        let mut i = 0;
+        loop {
+            let first_child = i * Self::ARITY + 1;
+            if first_child >= n {
+                break;
+            }
+            let mut best = first_child;
+            for c in (first_child + 1)..(first_child + Self::ARITY).min(n) {
+                if less(self.items[c], self.items[best]) {
+                    best = c;
+                }
+            }
+            if less(self.items[best], self.items[i]) {
+                self.items.swap(i, best);
+                i = best;
+            } else {
+                break;
+            }
+        }
+        Some(top)
+    }
+
+    fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    fn len(&self) -> usize {
+        self.items.len()
+    }
+}
+
+/// Binary sift-up/down over a bucket's `(dist, node)` vector (the Dial
+/// queue's per-bucket heap).
+fn bucket_push(bucket: &mut Vec<(f64, u32)>, item: (f64, u32)) {
+    bucket.push(item);
+    let mut i = bucket.len() - 1;
+    while i > 0 {
+        let parent = (i - 1) / 2;
+        if less(bucket[i], bucket[parent]) {
+            bucket.swap(i, parent);
+            i = parent;
+        } else {
+            break;
+        }
+    }
+}
+
+fn bucket_pop(bucket: &mut Vec<(f64, u32)>) -> Option<(f64, u32)> {
+    let last = bucket.len().checked_sub(1)?;
+    bucket.swap(0, last);
+    let top = bucket.pop().expect("nonempty");
+    let n = bucket.len();
+    let mut i = 0;
+    loop {
+        let (l, r) = (2 * i + 1, 2 * i + 2);
+        if l >= n {
+            break;
+        }
+        let best = if r < n && less(bucket[r], bucket[l]) { r } else { l };
+        if less(bucket[best], bucket[i]) {
+            bucket.swap(i, best);
+            i = best;
+        } else {
+            break;
+        }
+    }
+    Some(top)
+}
+
+/// Forward-only bucket queue: bucket `⌊dist/width⌋`, cursor advancing
+/// monotonically, exact `(dist, node)` order within a bucket via a small
+/// binary heap. `width` is the run's maximum edge length (set by
+/// [`DijkstraQueue::prepare`]), which bounds the live bucket count by the
+/// hop diameter and guarantees pushes never land behind the cursor.
+#[derive(Debug)]
+pub struct DialQueue {
+    width_inv: f64,
+    buckets: Vec<Vec<(f64, u32)>>,
+    cursor: usize,
+    len: usize,
+}
+
+impl Default for DialQueue {
+    fn default() -> Self {
+        Self { width_inv: 1.0, buckets: Vec::new(), cursor: 0, len: 0 }
+    }
+}
+
+impl DialQueue {
+    /// Sets the bucket width for the coming run (the run's maximum edge
+    /// length; falls back to 1 when all lengths are zero) and resets.
+    fn prepare(&mut self, max_len: f64) {
+        debug_assert!(max_len.is_finite() && max_len >= 0.0);
+        self.width_inv = if max_len > 0.0 { max_len.recip() } else { 1.0 };
+        self.clear();
+    }
+
+    fn bucket_index(&self, dist: f64) -> usize {
+        // Monotone in `dist` (one correctly-rounded multiply, then a
+        // truncation), so pushes after a pop at distance d — which have
+        // distance ≥ d — can never map before the cursor.
+        let idx = (dist * self.width_inv) as usize;
+        idx.max(self.cursor)
+    }
+
+    fn push(&mut self, item: (f64, u32)) {
+        let idx = self.bucket_index(item.0);
+        if idx >= self.buckets.len() {
+            self.buckets.resize_with(idx + 1, Vec::new);
+        }
+        bucket_push(&mut self.buckets[idx], item);
+        self.len += 1;
+    }
+
+    fn pop(&mut self) -> Option<(f64, u32)> {
+        if self.len == 0 {
+            return None;
+        }
+        while self.buckets[self.cursor].is_empty() {
+            self.cursor += 1;
+        }
+        self.len -= 1;
+        bucket_pop(&mut self.buckets[self.cursor])
+    }
+
+    fn clear(&mut self) {
+        for b in &mut self.buckets {
+            b.clear();
+        }
+        self.cursor = 0;
+        self.len = 0;
+    }
+}
+
+/// Monomorphic push/pop interface over the concrete queue types: the
+/// Dijkstra inner loop is generic over this, so the discipline is
+/// dispatched **once per run**, not once per heap operation (the
+/// enum-level [`DijkstraQueue::push`]/[`pop`](DijkstraQueue::pop) exist
+/// for callers outside the hot loop).
+pub(crate) trait QueueOps {
+    fn push_entry(&mut self, dist: f64, node: NodeId);
+    fn pop_entry(&mut self) -> Option<(f64, NodeId)>;
+}
+
+impl QueueOps for BinaryHeap<HeapItem> {
+    #[inline]
+    fn push_entry(&mut self, dist: f64, node: NodeId) {
+        self.push(HeapItem { dist, node });
+    }
+
+    #[inline]
+    fn pop_entry(&mut self) -> Option<(f64, NodeId)> {
+        self.pop().map(|i| (i.dist, i.node))
+    }
+}
+
+impl QueueOps for QuaternaryHeap {
+    #[inline]
+    fn push_entry(&mut self, dist: f64, node: NodeId) {
+        self.push((dist, node.0));
+    }
+
+    #[inline]
+    fn pop_entry(&mut self) -> Option<(f64, NodeId)> {
+        self.pop().map(|(d, n)| (d, NodeId(n)))
+    }
+}
+
+impl QueueOps for DialQueue {
+    #[inline]
+    fn push_entry(&mut self, dist: f64, node: NodeId) {
+        self.push((dist, node.0));
+    }
+
+    #[inline]
+    fn pop_entry(&mut self) -> Option<(f64, NodeId)> {
+        self.pop().map(|(d, n)| (d, NodeId(n)))
+    }
+}
+
+/// Enum-dispatched priority queue: one concrete type the workspace can
+/// hold while the discipline stays a runtime choice.
+#[derive(Debug)]
+pub enum DijkstraQueue {
+    /// `std` binary heap.
+    Binary(BinaryHeap<HeapItem>),
+    /// 4-ary array heap.
+    Quaternary(QuaternaryHeap),
+    /// Bucket/Dial queue.
+    Dial(DialQueue),
+}
+
+impl DijkstraQueue {
+    /// An empty queue of the given discipline.
+    #[must_use]
+    pub fn new(kind: QueueKind) -> Self {
+        match kind {
+            QueueKind::Binary => Self::Binary(BinaryHeap::new()),
+            QueueKind::Quaternary => Self::Quaternary(QuaternaryHeap::default()),
+            QueueKind::Dial => Self::Dial(DialQueue::default()),
+        }
+    }
+
+    /// The discipline of this queue.
+    #[must_use]
+    pub fn kind(&self) -> QueueKind {
+        match self {
+            Self::Binary(_) => QueueKind::Binary,
+            Self::Quaternary(_) => QueueKind::Quaternary,
+            Self::Dial(_) => QueueKind::Dial,
+        }
+    }
+
+    /// Per-run setup: the Dial queue derives its bucket width from the
+    /// run's maximum edge length (one `O(E)` scan, done lazily here so
+    /// the heap disciplines never pay it); the heaps just clear.
+    pub fn prepare(&mut self, lengths: &[f64]) {
+        match self {
+            Self::Binary(h) => h.clear(),
+            Self::Quaternary(h) => h.clear(),
+            Self::Dial(d) => {
+                let max_len = lengths.iter().fold(0.0f64, |a, &b| a.max(b));
+                d.prepare(max_len);
+            }
+        }
+    }
+
+    /// Inserts a `(dist, node)` entry.
+    pub fn push(&mut self, dist: f64, node: NodeId) {
+        match self {
+            Self::Binary(h) => h.push(HeapItem { dist, node }),
+            Self::Quaternary(h) => h.push((dist, node.0)),
+            Self::Dial(d) => d.push((dist, node.0)),
+        }
+    }
+
+    /// Removes and returns the minimum `(dist, node)` entry — the same
+    /// entry for every discipline.
+    pub fn pop(&mut self) -> Option<(f64, NodeId)> {
+        match self {
+            Self::Binary(h) => h.pop().map(|i| (i.dist, i.node)),
+            Self::Quaternary(h) => h.pop().map(|(d, n)| (d, NodeId(n))),
+            Self::Dial(d) => d.pop().map(|(d2, n)| (d2, NodeId(n))),
+        }
+    }
+
+    /// Number of queued entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            Self::Binary(h) => h.len(),
+            Self::Quaternary(h) => h.len(),
+            Self::Dial(d) => d.len,
+        }
+    }
+
+    /// True when no entries are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omcf_numerics::{Rng64, Xoshiro256pp};
+
+    /// Drains a queue fed with `items`, interleaving pushes the way
+    /// Dijkstra does (every push after a pop is ≥ the popped dist).
+    fn drain(kind: QueueKind, items: &[(f64, u32)]) -> Vec<(f64, u32)> {
+        let mut q = DijkstraQueue::new(kind);
+        let max = items.iter().fold(0.0f64, |a, &(d, _)| a.max(d));
+        q.prepare(&[max]);
+        for &(d, n) in items {
+            q.push(d, NodeId(n));
+        }
+        let mut out = Vec::new();
+        while let Some((d, n)) = q.pop() {
+            out.push((d, n.0));
+        }
+        out
+    }
+
+    #[test]
+    fn all_kinds_pop_identical_sequences() {
+        let mut rng = Xoshiro256pp::new(42);
+        for round in 0..20 {
+            let n = 1 + rng.index(50);
+            let items: Vec<(f64, u32)> = (0..n)
+                // Coarse distances provoke ties; node ids break them.
+                .map(|_| (rng.index(8) as f64 * 0.5, rng.index(12) as u32))
+                .collect();
+            let reference = drain(QueueKind::Binary, &items);
+            for kind in [QueueKind::Quaternary, QueueKind::Dial] {
+                assert_eq!(drain(kind, &items), reference, "{kind:?} diverged (round {round})");
+            }
+            // The reference really is sorted by (dist, node).
+            let mut sorted = reference.clone();
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+            assert_eq!(reference, sorted);
+        }
+    }
+
+    #[test]
+    fn dial_handles_monotone_interleaving() {
+        let mut q = DijkstraQueue::new(QueueKind::Dial);
+        q.prepare(&[1.0, 2.0, 0.5]);
+        q.push(0.0, NodeId(0));
+        let (d0, n0) = q.pop().unwrap();
+        assert_eq!((d0, n0.0), (0.0, 0));
+        // Relaxations from the popped node: all ≥ its distance.
+        q.push(2.0, NodeId(2));
+        q.push(0.7, NodeId(1));
+        assert_eq!(q.pop().unwrap().1 .0, 1);
+        q.push(0.9, NodeId(3)); // still ≥ 0.7
+        assert_eq!(q.pop().unwrap().1 .0, 3);
+        assert_eq!(q.pop().unwrap().1 .0, 2);
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn zero_lengths_fall_back_to_unit_width() {
+        let mut q = DijkstraQueue::new(QueueKind::Dial);
+        q.prepare(&[0.0, 0.0]);
+        q.push(0.0, NodeId(5));
+        q.push(0.0, NodeId(1));
+        assert_eq!(q.pop().unwrap().1 .0, 1, "node id breaks the tie");
+        assert_eq!(q.pop().unwrap().1 .0, 5);
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in QueueKind::ALL {
+            assert_eq!(QueueKind::parse(kind.name()), Some(kind));
+            assert_eq!(QueueKind::parse(&kind.name().to_uppercase()), Some(kind));
+        }
+        assert_eq!(QueueKind::parse("fibonacci"), None);
+        assert_eq!(DijkstraQueue::new(QueueKind::Quaternary).kind(), QueueKind::Quaternary);
+    }
+}

@@ -4,48 +4,56 @@
 //! session member, thousands of times per solve. A fresh [`dijkstra`]
 //! allocates four `Vec`s per call; [`DijkstraWorkspace`] pre-allocates them
 //! once and resets in O(1) via generation stamps, and its multi-target
-//! entry point stops as soon as every requested target is settled.
+//! entry point stops as soon as every requested target is settled. The
+//! inner loop walks the graph's struct-of-arrays
+//! [`CsrGraph`](omcf_topology::CsrGraph) (offsets/heads/edge-ids in
+//! contiguous arrays) through a pluggable priority queue
+//! ([`QueueKind`]); the workspace implements the [`ShortestPath`]
+//! abstraction the oracles and fan-out drivers consume.
 //!
-//! Both entry points run *exactly* the algorithm of [`dijkstra`] —
-//! identical relaxation order, identical deterministic tie-breaking —
-//! so distances and extracted paths are bit-identical to the fresh-
-//! allocation implementation (the property tests in `tests/prop.rs` pin
-//! this). Early exit is safe for the same reason Dijkstra is correct:
-//! once a node is settled its distance and parent are final, so any
-//! settled target's path is the same whether or not the remaining nodes
-//! are ever popped.
+//! Every entry point and every queue discipline runs *exactly* the
+//! algorithm of the frozen adjacency-list reference
+//! ([`crate::reference::dijkstra_adjacency`]) — identical relaxation
+//! order (the CSR preserves `neighbors()` arc order), identical pop
+//! order (all queues realize the same `(dist, node)` total order),
+//! identical deterministic tie-breaking — so distances and extracted
+//! paths are bit-identical across layouts and queues (the property tests
+//! in `tests/prop.rs` pin this). Early exit is safe for the same reason
+//! Dijkstra is correct: once a node is settled its distance and parent
+//! are final, so any settled target's path is the same whether or not
+//! the remaining nodes are ever popped.
 //!
 //! [`dijkstra`]: crate::dijkstra::dijkstra
 
 use crate::dijkstra::ShortestPathTree;
 use crate::path::Path;
+use crate::queue::{DijkstraQueue, QueueKind, QueueOps};
 use omcf_topology::{EdgeId, Graph, NodeId};
-use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-#[derive(Debug, PartialEq)]
-struct HeapItem {
-    dist: f64,
-    node: NodeId,
-}
-
-impl Eq for HeapItem {}
-
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on distance, then on node id for determinism.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .expect("no NaN lengths")
-            .then_with(|| other.node.0.cmp(&self.node.0))
-    }
-}
-
-impl PartialOrd for HeapItem {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
+/// Single-source shortest-path engine abstraction — the extension seam
+/// of the routing core. [`DijkstraWorkspace`] is today's only
+/// implementation and the oracles hold it concretely (its inherent
+/// methods are this trait's methods, so switching a call site to
+/// `impl ShortestPath`/`dyn ShortestPath` is a signature change, not a
+/// rewrite); an alternative engine (e.g. a bidirectional or Δ-stepping
+/// variant) implements this trait and inherits the whole bit-exactness
+/// test harness in `tests/prop.rs` as its conformance suite.
+pub trait ShortestPath {
+    /// Number of nodes the engine is sized for.
+    fn node_count(&self) -> usize;
+    /// Full single-source run: settle every reachable node.
+    fn run(&mut self, g: &Graph, src: NodeId, lengths: &[f64]);
+    /// Early-exit run: stop once every node in `targets` is settled.
+    fn run_targets(&mut self, g: &Graph, src: NodeId, lengths: &[f64], targets: &[NodeId]);
+    /// Source of the last run.
+    fn source(&self) -> NodeId;
+    /// Distance from the source to `n` after the last run.
+    fn dist(&self, n: NodeId) -> f64;
+    /// Shortest path to `n` after the last run, `None` if unreached.
+    fn path_to(&self, n: NodeId) -> Option<Path>;
+    /// Owned snapshot of the last (full) run.
+    fn to_tree(&self) -> ShortestPathTree;
 }
 
 /// Pre-allocated single-source shortest-path state, reusable across runs.
@@ -59,28 +67,52 @@ pub struct DijkstraWorkspace {
     src: NodeId,
     dist: Vec<f64>,
     parent: Vec<Option<(EdgeId, NodeId)>>,
-    /// Generation stamp per node: `dist`/`parent` are valid iff equal to
-    /// `gen` (O(1) reset — no per-run clearing of the dense arrays).
-    seen: Vec<u32>,
-    done: Vec<u32>,
-    target: Vec<u32>,
+    /// Per-node run state, one `u32` holding the generation stamp and two
+    /// flag bits — a single load in the relax loop where three separate
+    /// stamp arrays (`seen`/`done`/`target`) used to cost three:
+    ///
+    /// ```text
+    /// state[v] <  gen        untouched this run (O(1) reset: gen += 4)
+    /// state[v] == gen | 1    marked as an early-exit target (bit 0);
+    ///                        dist/parent pre-set to the unreached
+    ///                        defaults so `tentative` stays uniform
+    /// state[v] >= gen        seen: dist/parent are valid
+    /// state[v] >= gen + 2    settled (bit 1)
+    /// ```
+    state: Vec<u32>,
+    /// Always a multiple of 4, advancing by 4 per run so the two flag
+    /// bits can never collide with a stamp comparison.
     gen: u32,
-    heap: BinaryHeap<HeapItem>,
+    queue: DijkstraQueue,
 }
 
+/// `state[v]` bit 0: node is an early-exit target of the current run.
+const STATE_TARGET: u32 = 1;
+/// `state[v]` bit 1: node is settled (popped) in the current run.
+const STATE_DONE: u32 = 2;
+/// Per-run generation stride (leaves the two flag bits clear).
+const GEN_STRIDE: u32 = 4;
+
 impl DijkstraWorkspace {
-    /// Creates a workspace for graphs of `n` nodes.
+    /// Creates a workspace for graphs of `n` nodes with the default
+    /// binary-heap queue.
     #[must_use]
     pub fn new(n: usize) -> Self {
+        Self::with_queue(n, QueueKind::Binary)
+    }
+
+    /// Creates a workspace with an explicit priority-queue discipline.
+    /// Every [`QueueKind`] computes bit-identical results; see
+    /// `docs/PERF.md` for selection guidance.
+    #[must_use]
+    pub fn with_queue(n: usize, kind: QueueKind) -> Self {
         Self {
             src: NodeId(0),
             dist: vec![f64::INFINITY; n],
             parent: vec![None; n],
-            seen: vec![0; n],
-            done: vec![0; n],
-            target: vec![0; n],
+            state: vec![0; n],
             gen: 0,
-            heap: BinaryHeap::with_capacity(n),
+            queue: DijkstraQueue::new(kind),
         }
     }
 
@@ -90,27 +122,40 @@ impl DijkstraWorkspace {
         self.dist.len()
     }
 
+    /// The priority-queue discipline this workspace runs with.
+    #[must_use]
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
+    }
+
+    /// Switches the priority-queue discipline (a no-op when it already
+    /// matches). Results are unaffected — every discipline realizes the
+    /// same pop order — so pooled workspaces can be retargeted freely.
+    pub fn set_queue_kind(&mut self, kind: QueueKind) {
+        if self.queue.kind() != kind {
+            self.queue = DijkstraQueue::new(kind);
+        }
+    }
+
     fn begin(&mut self, src: NodeId) {
         debug_assert!(src.idx() < self.dist.len(), "source outside workspace");
-        if self.gen == u32::MAX {
+        if self.gen > u32::MAX - GEN_STRIDE {
             // Stamp wrap: hard-reset so stale stamps can never alias.
-            self.seen.fill(0);
-            self.done.fill(0);
-            self.target.fill(0);
+            self.state.fill(0);
             self.gen = 0;
         }
-        self.gen += 1;
-        self.heap.clear();
+        self.gen += GEN_STRIDE;
         self.src = src;
         self.dist[src.idx()] = 0.0;
         self.parent[src.idx()] = None;
-        self.seen[src.idx()] = self.gen;
-        self.heap.push(HeapItem { dist: 0.0, node: src });
+        self.state[src.idx()] = self.gen;
     }
 
     #[inline]
     fn tentative(&self, v: usize) -> f64 {
-        if self.seen[v] == self.gen {
+        // Target-marked nodes pre-set dist to ∞, so "state stamped this
+        // run" always means "dist[v] is the tentative distance".
+        if self.state[v] >= self.gen {
             self.dist[v]
         } else {
             f64::INFINITY
@@ -137,31 +182,77 @@ impl DijkstraWorkspace {
         assert_eq!(self.dist.len(), g.node_count(), "workspace sized for a different graph");
         debug_assert!(lengths.iter().all(|l| *l >= 0.0 && l.is_finite()));
         self.begin(src);
+        // Swap the queue into a local and dispatch the discipline ONCE:
+        // the hot loop is monomorphized per concrete queue type, so no
+        // per-push/per-pop enum match survives into the inner loop. The
+        // placeholder is allocation-free (`BinaryHeap::new`).
+        let mut queue =
+            std::mem::replace(&mut self.queue, DijkstraQueue::Binary(BinaryHeap::new()));
+        queue.prepare(lengths);
+        match &mut queue {
+            DijkstraQueue::Binary(q) => self.run_loop(g, src, lengths, targets, q),
+            DijkstraQueue::Quaternary(q) => self.run_loop(g, src, lengths, targets, q),
+            DijkstraQueue::Dial(q) => self.run_loop(g, src, lengths, targets, q),
+        }
+        self.queue = queue;
+    }
+
+    fn run_loop<Q: QueueOps>(
+        &mut self,
+        g: &Graph,
+        src: NodeId,
+        lengths: &[f64],
+        targets: &[NodeId],
+        queue: &mut Q,
+    ) {
         let gen = self.gen;
         let mut pending = 0usize;
         for &t in targets {
-            if self.target[t.idx()] != gen {
-                self.target[t.idx()] = gen;
+            let s = self.state[t.idx()];
+            if s < gen {
+                // Stamp as target; pre-set the unreached defaults so the
+                // stamp alone makes dist/parent readable (identical
+                // relaxation outcomes to an unstamped node).
+                self.state[t.idx()] = gen | STATE_TARGET;
+                self.dist[t.idx()] = f64::INFINITY;
+                self.parent[t.idx()] = None;
+                pending += 1;
+            } else if s & STATE_TARGET == 0 {
+                // Already seen this run (the source): flag only.
+                self.state[t.idx()] = s | STATE_TARGET;
                 pending += 1;
             }
         }
-        while let Some(HeapItem { dist: d, node: u }) = self.heap.pop() {
-            if self.done[u.idx()] == gen {
+        queue.push_entry(0.0, src);
+        // Hot loop over the struct-of-arrays CSR: per arc, one contiguous
+        // read of (edge id, head) instead of the edge-record pointer
+        // chase. Arc order equals `neighbors()` order and every queue
+        // discipline realizes the same pop order, so relaxations — and
+        // therefore results — are bit-identical to the adjacency-list
+        // reference (`crate::reference`, pinned by `tests/prop.rs`).
+        let csr = g.csr();
+        while let Some((d, u)) = queue.pop_entry() {
+            let su = self.state[u.idx()];
+            if su >= gen + STATE_DONE {
                 continue;
             }
-            self.done[u.idx()] = gen;
-            if !targets.is_empty() && self.target[u.idx()] == gen {
+            self.state[u.idx()] = su | STATE_DONE;
+            if !targets.is_empty() && su & STATE_TARGET != 0 {
                 pending -= 1;
                 if pending == 0 {
                     return;
                 }
             }
-            for (e, v) in g.neighbors(u) {
-                if self.done[v.idx()] == gen {
+            let (arc_edges, heads) = csr.arc_slices(u);
+            for (&e, &v) in arc_edges.iter().zip(heads) {
+                // One state load answers both "already settled?" and
+                // "is dist[v] valid?".
+                let sv = self.state[v.idx()];
+                if sv >= gen + STATE_DONE {
                     continue;
                 }
                 let nd = d + lengths[e.idx()];
-                let cur = self.tentative(v.idx());
+                let cur = if sv >= gen { self.dist[v.idx()] } else { f64::INFINITY };
                 let better = nd < cur
                     // Deterministic tie-break: prefer the lower-id
                     // predecessor (identical rule to `dijkstra`).
@@ -170,8 +261,12 @@ impl DijkstraWorkspace {
                 if better {
                     self.dist[v.idx()] = nd;
                     self.parent[v.idx()] = Some((e, u));
-                    self.seen[v.idx()] = gen;
-                    self.heap.push(HeapItem { dist: nd, node: v });
+                    if sv < gen {
+                        // First touch this run; preserves the target bit
+                        // on re-touches.
+                        self.state[v.idx()] = gen;
+                    }
+                    queue.push_entry(nd, v);
                 }
             }
         }
@@ -235,7 +330,7 @@ impl DijkstraWorkspace {
         let n = self.dist.len();
         let dist = (0..n).map(|v| self.tentative(v)).collect();
         let parent =
-            (0..n).map(|v| if self.seen[v] == self.gen { self.parent[v] } else { None }).collect();
+            (0..n).map(|v| if self.state[v] >= self.gen { self.parent[v] } else { None }).collect();
         ShortestPathTree::from_parts(self.src, dist, parent)
     }
 
@@ -246,15 +341,45 @@ impl DijkstraWorkspace {
     /// run, whose unseen slots still hold their initial values.
     #[must_use]
     pub fn into_tree(mut self) -> ShortestPathTree {
-        if self.gen > 1 {
+        if self.gen > GEN_STRIDE {
             for v in 0..self.dist.len() {
-                if self.seen[v] != self.gen {
+                if self.state[v] < self.gen {
                     self.dist[v] = f64::INFINITY;
                     self.parent[v] = None;
                 }
             }
         }
         ShortestPathTree::from_parts(self.src, self.dist, self.parent)
+    }
+}
+
+impl ShortestPath for DijkstraWorkspace {
+    fn node_count(&self) -> usize {
+        DijkstraWorkspace::node_count(self)
+    }
+
+    fn run(&mut self, g: &Graph, src: NodeId, lengths: &[f64]) {
+        DijkstraWorkspace::run(self, g, src, lengths);
+    }
+
+    fn run_targets(&mut self, g: &Graph, src: NodeId, lengths: &[f64], targets: &[NodeId]) {
+        DijkstraWorkspace::run_targets(self, g, src, lengths, targets);
+    }
+
+    fn source(&self) -> NodeId {
+        DijkstraWorkspace::source(self)
+    }
+
+    fn dist(&self, n: NodeId) -> f64 {
+        DijkstraWorkspace::dist(self, n)
+    }
+
+    fn path_to(&self, n: NodeId) -> Option<Path> {
+        DijkstraWorkspace::path_to(self, n)
+    }
+
+    fn to_tree(&self) -> ShortestPathTree {
+        DijkstraWorkspace::to_tree(self)
     }
 }
 
@@ -285,11 +410,21 @@ impl WorkspacePool {
     /// exact size if available, otherwise allocates fresh.
     #[must_use]
     pub fn lease(&self, n: usize) -> DijkstraWorkspace {
+        self.lease_with(n, QueueKind::Binary)
+    }
+
+    /// Like [`Self::lease`] but with an explicit queue discipline. A
+    /// recycled workspace of another discipline is retargeted in place
+    /// (results are discipline-independent, so this is always safe).
+    #[must_use]
+    pub fn lease_with(&self, n: usize, kind: QueueKind) -> DijkstraWorkspace {
         let mut free = self.free.lock().expect("workspace pool poisoned");
         if let Some(pos) = free.iter().position(|ws| ws.node_count() == n) {
-            free.swap_remove(pos)
+            let mut ws = free.swap_remove(pos);
+            ws.set_queue_kind(kind);
+            ws
         } else {
-            DijkstraWorkspace::new(n)
+            DijkstraWorkspace::with_queue(n, kind)
         }
     }
 

@@ -2,7 +2,10 @@
 
 use omcf_numerics::{Rng64, Xoshiro256pp};
 use omcf_routing::dijkstra::{dijkstra, dijkstra_hops};
-use omcf_routing::{DijkstraWorkspace, FixedRoutes};
+use omcf_routing::reference::dijkstra_adjacency;
+use omcf_routing::{
+    fanout_trees, fanout_trees_serial, DijkstraWorkspace, FixedRoutes, QueueKind, WorkspacePool,
+};
 use omcf_topology::waxman::{self, WaxmanParams};
 use omcf_topology::{Graph, NodeId};
 use proptest::prelude::*;
@@ -10,6 +13,21 @@ use proptest::prelude::*;
 fn graph(seed: u64, n: usize) -> Graph {
     let params = WaxmanParams { n, alpha: 0.3, ..WaxmanParams::default() };
     waxman::generate(&params, &mut Xoshiro256pp::new(seed))
+}
+
+/// Tie-heavy or smooth random lengths, depending on `round` (integer-ish
+/// lengths provoke equal-distance pop ties; fractional ones exercise the
+/// Dial queue's non-uniform buckets).
+fn random_lengths(g: &Graph, rng: &mut Xoshiro256pp, round: u32) -> Vec<f64> {
+    (0..g.edge_count())
+        .map(|_| {
+            if round.is_multiple_of(2) {
+                rng.index(3) as f64 + 1.0
+            } else {
+                rng.range_f64(0.1, 3.0)
+            }
+        })
+        .collect()
 }
 
 proptest! {
@@ -115,6 +133,82 @@ proptest! {
         for &t in &targets {
             prop_assert_eq!(ws.dist(t), fresh.dist(t));
             prop_assert_eq!(ws.path_to(t), fresh.path_to(t));
+        }
+    }
+
+    /// The CSR-backed workspace is **bit-identical** to the frozen
+    /// pre-refactor adjacency-list Dijkstra, for every priority-queue
+    /// discipline, across randomized graphs, seeds and length profiles:
+    /// equal distance bits (`to_bits`, not epsilon) and equal
+    /// deterministic tie-broken paths from every source.
+    #[test]
+    fn csr_bit_identical_to_adjacency_reference(seed in any::<u64>(), n in 8usize..40) {
+        let g = graph(seed, n);
+        let mut rng = Xoshiro256pp::new(seed ^ 7);
+        for round in 0..2u32 {
+            let lengths = random_lengths(&g, &mut rng, round);
+            for kind in QueueKind::ALL {
+                let mut ws = DijkstraWorkspace::with_queue(g.node_count(), kind);
+                for src in g.nodes() {
+                    ws.run(&g, src, &lengths);
+                    let reference = dijkstra_adjacency(&g, src, &lengths);
+                    for v in g.nodes() {
+                        prop_assert_eq!(
+                            ws.dist(v).to_bits(),
+                            reference.dist(v).to_bits(),
+                            "distance bits diverged ({:?}, src {:?}, node {:?})",
+                            kind, src, v
+                        );
+                        prop_assert_eq!(ws.path_to(v), reference.path_to(v));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Early-exit runs are bit-identical to the adjacency reference on
+    /// the settled targets, for every queue discipline.
+    #[test]
+    fn csr_early_exit_bit_identical_to_reference(seed in any::<u64>(), n in 8usize..40) {
+        let g = graph(seed, n);
+        let mut rng = Xoshiro256pp::new(seed ^ 8);
+        let lengths = random_lengths(&g, &mut rng, 0);
+        let targets: Vec<NodeId> =
+            rng.sample_indices(n, 4.min(n)).into_iter().map(|i| NodeId(i as u32)).collect();
+        let src = targets[0];
+        let reference = dijkstra_adjacency(&g, src, &lengths);
+        for kind in QueueKind::ALL {
+            let mut ws = DijkstraWorkspace::with_queue(g.node_count(), kind);
+            ws.run_targets(&g, src, &lengths, &targets);
+            for &t in &targets {
+                prop_assert_eq!(ws.dist(t).to_bits(), reference.dist(t).to_bits());
+                prop_assert_eq!(ws.path_to(t), reference.path_to(t));
+            }
+        }
+    }
+
+    /// Parallel member fan-out is byte-identical to the serial loop:
+    /// same trees, same order, for every queue discipline — and each
+    /// tree matches the adjacency reference bit-for-bit.
+    #[test]
+    fn parallel_fanout_byte_identical_to_serial(seed in any::<u64>(), n in 8usize..40) {
+        let g = graph(seed, n);
+        let mut rng = Xoshiro256pp::new(seed ^ 9);
+        let lengths = random_lengths(&g, &mut rng, 1);
+        let members: Vec<NodeId> =
+            rng.sample_indices(n, 5.min(n)).into_iter().map(|i| NodeId(i as u32)).collect();
+        let pool = WorkspacePool::new();
+        for kind in QueueKind::ALL {
+            let par = fanout_trees(&g, &members, &lengths, &pool, kind);
+            let ser = fanout_trees_serial(&g, &members, &lengths, &pool, kind);
+            prop_assert_eq!(&par, &ser, "fan-out merge order diverged ({:?})", kind);
+            for (i, &src) in members.iter().enumerate() {
+                let reference = dijkstra_adjacency(&g, src, &lengths);
+                for v in g.nodes() {
+                    prop_assert_eq!(par[i].dist(v).to_bits(), reference.dist(v).to_bits());
+                    prop_assert_eq!(par[i].path_to(v), reference.path_to(v));
+                }
+            }
         }
     }
 

@@ -29,6 +29,12 @@ pub struct ScenarioSpec {
     /// True when instances carry a join/leave trace (the workloads the
     /// `omcf-runtime` event loop can replay).
     pub has_churn: bool,
+    /// True for the large-scale (≥2k-node) families: solvable in seconds
+    /// to minutes in release builds — the CI sweep job and `repro` run
+    /// them — but deliberately excluded from the debug-build test grids
+    /// and the driver micro-bench (see [`standard`]), where a single cell
+    /// would dominate the whole run.
+    pub heavy: bool,
     /// Constructs the instance for a master seed at a scale.
     pub build: fn(u64, Scale) -> Instance,
 }
@@ -53,68 +59,108 @@ pub fn find(name: &str) -> Option<&'static ScenarioSpec> {
     REGISTRY.iter().find(|s| s.name == name)
 }
 
-static REGISTRY: [ScenarioSpec; 10] = [
+static REGISTRY: [ScenarioSpec; 12] = [
     ScenarioSpec {
         name: "scenario-a",
         description: "paper §III-B: Waxman router graph, two sessions (7+5), fixed IP routing",
         has_churn: false,
+        heavy: false,
         build: build_scenario_a_fixed,
     },
     ScenarioSpec {
         name: "scenario-a-dynamic",
         description: "paper §V: the Scenario A workload under arbitrary dynamic routing",
         has_churn: false,
+        heavy: false,
         build: build_scenario_a_dynamic,
     },
     ScenarioSpec {
         name: "scenario-b",
         description: "paper §VI: two-level AS/router hierarchy, mid grid point, fixed IP routing",
         has_churn: false,
+        heavy: false,
         build: build_scenario_b,
     },
     ScenarioSpec {
         name: "scale-free",
         description: "Barabási–Albert scale-free topology, uniform-capacity, random sessions",
         has_churn: false,
+        heavy: false,
         build: build_scale_free,
     },
     ScenarioSpec {
         name: "ring-lattice",
         description: "ring lattice: exactly two edge-disjoint routes per pair",
         has_churn: false,
+        heavy: false,
         build: build_ring_lattice,
     },
     ScenarioSpec {
         name: "grid-lattice",
         description: "√n × √n grid lattice (open boundary), random sessions",
         has_churn: false,
+        heavy: false,
         build: build_grid_lattice,
     },
     ScenarioSpec {
         name: "hotspot",
         description: "Waxman topology with heterogeneous capacities: hotspot nodes 4× provisioned",
         has_churn: false,
+        heavy: false,
         build: build_hotspot,
+    },
+    ScenarioSpec {
+        name: "waxman-large",
+        description: "large-scale routing: ≥2k-node sparse Waxman, 32+ sessions, dynamic routing",
+        has_churn: false,
+        heavy: true,
+        build: build_waxman_large,
+    },
+    ScenarioSpec {
+        name: "scale-free-large",
+        description:
+            "large-scale routing: ≥2k-node Barabási–Albert, 32+ sessions, fixed IP routing",
+        has_churn: false,
+        heavy: true,
+        build: build_scale_free_large,
     },
     ScenarioSpec {
         name: "churn",
         description: "session churn: online join/leave trace over a Waxman topology",
         has_churn: true,
+        heavy: false,
         build: build_churn,
     },
     ScenarioSpec {
         name: "churn-dynamic",
         description: "the churn workload under arbitrary dynamic routing (§V joins)",
         has_churn: true,
+        heavy: false,
         build: build_churn_dynamic,
     },
     ScenarioSpec {
         name: "churn-hotspot",
         description: "session churn over heterogeneous capacities: hotspot nodes 4x provisioned",
         has_churn: true,
+        heavy: false,
         build: build_churn_hotspot,
     },
 ];
+
+/// The standard (non-[`heavy`](ScenarioSpec::heavy)) scenarios: what the
+/// debug-build test grids and the sweep-driver micro-bench enumerate.
+/// Release drivers (`repro sweep`, the CI sweep job) run the full
+/// [`registry`], large-scale families included.
+#[must_use]
+pub fn standard() -> Vec<&'static ScenarioSpec> {
+    REGISTRY.iter().filter(|s| !s.heavy).collect()
+}
+
+/// The large-scale (`heavy`) scenarios — ≥2k nodes, 32+ sessions.
+#[must_use]
+pub fn heavy() -> Vec<&'static ScenarioSpec> {
+    REGISTRY.iter().filter(|s| s.heavy).collect()
+}
 
 /// All scenarios that carry a join/leave trace — the workloads the
 /// `omcf-runtime` event loop replays (`repro replay`, the
@@ -223,6 +269,61 @@ fn build_hotspot(seed: u64, scale: Scale) -> Instance {
     Instance::new("hotspot", g, sessions, RoutingMode::FixedIp)
 }
 
+/// The FPTAS ε of the large-scale scenarios. Iteration counts grow like
+/// `1/ε²`, so the tight default (0.1) would put a ≥2k-node instance in
+/// the minutes-per-solve range; these scenarios exist to keep the CSR
+/// routing core exercised at scale in every sweep (CI included), not to
+/// chase tight bounds, and a looser ε keeps them in the
+/// seconds-per-grid-column range while every oracle call still routes
+/// over the full thousand-node substrate.
+const LARGE_EPS: f64 = 0.5;
+
+/// Large-scale Waxman under **dynamic routing**: every oracle call runs
+/// one live CSR Dijkstra per session member over the ≥2k-node substrate.
+/// The BRITE default α (0.15) is calibrated for n = 100 — edge count
+/// grows quadratically with n at fixed α, so it is rescaled by 100/n to
+/// keep the expected degree (≈ 4, Internet-like sparsity) instead of
+/// producing a dense graph no FPTAS iteration count could afford.
+fn build_waxman_large(seed: u64, scale: Scale) -> Instance {
+    let dims = scale.dims();
+    let n = dims.large_nodes;
+    let root = SplitMix64::new(seed);
+    let params = WaxmanParams {
+        n,
+        alpha: 0.15 * 100.0 / n as f64,
+        capacity: 100.0,
+        ..WaxmanParams::default()
+    };
+    let g = waxman::generate(&params, &mut Xoshiro256pp::new(root.derive_seed(label::TOPOLOGY)));
+    let sessions = random_sessions(
+        &g,
+        dims.large_sessions,
+        dims.large_size,
+        1.0,
+        &mut Xoshiro256pp::new(root.derive_seed(label::SESSIONS)),
+    );
+    Instance::new("waxman-large", g, sessions, RoutingMode::Arbitrary).with_eps(LARGE_EPS)
+}
+
+/// Large-scale Barabási–Albert under **fixed IP routing**: the frozen
+/// routes are computed by ≥2k-node hop-count CSR Dijkstras at oracle
+/// construction; the solve itself then stresses the length-update engine
+/// over a heavy-tailed topology with 32+ concurrent sessions.
+fn build_scale_free_large(seed: u64, scale: Scale) -> Instance {
+    let dims = scale.dims();
+    let root = SplitMix64::new(seed);
+    let params = BarabasiParams { n: dims.large_nodes, m: 2, ..BarabasiParams::default() };
+    let g = barabasi::generate(&params, &mut Xoshiro256pp::new(root.derive_seed(label::TOPOLOGY)));
+    let sessions = random_sessions(
+        &g,
+        dims.large_sessions,
+        dims.large_size,
+        1.0,
+        &mut Xoshiro256pp::new(root.derive_seed(label::SESSIONS)),
+    );
+    Instance::new("scale-free-large", g, sessions, RoutingMode::FixedIp).with_eps(LARGE_EPS)
+}
+
 fn build_churn(seed: u64, scale: Scale) -> Instance {
     churn_over_waxman("churn", seed, scale, RoutingMode::FixedIp, false)
 }
@@ -303,6 +404,42 @@ mod tests {
             let c = spec.instance(12, Scale::Micro);
             assert_ne!(a.sessions.sessions(), c.sessions.sessions(), "{}", spec.name);
         }
+    }
+
+    #[test]
+    fn standard_and_heavy_partition_the_registry() {
+        let std_names: Vec<&str> = standard().iter().map(|s| s.name).collect();
+        let heavy_names: Vec<&str> = heavy().iter().map(|s| s.name).collect();
+        assert_eq!(std_names.len() + heavy_names.len(), registry().len());
+        assert!(heavy_names.contains(&"waxman-large"));
+        assert!(heavy_names.contains(&"scale-free-large"));
+        assert!(std_names.iter().all(|n| !heavy_names.contains(n)));
+    }
+
+    #[test]
+    fn large_scenarios_hit_the_scale_floor_at_every_scale() {
+        // The acceptance bar: ≥2k nodes and 32+ sessions even at Micro,
+        // so the CI sweep exercises thousand-node CSR routing.
+        for scale in [Scale::Micro, Scale::Fast, Scale::Paper] {
+            let dims = scale.dims();
+            assert!(dims.large_nodes >= 2048, "{scale:?}");
+            assert!(dims.large_sessions >= 32, "{scale:?}");
+        }
+        let wax = find("waxman-large").unwrap().instance(2004, Scale::Micro);
+        assert!(wax.graph.node_count() >= 2048);
+        assert_eq!(wax.sessions.len(), 32);
+        assert_eq!(wax.routing.label(), "arbitrary");
+        // Sparsity guard: the α rescale must keep the Waxman graph
+        // Internet-like (average degree single-digit), not quadratic.
+        let avg_degree = 2.0 * wax.graph.edge_count() as f64 / wax.graph.node_count() as f64;
+        assert!(
+            (2.0..10.0).contains(&avg_degree),
+            "waxman-large degenerated: average degree {avg_degree}"
+        );
+        let ba = find("scale-free-large").unwrap().instance(2004, Scale::Micro);
+        assert!(ba.graph.node_count() >= 2048);
+        assert_eq!(ba.sessions.len(), 32);
+        assert_eq!(ba.routing.label(), "fixed-ip");
     }
 
     #[test]

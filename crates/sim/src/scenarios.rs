@@ -41,6 +41,15 @@ pub struct ScaleDims {
     pub family_size: usize,
     /// Joins in the churn scenario's trace.
     pub churn_joins: usize,
+    /// Node count of the large-scale families (`waxman-large`,
+    /// `scale-free-large`). Deliberately **not** shrunk below 2048 at any
+    /// scale: these scenarios exist to keep thousand-node routing on the
+    /// CSR hot path exercised everywhere, CI included.
+    pub large_nodes: usize,
+    /// Sessions per large-scale instance (≥ 32 at every scale).
+    pub large_sessions: usize,
+    /// Members per large-scale session.
+    pub large_size: usize,
 }
 
 impl Scale {
@@ -58,6 +67,9 @@ impl Scale {
                 family_sessions: 3,
                 family_size: 3,
                 churn_joins: 8,
+                large_nodes: 2048,
+                large_sessions: 32,
+                large_size: 3,
             },
             Scale::Fast => ScaleDims {
                 a_nodes: 60,
@@ -69,6 +81,9 @@ impl Scale {
                 family_sessions: 4,
                 family_size: 4,
                 churn_joins: 16,
+                large_nodes: 2048,
+                large_sessions: 32,
+                large_size: 3,
             },
             Scale::Paper => ScaleDims {
                 a_nodes: 100,
@@ -80,6 +95,9 @@ impl Scale {
                 family_sessions: 6,
                 family_size: 6,
                 churn_joins: 40,
+                large_nodes: 4096,
+                large_sessions: 48,
+                large_size: 4,
             },
         }
     }

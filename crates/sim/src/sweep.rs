@@ -21,6 +21,7 @@
 use crate::registry::{self, ScenarioSpec};
 use crate::scenarios::Scale;
 use omcf_core::solver::{Instance, SolverKind, SolverOutcome};
+use omcf_numerics::jsonfmt;
 use omcf_routing::WorkspacePool;
 use rayon::prelude::*;
 use std::fmt::Write as _;
@@ -44,7 +45,9 @@ pub struct SweepConfig {
 }
 
 impl SweepConfig {
-    /// The full grid: every registered scenario × all four solvers.
+    /// The full grid: every registered scenario × all four solvers,
+    /// large-scale (≥2k-node) families included — minutes of release-build
+    /// compute; what `repro sweep` and the CI sweep job run.
     #[must_use]
     pub fn full(scale: Scale, seeds: Vec<u64>) -> Self {
         Self {
@@ -54,6 +57,14 @@ impl SweepConfig {
             solvers: SolverKind::ALL.to_vec(),
             parallel: true,
         }
+    }
+
+    /// The standard grid: every non-heavy scenario × all four solvers.
+    /// Sub-second cells at `Scale::Micro`, suitable for debug-build tests
+    /// and the sweep-driver micro-bench.
+    #[must_use]
+    pub fn standard(scale: Scale, seeds: Vec<u64>) -> Self {
+        Self { scenarios: registry::standard(), ..Self::full(scale, seeds) }
     }
 
     /// Restricts the sweep to named scenarios (unknown names panic —
@@ -171,38 +182,38 @@ impl SweepResults {
         out
     }
 
-    /// JSON array of the same records, `wall_ms` included.
+    /// JSON array of the same records, `wall_ms` included. Emitted
+    /// through [`jsonfmt`], so record keys come
+    /// out in sorted order — regenerating a bench artifact diffs only in
+    /// the measured numbers.
     #[must_use]
     pub fn to_json(&self) -> String {
-        let mut out = String::from("[\n");
-        for (i, r) in self.records.iter().enumerate() {
-            let _ = write!(
-                out,
-                "  {{ \"scenario\": \"{}\", \"solver\": \"{}\", \"seed\": {}, \
-                 \"routing\": \"{}\", \"nodes\": {}, \"edges\": {}, \"sessions\": {}, \
-                 \"throughput\": {:.6}, \"min_rate\": {:.6}, \"objective\": {:.6}, \
-                 \"max_congestion\": {:.6}, \"trees\": {}, \"mst_ops\": {}, \
-                 \"mst_ops_prepass\": {}, \"iterations\": {}, \"wall_ms\": {:.3} }}{}",
-                r.scenario,
-                r.solver.name(),
-                r.seed,
-                r.routing,
-                r.nodes,
-                r.edges,
-                r.sessions,
-                r.throughput,
-                r.min_rate,
-                r.objective,
-                r.max_congestion,
-                r.trees,
-                r.mst_ops,
-                r.mst_ops_prepass,
-                r.iterations,
-                r.wall_ms,
-                if i + 1 == self.records.len() { "\n" } else { ",\n" }
-            );
-        }
-        out.push_str("]\n");
+        let items: Vec<String> = self
+            .records
+            .iter()
+            .map(|r| {
+                jsonfmt::JsonObject::new()
+                    .text("scenario", &r.scenario)
+                    .text("solver", r.solver.name())
+                    .field("seed", r.seed.to_string())
+                    .text("routing", r.routing)
+                    .field("nodes", r.nodes.to_string())
+                    .field("edges", r.edges.to_string())
+                    .field("sessions", r.sessions.to_string())
+                    .field("throughput", jsonfmt::fixed(r.throughput, 6))
+                    .field("min_rate", jsonfmt::fixed(r.min_rate, 6))
+                    .field("objective", jsonfmt::fixed(r.objective, 6))
+                    .field("max_congestion", jsonfmt::fixed(r.max_congestion, 6))
+                    .field("trees", r.trees.to_string())
+                    .field("mst_ops", r.mst_ops.to_string())
+                    .field("mst_ops_prepass", r.mst_ops_prepass.to_string())
+                    .field("iterations", r.iterations.to_string())
+                    .field("wall_ms", jsonfmt::fixed(r.wall_ms, 3))
+                    .inline()
+            })
+            .collect();
+        let mut out = jsonfmt::array(&items, 0);
+        out.push('\n');
         out
     }
 

@@ -6,9 +6,14 @@ use omcf_sim::registry;
 use omcf_sim::sweep::{run_sweep, SweepConfig};
 use omcf_sim::Scale;
 
+// The determinism and whole-grid tests run the *standard* grid: the
+// heavy (≥2k-node) scenarios take minutes per cell in debug builds and
+// have their own targeted test below; `repro --micro sweep` (release,
+// CI) covers them end to end every run.
+
 #[test]
 fn parallel_sweep_is_byte_identical_to_serial() {
-    let mut cfg = SweepConfig::full(Scale::Micro, vec![2004, 7]);
+    let mut cfg = SweepConfig::standard(Scale::Micro, vec![2004, 7]);
     cfg.parallel = false;
     let serial = run_sweep(&cfg);
     cfg.parallel = true;
@@ -24,10 +29,36 @@ fn parallel_sweep_is_byte_identical_to_serial() {
 }
 
 #[test]
-fn full_registry_times_all_solvers_produces_the_whole_grid() {
-    let cfg = SweepConfig::full(Scale::Micro, vec![11]);
+fn heavy_scenarios_solve_online_and_deterministically() {
+    // One cheap solver over the ≥2k-node scenarios: the online algorithm
+    // does one oracle call per session, so even a debug build routes the
+    // full 32-session population over the thousand-node CSR core in
+    // seconds — enough to pin shape and determinism without paying an
+    // FPTAS solve per test run.
+    let mut cfg = SweepConfig::full(Scale::Micro, vec![2004]);
+    cfg.scenarios = registry::heavy();
+    cfg.solvers = vec![SolverKind::Online];
+    cfg.parallel = false;
     let res = run_sweep(&cfg);
-    let expected = registry::registry().len() * SolverKind::ALL.len();
+    assert_eq!(res.records.len(), 2);
+    for r in &res.records {
+        assert!(r.nodes >= 2048, "{} shrank below the scale floor", r.scenario);
+        assert!(r.sessions >= 32, "{}", r.scenario);
+        assert!(r.throughput > 0.0, "{} routed nothing", r.scenario);
+        assert!(r.max_congestion <= 1.0 + 1e-6, "{}", r.scenario);
+    }
+    // Second run in parallel mode: the byte-identical contract must hold
+    // on the heavy cells too (shared WorkspacePool under rayon).
+    cfg.parallel = true;
+    let again = run_sweep(&cfg);
+    assert_eq!(res.to_csv(), again.to_csv(), "heavy parallel sweep diverged from serial");
+}
+
+#[test]
+fn full_registry_times_all_solvers_produces_the_whole_grid() {
+    let cfg = SweepConfig::standard(Scale::Micro, vec![11]);
+    let res = run_sweep(&cfg);
+    let expected = registry::standard().len() * SolverKind::ALL.len();
     assert!(expected >= 6 * 4, "acceptance floor: ≥ 6 scenarios × 4 solvers");
     assert_eq!(res.records.len(), expected);
     for r in &res.records {
@@ -42,8 +73,8 @@ fn full_registry_times_all_solvers_produces_the_whole_grid() {
         assert!(r.mst_ops > 0);
         assert!(r.nodes > 0 && r.edges > 0 && r.sessions > 0);
     }
-    // Every scenario and every solver appears.
-    for spec in registry::registry() {
+    // Every standard scenario and every solver appears.
+    for spec in registry::standard() {
         assert!(res.records.iter().any(|r| r.scenario == spec.name), "missing {}", spec.name);
     }
     for kind in SolverKind::ALL {

@@ -6,6 +6,7 @@
 //! (the hierarchy generator can produce them when inter-AS links are added
 //! independently); self-loops are rejected.
 
+use crate::csr::CsrGraph;
 use std::fmt;
 
 /// Index of a node in a [`Graph`].
@@ -145,6 +146,9 @@ pub struct Graph {
     // adj_edges[adj_start[i] .. adj_start[i + 1]].
     adj_start: Vec<u32>,
     adj_edges: Vec<EdgeId>,
+    /// Struct-of-arrays arc view (heads/edge-ids/weights inline), built
+    /// once at freeze time — the routing hot path's layout.
+    csr: CsrGraph,
 }
 
 impl Graph {
@@ -169,7 +173,17 @@ impl Graph {
                 cursor[node.idx()] += 1;
             }
         }
-        Self { edges, positions, adj_start, adj_edges }
+        let csr = CsrGraph::from_adjacency(&edges, &adj_start, &adj_edges);
+        Self { edges, positions, adj_start, adj_edges, csr }
+    }
+
+    /// The compressed-sparse-row arc view (see [`CsrGraph`]): offsets,
+    /// heads, edge ids and static weights in contiguous arrays, arc order
+    /// identical to [`Self::neighbors`]. Built once per instance.
+    #[inline]
+    #[must_use]
+    pub fn csr(&self) -> &CsrGraph {
+        &self.csr
     }
 
     /// Number of nodes `|V|`.
@@ -238,15 +252,17 @@ impl Graph {
         self.edges.iter().map(|e| e.capacity).fold(f64::INFINITY, f64::min)
     }
 
-    /// Returns a copy with every capacity multiplied by `factor`.
+    /// Returns a copy with every capacity multiplied by `factor`. Rebuilt
+    /// from scratch (rather than patching the clone's edge records) so
+    /// the CSR arc weights stay in sync with the edge records.
     #[must_use]
     pub fn scaled_capacities(&self, factor: f64) -> Graph {
         assert!(factor > 0.0);
-        let mut g = self.clone();
-        for e in &mut g.edges {
+        let mut edges = self.edges.clone();
+        for e in &mut edges {
             e.capacity *= factor;
         }
-        g
+        Graph::from_parts(self.node_count(), edges, self.positions.clone())
     }
 }
 

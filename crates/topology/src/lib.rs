@@ -8,6 +8,8 @@
 //!
 //! * [`Graph`] — an undirected, capacitated multigraph with CSR-style
 //!   adjacency, the substrate every other crate computes over.
+//! * [`CsrGraph`] — the struct-of-arrays arc view (offsets/heads/edge
+//!   ids/weights) built once per graph; the routing hot path's layout.
 //! * [`waxman`] — the Waxman (1988) random graph used by BRITE's
 //!   router-level mode, with the BRITE connectivity post-pass.
 //! * [`barabasi`] — Barabási–Albert preferential attachment (BRITE's other
@@ -20,12 +22,14 @@
 //! * [`props`] — connectivity/degree diagnostics and DOT export.
 
 pub mod canned;
+pub mod csr;
 pub mod graph;
 pub mod hier;
 pub mod models;
 pub mod props;
 pub mod transit_stub;
 
+pub use csr::CsrGraph;
 pub use graph::{EdgeId, Graph, GraphBuilder, NodeId};
 pub use hier::{two_level, HierParams};
 pub use models::barabasi::{self, BarabasiParams};

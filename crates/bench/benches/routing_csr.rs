@@ -13,7 +13,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use omcf_numerics::{jsonfmt, Rng64, Xoshiro256pp};
 use omcf_routing::reference::dijkstra_adjacency;
-use omcf_routing::{dijkstra_with, fanout_trees, DijkstraWorkspace, QueueKind, WorkspacePool};
+use omcf_routing::{
+    dijkstra_with, fanout_trees, fanout_trees_serial, DijkstraWorkspace, QueueKind, WorkspacePool,
+};
 use omcf_sim::registry;
 use omcf_sim::Scale;
 use omcf_topology::{Graph, NodeId};
@@ -183,6 +185,12 @@ fn emit_bench_json(_c: &mut Criterion) {
             routines.push((kind.name(), Box::new(move || run_csr(gr, so, le, kind))));
         }
         routines.push((
+            "fanout_serial",
+            Box::new(|| {
+                fanout_trees_serial(&g, &sources, &lengths, &pool, QueueKind::Binary).len() as f64
+            }),
+        ));
+        routines.push((
             "fanout",
             Box::new(|| {
                 fanout_trees(&g, &sources, &lengths, &pool, QueueKind::Binary).len() as f64
@@ -191,6 +199,7 @@ fn emit_bench_json(_c: &mut Criterion) {
         let medians = measure_all(&mut routines);
         let adjacency_ms = medians[0];
         let csr_binary_ms = medians[1];
+        let fanout_serial_ms = medians[medians.len() - 2];
         let fanout_ms = medians[medians.len() - 1];
         let mut obj = jsonfmt::JsonObject::new()
             .field("nodes", g.node_count().to_string())
@@ -206,11 +215,18 @@ fn emit_bench_json(_c: &mut Criterion) {
         }
         obj = obj
             .field("fanout_parallel_ms", jsonfmt::fixed(fanout_ms, 3))
+            .field("fanout_serial_ms", jsonfmt::fixed(fanout_serial_ms, 3))
+            // `_speedup` keys are gated *leniently* by scripts/bench_check:
+            // they only fail the build when parallel is slower than serial
+            // beyond the noise floor, so single-core runners can't flake.
+            .field("fanout_speedup", jsonfmt::fixed(fanout_serial_ms / fanout_ms, 3))
             .field("speedup_csr_vs_adjacency", jsonfmt::fixed(adjacency_ms / csr_binary_ms, 3));
         println!(
             "bench routing_csr: {name} adjacency {adjacency_ms:.1} ms vs csr(binary) \
-             {csr_binary_ms:.1} ms ({:.2}x), fanout {fanout_ms:.1} ms",
-            adjacency_ms / csr_binary_ms
+             {csr_binary_ms:.1} ms ({:.2}x), fanout {fanout_ms:.1} ms \
+             (serial {fanout_serial_ms:.1} ms, {:.2}x)",
+            adjacency_ms / csr_binary_ms,
+            fanout_serial_ms / fanout_ms
         );
         fixture_objs.push((name.to_string(), obj.pretty(1)));
     }

@@ -44,6 +44,10 @@ pub use lengths::ScaledLengths;
 pub use m1::{max_flow, max_flow_subset, MaxFlowOutcome};
 pub use m1_fleischer::max_flow_fleischer;
 pub use m2::{max_concurrent_flow, McfOutcome};
+/// The workspace-wide execution policy (defined in `omcf-numerics` to
+/// sit below `omcf-routing` in the dependency graph; this re-export is
+/// the path downstream code should use).
+pub use omcf_numerics::Parallelism;
 pub use online::{online_min_congestion, OnlineOutcome};
 pub use ratio::ApproxParams;
 pub use residual::max_concurrent_flow_maxmin;

@@ -20,15 +20,21 @@
 //!   distributions that the paper's figures plot.
 //! * [`jsonfmt`] — sorted-key JSON emission for the `BENCH_*.json` /
 //!   `sweep.json` artifacts (regeneration produces minimal diffs).
+//! * [`parallel`] — the [`Parallelism`] execution policy shared by every
+//!   parallel region (sweep driver, fan-out, reoptimizer). It lives in
+//!   this bottom-of-the-stack crate so `omcf-routing` can accept it
+//!   without a dependency cycle; `omcf-core` re-exports it.
 
 pub mod jsonfmt;
 pub mod kahan;
+pub mod parallel;
 pub mod rng;
 pub mod simplex;
 pub mod stats;
 pub mod xf64;
 
 pub use kahan::{KahanSum, NeumaierSum};
+pub use parallel::Parallelism;
 pub use rng::{Rng64, SplitMix64, Xoshiro256pp};
 pub use stats::{Cdf, Summary};
 pub use xf64::Xf64;

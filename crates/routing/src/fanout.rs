@@ -9,19 +9,28 @@
 //! mutable state between workers), and returns the trees **in member
 //! order** regardless of completion order: results are merged by input
 //! index, so the output is deterministic and byte-identical to the
-//! serial loop (pinned by `tests/prop.rs`). Under the offline rayon shim
-//! the fan-out degrades to exactly that serial loop.
+//! serial loop (pinned by `tests/prop.rs`) at any thread count,
+//! including under work stealing.
+//!
+//! Which threads run the fan-out is governed by the
+//! [`Parallelism`] policy: [`fanout_trees`] takes it from the pool
+//! (default [`Parallelism::Auto`], which joins the ambient worker pool
+//! when the fan-out happens inside an already-parallel sweep cell),
+//! [`fanout_trees_with`] accepts it explicitly.
 
 use crate::dijkstra::ShortestPathTree;
 use crate::queue::QueueKind;
 use crate::workspace::WorkspacePool;
+use omcf_numerics::Parallelism;
 use omcf_topology::{Graph, NodeId};
 use rayon::prelude::*;
 
 /// Computes the full shortest-path tree of every source in `sources`
-/// under `lengths`, in parallel, returning trees in `sources` order.
-/// Workspaces come from (and return to) `pool`; `kind` selects the
-/// queue discipline (results are identical for every kind).
+/// under `lengths`, returning trees in `sources` order, under the
+/// execution policy carried by `pool`
+/// ([`WorkspacePool::parallelism`]). Workspaces come from (and return
+/// to) `pool`; `kind` selects the queue discipline (results are
+/// identical for every kind).
 #[must_use]
 pub fn fanout_trees(
     g: &Graph,
@@ -30,16 +39,36 @@ pub fn fanout_trees(
     pool: &WorkspacePool,
     kind: QueueKind,
 ) -> Vec<ShortestPathTree> {
-    sources
-        .par_iter()
-        .map(|&src| {
-            let mut ws = pool.lease_with(g.node_count(), kind);
-            ws.run(g, src, lengths);
-            let tree = ws.to_tree();
-            pool.give_back(ws);
-            tree
-        })
-        .collect()
+    fanout_trees_with(g, sources, lengths, pool, kind, pool.parallelism())
+}
+
+/// [`fanout_trees`] with an explicit [`Parallelism`] policy (overriding
+/// whatever the pool carries). Output is byte-identical regardless of
+/// policy; only wall-clock time changes.
+#[must_use]
+pub fn fanout_trees_with(
+    g: &Graph,
+    sources: &[NodeId],
+    lengths: &[f64],
+    pool: &WorkspacePool,
+    kind: QueueKind,
+    parallelism: Parallelism,
+) -> Vec<ShortestPathTree> {
+    if parallelism.is_serial() {
+        return fanout_trees_serial(g, sources, lengths, pool, kind);
+    }
+    parallelism.install(|| {
+        sources
+            .par_iter()
+            .map(|&src| {
+                let mut ws = pool.lease_with(g.node_count(), kind);
+                ws.run(g, src, lengths);
+                let tree = ws.to_tree();
+                pool.give_back(ws);
+                tree
+            })
+            .collect()
+    })
 }
 
 /// The serial twin of [`fanout_trees`]: one worker, same workspaces,

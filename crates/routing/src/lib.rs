@@ -35,7 +35,7 @@ pub mod reference;
 pub mod workspace;
 
 pub use dijkstra::{dijkstra, dijkstra_with, ShortestPathTree};
-pub use fanout::{fanout_trees, fanout_trees_serial};
+pub use fanout::{fanout_trees, fanout_trees_serial, fanout_trees_with};
 pub use fixed::FixedRoutes;
 pub use path::Path;
 pub use queue::{DijkstraQueue, QueueKind};

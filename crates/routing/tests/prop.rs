@@ -1,10 +1,11 @@
 //! Property-based tests for the routing substrate.
 
-use omcf_numerics::{Rng64, Xoshiro256pp};
+use omcf_numerics::{Parallelism, Rng64, Xoshiro256pp};
 use omcf_routing::dijkstra::{dijkstra, dijkstra_hops};
 use omcf_routing::reference::dijkstra_adjacency;
 use omcf_routing::{
-    fanout_trees, fanout_trees_serial, DijkstraWorkspace, FixedRoutes, QueueKind, WorkspacePool,
+    fanout_trees, fanout_trees_serial, fanout_trees_with, DijkstraWorkspace, FixedRoutes,
+    QueueKind, WorkspacePool,
 };
 use omcf_topology::waxman::{self, WaxmanParams};
 use omcf_topology::{Graph, NodeId};
@@ -188,8 +189,9 @@ proptest! {
     }
 
     /// Parallel member fan-out is byte-identical to the serial loop:
-    /// same trees, same order, for every queue discipline — and each
-    /// tree matches the adjacency reference bit-for-bit.
+    /// same trees, same order, for every queue discipline and every
+    /// tested thread count (real worker pools with genuine stealing) —
+    /// and each tree matches the adjacency reference bit-for-bit.
     #[test]
     fn parallel_fanout_byte_identical_to_serial(seed in any::<u64>(), n in 8usize..40) {
         let g = graph(seed, n);
@@ -202,6 +204,15 @@ proptest! {
             let par = fanout_trees(&g, &members, &lengths, &pool, kind);
             let ser = fanout_trees_serial(&g, &members, &lengths, &pool, kind);
             prop_assert_eq!(&par, &ser, "fan-out merge order diverged ({:?})", kind);
+            for threads in [1usize, 2, 4, 8] {
+                let policy =
+                    Parallelism::Threads(std::num::NonZeroUsize::new(threads).expect("nonzero"));
+                let counted = fanout_trees_with(&g, &members, &lengths, &pool, kind, policy);
+                prop_assert_eq!(
+                    &counted, &ser,
+                    "fan-out diverged at {} threads ({:?})", threads, kind
+                );
+            }
             for (i, &src) in members.iter().enumerate() {
                 let reference = dijkstra_adjacency(&g, src, &lengths);
                 for v in g.nodes() {
@@ -210,6 +221,22 @@ proptest! {
                 }
             }
         }
+    }
+
+    /// Repeated fan-outs at the same thread count are stable: stealing
+    /// order varies run to run, output must not.
+    #[test]
+    fn repeated_fanout_at_same_thread_count_is_stable(seed in any::<u64>(), n in 8usize..32) {
+        let g = graph(seed, n);
+        let mut rng = Xoshiro256pp::new(seed ^ 31);
+        let lengths = random_lengths(&g, &mut rng, 0);
+        let members: Vec<NodeId> =
+            rng.sample_indices(n, 6.min(n)).into_iter().map(|i| NodeId(i as u32)).collect();
+        let policy = Parallelism::Threads(std::num::NonZeroUsize::new(4).expect("nonzero"));
+        let pool = WorkspacePool::new().with_parallelism(policy);
+        let first = fanout_trees(&g, &members, &lengths, &pool, QueueKind::Binary);
+        let second = fanout_trees(&g, &members, &lengths, &pool, QueueKind::Binary);
+        prop_assert_eq!(&first, &second, "repeated fan-out at 4 threads is unstable");
     }
 
     /// Under uniform lengths scaled by any constant, the chosen routes'

@@ -21,12 +21,14 @@
 //! trees age out of optimality.
 //!
 //! Checkpoint evaluations are independent, so [`Reoptimizer::evaluate`]
-//! may fan them out over rayon — output is byte-identical either way
-//! (each cell builds its own oracle; samples are collected in checkpoint
-//! order), pinned by `crates/sim/tests/replay.rs`.
+//! may fan them out under any [`Parallelism`] policy — output is
+//! byte-identical at every thread count (each cell builds its own
+//! oracle; samples are collected in checkpoint order), pinned by
+//! `crates/sim/tests/replay.rs`.
 
 use crate::runtime::Checkpoint;
 use omcf_core::solver::{Instance, RoutingMode, SolverKind};
+use omcf_core::Parallelism;
 use omcf_overlay::SessionSet;
 use rayon::prelude::*;
 use std::fmt::Write as _;
@@ -73,23 +75,24 @@ impl Reoptimizer {
         Self { solver, ..Self::default() }
     }
 
-    /// Evaluates every checkpoint, in order, optionally fanning the
-    /// independent batch solves out over rayon. `routing` and `rho` come
+    /// Evaluates every checkpoint, in order, fanning the independent
+    /// batch solves out under `parallelism`. `routing` and `rho` come
     /// from the runtime that produced the checkpoints so the batch solver
-    /// answers under the same regime.
+    /// answers under the same regime. Samples come back in checkpoint
+    /// order whatever the policy.
     #[must_use]
     pub fn evaluate(
         &self,
         checkpoints: &[Checkpoint],
         routing: RoutingMode,
         rho: f64,
-        parallel: bool,
+        parallelism: Parallelism,
     ) -> Vec<DriftSample> {
         let eval = |cp: &Checkpoint| self.evaluate_one(cp, routing, rho);
-        if parallel {
-            checkpoints.par_iter().map(eval).collect()
-        } else {
+        if parallelism.is_serial() {
             checkpoints.iter().map(eval).collect()
+        } else {
+            parallelism.install(|| checkpoints.par_iter().map(eval).collect())
         }
     }
 
@@ -200,8 +203,15 @@ mod tests {
             cps.push(rt.checkpoint());
         }
         let re = Reoptimizer::default();
-        let serial = drift_csv(&re.evaluate(&cps, rt.routing(), rt.rho(), false));
-        let parallel = drift_csv(&re.evaluate(&cps, rt.routing(), rt.rho(), true));
-        assert_eq!(serial, parallel, "drift collection must be order- and schedule-independent");
+        let serial = drift_csv(&re.evaluate(&cps, rt.routing(), rt.rho(), Parallelism::Serial));
+        for threads in [2usize, 4, 8] {
+            let n = std::num::NonZeroUsize::new(threads).unwrap();
+            let parallel =
+                drift_csv(&re.evaluate(&cps, rt.routing(), rt.rho(), Parallelism::Threads(n)));
+            assert_eq!(
+                serial, parallel,
+                "drift collection must be order- and schedule-independent ({threads} threads)"
+            );
+        }
     }
 }

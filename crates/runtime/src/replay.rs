@@ -3,8 +3,9 @@
 //! [`replay_churn`] turns a [`ChurnSchedule`] into an event stream
 //! (optionally interleaving [`Event::Reoptimize`] checkpoints), drives it
 //! through a fresh [`Runtime`], evaluates the collected checkpoints with
-//! a [`Reoptimizer`] — serially or fanned out over rayon, byte-identical
-//! either way — and reports the final rates plus the drift time series.
+//! a [`Reoptimizer`] — under any [`Parallelism`] policy, byte-identical
+//! at every thread count — and reports the final rates plus the drift
+//! time series.
 //! [`resume_replay`] does the same from an existing runtime (restored
 //! from a snapshot, typically), so long traces can be split across
 //! processes without changing a single output byte.
@@ -13,6 +14,7 @@ use crate::event::Event;
 use crate::reopt::{drift_csv, DriftSample, Reoptimizer};
 use crate::runtime::{Checkpoint, Runtime, RuntimeConfig};
 use omcf_core::solver::RoutingMode;
+use omcf_core::Parallelism;
 use omcf_overlay::ChurnSchedule;
 use omcf_topology::Graph;
 use std::sync::Arc;
@@ -30,17 +32,31 @@ pub struct ReplayConfig {
     pub reopt_every: usize,
     /// Batch re-solver for the drift series.
     pub reoptimizer: Reoptimizer,
-    /// Evaluate checkpoints through rayon. Output bytes are identical to
-    /// serial evaluation; only wall clock changes.
+    /// Deprecated on/off switch, kept for one release. `true` upgrades a
+    /// `Serial` policy to `Auto`; it never overrides an explicit
+    /// `Threads(n)`. Output bytes are identical either way.
+    #[deprecated(note = "set `parallelism` instead; this bool only upgrades \
+                         `Serial` to `Auto`")]
     pub parallel: bool,
+    /// Execution policy for checkpoint evaluation. Output bytes are
+    /// identical to serial evaluation; only wall clock changes.
+    pub parallelism: Parallelism,
 }
 
 impl ReplayConfig {
     /// Defaults: drift sampled every 4 events through the default
     /// (M2-based) reoptimizer, serial evaluation.
     #[must_use]
+    #[allow(deprecated)]
     pub fn new(rho: f64, routing: RoutingMode) -> Self {
-        Self { rho, routing, reopt_every: 4, reoptimizer: Reoptimizer::default(), parallel: false }
+        Self {
+            rho,
+            routing,
+            reopt_every: 4,
+            reoptimizer: Reoptimizer::default(),
+            parallel: false,
+            parallelism: Parallelism::Serial,
+        }
     }
 
     /// Sets the checkpoint cadence (0 disables).
@@ -58,10 +74,35 @@ impl ReplayConfig {
     }
 
     /// Enables/disables parallel checkpoint evaluation.
+    #[deprecated(note = "use `with_parallelism(Parallelism::Auto)` / \
+                         `with_parallelism(Parallelism::Serial)` instead")]
     #[must_use]
+    #[allow(deprecated)]
     pub fn with_parallel(mut self, parallel: bool) -> Self {
         self.parallel = parallel;
+        self.parallelism = if parallel { Parallelism::Auto } else { Parallelism::Serial };
         self
+    }
+
+    /// Sets the execution policy for checkpoint evaluation.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The policy checkpoint evaluation actually runs under:
+    /// `parallelism`, with the deprecated `parallel` bool upgrading a
+    /// still-`Serial` policy to `Auto` (old call sites that only set the
+    /// bool keep their meaning).
+    #[must_use]
+    #[allow(deprecated)]
+    pub fn effective_parallelism(&self) -> Parallelism {
+        if self.parallel && self.parallelism == Parallelism::Serial {
+            Parallelism::Auto
+        } else {
+            self.parallelism
+        }
     }
 }
 
@@ -156,7 +197,8 @@ pub fn resume_replay(
             checkpoints.push(cp);
         }
     }
-    let drift = cfg.reoptimizer.evaluate(&checkpoints, cfg.routing, cfg.rho, cfg.parallel);
+    let drift =
+        cfg.reoptimizer.evaluate(&checkpoints, cfg.routing, cfg.rho, cfg.effective_parallelism());
     let report = ReplayReport {
         events: events.len(),
         joins,
@@ -215,13 +257,29 @@ mod tests {
         let (g, churn) = sample();
         let base = ReplayConfig::new(25.0, RoutingMode::FixedIp).with_reopt_every(2);
         let serial = replay_churn(g.clone(), &churn, &base);
-        let parallel = replay_churn(g, &churn, &base.with_parallel(true));
+        let parallel = replay_churn(g, &churn, &base.with_parallelism(Parallelism::Auto));
         assert_eq!(serial.drift_csv(), parallel.drift_csv());
         assert_eq!(serial.final_rates.len(), parallel.final_rates.len());
         for ((ia, ra), (ib, rb)) in serial.final_rates.iter().zip(&parallel.final_rates) {
             assert_eq!(ia, ib);
             assert_eq!(ra.to_bits(), rb.to_bits());
         }
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_parallel_bool_forwards_to_the_policy() {
+        let base = ReplayConfig::new(25.0, RoutingMode::FixedIp);
+        assert_eq!(base.effective_parallelism(), Parallelism::Serial);
+        assert_eq!(base.with_parallel(true).effective_parallelism(), Parallelism::Auto);
+        // Old code that sets the raw field still gets what it meant.
+        let mut raw = ReplayConfig::new(25.0, RoutingMode::FixedIp);
+        raw.parallel = true;
+        assert_eq!(raw.effective_parallelism(), Parallelism::Auto);
+        // The bool never overrides an explicit thread count.
+        let n = std::num::NonZeroUsize::new(2).unwrap();
+        let explicit = raw.with_parallelism(Parallelism::Threads(n));
+        assert_eq!(explicit.effective_parallelism(), Parallelism::Threads(n));
     }
 
     #[test]

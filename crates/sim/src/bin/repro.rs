@@ -1,7 +1,8 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers LIST] <artifact>...
+//! repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers LIST]
+//!       [--threads N|serial|auto] <artifact>...
 //!
 //! artifacts: fig1 table2 fig2 table4 fig3 fig4 fig5 fig6
 //!            table7 table8 fig7 fig8 fig9 fig10 fig11
@@ -23,8 +24,16 @@
 //! `replay_drift.csv` (see `docs/RUNTIME.md`). Unknown artifact names are
 //! rejected up front — a typo aborts the run instead of silently
 //! no-opping it.
+//!
+//! `--threads` picks the execution policy for every parallel region
+//! (sweep cells, member fan-outs, drift evaluation): a positive count,
+//! `serial`, or `auto` (all cores). Precedence: the flag beats the
+//! `OMCF_THREADS` environment variable, which beats the `auto` default.
+//! Every artifact is byte-identical under every policy — threads change
+//! wall-clock time only (see docs/PERF.md).
 
 use omcf_core::solver::SolverKind;
+use omcf_core::Parallelism;
 use omcf_runtime::{replay_churn, ReplayConfig};
 use omcf_sim::experiments::{evaluation, fig1, part_one, sensitivity, Config};
 use omcf_sim::figures::Figure;
@@ -40,6 +49,7 @@ struct Cli {
     out: PathBuf,
     artifacts: Vec<String>,
     solvers: Vec<SolverKind>,
+    parallelism: Parallelism,
 }
 
 /// Every artifact name `repro` accepts, in presentation order.
@@ -80,9 +90,16 @@ fn parse_args() -> Cli {
     let mut out = PathBuf::from("repro-out");
     let mut artifacts = Vec::new();
     let mut solvers = SolverKind::ALL.to_vec();
+    let mut threads_flag: Option<Parallelism> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--threads" => {
+                let value = args.next().unwrap_or_else(|| {
+                    die(&format!("--threads needs a value: {}", Parallelism::VOCABULARY))
+                });
+                threads_flag = Some(Parallelism::parse(&value).unwrap_or_else(|e| die(&e)));
+            }
             "--paper" => cfg.scale = Scale::Paper,
             "--micro" => cfg.scale = Scale::Micro,
             "--seed" => {
@@ -127,15 +144,22 @@ fn parse_args() -> Cli {
             die(&format!("unknown artifact `{a}`; valid artifacts: {}", ARTIFACTS.join(" ")));
         }
     }
-    Cli { cfg, out, artifacts, solvers }
+    // Precedence: --threads beats OMCF_THREADS beats the Auto default
+    // (a malformed env value is still an error even when the flag wins,
+    // so typos in CI configs fail loudly).
+    let env_policy = Parallelism::from_env().unwrap_or_else(|e| die(&e));
+    let parallelism = threads_flag.unwrap_or(env_policy);
+    Cli { cfg, out, artifacts, solvers, parallelism }
 }
 
-const HELP: &str =
-    "repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers LIST] <artifact>...\n\
+const HELP: &str = "repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers LIST] \
+     [--threads N|serial|auto] <artifact>...\n\
   artifacts: fig1 table2 fig2 table4 fig3 fig4 fig5 fig6 table7 table8\n\
              fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16\n\
              fig17 fig18 fig19 part-one evaluation sensitivity sweep replay all\n\
-  --solvers: comma-separated subset of the sweep solvers (case-insensitive)";
+  --solvers: comma-separated subset of the sweep solvers (case-insensitive)\n\
+  --threads: execution policy for parallel regions (default auto; flag beats\n\
+             the OMCF_THREADS env var). Output bytes never depend on it.";
 
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}\n{HELP}");
@@ -170,8 +194,21 @@ fn main() {
     let cli = parse_args();
     let cfg = &cli.cfg;
     let out = &cli.out;
+    // Size the shim's lazily-built global pool to the chosen policy so
+    // the experiments modules' bare `par_iter` calls follow it too (the
+    // sweep/fan-out/replay paths carry the policy explicitly). First
+    // initialization wins, so this must happen before any parallel work.
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(cli.parallelism.effective_threads().get())
+        .build_global();
     let t0 = std::time::Instant::now();
-    println!("# repro scale={:?} seed={} out={}\n", cfg.scale, cfg.seed, out.display());
+    println!(
+        "# repro scale={:?} seed={} threads={} out={}\n",
+        cfg.scale,
+        cfg.seed,
+        cli.parallelism.label(),
+        out.display()
+    );
 
     let mut eval_cache: Option<evaluation::EvalResults> = None;
     let mut eval = |cfg: &Config| -> evaluation::EvalResults {
@@ -306,7 +343,8 @@ fn main() {
         }
     }
     if cli.artifacts.iter().any(|a| a == "sweep" || a == "all") {
-        let mut sweep_cfg = SweepConfig::full(cfg.scale, vec![cfg.seed]);
+        let mut sweep_cfg =
+            SweepConfig::full(cfg.scale, vec![cfg.seed]).with_parallelism(cli.parallelism);
         sweep_cfg.solvers = cli.solvers.clone();
         let res = run_sweep(&sweep_cfg);
         println!("== Scenario sweep ({} cells) ==", res.records.len());
@@ -320,7 +358,7 @@ fn main() {
         println!("  -> {}", json_path.display());
     }
     if cli.artifacts.iter().any(|a| a == "replay" || a == "all") {
-        emit_replay(cfg, out);
+        emit_replay(cfg, out, cli.parallelism);
     }
 
     println!("\n# done in {:.1}s", t0.elapsed().as_secs_f64());
@@ -328,11 +366,11 @@ fn main() {
 
 /// The `replay` artifact: every churn-bearing registry scenario through
 /// the `omcf-runtime` event loop with drift checkpoints every 4 events
-/// (evaluated in parallel), self-checked bit-for-bit against the batch
-/// online solver on the same trace. Writes a per-scenario summary
+/// (evaluated under `parallelism`), self-checked bit-for-bit against the
+/// batch online solver on the same trace. Writes a per-scenario summary
 /// (`replay.csv`) and the combined drift time series
 /// (`replay_drift.csv`).
-fn emit_replay(cfg: &Config, out: &Path) {
+fn emit_replay(cfg: &Config, out: &Path, parallelism: Parallelism) {
     let mut summary = String::from(
         "scenario,seed,events,joins,leaves,survivors,min_rate,total_rate,max_drift,mst_ops\n",
     );
@@ -347,8 +385,9 @@ fn emit_replay(cfg: &Config, out: &Path) {
     for spec in registry::churn_bearing() {
         let inst = spec.instance(cfg.seed, cfg.scale);
         let churn = inst.churn.as_ref().expect("churn-bearing scenario carries a trace");
-        let replay_cfg =
-            ReplayConfig::new(inst.rho, inst.routing).with_reopt_every(4).with_parallel(true);
+        let replay_cfg = ReplayConfig::new(inst.rho, inst.routing)
+            .with_reopt_every(4)
+            .with_parallelism(parallelism);
         let report = replay_churn(std::sync::Arc::clone(&inst.graph), churn, &replay_cfg);
 
         // Self-check: incremental replay must be bit-identical to the

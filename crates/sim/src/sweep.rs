@@ -21,6 +21,7 @@
 use crate::registry::{self, ScenarioSpec};
 use crate::scenarios::Scale;
 use omcf_core::solver::{Instance, SolverKind, SolverOutcome};
+use omcf_core::Parallelism;
 use omcf_numerics::jsonfmt;
 use omcf_routing::WorkspacePool;
 use rayon::prelude::*;
@@ -39,9 +40,16 @@ pub struct SweepConfig {
     pub scenarios: Vec<&'static ScenarioSpec>,
     /// Solvers to run on every instance.
     pub solvers: Vec<SolverKind>,
-    /// Run cells through rayon (`false`: plain serial iteration — same
-    /// output bytes, used by the determinism test and debugging).
+    /// Deprecated on/off switch, kept for one release so downstream call
+    /// sites migrate cleanly. `false` forces serial execution regardless
+    /// of `parallelism`; `true` (the old and current default) defers to
+    /// `parallelism`. Output bytes are identical either way.
+    #[deprecated(note = "set `parallelism` instead; this bool only restricts \
+                         (`false` forces `Parallelism::Serial`)")]
     pub parallel: bool,
+    /// Execution policy for the cell solves (`Serial`, `Threads(n)`, or
+    /// `Auto`). The CSV output is byte-identical under every policy.
+    pub parallelism: Parallelism,
 }
 
 impl SweepConfig {
@@ -49,6 +57,7 @@ impl SweepConfig {
     /// large-scale (≥2k-node) families included — minutes of release-build
     /// compute; what `repro sweep` and the CI sweep job run.
     #[must_use]
+    #[allow(deprecated)]
     pub fn full(scale: Scale, seeds: Vec<u64>) -> Self {
         Self {
             scale,
@@ -56,6 +65,7 @@ impl SweepConfig {
             scenarios: registry::registry().iter().collect(),
             solvers: SolverKind::ALL.to_vec(),
             parallel: true,
+            parallelism: Parallelism::Auto,
         }
     }
 
@@ -76,6 +86,26 @@ impl SweepConfig {
             .map(|n| registry::find(n).unwrap_or_else(|| panic!("unknown scenario `{n}`")))
             .collect();
         self
+    }
+
+    /// Sets the execution policy.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+
+    /// The policy the sweep actually runs under: `parallelism`, unless
+    /// the deprecated `parallel` bool was cleared (which forces serial —
+    /// the bool can only restrict, never widen).
+    #[must_use]
+    #[allow(deprecated)]
+    pub fn effective_parallelism(&self) -> Parallelism {
+        if self.parallel {
+            self.parallelism
+        } else {
+            Parallelism::Serial
+        }
     }
 }
 
@@ -245,9 +275,11 @@ impl SweepResults {
 }
 
 /// Runs the sweep. Instances are built serially (they are deterministic in
-/// the master seed either way); cells solve in parallel when
-/// `cfg.parallel`, each against its own freshly built oracle, with
-/// dynamic-routing workspaces leased from one shared pool.
+/// the master seed either way); cells solve under
+/// [`SweepConfig::effective_parallelism`], each against its own freshly
+/// built oracle, with dynamic-routing workspaces leased from one shared
+/// pool. The pool inherits the same policy, so per-cell member fan-outs
+/// join the sweep's workers instead of spawning their own.
 #[must_use]
 pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
     assert!(!cfg.scenarios.is_empty(), "no scenarios selected");
@@ -263,7 +295,8 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
     let cells: Vec<(usize, SolverKind)> =
         (0..instances.len()).flat_map(|ii| cfg.solvers.iter().map(move |&k| (ii, k))).collect();
 
-    let pool = Arc::new(WorkspacePool::new());
+    let par = cfg.effective_parallelism();
+    let pool = Arc::new(WorkspacePool::new().with_parallelism(par));
     let solve_cell = |&(ii, kind): &(usize, SolverKind)| -> SweepRecord {
         let (seed, inst) = &instances[ii];
         let start = Instant::now();
@@ -279,10 +312,10 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
         SweepRecord::from_outcome(inst, *seed, &out, wall_ms)
     };
 
-    let records: Vec<SweepRecord> = if cfg.parallel {
-        cells.par_iter().map(solve_cell).collect()
-    } else {
+    let records: Vec<SweepRecord> = if par.is_serial() {
         cells.iter().map(solve_cell).collect()
+    } else {
+        par.install(|| cells.par_iter().map(solve_cell).collect())
     };
     SweepResults { records }
 }
@@ -294,11 +327,10 @@ mod tests {
     #[test]
     fn single_cell_sweep_produces_one_row() {
         let cfg = SweepConfig {
-            scale: Scale::Micro,
-            seeds: vec![5],
             scenarios: vec![registry::find("ring-lattice").unwrap()],
             solvers: vec![SolverKind::Online],
-            parallel: false,
+            parallelism: Parallelism::Serial,
+            ..SweepConfig::full(Scale::Micro, vec![5])
         };
         let res = run_sweep(&cfg);
         assert_eq!(res.records.len(), 1);
@@ -315,14 +347,13 @@ mod tests {
     #[test]
     fn grid_order_is_scenario_major() {
         let cfg = SweepConfig {
-            scale: Scale::Micro,
-            seeds: vec![1, 2],
             scenarios: vec![
                 registry::find("ring-lattice").unwrap(),
                 registry::find("grid-lattice").unwrap(),
             ],
             solvers: vec![SolverKind::Online, SolverKind::M1],
-            parallel: false,
+            parallelism: Parallelism::Serial,
+            ..SweepConfig::full(Scale::Micro, vec![1, 2])
         };
         let res = run_sweep(&cfg);
         assert_eq!(res.records.len(), 2 * 2 * 2);
@@ -335,13 +366,25 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_parallel_bool_forces_serial() {
+        let mut cfg = SweepConfig::full(Scale::Micro, vec![1]);
+        assert_eq!(cfg.effective_parallelism(), Parallelism::Auto);
+        cfg.parallel = false;
+        assert_eq!(cfg.effective_parallelism(), Parallelism::Serial);
+        // The bool cannot widen an explicit policy, only restrict it.
+        cfg.parallel = true;
+        cfg = cfg.with_parallelism(Parallelism::Serial);
+        assert_eq!(cfg.effective_parallelism(), Parallelism::Serial);
+    }
+
+    #[test]
     fn json_carries_wall_ms_csv_does_not() {
         let cfg = SweepConfig {
-            scale: Scale::Micro,
-            seeds: vec![9],
             scenarios: vec![registry::find("grid-lattice").unwrap()],
             solvers: vec![SolverKind::Online],
-            parallel: false,
+            parallelism: Parallelism::Serial,
+            ..SweepConfig::full(Scale::Micro, vec![9])
         };
         let res = run_sweep(&cfg);
         assert!(res.to_json().contains("wall_ms"));

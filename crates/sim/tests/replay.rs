@@ -7,9 +7,11 @@
 //! 2. the replay's surviving population matches `ChurnSchedule`'s static
 //!    final view (the `Instance` session set offline solvers answer for);
 //! 3. replay output (drift CSV included) is byte-identical between
-//!    serial and parallel metric collection.
+//!    serial and parallel metric collection, at every tested thread
+//!    count and across repeated runs at the same count.
 
 use omcf_core::solver::SolverKind;
+use omcf_core::Parallelism;
 use omcf_runtime::{replay_churn, Reoptimizer, ReplayConfig};
 use omcf_sim::registry;
 use omcf_sim::Scale;
@@ -65,7 +67,7 @@ fn replay_survivors_match_churn_schedules_static_view() {
 }
 
 #[test]
-fn replay_output_is_byte_identical_serial_vs_parallel() {
+fn replay_output_is_byte_identical_across_thread_counts() {
     for spec in registry::churn_bearing() {
         let inst = spec.instance(SEEDS[1], Scale::Micro);
         let churn = inst.churn.as_ref().expect("churn-bearing instance");
@@ -73,14 +75,30 @@ fn replay_output_is_byte_identical_serial_vs_parallel() {
             .with_reopt_every(2)
             .with_reoptimizer(Reoptimizer::new(SolverKind::M2));
         let serial = replay_churn(Arc::clone(&inst.graph), churn, &base);
-        let parallel = replay_churn(Arc::clone(&inst.graph), churn, &base.with_parallel(true));
         assert!(!serial.drift.is_empty(), "{}: cadence 2 must sample drift", spec.name);
-        assert_eq!(serial.drift_csv(), parallel.drift_csv(), "{}", spec.name);
-        assert_eq!(serial.final_rates.len(), parallel.final_rates.len());
-        for ((ia, ra), (ib, rb)) in serial.final_rates.iter().zip(&parallel.final_rates) {
-            assert_eq!(ia, ib, "{}", spec.name);
-            assert_eq!(ra.to_bits(), rb.to_bits(), "{}", spec.name);
+        for threads in [1usize, 2, 4, 8] {
+            let policy =
+                Parallelism::Threads(std::num::NonZeroUsize::new(threads).expect("nonzero"));
+            let parallel =
+                replay_churn(Arc::clone(&inst.graph), churn, &base.with_parallelism(policy));
+            assert_eq!(
+                serial.drift_csv(),
+                parallel.drift_csv(),
+                "{}: drift series diverged at {threads} threads",
+                spec.name
+            );
+            assert_eq!(serial.final_rates.len(), parallel.final_rates.len());
+            for ((ia, ra), (ib, rb)) in serial.final_rates.iter().zip(&parallel.final_rates) {
+                assert_eq!(ia, ib, "{}", spec.name);
+                assert_eq!(ra.to_bits(), rb.to_bits(), "{}", spec.name);
+            }
         }
+        // Repeat at one fixed count: stealing order varies between runs,
+        // the drift bytes must not.
+        let four = Parallelism::Threads(std::num::NonZeroUsize::new(4).expect("nonzero"));
+        let a = replay_churn(Arc::clone(&inst.graph), churn, &base.with_parallelism(four));
+        let b = replay_churn(Arc::clone(&inst.graph), churn, &base.with_parallelism(four));
+        assert_eq!(a.drift_csv(), b.drift_csv(), "{}: repeat at 4 threads unstable", spec.name);
         // Drift is sane: online-vs-batch congestion ratios are positive
         // and finite on every checkpointed population.
         for s in &serial.drift {

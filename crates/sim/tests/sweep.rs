@@ -1,10 +1,18 @@
-//! Sweep-driver integration tests: the full registry runs, and parallel
-//! execution is byte-identical to serial for fixed seeds.
+//! Sweep-driver integration tests: the full registry runs, and the CSV
+//! is byte-identical across execution policies — serial, every tested
+//! thread count, and repeated runs at the same count (which would catch
+//! nondeterministic stealing-order leaks).
 
 use omcf_core::solver::SolverKind;
+use omcf_core::Parallelism;
 use omcf_sim::registry;
 use omcf_sim::sweep::{run_sweep, SweepConfig};
 use omcf_sim::Scale;
+use std::num::NonZeroUsize;
+
+fn threads(n: usize) -> Parallelism {
+    Parallelism::Threads(NonZeroUsize::new(n).expect("positive"))
+}
 
 // The determinism and whole-grid tests run the *standard* grid: the
 // heavy (≥2k-node) scenarios take minutes per cell in debug builds and
@@ -12,20 +20,37 @@ use omcf_sim::Scale;
 // CI) covers them end to end every run.
 
 #[test]
-fn parallel_sweep_is_byte_identical_to_serial() {
-    let mut cfg = SweepConfig::standard(Scale::Micro, vec![2004, 7]);
-    cfg.parallel = false;
-    let serial = run_sweep(&cfg);
+fn sweep_csv_is_byte_identical_across_thread_counts() {
+    let base = SweepConfig::standard(Scale::Micro, vec![2004, 7]);
+    // Threads(1) takes the serial path (a one-worker pool cannot
+    // overlap); it doubles as the reference bytes here.
+    let reference = run_sweep(&base.clone().with_parallelism(threads(1))).to_csv();
+    assert_eq!(
+        reference,
+        run_sweep(&base.clone().with_parallelism(Parallelism::Serial)).to_csv(),
+        "Threads(1) must equal Serial"
+    );
+    for n in [2usize, 4, 8] {
+        let cfg = base.clone().with_parallelism(threads(n));
+        let first = run_sweep(&cfg).to_csv();
+        assert_eq!(reference, first, "sweep at {n} threads diverged from serial bytes");
+        // Same count again: stealing order varies between runs, output
+        // must not.
+        let second = run_sweep(&cfg).to_csv();
+        assert_eq!(first, second, "repeated sweep at {n} threads is unstable");
+    }
+}
+
+#[test]
+#[allow(deprecated)]
+fn deprecated_parallel_bool_still_forces_serial_execution() {
+    let mut cfg = SweepConfig::standard(Scale::Micro, vec![2004]).with_parallelism(threads(4));
+    cfg.parallel = false; // old API: bool wins by forcing serial
+    assert_eq!(cfg.effective_parallelism(), Parallelism::Serial);
+    let forced = run_sweep(&cfg);
     cfg.parallel = true;
     let parallel = run_sweep(&cfg);
-    assert_eq!(
-        serial.to_csv(),
-        parallel.to_csv(),
-        "parallel sweep must reproduce the serial bytes exactly"
-    );
-    // Repeat runs are stable too (no hidden global state).
-    let again = run_sweep(&cfg);
-    assert_eq!(parallel.to_csv(), again.to_csv());
+    assert_eq!(forced.to_csv(), parallel.to_csv(), "policy must never change output bytes");
 }
 
 #[test]
@@ -35,10 +60,9 @@ fn heavy_scenarios_solve_online_and_deterministically() {
     // full 32-session population over the thousand-node CSR core in
     // seconds — enough to pin shape and determinism without paying an
     // FPTAS solve per test run.
-    let mut cfg = SweepConfig::full(Scale::Micro, vec![2004]);
+    let mut cfg = SweepConfig::full(Scale::Micro, vec![2004]).with_parallelism(Parallelism::Serial);
     cfg.scenarios = registry::heavy();
     cfg.solvers = vec![SolverKind::Online];
-    cfg.parallel = false;
     let res = run_sweep(&cfg);
     assert_eq!(res.records.len(), 2);
     for r in &res.records {
@@ -47,9 +71,10 @@ fn heavy_scenarios_solve_online_and_deterministically() {
         assert!(r.throughput > 0.0, "{} routed nothing", r.scenario);
         assert!(r.max_congestion <= 1.0 + 1e-6, "{}", r.scenario);
     }
-    // Second run in parallel mode: the byte-identical contract must hold
-    // on the heavy cells too (shared WorkspacePool under rayon).
-    cfg.parallel = true;
+    // Second run with a real worker pool: the byte-identical contract
+    // must hold on the heavy cells too (shared WorkspacePool under
+    // genuine work stealing).
+    cfg = cfg.with_parallelism(threads(4));
     let again = run_sweep(&cfg);
     assert_eq!(res.to_csv(), again.to_csv(), "heavy parallel sweep diverged from serial");
 }

@@ -1,0 +1,360 @@
+//! Parallel iterators: the rayon-compatible subset the workspace uses.
+//!
+//! Unlike real rayon's CPS-based plumbing, every parallel iterator here
+//! is **indexed and splittable**: it knows its length, can split at an
+//! index, and can degrade to an ordinary sequential iterator for one
+//! chunk. Execution recursively halves the iterator down to a chunk
+//! size of `len / (threads * 4)`, runs the halves under [`crate::join`]
+//! (so idle workers steal the larger, older half), and concatenates the
+//! per-chunk `Vec`s **in index order**. The merge order is a pure
+//! function of the split tree — which depends only on the length and
+//! the chunk size, never on which worker ran what — so output is
+//! byte-identical to a sequential run at any thread count, including
+//! under work stealing. `sum` folds the collected `Vec` sequentially
+//! for the same reason (float addition is not associative).
+
+use std::ops::Range;
+use std::sync::Arc;
+
+use crate::registry::current_worker;
+
+/// Split until chunks are about this many per worker; 4 gives the
+/// stealing scheduler slack to rebalance uneven chunk costs without
+/// drowning the deques in tiny jobs.
+const CHUNKS_PER_THREAD: usize = 4;
+
+// ---------------------------------------------------------------------------
+// Core trait
+// ---------------------------------------------------------------------------
+
+/// A parallel iterator. The public surface (`map`, `collect`, `sum`,
+/// `for_each`, `count`) matches `rayon::iter::ParallelIterator`; the
+/// `#[doc(hidden)]` splitting plumbing is this shim's internal driver
+/// and is not part of the compatibility contract (no workspace code
+/// implements this trait, it only consumes it).
+pub trait ParallelIterator: Sized + Send {
+    type Item: Send;
+
+    /// Sequential iterator over one chunk's items, in index order.
+    #[doc(hidden)]
+    type SeqIter: Iterator<Item = Self::Item> + Send;
+
+    /// Exact number of items (all shim iterators are indexed).
+    #[doc(hidden)]
+    fn pi_len(&self) -> usize;
+
+    /// Splits into `[0, index)` and `[index, len)`.
+    #[doc(hidden)]
+    fn pi_split_at(self, index: usize) -> (Self, Self);
+
+    /// Degrades to a sequential iterator over the whole remaining range.
+    #[doc(hidden)]
+    fn pi_seq(self) -> Self::SeqIter;
+
+    /// Maps each item through `map_op` in parallel.
+    fn map<R, F>(self, map_op: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Send + Sync,
+        R: Send,
+    {
+        Map { base: self, op: Arc::new(map_op) }
+    }
+
+    /// Runs `op` on every item (results discarded, order unspecified —
+    /// only the side effects matter to callers).
+    fn for_each<F>(self, op: F)
+    where
+        F: Fn(Self::Item) + Send + Sync,
+    {
+        let _: Vec<()> = drive(self.map(op));
+    }
+
+    /// Collects into `C`, preserving index order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Sums the items. The items are produced in parallel but folded
+    /// sequentially in index order, so float sums are deterministic and
+    /// equal to the serial result at any thread count.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + Send,
+    {
+        drive(self).into_iter().sum()
+    }
+
+    /// Number of items.
+    fn count(self) -> usize {
+        self.pi_len()
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] (`rayon::iter::IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Every parallel iterator trivially converts into itself (rayon has
+/// the same blanket impl; it is what lets `collect` accept both).
+impl<I: ParallelIterator> IntoParallelIterator for I {
+    type Item = I::Item;
+    type Iter = I;
+    fn into_par_iter(self) -> Self {
+        self
+    }
+}
+
+/// The trait providing `.par_iter()` on `&self`
+/// (`rayon::iter::IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'data> {
+    type Item: Send + 'data;
+    type Iter: ParallelIterator<Item = Self::Item>;
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+{
+    type Item = <&'data C as IntoParallelIterator>::Item;
+    type Iter = <&'data C as IntoParallelIterator>::Iter;
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Collection-side counterpart of `collect`
+/// (`rayon::iter::FromParallelIterator`).
+pub trait FromParallelIterator<T: Send> {
+    fn from_par_iter<I>(par_iter: I) -> Self
+    where
+        I: IntoParallelIterator<Item = T>;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I>(par_iter: I) -> Self
+    where
+        I: IntoParallelIterator<Item = T>,
+    {
+        drive(par_iter.into_par_iter())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------------
+
+/// Materializes a parallel iterator into an index-ordered `Vec`.
+fn drive<I: ParallelIterator>(iter: I) -> Vec<I::Item> {
+    let len = iter.pi_len();
+    let threads = crate::current_num_threads();
+    if threads <= 1 || len <= 1 {
+        return iter.pi_seq().collect();
+    }
+    let chunk = len.div_ceil(threads * CHUNKS_PER_THREAD).max(1);
+    if current_worker().is_some() {
+        // Already on a pool worker (e.g. inside `ThreadPool::install`
+        // or a nested par_iter): split right here so the whole call
+        // tree shares one pool.
+        split_drive(iter, chunk)
+    } else {
+        crate::global_registry().inject_and_wait(move || split_drive(iter, chunk))
+    }
+}
+
+/// Recursively halves `iter` down to `chunk` items, pairing the halves
+/// with `join`, and concatenates left-then-right. Runs on a worker.
+fn split_drive<I: ParallelIterator>(iter: I, chunk: usize) -> Vec<I::Item> {
+    let len = iter.pi_len();
+    if len <= chunk {
+        return iter.pi_seq().collect();
+    }
+    let (left, right) = iter.pi_split_at(len / 2);
+    let (mut left_items, right_items) =
+        crate::join(|| split_drive(left, chunk), || split_drive(right, chunk));
+    left_items.extend(right_items);
+    left_items
+}
+
+// ---------------------------------------------------------------------------
+// Map adaptor
+// ---------------------------------------------------------------------------
+
+/// `map` adaptor. The closure is shared by `Arc` so splitting does not
+/// require `F: Clone`.
+pub struct Map<I, F> {
+    base: I,
+    op: Arc<F>,
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Send + Sync,
+    R: Send,
+{
+    type Item = R;
+    type SeqIter = MapSeq<I::SeqIter, F>;
+
+    fn pi_len(&self) -> usize {
+        self.base.pi_len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.pi_split_at(index);
+        (Map { base: left, op: Arc::clone(&self.op) }, Map { base: right, op: self.op })
+    }
+
+    fn pi_seq(self) -> Self::SeqIter {
+        MapSeq { base: self.base.pi_seq(), op: self.op }
+    }
+}
+
+/// Sequential per-chunk iterator behind [`Map`].
+pub struct MapSeq<S, F> {
+    base: S,
+    op: Arc<F>,
+}
+
+impl<S, F, R> Iterator for MapSeq<S, F>
+where
+    S: Iterator,
+    F: Fn(S::Item) -> R,
+{
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        self.base.next().map(|item| (self.op)(item))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources: slices, vectors, arrays, ranges
+// ---------------------------------------------------------------------------
+
+/// Parallel iterator over `&[T]` (and `&Vec<T>`, `&[T; N]`).
+pub struct SliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for SliceIter<'data, T> {
+    type Item = &'data T;
+    type SeqIter = std::slice::Iter<'data, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.slice.split_at(index);
+        (SliceIter { slice: left }, SliceIter { slice: right })
+    }
+
+    fn pi_seq(self) -> Self::SeqIter {
+        self.slice.iter()
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data [T] {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync> IntoParallelIterator for &'data Vec<T> {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self.as_slice() }
+    }
+}
+
+impl<'data, T: Sync, const N: usize> IntoParallelIterator for &'data [T; N] {
+    type Item = &'data T;
+    type Iter = SliceIter<'data, T>;
+    fn into_par_iter(self) -> Self::Iter {
+        SliceIter { slice: self.as_slice() }
+    }
+}
+
+/// Owning parallel iterator over a `Vec<T>`.
+pub struct VecIter<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+    type SeqIter = std::vec::IntoIter<T>;
+
+    fn pi_len(&self) -> usize {
+        self.vec.len()
+    }
+
+    fn pi_split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.vec.split_off(index);
+        (self, VecIter { vec: tail })
+    }
+
+    fn pi_seq(self) -> Self::SeqIter {
+        self.vec.into_iter()
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        VecIter { vec: self }
+    }
+}
+
+/// Parallel iterator over an integer range.
+pub struct RangeIter<T> {
+    range: Range<T>,
+}
+
+macro_rules! range_impl {
+    ($($ty:ty),*) => {$(
+        impl ParallelIterator for RangeIter<$ty> {
+            type Item = $ty;
+            type SeqIter = Range<$ty>;
+
+            fn pi_len(&self) -> usize {
+                if self.range.end <= self.range.start {
+                    0
+                } else {
+                    (self.range.end - self.range.start) as usize
+                }
+            }
+
+            fn pi_split_at(self, index: usize) -> (Self, Self) {
+                let mid = self.range.start + index as $ty;
+                (
+                    RangeIter { range: self.range.start..mid },
+                    RangeIter { range: mid..self.range.end },
+                )
+            }
+
+            fn pi_seq(self) -> Self::SeqIter {
+                self.range
+            }
+        }
+
+        impl IntoParallelIterator for Range<$ty> {
+            type Item = $ty;
+            type Iter = RangeIter<$ty>;
+            fn into_par_iter(self) -> Self::Iter {
+                RangeIter { range: self }
+            }
+        }
+    )*};
+}
+
+range_impl!(usize, u32, u64, i32, i64);

@@ -1,87 +1,231 @@
-//! Offline shim for [rayon](https://crates.io/crates/rayon).
+//! Offline shim for [rayon](https://crates.io/crates/rayon) — now with a
+//! real work-stealing thread pool.
 //!
-//! The build environment for this repository has no registry access, so this
-//! crate supplies the subset of rayon's API the workspace uses, implemented
-//! *sequentially*: `par_iter()` / `into_par_iter()` simply return the
-//! corresponding standard-library iterators, and every adaptor after them is
-//! the ordinary `Iterator` machinery. Results are therefore identical to
-//! rayon's (same ordering, same determinism) — only the wall-clock speedup is
-//! absent. Swapping in the real crate is a one-line change in the workspace
-//! manifest and requires no source edits.
+//! The build environment for this repository has no registry access, so
+//! this crate supplies the subset of rayon's API the workspace uses.
+//! Earlier revisions were sequential; this one genuinely runs work on
+//! multiple threads:
+//!
+//! * a **global, lazily-initialized pool** (sized by `RAYON_NUM_THREADS`
+//!   or the machine's available parallelism), plus explicit pools via
+//!   [`ThreadPoolBuilder`] and [`ThreadPool::install`];
+//! * [`join`] with **work stealing**: the second closure is pushed onto
+//!   the calling worker's deque where idle workers steal it from the
+//!   front, while the caller runs the first closure and then either pops
+//!   the second back (unstolen fast path) or helps execute other jobs
+//!   until the thief finishes;
+//! * real parallel `par_iter()` / `into_par_iter()` over slices,
+//!   vectors, arrays, and integer ranges, which **chunk by index and
+//!   merge in index order** — output is byte-identical to a sequential
+//!   run at any thread count (see `iter`).
+//!
+//! Only the API subset the workspace actually consumes is provided, and
+//! that subset matches rayon's signatures (including the `Send`/`Sync`
+//! bounds the sequential shim never needed), so swapping in the real
+//! crate remains a one-line change in the workspace manifest with no
+//! source edits.
+//!
+//! Panics inside `join` closures or `par_iter` bodies are caught on the
+//! executing worker, carried back, and resumed on the calling thread,
+//! matching rayon's behavior.
+
+mod registry;
+
+pub mod iter;
+
+use std::sync::{Arc, OnceLock};
+
+use registry::{current_worker, Registry};
 
 pub mod prelude {
-    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParallelBridge};
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
 }
 
-pub mod iter {
-    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
-    ///
-    /// The returned "parallel" iterator is just the type's standard
-    /// `IntoIterator` iterator, so all downstream adaptors (`map`, `filter`,
-    /// `collect`, `sum`, …) resolve to `std::iter::Iterator` methods.
-    pub trait IntoParallelIterator {
-        type Item;
-        type Iter: Iterator<Item = Self::Item>;
-        fn into_par_iter(self) -> Self::Iter;
-    }
+// ---------------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------------
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Item = I::Item;
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// Sequential stand-in for `rayon::iter::IntoParallelRefIterator`
-    /// (the trait providing `.par_iter()` on `&self`).
-    pub trait IntoParallelRefIterator<'data> {
-        type Item: 'data;
-        type Iter: Iterator<Item = Self::Item>;
-        fn par_iter(&'data self) -> Self::Iter;
-    }
-
-    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
-    where
-        &'data C: IntoIterator,
-    {
-        type Item = <&'data C as IntoIterator>::Item;
-        type Iter = <&'data C as IntoIterator>::IntoIter;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.into_iter()
-        }
-    }
-
-    /// Sequential stand-in for `rayon::iter::ParallelBridge`.
-    pub trait ParallelBridge: Sized {
-        fn par_bridge(self) -> Self;
-    }
-
-    impl<I: Iterator> ParallelBridge for I {
-        fn par_bridge(self) -> Self {
-            self
-        }
-    }
-}
-
-/// Sequential stand-in for `rayon::join`: runs both closures in order.
-pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+/// Runs `oper_a` and `oper_b`, potentially in parallel, and returns both
+/// results. On a pool worker, `oper_b` is exposed for stealing while the
+/// caller runs `oper_a`; on a plain thread the two closures simply run
+/// in order (real rayon would route through the global pool here, but
+/// every parallel region in this workspace enters through `install` or a
+/// `par_iter`, which already land on a worker before joining).
+///
+/// If either closure panics, the panic is resumed on the caller after
+/// both branches have come to rest — a stolen `oper_b` borrows the
+/// caller's stack frame and must finish before `join` can unwind.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
-    A: FnOnce() -> RA,
-    B: FnOnce() -> RB,
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
 {
-    (a(), b())
+    match current_worker() {
+        Some((registry, index)) => registry.join_here(index, oper_a, oper_b),
+        None => (oper_a(), oper_b()),
+    }
 }
 
-/// Reports the parallelism the shim provides: exactly one thread.
+// ---------------------------------------------------------------------------
+// Pools
+// ---------------------------------------------------------------------------
+
+/// Error returned when a pool cannot be built (matches
+/// `rayon::ThreadPoolBuildError` in name and role).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError {
+    message: &'static str,
+}
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.message)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for [`ThreadPool`]s (subset of `rayon::ThreadPoolBuilder`).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    #[must_use]
+    pub fn new() -> Self {
+        ThreadPoolBuilder { num_threads: 0 }
+    }
+
+    /// Sets the number of worker threads. Zero (the default) means
+    /// automatic: `RAYON_NUM_THREADS` if set to a positive integer,
+    /// otherwise the machine's available parallelism.
+    #[must_use]
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    fn resolved_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            return self.num_threads;
+        }
+        if let Ok(value) = std::env::var("RAYON_NUM_THREADS") {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    }
+
+    /// Builds a standalone pool. Its workers shut down when the pool is
+    /// dropped (after draining queued jobs).
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let registry = Registry::new(self.resolved_threads());
+        let handles = Registry::spawn_workers(&registry);
+        Ok(ThreadPool { registry, handles })
+    }
+
+    /// Installs this configuration as the global pool. Errors if the
+    /// global pool has already been initialized (by an earlier call or
+    /// lazily by first use), like rayon's.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        let mut fresh = false;
+        let _ = GLOBAL.get_or_init(|| {
+            fresh = true;
+            self.build().expect("building the global pool cannot fail")
+        });
+        if fresh {
+            Ok(())
+        } else {
+            Err(ThreadPoolBuildError {
+                message: "the global thread pool has already been initialized",
+            })
+        }
+    }
+}
+
+/// A work-stealing thread pool (subset of `rayon::ThreadPool`).
+pub struct ThreadPool {
+    registry: Arc<Registry>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Runs `op` on this pool and returns its result. `join` and
+    /// `par_iter` calls inside `op` use this pool's workers. If the
+    /// caller is already one of this pool's workers, `op` runs inline.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        match current_worker() {
+            Some((registry, _)) if std::ptr::eq(registry.id(), self.registry.id()) => op(),
+            _ => self.registry.inject_and_wait(op),
+        }
+    }
+
+    /// Number of worker threads in this pool.
+    #[must_use]
+    pub fn current_num_threads(&self) -> usize {
+        self.registry.num_threads()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.registry.terminate();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+
+/// The global pool's registry, initializing the pool on first use.
+pub(crate) fn global_registry() -> &'static Registry {
+    let pool =
+        GLOBAL.get_or_init(|| ThreadPoolBuilder::new().build().expect("building the global pool"));
+    &pool.registry
+}
+
+/// Number of threads in the current scope: the enclosing pool's size
+/// when called on a worker, otherwise the global pool's size
+/// (initializing it if needed).
 #[must_use]
 pub fn current_num_threads() -> usize {
-    1
+    match current_worker() {
+        Some((registry, _)) => registry.num_threads(),
+        None => global_registry().num_threads(),
+    }
+}
+
+/// Index of the calling thread within its pool, or `None` when the
+/// caller is not a pool worker. Useful to detect "am I already inside a
+/// parallel region".
+#[must_use]
+pub fn current_thread_index() -> Option<usize> {
+    current_worker().map(|(_, index)| index)
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::ThreadPoolBuilder;
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
+
+    fn pool(n: usize) -> super::ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().expect("build pool")
+    }
 
     #[test]
     fn par_iter_matches_iter() {
@@ -100,5 +244,138 @@ mod tests {
     fn join_runs_both() {
         let (a, b) = super::join(|| 2 + 2, || "ok");
         assert_eq!((a, b), (4, "ok"));
+    }
+
+    /// Proves genuine concurrency: closure `a` spins until `b` has run.
+    /// Under the old sequential shim (a() then b()) this would time out.
+    #[test]
+    fn join_runs_closures_concurrently() {
+        let p = pool(2);
+        let flag = AtomicBool::new(false);
+        p.install(|| {
+            super::join(
+                || {
+                    let start = Instant::now();
+                    while !flag.load(Ordering::Acquire) {
+                        assert!(
+                            start.elapsed() < Duration::from_secs(10),
+                            "join branch b was never stolen: pool is not parallel"
+                        );
+                        std::thread::yield_now();
+                    }
+                },
+                || flag.store(true, Ordering::Release),
+            );
+        });
+    }
+
+    /// par_iter bodies really run on multiple distinct worker threads.
+    #[test]
+    fn par_iter_uses_multiple_workers() {
+        let p = pool(4);
+        let seen: Vec<AtomicUsize> = (0..4).map(|_| AtomicUsize::new(0)).collect();
+        p.install(|| {
+            (0..1000usize)
+                .into_par_iter()
+                .map(|i| {
+                    let w = super::current_thread_index().expect("on a worker");
+                    seen[w].fetch_add(1, Ordering::Relaxed);
+                    // Uneven work so stealing has something to rebalance.
+                    if i % 64 == 0 {
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    i
+                })
+                .for_each(|_| {});
+        });
+        let active = seen.iter().filter(|c| c.load(Ordering::Relaxed) > 0).count();
+        assert!(active >= 2, "expected >= 2 workers to participate, saw {active}");
+    }
+
+    /// Index order of the merged output never depends on thread count or
+    /// stealing schedule.
+    #[test]
+    fn collect_is_ordered_at_every_thread_count() {
+        let expected: Vec<usize> = (0..997).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 4, 8] {
+            let p = pool(threads);
+            let got: Vec<usize> =
+                p.install(|| (0..997usize).into_par_iter().map(|i| i * 3 + 1).collect());
+            assert_eq!(got, expected, "order broke at {threads} threads");
+        }
+    }
+
+    /// Float summation folds sequentially, so the bits match serial.
+    #[test]
+    fn float_sum_is_deterministic() {
+        let values: Vec<f64> = (0..2048).map(|i| 1.0 / f64::from(i + 1)).collect();
+        let serial: f64 = values.iter().copied().sum();
+        let p = pool(8);
+        let parallel: f64 = p.install(|| values.par_iter().map(|&x| x).sum());
+        assert_eq!(serial.to_bits(), parallel.to_bits());
+    }
+
+    #[test]
+    fn join_propagates_panic_from_stolen_branch() {
+        let p = pool(2);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| {
+                super::join(|| 1, || -> i32 { panic!("branch b exploded") });
+            });
+        }));
+        assert!(result.is_err(), "panic in join branch must propagate");
+    }
+
+    #[test]
+    fn par_iter_propagates_panic() {
+        let p = pool(4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            p.install(|| {
+                let _: Vec<usize> = (0..100usize)
+                    .into_par_iter()
+                    .map(|i| if i == 63 { panic!("item 63") } else { i })
+                    .collect();
+            });
+        }));
+        assert!(result.is_err(), "panic in par_iter body must propagate");
+    }
+
+    /// Nested install on the same pool runs inline instead of
+    /// deadlocking the pool's own workers.
+    #[test]
+    fn nested_install_on_same_pool_is_inline() {
+        let p = pool(1);
+        let value = p.install(|| p.install(|| 7));
+        assert_eq!(value, 7);
+    }
+
+    #[test]
+    fn current_thread_index_inside_and_outside() {
+        assert_eq!(super::current_thread_index(), None);
+        let p = pool(3);
+        let idx = p.install(super::current_thread_index);
+        assert!(matches!(idx, Some(i) if i < 3));
+        assert_eq!(p.install(super::current_num_threads), 3);
+    }
+
+    #[test]
+    fn second_build_global_errors() {
+        // Whichever test initializes the global pool first, the second
+        // explicit build_global must fail.
+        let _ = ThreadPoolBuilder::new().num_threads(2).build_global();
+        assert!(ThreadPoolBuilder::new().num_threads(2).build_global().is_err());
+    }
+
+    /// Heavier randomized-shape check: many lengths, nested joins via
+    /// recursion, always index-ordered.
+    #[test]
+    fn ordered_merge_survives_stealing_pressure() {
+        let p = pool(4);
+        for len in [2usize, 3, 17, 64, 255, 1024, 4099] {
+            let expected: Vec<String> = (0..len).map(|i| format!("v{i}")).collect();
+            let got: Vec<String> =
+                p.install(|| (0..len).into_par_iter().map(|i| format!("v{i}")).collect());
+            assert_eq!(got, expected, "order broke at len {len}");
+        }
     }
 }

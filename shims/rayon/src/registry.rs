@@ -1,0 +1,430 @@
+//! The work-stealing thread pool behind the shim.
+//!
+//! One [`Registry`] is a set of worker threads, each owning a deque of
+//! [`JobRef`]s, plus one shared injector queue for work arriving from
+//! outside the pool. The scheduling discipline is the classic
+//! work-stealing arrangement (crossbeam-style deques rebuilt on std
+//! `Mutex`/`Condvar`, since this build environment has no registry
+//! access):
+//!
+//! * an owner pushes and pops at the **back** of its own deque (LIFO —
+//!   the hot path of a recursive `join` split stays cache-warm on one
+//!   thread);
+//! * idle workers steal from the **front** of a victim's deque (FIFO —
+//!   thieves take the oldest, i.e. largest, pending split);
+//! * work submitted from outside any worker goes through the shared
+//!   injector queue, which workers drain like a victim deque.
+//!
+//! Jobs are type-erased pointers to [`StackJob`]s living on the stack of
+//! a thread that is blocked on (or will block on) the job's [`Latch`]
+//! before the frame dies, so the pointers stay valid for the job's whole
+//! life — the same representation real rayon uses. Panics inside a job
+//! are caught on the executing worker, carried through the latch, and
+//! resumed on the thread that owns the job.
+
+use std::cell::{Cell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// How long a worker with nothing to do sleeps before re-scanning. The
+/// condition variable wakeup is the primary mechanism (every push
+/// notifies under the sleep lock, so wakeups cannot be lost); the
+/// timeout is belt and braces.
+const IDLE_SLEEP: Duration = Duration::from_millis(50);
+
+/// How long a thread blocked in `join` (on a stolen branch) sleeps
+/// between looking for other work to help with.
+const HELP_SLEEP: Duration = Duration::from_millis(1);
+
+// ---------------------------------------------------------------------------
+// Latch
+// ---------------------------------------------------------------------------
+
+/// A one-shot completion flag a thread can sleep on.
+pub(crate) struct Latch {
+    done: AtomicBool,
+    lock: Mutex<()>,
+    cv: Condvar,
+}
+
+impl Latch {
+    pub(crate) fn new() -> Self {
+        Latch { done: AtomicBool::new(false), lock: Mutex::new(()), cv: Condvar::new() }
+    }
+
+    /// Marks the latch set and wakes every sleeper. Notifying under the
+    /// lock closes the race with a sleeper that probed just before.
+    fn set(&self) {
+        self.done.store(true, Ordering::Release);
+        let _guard = self.lock.lock().expect("latch lock poisoned");
+        self.cv.notify_all();
+    }
+
+    /// Non-blocking completion test.
+    pub(crate) fn probe(&self) -> bool {
+        self.done.load(Ordering::Acquire)
+    }
+
+    /// Blocks until the latch is set.
+    pub(crate) fn wait(&self) {
+        if self.probe() {
+            return;
+        }
+        let mut guard = self.lock.lock().expect("latch lock poisoned");
+        while !self.probe() {
+            guard = self.cv.wait(guard).expect("latch lock poisoned");
+        }
+    }
+
+    /// Blocks until the latch is set or `timeout` elapses.
+    fn wait_timeout(&self, timeout: Duration) {
+        if self.probe() {
+            return;
+        }
+        let guard = self.lock.lock().expect("latch lock poisoned");
+        if !self.probe() {
+            let _ = self.cv.wait_timeout(guard, timeout).expect("latch lock poisoned");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// Type-erased pointer to a pending job. Compared by address when the
+/// owner checks whether its latest push is still at the back of its
+/// deque (a popped-or-stolen job is never pushed twice, and a stack
+/// address cannot be reused while the owning frame is alive, so address
+/// equality is identity).
+#[derive(Clone, Copy)]
+pub(crate) struct JobRef {
+    data: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+impl PartialEq for JobRef {
+    fn eq(&self, other: &Self) -> bool {
+        // The data pointer alone is identity (see above); comparing the
+        // `exec` fn pointer would be meaningless anyway, since fn
+        // addresses are not guaranteed unique.
+        std::ptr::eq(self.data, other.data)
+    }
+}
+
+// SAFETY: a JobRef is only created from a StackJob whose owner keeps the
+// pointee alive (blocked on its latch) until the job has executed, and
+// the job's payload is required to be Send by the public entry points.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Runs the job. Must be called exactly once.
+    unsafe fn execute(self) {
+        (self.exec)(self.data);
+    }
+}
+
+/// Result slot of a [`StackJob`].
+enum JobResult<R> {
+    Pending,
+    Ok(R),
+    Panic(Box<dyn std::any::Any + Send>),
+}
+
+/// A job allocated on the stack of the thread that owns it. The owner
+/// hands a [`JobRef`] to the pool, then either executes the job itself
+/// (after popping it back, unstolen) or blocks on `latch` until a thief
+/// has finished it; either way the frame outlives the execution.
+pub(crate) struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<JobResult<R>>,
+    pub(crate) latch: Latch,
+}
+
+// SAFETY: the UnsafeCells are accessed exclusively by the executing
+// thread between steal/pop and latch-set, and by the owner only after
+// the latch is set (release/acquire ordered by the latch's atomics).
+unsafe impl<F: Send, R: Send> Sync for StackJob<F, R> {}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    pub(crate) fn new(func: F) -> Self {
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(JobResult::Pending),
+            latch: Latch::new(),
+        }
+    }
+
+    /// The pool-facing handle. Caller must keep `self` alive (and pinned
+    /// — do not move it) until the job has executed.
+    pub(crate) fn as_job_ref(&self) -> JobRef {
+        JobRef { data: (self as *const Self).cast(), exec: Self::execute_erased }
+    }
+
+    unsafe fn execute_erased(ptr: *const ()) {
+        let job: &Self = &*ptr.cast();
+        let func = (*job.func.get()).take().expect("job executed twice");
+        let outcome = match panic::catch_unwind(AssertUnwindSafe(func)) {
+            Ok(value) => JobResult::Ok(value),
+            Err(payload) => JobResult::Panic(payload),
+        };
+        *job.result.get() = outcome;
+        job.latch.set();
+    }
+
+    /// Runs the job inline on the owner's thread (the unstolen fast
+    /// path of `join`).
+    pub(crate) fn execute_inline(&self) {
+        // SAFETY: the ref came off our own deque, so nobody else has it.
+        unsafe { Self::execute_erased((self as *const Self).cast()) }
+    }
+
+    /// Retrieves the result, resuming the job's panic if it had one.
+    /// Call only after the latch is set.
+    pub(crate) fn into_result(self) -> R {
+        match self.result.into_inner() {
+            JobResult::Ok(value) => value,
+            JobResult::Panic(payload) => panic::resume_unwind(payload),
+            JobResult::Pending => unreachable!("result taken before the job completed"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+/// One worker's state: its deque. (A `Mutex<VecDeque>` per worker keeps
+/// the implementation std-only; contention is per push/pop/steal of
+/// coarse chunk-sized jobs, not per item.)
+struct WorkerState {
+    deque: Mutex<VecDeque<JobRef>>,
+}
+
+/// The shared state of one thread pool.
+pub(crate) struct Registry {
+    workers: Vec<WorkerState>,
+    injected: Mutex<VecDeque<JobRef>>,
+    sleep_lock: Mutex<()>,
+    sleep_cv: Condvar,
+    shutdown: AtomicBool,
+}
+
+thread_local! {
+    /// Which pool (and which worker slot of it) the current thread is,
+    /// if any. Raw pointer: every worker thread holds an `Arc` to its
+    /// own registry for its whole life, so dereferencing on that thread
+    /// is always valid.
+    static CURRENT: Cell<Option<(*const Registry, usize)>> = const { Cell::new(None) };
+}
+
+/// `(registry, index)` of the calling thread, if it is a pool worker.
+pub(crate) fn current_worker() -> Option<(&'static Registry, usize)> {
+    CURRENT.with(|c| {
+        c.get().map(|(ptr, index)| {
+            // SAFETY: see CURRENT — the registry outlives the worker
+            // thread that is asking.
+            (unsafe { &*ptr }, index)
+        })
+    })
+}
+
+impl Registry {
+    pub(crate) fn new(num_threads: usize) -> Arc<Self> {
+        let workers =
+            (0..num_threads).map(|_| WorkerState { deque: Mutex::new(VecDeque::new()) }).collect();
+        Arc::new(Registry {
+            workers,
+            injected: Mutex::new(VecDeque::new()),
+            sleep_lock: Mutex::new(()),
+            sleep_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        })
+    }
+
+    pub(crate) fn num_threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Address identity, used to recognize "already on a worker of this
+    /// pool".
+    pub(crate) fn id(&self) -> *const Registry {
+        self
+    }
+
+    /// Wakes every sleeping worker. Taking the sleep lock first closes
+    /// the race with a worker that re-checked the queues and is about to
+    /// wait: it cannot miss a notification sent after its re-check.
+    fn notify(&self) {
+        let _guard = self.sleep_lock.lock().expect("sleep lock poisoned");
+        self.sleep_cv.notify_all();
+    }
+
+    /// Pushes onto the back of worker `index`'s own deque.
+    fn push_local(&self, index: usize, job: JobRef) {
+        self.workers[index].deque.lock().expect("deque poisoned").push_back(job);
+        self.notify();
+    }
+
+    /// Pops `job` back off worker `index`'s deque if — and only if — it
+    /// is still there. By the LIFO discipline everything pushed above it
+    /// has been popped or stolen already, so it is at the back or gone.
+    fn pop_local_if(&self, index: usize, job: JobRef) -> bool {
+        let mut deque = self.workers[index].deque.lock().expect("deque poisoned");
+        if deque.back() == Some(&job) {
+            deque.pop_back();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Queues work from outside the pool.
+    fn inject(&self, job: JobRef) {
+        self.injected.lock().expect("injector poisoned").push_back(job);
+        self.notify();
+    }
+
+    /// Finds one unit of work for worker `index`: own deque (back,
+    /// LIFO), then the injector, then the other workers' deques (front,
+    /// FIFO), scanned starting after `index` so thieves spread out.
+    fn find_work(&self, index: usize) -> Option<JobRef> {
+        if let Some(job) = self.workers[index].deque.lock().expect("deque poisoned").pop_back() {
+            return Some(job);
+        }
+        if let Some(job) = self.injected.lock().expect("injector poisoned").pop_front() {
+            return Some(job);
+        }
+        let n = self.workers.len();
+        for offset in 1..n {
+            let victim = (index + offset) % n;
+            if let Some(job) =
+                self.workers[victim].deque.lock().expect("deque poisoned").pop_front()
+            {
+                return Some(job);
+            }
+        }
+        None
+    }
+
+    /// Whether any queue visibly holds work (sleep-path double check).
+    fn has_visible_work(&self) -> bool {
+        if !self.injected.lock().expect("injector poisoned").is_empty() {
+            return true;
+        }
+        self.workers.iter().any(|w| !w.deque.lock().expect("deque poisoned").is_empty())
+    }
+
+    /// The main loop of worker `index`.
+    fn worker_main(self: &Arc<Self>, index: usize) {
+        CURRENT.with(|c| c.set(Some((Arc::as_ptr(self), index))));
+        loop {
+            if let Some(job) = self.find_work(index) {
+                // SAFETY: each JobRef is executed exactly once — popping
+                // or stealing removes it from every queue.
+                unsafe { job.execute() };
+                continue;
+            }
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let guard = self.sleep_lock.lock().expect("sleep lock poisoned");
+            // Double check under the lock (pushes notify while holding
+            // it, so nothing can slip between this check and the wait).
+            if self.shutdown.load(Ordering::Acquire) || self.has_visible_work() {
+                continue;
+            }
+            let _ = self.sleep_cv.wait_timeout(guard, IDLE_SLEEP).expect("sleep lock poisoned");
+        }
+    }
+
+    /// Blocks worker `index` until `latch` is set, executing any other
+    /// available work in the meantime (so a thread waiting on a stolen
+    /// `join` branch keeps contributing instead of idling).
+    fn wait_with_help(&self, index: usize, latch: &Latch) {
+        while !latch.probe() {
+            if let Some(job) = self.find_work(index) {
+                // SAFETY: popped/stolen exactly once, as in worker_main.
+                unsafe { job.execute() };
+            } else {
+                latch.wait_timeout(HELP_SLEEP);
+            }
+        }
+    }
+
+    /// Runs `op` to completion from a thread that is *not* a worker of
+    /// this pool: the job is injected and the caller blocks on its
+    /// latch.
+    pub(crate) fn inject_and_wait<F, R>(&self, op: F) -> R
+    where
+        F: FnOnce() -> R + Send,
+        R: Send,
+    {
+        let job = StackJob::new(op);
+        self.inject(job.as_job_ref());
+        job.latch.wait();
+        job.into_result()
+    }
+
+    /// The work-stealing `join`: runs `oper_a` inline and `oper_b`
+    /// either inline (if no thief claimed it) or on whichever worker
+    /// stole it. Must be called on worker `index` of this registry.
+    pub(crate) fn join_here<A, B, RA, RB>(&self, index: usize, oper_a: A, oper_b: B) -> (RA, RB)
+    where
+        A: FnOnce() -> RA + Send,
+        B: FnOnce() -> RB + Send,
+        RA: Send,
+        RB: Send,
+    {
+        let job_b = StackJob::new(oper_b);
+        let ref_b = job_b.as_job_ref();
+        self.push_local(index, ref_b);
+
+        let result_a = match panic::catch_unwind(AssertUnwindSafe(oper_a)) {
+            Ok(value) => value,
+            Err(payload) => {
+                // `oper_a` panicked. `oper_b` may already be running on
+                // a thief that borrows this frame, so the frame must not
+                // unwind until the job is reclaimed or finished.
+                if !self.pop_local_if(index, ref_b) {
+                    self.wait_with_help(index, &job_b.latch);
+                }
+                panic::resume_unwind(payload);
+            }
+        };
+
+        if self.pop_local_if(index, ref_b) {
+            job_b.execute_inline();
+        } else {
+            self.wait_with_help(index, &job_b.latch);
+        }
+        (result_a, job_b.into_result())
+    }
+
+    /// Begins shutdown: workers exit once their queues drain.
+    pub(crate) fn terminate(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        self.notify();
+    }
+
+    /// Spawns the worker threads for `registry` and returns their
+    /// handles.
+    pub(crate) fn spawn_workers(registry: &Arc<Registry>) -> Vec<std::thread::JoinHandle<()>> {
+        (0..registry.num_threads())
+            .map(|index| {
+                let reg = Arc::clone(registry);
+                std::thread::Builder::new()
+                    .name(format!("rayon-shim-{index}"))
+                    .spawn(move || reg.worker_main(index))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect()
+    }
+}

@@ -10,7 +10,9 @@
 //!   all. This is the honest baseline benches compare against.
 //! * [`Parallelism::Threads`] — run on a pool of exactly `n` workers.
 //!   Pools are cached per thread count, so repeated calls with the same
-//!   `n` share one set of threads.
+//!   `n` share one set of threads. `Threads(1)` is serial in effect and
+//!   runs inline like [`Parallelism::Serial`] — a one-worker pool could
+//!   overlap nothing anyway.
 //! * [`Parallelism::Auto`] (the default) — defer to the environment:
 //!   `OMCF_THREADS` if set (same vocabulary as the `--threads` CLI
 //!   flag), otherwise the machine's available parallelism. When the
@@ -55,8 +57,8 @@ impl Parallelism {
     pub const VOCABULARY: &'static str = "`serial`, `auto`, or a positive thread count such as `4`";
 
     /// Parses the CLI/env vocabulary: `serial`, `auto`, or a positive
-    /// integer (`1` is accepted and equivalent to `serial` in effect,
-    /// though it still routes through a one-worker pool).
+    /// integer (`1` is accepted and equivalent to `serial`: both run on
+    /// the calling thread with no pool).
     pub fn parse(text: &str) -> Result<Self, String> {
         let t = text.trim();
         match t.to_ascii_lowercase().as_str() {
@@ -109,14 +111,21 @@ impl Parallelism {
         }
     }
 
-    /// Runs `body` under this policy: inline for an ambient-pool `Auto`,
-    /// otherwise inside `install` on the (cached) pool of the resolved
-    /// size. `par_iter`/`join` calls inside `body` use that pool.
+    /// Runs `body` under this policy: inline on the calling thread
+    /// whenever [`Parallelism::is_serial`] holds (so `Serial` really
+    /// means no pool — caller thread-locals stay visible and
+    /// `current_thread_index()` stays `None`) and for an ambient-pool
+    /// `Auto`, otherwise inside `install` on the (cached) pool of the
+    /// resolved size. `par_iter`/`join` calls inside `body` use that
+    /// pool.
     pub fn install<R, F>(self, body: F) -> R
     where
         F: FnOnce() -> R + Send,
         R: Send,
     {
+        if self.is_serial() {
+            return body();
+        }
         match self {
             Parallelism::Auto if rayon::current_thread_index().is_some() => body(),
             _ => pool_handle(self.effective_threads().get()).install(body),
@@ -234,6 +243,20 @@ mod tests {
     fn install_returns_the_body_value() {
         assert_eq!(Parallelism::Serial.install(|| 42), 42);
         assert_eq!(Parallelism::Auto.install(|| "ok"), "ok");
+    }
+
+    /// `Serial` (and `Threads(1)`) must run the body on the calling
+    /// thread itself — no pool, so thread-locals of the caller remain
+    /// visible and the body is not "inside a worker".
+    #[test]
+    fn serial_install_runs_inline_on_the_calling_thread() {
+        let caller = std::thread::current().id();
+        for policy in [Parallelism::Serial, Parallelism::Threads(NonZeroUsize::MIN)] {
+            let (tid, index) =
+                policy.install(|| (std::thread::current().id(), rayon::current_thread_index()));
+            assert_eq!(tid, caller, "{policy} must not hop threads");
+            assert_eq!(index, None, "{policy} must not be on a pool worker");
+        }
     }
 
     #[test]

@@ -49,10 +49,10 @@ pub mod prelude {
 
 /// Runs `oper_a` and `oper_b`, potentially in parallel, and returns both
 /// results. On a pool worker, `oper_b` is exposed for stealing while the
-/// caller runs `oper_a`; on a plain thread the two closures simply run
-/// in order (real rayon would route through the global pool here, but
-/// every parallel region in this workspace enters through `install` or a
-/// `par_iter`, which already land on a worker before joining).
+/// caller runs `oper_a`; on a plain thread the call hops onto the global
+/// pool first (initializing it if needed) and joins there, exactly as
+/// real rayon routes a bare `join` through its global registry — so
+/// `join` gains parallelism even outside `install`/`par_iter`.
 ///
 /// If either closure panics, the panic is resumed on the caller after
 /// both branches have come to rest — a stolen `oper_b` borrows the
@@ -66,7 +66,7 @@ where
 {
     match current_worker() {
         Some((registry, index)) => registry.join_here(index, oper_a, oper_b),
-        None => (oper_a(), oper_b()),
+        None => global_registry().inject_and_wait(|| join(oper_a, oper_b)),
     }
 }
 
@@ -244,6 +244,35 @@ mod tests {
     fn join_runs_both() {
         let (a, b) = super::join(|| 2 + 2, || "ok");
         assert_eq!((a, b), (4, "ok"));
+    }
+
+    /// A bare `join` from a non-worker thread routes through the global
+    /// pool (as real rayon does) instead of degrading to sequential.
+    #[test]
+    fn bare_join_lands_on_the_global_pool() {
+        assert_eq!(super::current_thread_index(), None);
+        let (index, _) = super::join(super::current_thread_index, || ());
+        assert!(index.is_some(), "bare join must run on a pool worker");
+    }
+
+    /// A worker of pool A blocked in `install` on pool B keeps helping
+    /// pool A: a job queued behind the cross-pool install still runs,
+    /// so cyclic cross-pool nesting cannot park both pools. Under the
+    /// old "park in latch.wait()" behavior the inner A-job would
+    /// deadlock — A's only worker is blocked on B while B's job waits
+    /// for A's result.
+    #[test]
+    fn cross_pool_install_keeps_helping_home_pool() {
+        let pool_a = pool(1);
+        let pool_b = pool(1);
+        let value = pool_a.install(|| {
+            pool_b.install(|| {
+                // Runs on B's worker; A's worker is blocked waiting on
+                // this install and must service A's injector meanwhile.
+                pool_a.install(|| 11) + 20
+            })
+        });
+        assert_eq!(value, 31);
     }
 
     /// Proves genuine concurrency: closure `a` spins until `b` has run.

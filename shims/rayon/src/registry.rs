@@ -44,6 +44,16 @@ const HELP_SLEEP: Duration = Duration::from_millis(1);
 // ---------------------------------------------------------------------------
 
 /// A one-shot completion flag a thread can sleep on.
+///
+/// Lifetime discipline: the latch lives inside a [`StackJob`] on the
+/// owner's stack, and the owner destroys that frame the moment it has
+/// observed completion. The setter must therefore never touch the latch
+/// after the owner can see `done` — so [`Latch::set`] stores `done`
+/// *inside* the mutex critical section, and every wait path hands
+/// control back to its caller only after acquiring-and-releasing that
+/// mutex once (the [`Latch::synchronize`] handshake). A lock-free
+/// [`Latch::probe`] may race ahead of the setter's unlock, which is why
+/// probing loops must end with `synchronize` before the owner returns.
 pub(crate) struct Latch {
     done: AtomicBool,
     lock: Mutex<()>,
@@ -55,39 +65,51 @@ impl Latch {
         Latch { done: AtomicBool::new(false), lock: Mutex::new(()), cv: Condvar::new() }
     }
 
-    /// Marks the latch set and wakes every sleeper. Notifying under the
-    /// lock closes the race with a sleeper that probed just before.
+    /// Marks the latch set and wakes every sleeper. The store happens
+    /// under the lock so a waiter that observes `done` and then takes
+    /// the lock cannot return (and free this latch) until the setter has
+    /// left the critical section — after the guard drops here, `set`
+    /// never touches `self` again.
     fn set(&self) {
-        self.done.store(true, Ordering::Release);
         let _guard = self.lock.lock().expect("latch lock poisoned");
+        self.done.store(true, Ordering::Release);
         self.cv.notify_all();
     }
 
-    /// Non-blocking completion test.
+    /// Non-blocking completion test. A `true` result does NOT yet make
+    /// it safe to destroy the latch — the setter may still be inside
+    /// `set`'s critical section; call [`Latch::synchronize`] first.
     pub(crate) fn probe(&self) -> bool {
         self.done.load(Ordering::Acquire)
     }
 
-    /// Blocks until the latch is set.
+    /// Blocks until the setter has fully left the latch. Call after
+    /// `probe()` returned `true`, before the owner's frame may unwind.
+    fn synchronize(&self) {
+        drop(self.lock.lock().expect("latch lock poisoned"));
+    }
+
+    /// Blocks until the latch is set. Returns only after the setter has
+    /// left the latch (the loop observes `done` while holding the lock).
     pub(crate) fn wait(&self) {
-        if self.probe() {
-            return;
-        }
         let mut guard = self.lock.lock().expect("latch lock poisoned");
-        while !self.probe() {
+        while !self.done.load(Ordering::Acquire) {
             guard = self.cv.wait(guard).expect("latch lock poisoned");
         }
     }
 
-    /// Blocks until the latch is set or `timeout` elapses.
-    fn wait_timeout(&self, timeout: Duration) {
-        if self.probe() {
-            return;
-        }
+    /// Blocks until the latch is set or `timeout` elapses; returns
+    /// whether it is set. A `true` return was observed under the lock,
+    /// so it already includes the `synchronize` handshake.
+    fn wait_timeout(&self, timeout: Duration) -> bool {
         let guard = self.lock.lock().expect("latch lock poisoned");
-        if !self.probe() {
-            let _ = self.cv.wait_timeout(guard, timeout).expect("latch lock poisoned");
+        if self.done.load(Ordering::Acquire) {
+            return true;
         }
+        let (guard, _) = self.cv.wait_timeout(guard, timeout).expect("latch lock poisoned");
+        let done = self.done.load(Ordering::Acquire);
+        drop(guard);
+        done
     }
 }
 
@@ -347,21 +369,37 @@ impl Registry {
 
     /// Blocks worker `index` until `latch` is set, executing any other
     /// available work in the meantime (so a thread waiting on a stolen
-    /// `join` branch keeps contributing instead of idling).
+    /// `join` branch keeps contributing instead of idling). `latch` need
+    /// not belong to this registry — a worker injecting into a foreign
+    /// pool helps its *home* pool while the foreign job runs. Returns
+    /// only after the setter has fully left the latch (the
+    /// `synchronize` handshake), so the caller may free it.
     fn wait_with_help(&self, index: usize, latch: &Latch) {
-        while !latch.probe() {
+        loop {
+            if latch.probe() {
+                // The lock-free probe can observe completion while the
+                // setter is still inside `Latch::set`; rendezvous on the
+                // latch lock before letting the owner's frame die.
+                latch.synchronize();
+                return;
+            }
             if let Some(job) = self.find_work(index) {
                 // SAFETY: popped/stolen exactly once, as in worker_main.
                 unsafe { job.execute() };
-            } else {
-                latch.wait_timeout(HELP_SLEEP);
+            } else if latch.wait_timeout(HELP_SLEEP) {
+                // Completion was observed under the latch lock — already
+                // synchronized with the setter.
+                return;
             }
         }
     }
 
     /// Runs `op` to completion from a thread that is *not* a worker of
     /// this pool: the job is injected and the caller blocks on its
-    /// latch.
+    /// latch. If the caller is a worker of *another* pool, it keeps
+    /// draining its home pool's work while waiting, so cyclic cross-pool
+    /// `install`s cannot park every worker of both pools on each other's
+    /// injectors.
     pub(crate) fn inject_and_wait<F, R>(&self, op: F) -> R
     where
         F: FnOnce() -> R + Send,
@@ -369,7 +407,12 @@ impl Registry {
     {
         let job = StackJob::new(op);
         self.inject(job.as_job_ref());
-        job.latch.wait();
+        match current_worker() {
+            Some((home, index)) if !std::ptr::eq(home.id(), self.id()) => {
+                home.wait_with_help(index, &job.latch);
+            }
+            _ => job.latch.wait(),
+        }
         job.into_result()
     }
 

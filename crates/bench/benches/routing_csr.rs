@@ -14,7 +14,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use omcf_numerics::{jsonfmt, Rng64, Xoshiro256pp};
 use omcf_routing::reference::dijkstra_adjacency;
 use omcf_routing::{
-    dijkstra_with, fanout_trees, fanout_trees_serial, DijkstraWorkspace, QueueKind, WorkspacePool,
+    dijkstra_with, fanout_trees, fanout_trees_batched, fanout_trees_serial, DijkstraWorkspace,
+    QueueKind, WorkspacePool,
 };
 use omcf_sim::registry;
 use omcf_sim::Scale;
@@ -149,6 +150,13 @@ fn bench_csr_vs_adjacency(c: &mut Criterion) {
 /// (sorted keys via `jsonfmt`).
 fn emit_bench_json(_c: &mut Criterion) {
     let mut fixture_objs: Vec<(String, String)> = Vec::new();
+    // Aggregate guard (summed across fixtures): the process-default queue
+    // kind must not be measurably the worst choice — a losing discipline
+    // can't silently stay the default. 1.3x + 5 ms absorbs timer noise on
+    // shared runners while still tripping on a real regression like the
+    // uncalibrated Dial queue this bench originally exposed.
+    let mut default_total_ms = 0.0;
+    let mut best_total_ms = 0.0;
     for (name, g) in fixtures() {
         let mut rng = Xoshiro256pp::new(SEED ^ 0xC5);
         let lengths = solver_lengths(&g, &mut rng);
@@ -177,6 +185,8 @@ fn emit_bench_json(_c: &mut Criterion) {
                 assert_eq!(fanout[i].dist(v).to_bits(), reference.dist(v).to_bits(), "{name}");
             }
         }
+        let batched = fanout_trees_batched(&g, &sources, &lengths, &pool, QueueKind::Binary);
+        assert_eq!(batched, fanout, "{name}: batched fan-out diverged from per-source");
 
         let (gr, so, le) = (&g, &sources, &lengths);
         let mut routines: Vec<Routine<'_>> =
@@ -196,11 +206,23 @@ fn emit_bench_json(_c: &mut Criterion) {
                 fanout_trees(&g, &sources, &lengths, &pool, QueueKind::Binary).len() as f64
             }),
         ));
+        routines.push((
+            "fanout_batched",
+            Box::new(|| {
+                fanout_trees_batched(&g, &sources, &lengths, &pool, QueueKind::Binary).len() as f64
+            }),
+        ));
         let medians = measure_all(&mut routines);
-        let adjacency_ms = medians[0];
-        let csr_binary_ms = medians[1];
-        let fanout_serial_ms = medians[medians.len() - 2];
-        let fanout_ms = medians[medians.len() - 1];
+        let med = |label: &str| {
+            medians[routines.iter().position(|(l, _)| *l == label).expect("labelled routine")]
+        };
+        let adjacency_ms = med("adjacency");
+        let csr_binary_ms = med("binary");
+        let fanout_serial_ms = med("fanout_serial");
+        let fanout_ms = med("fanout");
+        let batch_fanout_ms = med("fanout_batched");
+        default_total_ms += med(QueueKind::default_kind().name());
+        best_total_ms += QueueKind::ALL.iter().map(|k| med(k.name())).fold(f64::INFINITY, f64::min);
         let mut obj = jsonfmt::JsonObject::new()
             .field("nodes", g.node_count().to_string())
             .field("edges", g.edge_count().to_string())
@@ -214,22 +236,33 @@ fn emit_bench_json(_c: &mut Criterion) {
             );
         }
         obj = obj
+            .field("batch_fanout_ms", jsonfmt::fixed(batch_fanout_ms, 3))
+            // `_speedup` keys are gated *leniently* by scripts/bench_check:
+            // they only fail the build when the new path is slower than the
+            // baseline beyond the noise floor, so single-core runners can't
+            // flake. `batch_speedup` is lane-batched vs per-source serial.
+            .field("batch_speedup", jsonfmt::fixed(fanout_serial_ms / batch_fanout_ms, 3))
             .field("fanout_parallel_ms", jsonfmt::fixed(fanout_ms, 3))
             .field("fanout_serial_ms", jsonfmt::fixed(fanout_serial_ms, 3))
-            // `_speedup` keys are gated *leniently* by scripts/bench_check:
-            // they only fail the build when parallel is slower than serial
-            // beyond the noise floor, so single-core runners can't flake.
             .field("fanout_speedup", jsonfmt::fixed(fanout_serial_ms / fanout_ms, 3))
             .field("speedup_csr_vs_adjacency", jsonfmt::fixed(adjacency_ms / csr_binary_ms, 3));
         println!(
             "bench routing_csr: {name} adjacency {adjacency_ms:.1} ms vs csr(binary) \
              {csr_binary_ms:.1} ms ({:.2}x), fanout {fanout_ms:.1} ms \
-             (serial {fanout_serial_ms:.1} ms, {:.2}x)",
+             (serial {fanout_serial_ms:.1} ms, {:.2}x), batched {batch_fanout_ms:.1} ms \
+             ({:.2}x vs serial)",
             adjacency_ms / csr_binary_ms,
-            fanout_serial_ms / fanout_ms
+            fanout_serial_ms / fanout_ms,
+            fanout_serial_ms / batch_fanout_ms
         );
         fixture_objs.push((name.to_string(), obj.pretty(1)));
     }
+    assert!(
+        default_total_ms <= best_total_ms * 1.3 + 5.0,
+        "default queue kind {:?} is measurably the worst: {default_total_ms:.1} ms total vs \
+         best-kind total {best_total_ms:.1} ms — recalibrate or change the default",
+        QueueKind::default_kind()
+    );
 
     let mut top = jsonfmt::JsonObject::new()
         .text("bench", "routing_csr")

@@ -11,11 +11,16 @@
 //! paper reports — so the solver modules reduce to *policies*: a phase
 //! schedule, a normalization, and a termination rule driving the engine.
 //!
-//! The engine advances the epoch clock on every augmentation and stamps
-//! each touched edge, which is what entitles epoch-aware oracles
+//! The engine stamps every edge an augmentation touches on the epoch
+//! clock, which is what entitles epoch-aware oracles
 //! ([`omcf_overlay::DynamicOracle`], [`omcf_overlay::FixedIpOracle`]) to
 //! serve cached trees: lengths only ever grow, so an untouched cached
-//! route provably remains optimal (see `docs/ENGINE.md`).
+//! route provably remains optimal (see `docs/ENGINE.md`). The clock
+//! advances lazily — on the first augmentation after an oracle query,
+//! not on every augmentation — so a phase-batched schedule that augments
+//! several times between queries invalidates caches once per batch
+//! (Fleischer-style phase batching; validity verdicts are identical
+//! either way).
 //!
 //! ```
 //! use omcf_core::engine::{Engine, LengthGrowth};
@@ -235,6 +240,15 @@ pub struct Engine<'a, O: TreeOracle + ?Sized> {
     /// resume/suspend cycle of an online runtime must stay O(1), not pay
     /// an O(E) fill for a table it never touches.
     caps: std::cell::OnceCell<Vec<f64>>,
+    /// Lazy epoch-advance latch (phase batching): set by every oracle
+    /// query, consumed by the first augmentation after it. Consecutive
+    /// augmentations with no query in between then share one epoch, so a
+    /// whole batch of length-growth steps invalidates epoch-cached
+    /// oracles once instead of once per augmentation. Validity verdicts
+    /// are unchanged — an entry cached at query epoch `E` still sees every
+    /// later touch stamped `> E` — and schedules that query between every
+    /// augmentation (M1/M2/online today) advance exactly as before.
+    advance_pending: bool,
     state: EngineState,
 }
 
@@ -258,7 +272,7 @@ impl<'a, O: TreeOracle + ?Sized> Engine<'a, O> {
     pub fn resume(g: &'a Graph, oracle: &'a O, growth: LengthGrowth, state: EngineState) -> Self {
         assert_eq!(state.lengths.stored().len(), g.edge_count(), "length store sized for g");
         assert_eq!(state.load.len(), g.edge_count(), "load table sized for g");
-        Self { g, oracle, growth, caps: std::cell::OnceCell::new(), state }
+        Self { g, oracle, growth, caps: std::cell::OnceCell::new(), advance_pending: true, state }
     }
 
     /// Detaches the persistent state for the next [`Self::resume`] — the
@@ -279,24 +293,40 @@ impl<'a, O: TreeOracle + ?Sized> Engine<'a, O> {
     /// lengths, via the epoch-aware oracle path. Counts one `mst_op`.
     pub fn min_tree(&mut self, i: usize) -> OverlayTree {
         self.state.mst_ops += 1;
+        self.advance_pending = true;
         self.oracle.min_tree_view(
             i,
             LengthView::with_epochs(self.state.lengths.stored(), &self.state.epochs),
         )
     }
 
-    /// One oracle sweep over `session_ids`, returning the tree of minimum
-    /// *normalized* stored length (`norm(i) · length_i`; the first session
-    /// wins ties) together with that length. Counts one `mst_op` per
-    /// session.
+    /// One oracle sweep: the minimum trees of `session_ids`, in order, all
+    /// under the current lengths, issued as a single batched
+    /// [`TreeOracle::min_trees_view`] query so the oracle can recompute
+    /// stale member fans across sessions in shared Dijkstra lanes. Counts
+    /// one `mst_op` per session; results and cache accounting are
+    /// identical to calling [`Self::min_tree`] per id.
+    pub fn min_trees(&mut self, session_ids: &[usize]) -> Vec<OverlayTree> {
+        self.state.mst_ops += session_ids.len() as u64;
+        self.advance_pending = true;
+        self.oracle.min_trees_view(
+            session_ids,
+            LengthView::with_epochs(self.state.lengths.stored(), &self.state.epochs),
+        )
+    }
+
+    /// One oracle sweep over `session_ids` (via the batched
+    /// [`Self::min_trees`]), returning the tree of minimum *normalized*
+    /// stored length (`norm(i) · length_i`; the first session wins ties)
+    /// together with that length. Counts one `mst_op` per session.
     pub fn best_normalized_tree(
         &mut self,
         session_ids: &[usize],
         norm: impl Fn(usize) -> f64,
     ) -> (f64, OverlayTree) {
+        let trees = self.min_trees(session_ids);
         let mut best: Option<(f64, OverlayTree)> = None;
-        for &i in session_ids {
-            let tree = self.min_tree(i);
+        for (&i, tree) in session_ids.iter().zip(trees) {
             let len_stored = tree.length(self.state.lengths.stored()) * norm(i);
             if best.as_ref().is_none_or(|(b, _)| len_stored < *b) {
                 best = Some((len_stored, tree));
@@ -313,7 +343,12 @@ impl<'a, O: TreeOracle + ?Sized> Engine<'a, O> {
     /// (the online post-pass).
     pub fn augment(&mut self, tree: OverlayTree, amount: f64) -> Vec<(EdgeId, u32)> {
         self.state.iterations += 1;
-        self.state.epochs.advance();
+        // Phase batching: advance the touch clock only on the first
+        // augmentation since the last oracle query (see `advance_pending`).
+        if self.advance_pending {
+            self.state.epochs.advance();
+            self.advance_pending = false;
+        }
         let mults = tree.edge_multiplicities();
         self.state.store.add(tree, amount);
         for &(e, n) in &mults {

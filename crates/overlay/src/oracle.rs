@@ -23,8 +23,8 @@
 use crate::epoch::LengthView;
 use crate::session::SessionSet;
 use crate::tree::{OverlayHop, OverlayTree};
-use omcf_routing::{fanout_trees, DijkstraWorkspace, FixedRoutes, QueueKind, WorkspacePool};
-use omcf_topology::Graph;
+use omcf_routing::{fan_width, run_fan_chunks_with, FixedRoutes, Path, QueueKind, WorkspacePool};
+use omcf_topology::{Graph, NodeId};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -83,7 +83,7 @@ impl BypassGauge {
 }
 
 /// Total member count across sessions — the dynamic oracle's
-/// cacheable-fan count (one persistent workspace per member).
+/// cacheable-fan count (one cached fan per member).
 fn total_fans(sessions: &SessionSet) -> usize {
     sessions.sessions().iter().map(crate::session::Session::size).sum()
 }
@@ -99,6 +99,17 @@ pub trait TreeOracle {
     /// implementation ignores the clock and recomputes.
     fn min_tree_view(&self, session_idx: usize, view: LengthView<'_>) -> OverlayTree {
         self.min_tree(session_idx, view.lengths)
+    }
+
+    /// Batched form of [`Self::min_tree_view`]: one tree per entry of
+    /// `session_ids`, in order, all under the same view — the engine
+    /// queries whole schedule rounds through this entry point. Results
+    /// and cache accounting are identical to calling
+    /// [`Self::min_tree_view`] once per id (which is exactly what this
+    /// default does); implementations may batch the underlying
+    /// shortest-path work across sessions.
+    fn min_trees_view(&self, session_ids: &[usize], view: LengthView<'_>) -> Vec<OverlayTree> {
+        session_ids.iter().map(|&i| self.min_tree_view(i, view)).collect()
     }
 
     /// The sessions this oracle serves.
@@ -340,18 +351,27 @@ impl TreeOracle for FixedIpOracle {
     }
 }
 
-/// One session member's cached shortest-path fan: a dedicated, persistent
-/// [`DijkstraWorkspace`] holding the member's last early-exit run, plus the
-/// physical edges its paths-to-members traverse (the invalidation key).
-/// Serving hits straight from the retained workspace keeps the epoch path
-/// free of per-query distance/path materialization.
-#[derive(Debug)]
+/// One session member's cached shortest-path fan: exactly the member-level
+/// data the oracle ever reads back — distances and paths to the member's
+/// co-members (indexed by member position) — plus the physical edges those
+/// paths traverse (the invalidation key). Storing the extracted fan
+/// instead of a whole retained Dijkstra workspace keeps entries compact
+/// and lets misses recompute through shared [`BatchDijkstra`] lanes
+/// (several stale members per CSR pass) rather than one workspace run per
+/// member.
+///
+/// [`BatchDijkstra`]: omcf_routing::BatchDijkstra
+#[derive(Debug, Default)]
 struct FanCache {
-    ws: DijkstraWorkspace,
     /// 0 = never filled (real run ids start at 1).
     run_id: u64,
     epoch: u64,
     fan_edges: Vec<u32>,
+    /// `dists[b]` = shortest-path distance to member `b` of the session.
+    dists: Vec<f64>,
+    /// `paths[b]` = the realizing path (diagonal entry is the trivial
+    /// self-path, never used by Prim).
+    paths: Vec<Path>,
 }
 
 #[derive(Debug, Default)]
@@ -374,13 +394,18 @@ impl DynState {
 
 /// Oracle under **arbitrary dynamic routing** (§V): overlay edges follow the
 /// shortest path under the *current* lengths, recomputed per call via one
-/// Dijkstra per session member. Plain queries batch the member fan through
-/// the rayon-parallel [`fanout_trees`] (deterministic member-order merge);
-/// epoch-backed queries run through per-member persistent workspaces with
-/// multi-target early exit, and skip the Dijkstra entirely for members
-/// whose cached fan avoids every edge touched since it was computed (exact
-/// under monotone length growth). All Dijkstras run the CSR core with the
-/// oracle's configured [`QueueKind`].
+/// Dijkstra per session member. Both query paths run their member fans
+/// through [`BatchDijkstra`](omcf_routing::BatchDijkstra) engines at the
+/// calibrated [`fan_width`] — early-exit source
+/// lanes, chunks split across the pool's
+/// [`Parallelism`](omcf_numerics::Parallelism) workers —
+/// and epoch-backed queries additionally skip the Dijkstra entirely for
+/// members whose cached fan avoids every edge touched since it was
+/// computed (exact under monotone length growth). The batched
+/// [`TreeOracle::min_trees_view`] recomputes stale members of *different*
+/// sessions in shared lanes. All results are bit-identical to per-source
+/// serial recomputation. All Dijkstras run the CSR core with the oracle's
+/// configured [`QueueKind`].
 #[derive(Debug)]
 pub struct DynamicOracle {
     g: Graph,
@@ -390,10 +415,11 @@ pub struct DynamicOracle {
     hits: AtomicU64,
     misses: AtomicU64,
     bypass: BypassGauge,
-    /// Fan workspaces are leased from here (and returned on drop) when the
-    /// oracle was built via [`Self::with_pool`] — the sweep driver's
-    /// cross-instance buffer recycling.
-    pool: Option<Arc<WorkspacePool>>,
+    /// Batch fan engines are leased from here around every query. Oracles
+    /// built via [`Self::with_pool`] share the sweep driver's
+    /// cross-instance pool; otherwise the oracle owns a private one so
+    /// scratch still persists across calls.
+    pool: Arc<WorkspacePool>,
     /// Priority-queue discipline of every Dijkstra this oracle runs
     /// (results are discipline-independent; see `docs/PERF.md`).
     queue: QueueKind,
@@ -409,7 +435,7 @@ impl Clone for DynamicOracle {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             bypass: BypassGauge::sized_for(total_fans(&self.sessions)),
-            pool: self.pool.clone(),
+            pool: Arc::clone(&self.pool),
             queue: self.queue,
         }
     }
@@ -430,8 +456,8 @@ impl DynamicOracle {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             bypass: BypassGauge::sized_for(total_fans(sessions)),
-            pool,
-            queue: QueueKind::Binary,
+            pool: pool.unwrap_or_else(|| Arc::new(WorkspacePool::new())),
+            queue: QueueKind::default_kind(),
         }
     }
 
@@ -457,19 +483,21 @@ impl DynamicOracle {
         Self::build(g, sessions, true, None)
     }
 
-    /// Like [`Self::new`], but per-member fan workspaces are leased from
-    /// `pool` instead of allocated, and handed back when the oracle drops.
+    /// Like [`Self::new`], but batch fan engines are leased from `pool`
+    /// (and handed back after every query) instead of a private pool.
     /// Drivers that solve many instances over same-sized graphs (the
     /// scenario sweep) share one pool so the dense Dijkstra buffers are
-    /// recycled across cells.
+    /// recycled across cells; the pool's
+    /// [`Parallelism`](omcf_numerics::Parallelism) policy also governs how
+    /// lane chunks are split across workers.
     #[must_use]
     pub fn with_pool(g: &Graph, sessions: &SessionSet, pool: Arc<WorkspacePool>) -> Self {
         Self::build(g, sessions, true, Some(pool))
     }
 
     /// Like [`Self::new`] but with the epoch path disabled: every query
-    /// computes one fresh-allocation Dijkstra per member, exactly like the
-    /// plain [`TreeOracle::min_tree`] interface. Benchmark / verification
+    /// recomputes the whole member fan, exactly like the plain
+    /// [`TreeOracle::min_tree`] interface. Benchmark / verification
     /// baseline.
     #[must_use]
     pub fn uncached(g: &Graph, sessions: &SessionSet) -> Self {
@@ -491,118 +519,182 @@ impl DynamicOracle {
     pub fn cache_bypassed(&self) -> bool {
         self.bypass.tripped()
     }
-}
 
-impl Drop for DynamicOracle {
-    fn drop(&mut self) {
-        let Some(pool) = self.pool.take() else {
-            return;
-        };
-        if let Ok(mut st) = self.state.lock() {
-            for fans in &mut st.fans {
-                for slot in fans.iter_mut() {
-                    if let Some(cache) = slot.take() {
-                        pool.give_back(cache.ws);
-                    }
-                }
+    /// The uncached fan computation behind [`TreeOracle::min_tree`] and
+    /// every cache-bypassing query path: *all* queried sessions' member
+    /// fans run through [`BatchDijkstra`] engines at the calibrated
+    /// [`fan_width`] — lanes packed in job order regardless of session
+    /// boundaries — then each session's tree is assembled from its own
+    /// lanes. One SPT per member under the live lengths (the §V-B
+    /// procedure), each lane early-exiting once its session's members are
+    /// all settled: Prim only ever reads member-to-member distances, and
+    /// settled values are identical to full per-source runs.
+    ///
+    /// [`BatchDijkstra`]: omcf_routing::BatchDijkstra
+    fn min_trees_batched(&self, session_ids: &[usize], lengths: &[f64]) -> Vec<OverlayTree> {
+        let mut jobs: Vec<(NodeId, &[NodeId])> = Vec::new();
+        for &s in session_ids {
+            let members = &self.sessions.session(s).members;
+            self.misses.fetch_add(members.len() as u64, Ordering::Relaxed);
+            // A single-member (or empty) overlay has an empty spanning
+            // tree; no fan to compute.
+            if members.len() >= 2 {
+                jobs.extend(members.iter().map(|&src| (src, &members[..])));
             }
         }
+        let engines = run_fan_chunks_with(
+            &self.g,
+            &jobs,
+            lengths,
+            &self.pool,
+            self.queue,
+            self.pool.parallelism(),
+        );
+        let width = fan_width(self.g.node_count());
+        let lane = |a: usize| (&engines[a / width], a % width);
+        let mut base = 0usize;
+        let trees = session_ids
+            .iter()
+            .map(|&s| {
+                let members = &self.sessions.session(s).members;
+                let m = members.len();
+                if m < 2 {
+                    return OverlayTree { session: s, hops: Vec::new() };
+                }
+                let edges = prim_dense(m, |a, b| {
+                    let (batch, l) = lane(base + a);
+                    batch.dist(l, members[b])
+                });
+                let hops = edges
+                    .into_iter()
+                    .map(|(a, b)| {
+                        let (batch, l) = lane(base + a);
+                        OverlayHop {
+                            a,
+                            b,
+                            path: batch
+                                .path_to(l, members[b])
+                                .expect("connected graph: member must be reachable"),
+                        }
+                    })
+                    .collect();
+                base += m;
+                OverlayTree { session: s, hops }
+            })
+            .collect();
+        for batch in engines {
+            self.pool.give_back_batch(batch);
+        }
+        trees
     }
 }
 
 impl TreeOracle for DynamicOracle {
     fn min_tree(&self, session_idx: usize, lengths: &[f64]) -> OverlayTree {
-        let session = self.sessions.session(session_idx);
-        let members = &session.members;
-        let m = members.len();
-        // One SPT per member under the live lengths (the §V-B procedure),
-        // batched through the parallel fan-out: members compute
-        // concurrently over per-worker workspaces and merge in member
-        // order, so the result is identical to the serial loop.
-        let ephemeral;
-        let pool = match &self.pool {
-            Some(pool) => pool.as_ref(),
-            None => {
-                ephemeral = WorkspacePool::new();
-                &ephemeral
-            }
-        };
-        let spts = fanout_trees(&self.g, members, lengths, pool, self.queue);
-        self.misses.fetch_add(m as u64, Ordering::Relaxed);
-        let edges = prim_dense(m, |i, j| spts[i].dist(members[j]));
-        let hops = edges
-            .into_iter()
-            .map(|(a, b)| OverlayHop {
-                a,
-                b,
-                path: spts[a]
-                    .path_to(members[b])
-                    .expect("connected graph: member must be reachable"),
-            })
-            .collect();
-        OverlayTree { session: session_idx, hops }
+        self.min_trees_batched(std::slice::from_ref(&session_idx), lengths)
+            .pop()
+            .expect("one tree per queried session")
     }
 
     fn min_tree_view(&self, session_idx: usize, view: LengthView<'_>) -> OverlayTree {
+        self.min_trees_view(std::slice::from_ref(&session_idx), view)
+            .pop()
+            .expect("one tree per queried session")
+    }
+
+    fn min_trees_view(&self, session_ids: &[usize], view: LengthView<'_>) -> Vec<OverlayTree> {
         let Some(epochs) = view.epochs.filter(|_| self.caching && !self.bypass.tripped()) else {
-            return self.min_tree(session_idx, view.lengths);
+            return self.min_trees_batched(session_ids, view.lengths);
         };
         // Contended (another solver run shares this oracle, e.g. a rayon
         // ratio sweep): compute lock-free instead of serializing on the
         // cache — the pre-engine baseline cost, never worse.
         let Ok(mut guard) = self.state.try_lock() else {
-            return self.min_tree(session_idx, view.lengths);
+            return self.min_trees_batched(session_ids, view.lengths);
         };
         let st = &mut *guard;
-        let members = &self.sessions.session(session_idx).members;
-        let m = members.len();
-        for (a, &src) in members.iter().enumerate() {
-            let slot = &mut st.fans[session_idx][a];
-            let valid = slot.as_ref().is_some_and(|c| {
-                c.run_id == epochs.run_id() && epochs.none_touched_since(&c.fan_edges, c.epoch)
-            });
-            if valid {
-                self.hits.fetch_add(1, Ordering::Relaxed);
-                self.bypass.on_hit();
-                continue;
+        // Probe phase: per session in query order, per member in member
+        // order — the exact hit/miss accounting of a sequential
+        // `min_tree_view` loop. A repeated session id hits on its second
+        // occurrence (the first occurrence's recompute restamps the entry
+        // at the current epoch, and nothing can be touched mid-batch).
+        let mut scheduled = std::collections::HashSet::new();
+        let mut stale: Vec<(usize, usize)> = Vec::new();
+        for &s in session_ids {
+            for a in 0..self.sessions.session(s).members.len() {
+                let valid = st.fans[s][a].as_ref().is_some_and(|c| {
+                    c.run_id == epochs.run_id() && epochs.none_touched_since(&c.fan_edges, c.epoch)
+                }) || scheduled.contains(&(s, a));
+                if valid {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.bypass.on_hit();
+                } else {
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.bypass.on_miss();
+                    scheduled.insert((s, a));
+                    stale.push((s, a));
+                }
             }
-            self.misses.fetch_add(1, Ordering::Relaxed);
-            self.bypass.on_miss();
-            let fan = slot.get_or_insert_with(|| FanCache {
-                ws: match &self.pool {
-                    Some(pool) => pool.lease_with(self.g.node_count(), self.queue),
-                    None => DijkstraWorkspace::with_queue(self.g.node_count(), self.queue),
-                },
-                run_id: 0,
-                epoch: 0,
-                fan_edges: Vec::new(),
-            });
-            fan.ws.run_targets(&self.g, src, view.lengths, members);
-            fan.fan_edges.clear();
-            for &t in members {
-                let reached = fan.ws.path_edges_into(t, &mut fan.fan_edges);
-                assert!(reached, "connected graph: member must be reachable");
-            }
-            fan.fan_edges.sort_unstable();
-            fan.fan_edges.dedup();
-            fan.run_id = epochs.run_id();
-            fan.epoch = epochs.current();
         }
-        let fans = &st.fans[session_idx];
-        let fan = |a: usize| fans[a].as_ref().expect("filled above");
-        let edges = prim_dense(m, |a, b| fan(a).ws.dist(members[b]));
-        let hops = edges
-            .into_iter()
-            .map(|(a, b)| OverlayHop {
-                a,
-                b,
-                path: fan(a)
-                    .ws
-                    .path_to(members[b])
-                    .expect("connected graph: member must be reachable"),
+        // Recompute phase: all stale members — possibly spanning several
+        // sessions — in shared batch lanes, each lane early-exiting on its
+        // own session's member set.
+        if !stale.is_empty() {
+            let jobs: Vec<(NodeId, &[NodeId])> = stale
+                .iter()
+                .map(|&(s, a)| {
+                    let members = &self.sessions.session(s).members;
+                    (members[a], &members[..])
+                })
+                .collect();
+            let engines = run_fan_chunks_with(
+                &self.g,
+                &jobs,
+                view.lengths,
+                &self.pool,
+                self.queue,
+                self.pool.parallelism(),
+            );
+            let width = fan_width(self.g.node_count());
+            for (idx, &(s, a)) in stale.iter().enumerate() {
+                let batch = &engines[idx / width];
+                let lane = idx % width;
+                let members = &self.sessions.session(s).members;
+                let fan = st.fans[s][a].get_or_insert_with(FanCache::default);
+                fan.dists.clear();
+                fan.paths.clear();
+                fan.fan_edges.clear();
+                for &t in members {
+                    fan.dists.push(batch.dist(lane, t));
+                    let reached = batch.path_edges_into(lane, t, &mut fan.fan_edges);
+                    assert!(reached, "connected graph: member must be reachable");
+                    fan.paths.push(batch.path_to(lane, t).expect("reached above"));
+                }
+                fan.fan_edges.sort_unstable();
+                fan.fan_edges.dedup();
+                fan.run_id = epochs.run_id();
+                fan.epoch = epochs.current();
+            }
+            for batch in engines {
+                self.pool.give_back_batch(batch);
+            }
+        }
+        // Assembly phase: Prim per queried session over the (now all
+        // valid) cached fans.
+        session_ids
+            .iter()
+            .map(|&s| {
+                let m = self.sessions.session(s).members.len();
+                let fans = &st.fans[s];
+                let fan = |a: usize| fans[a].as_ref().expect("filled above");
+                let edges = prim_dense(m, |a, b| fan(a).dists[b]);
+                let hops = edges
+                    .into_iter()
+                    .map(|(a, b)| OverlayHop { a, b, path: fan(a).paths[b].clone() })
+                    .collect();
+                OverlayTree { session: s, hops }
             })
-            .collect();
-        OverlayTree { session: session_idx, hops }
+            .collect()
     }
 
     fn sessions(&self) -> &SessionSet {
@@ -901,27 +993,67 @@ mod tests {
     }
 
     #[test]
-    fn pooled_oracle_returns_workspaces_on_drop() {
+    fn pooled_oracle_recycles_batch_engines() {
         let g = canned::grid(4, 4, 10.0);
         let sessions =
             SessionSet::new(vec![Session::new(vec![NodeId(0), NodeId(5), NodeId(15)], 1.0)]);
         let pool = Arc::new(WorkspacePool::new());
         let epochs = EdgeEpochs::new(g.edge_count());
         let lengths = unit_lengths(&g);
-        {
-            let oracle = DynamicOracle::with_pool(&g, &sessions, Arc::clone(&pool));
-            let t = oracle.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
-            t.validate(sessions.session(0), &g);
-            assert_eq!(pool.idle(), 0, "workspaces are in use while the oracle lives");
-        }
-        assert_eq!(pool.idle(), 3, "one workspace per member returned on drop");
-        // A second pooled oracle reuses them and computes the same tree.
+        let oracle = DynamicOracle::with_pool(&g, &sessions, Arc::clone(&pool));
+        let t = oracle.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
+        t.validate(sessions.session(0), &g);
+        // One engine per fan-width chunk of the 3-member fan.
+        let engines = 3usize.div_ceil(omcf_routing::fan_width(g.node_count()));
+        assert_eq!(
+            pool.idle_batches(),
+            engines,
+            "the cold query's batch engines are back in the shared pool"
+        );
+        // The plain path leases the same engines instead of allocating.
+        let _ = oracle.min_tree(0, &lengths);
+        assert_eq!(pool.idle_batches(), engines, "plain path reuses the pooled engines");
+        // A second pooled oracle reuses the pool and computes the same tree.
         let oracle2 = DynamicOracle::with_pool(&g, &sessions, Arc::clone(&pool));
         let reference = DynamicOracle::new(&g, &sessions);
         let t2 = oracle2.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
         let tr = reference.min_tree_view(0, LengthView::with_epochs(&lengths, &epochs));
         assert_eq!(t2, tr);
-        assert_eq!(pool.idle(), 0);
+        assert_eq!(pool.idle_batches(), engines);
+    }
+
+    #[test]
+    fn batched_min_trees_view_matches_sequential_queries_and_counts() {
+        // Two oracles over the same instance: one queried through the
+        // batched entry point, one through per-session calls. Trees and
+        // hit/miss accounting must be identical, across a cold round, a
+        // warm round, and a partially-invalidated round.
+        let g = canned::grid(4, 4, 10.0);
+        let sessions = SessionSet::new(vec![
+            Session::new(vec![NodeId(0), NodeId(5), NodeId(15)], 1.0),
+            Session::new(vec![NodeId(3), NodeId(12)], 1.0),
+            Session::new(vec![NodeId(1), NodeId(6), NodeId(11), NodeId(14)], 1.0),
+        ]);
+        let batched = DynamicOracle::new(&g, &sessions);
+        let sequential = DynamicOracle::new(&g, &sessions);
+        let ids = [0usize, 1, 2];
+        let mut lengths = unit_lengths(&g);
+        let mut epochs = EdgeEpochs::new(g.edge_count());
+        for round in 0..3 {
+            let view = LengthView::with_epochs(&lengths, &epochs);
+            let trees = batched.min_trees_view(&ids, view);
+            let refs: Vec<OverlayTree> =
+                ids.iter().map(|&i| sequential.min_tree_view(i, view)).collect();
+            assert_eq!(trees, refs, "round {round}");
+            assert_eq!(batched.cache_stats(), sequential.cache_stats(), "round {round}");
+            // Invalidate session 0's tree edges for the next round.
+            epochs.advance();
+            for e in trees[0].edge_multiplicities() {
+                lengths[e.0.idx()] *= 2.0;
+                epochs.touch(e.0.idx());
+            }
+        }
+        assert!(batched.cache_stats().hits > 0, "warm rounds must hit");
     }
 
     #[test]

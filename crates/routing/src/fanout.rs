@@ -71,6 +71,121 @@ pub fn fanout_trees_with(
     })
 }
 
+/// Batched member fan-out: the same trees as [`fanout_trees`], computed
+/// through [`BatchDijkstra`](crate::BatchDijkstra) engines in lane
+/// chunks of [`fan_width`](crate::fan_width) sources per run — the
+/// *calibrated* production width, which the measurements in
+/// [`crate::batch`]'s module docs currently put at per-source (lane
+/// sharing loses at every scale tried). Output is **bit-identical** to
+/// the per-source loop at any chunk width (each lane replays its
+/// single-source relaxation order exactly; pinned by
+/// `tests/batch_prop.rs`); only wall-clock time changes. A single
+/// source falls back to the per-source workspace loop directly.
+#[must_use]
+pub fn fanout_trees_batched(
+    g: &Graph,
+    sources: &[NodeId],
+    lengths: &[f64],
+    pool: &WorkspacePool,
+    kind: QueueKind,
+) -> Vec<ShortestPathTree> {
+    fanout_trees_batched_with(g, sources, lengths, pool, kind, pool.parallelism())
+}
+
+/// [`fanout_trees_batched`] with an explicit [`Parallelism`] policy: the
+/// lane chunks are the parallel work units, split across the policy's
+/// workers. Results are byte-identical regardless of policy or chunking.
+#[must_use]
+pub fn fanout_trees_batched_with(
+    g: &Graph,
+    sources: &[NodeId],
+    lengths: &[f64],
+    pool: &WorkspacePool,
+    kind: QueueKind,
+    parallelism: Parallelism,
+) -> Vec<ShortestPathTree> {
+    if sources.len() <= 1 {
+        return fanout_trees_serial(g, sources, lengths, pool, kind);
+    }
+    let width = crate::batch::fan_width(g.node_count());
+    let run_chunk = |chunk: &[NodeId]| -> Vec<ShortestPathTree> {
+        let mut batch = pool.lease_batch(g.node_count(), kind);
+        batch.run(g, chunk, lengths);
+        let trees = (0..chunk.len()).map(|lane| batch.to_tree(lane)).collect();
+        pool.give_back_batch(batch);
+        trees
+    };
+    // LANE_CHUNK-sized slices are the parallel work units; each worker
+    // sub-chunks its slice to the calibrated width. Index-ordered
+    // flattening keeps the output identical to the serial order.
+    let per_chunk: Vec<Vec<ShortestPathTree>> = if parallelism.is_serial() {
+        sources.chunks(width).map(run_chunk).collect()
+    } else {
+        let per_task: Vec<Vec<Vec<ShortestPathTree>>> = parallelism.install(|| {
+            sources
+                .par_chunks(crate::batch::LANE_CHUNK)
+                .map(|task| task.chunks(width).map(run_chunk).collect())
+                .collect()
+        });
+        per_task.into_iter().flatten().collect()
+    };
+    per_chunk.into_iter().flatten().collect()
+}
+
+/// Early-exit fan engines for arbitrary `(source, targets)` jobs: a
+/// lane per job, each computing its job's shortest-path fan and
+/// stopping once every node of that job's target set is settled. Jobs
+/// are packed into engine runs of [`fan_width`](crate::fan_width)
+/// lanes — the calibrated production width — so job `i` lands in
+/// engine `i / fan_width(n)`, lane `i % fan_width(n)`, in order;
+/// callers must index with the same function. The engine runs are
+/// split across `parallelism`'s workers in
+/// [`LANE_CHUNK`](crate::LANE_CHUNK)-job slices. This is the oracle
+/// fan-recompute shape: each session member fans to its own session's
+/// member set, possibly mixing sessions in one run. Settled distances,
+/// parents and paths are identical to per-source full runs at any
+/// width. Callers read the lanes they need and hand each engine back
+/// via [`WorkspacePool::give_back_batch`].
+#[must_use]
+pub fn run_fan_chunks_with(
+    g: &Graph,
+    jobs: &[(NodeId, &[NodeId])],
+    lengths: &[f64],
+    pool: &WorkspacePool,
+    kind: QueueKind,
+    parallelism: Parallelism,
+) -> Vec<crate::batch::BatchDijkstra> {
+    let width = crate::batch::fan_width(g.node_count());
+    debug_assert!(width <= crate::batch::LANE_CHUNK, "fan width capped by the tested lane count");
+    // The parallel leg slices jobs at LANE_CHUNK boundaries and
+    // sub-chunks each slice by `width`; the flattened engine order
+    // equals the serial `jobs.chunks(width)` order only when slice
+    // boundaries fall on width boundaries.
+    debug_assert_eq!(crate::batch::LANE_CHUNK % width, 0, "parallel split must align with width");
+    let run_chunk = |chunk: &[(NodeId, &[NodeId])]| -> crate::batch::BatchDijkstra {
+        let mut batch = pool.lease_batch(g.node_count(), kind);
+        // Gather on the stack: chunks never exceed LANE_CHUNK lanes.
+        let mut sources = [NodeId(0); crate::batch::LANE_CHUNK];
+        let mut targets: [&[NodeId]; crate::batch::LANE_CHUNK] = [&[]; crate::batch::LANE_CHUNK];
+        for (slot, &(src, tgts)) in chunk.iter().enumerate() {
+            sources[slot] = src;
+            targets[slot] = tgts;
+        }
+        batch.run_lane_targets(g, &sources[..chunk.len()], lengths, &targets[..chunk.len()]);
+        batch
+    };
+    if parallelism.is_serial() || jobs.len() <= crate::batch::LANE_CHUNK {
+        jobs.chunks(width).map(run_chunk).collect()
+    } else {
+        let per_task: Vec<Vec<crate::batch::BatchDijkstra>> = parallelism.install(|| {
+            jobs.par_chunks(crate::batch::LANE_CHUNK)
+                .map(|task| task.chunks(width).map(run_chunk).collect())
+                .collect()
+        });
+        per_task.into_iter().flatten().collect()
+    }
+}
+
 /// The serial twin of [`fanout_trees`]: one worker, same workspaces,
 /// same deterministic output. The determinism property test diffs the
 /// two; callers use it when single-threaded behaviour is wanted

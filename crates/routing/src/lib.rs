@@ -25,6 +25,7 @@
 //! keeps the frozen pre-CSR adjacency-list implementation as the
 //! bit-exactness oracle and bench baseline.
 
+pub mod batch;
 pub mod dijkstra;
 pub mod dynamic;
 pub mod fanout;
@@ -34,8 +35,13 @@ pub mod queue;
 pub mod reference;
 pub mod workspace;
 
+pub use batch::{fan_width, BatchDijkstra, LANE_CHUNK};
 pub use dijkstra::{dijkstra, dijkstra_with, ShortestPathTree};
-pub use fanout::{fanout_trees, fanout_trees_serial, fanout_trees_with};
+pub use fanout::run_fan_chunks_with;
+pub use fanout::{
+    fanout_trees, fanout_trees_batched, fanout_trees_batched_with, fanout_trees_serial,
+    fanout_trees_with,
+};
 pub use fixed::FixedRoutes;
 pub use path::Path;
 pub use queue::{DijkstraQueue, QueueKind};

@@ -1,8 +1,8 @@
 //! Pluggable priority queues for the Dijkstra hot path.
 //!
-//! All three disciplines realize **exactly the same total order** — pop
-//! the minimum `(dist, node)` pair, distances ascending, ties broken
-//! toward the lower node id — so swapping the queue never changes a
+//! All disciplines realize **exactly the same total order** — pop the
+//! minimum `(dist, payload)` pair, distances ascending, ties broken
+//! toward the smaller payload — so swapping the queue never changes a
 //! single relaxation and the computed trees stay bit-identical (pinned by
 //! `tests/prop.rs`). What changes is the constant factor:
 //!
@@ -16,12 +16,28 @@
 //!   algorithm, for the **bounded-length regimes** the Garg–Könemann
 //!   engine guarantees: lengths grow multiplicatively from `1/c_e` within
 //!   a bounded dynamic range per phase, so distances fall into a modest
-//!   number of width-`max_len` buckets. Buckets are visited in order and
-//!   each bucket is a tiny binary heap, preserving the exact global pop
-//!   order (unlike classic Dial, which needs integer lengths). The
-//!   monotonicity argument: a relaxation pushed after popping distance
-//!   `d` has distance `≥ d`, and the bucket index is monotone in the
-//!   distance, so no push ever lands before the cursor.
+//!   number of buckets. Buckets are visited in order and each bucket is a
+//!   tiny binary heap, preserving the exact global pop order (unlike
+//!   classic Dial, which needs integer lengths). The monotonicity
+//!   argument: a relaxation pushed after popping distance `d` has
+//!   distance `≥ d`, and the bucket index is monotone in the distance, so
+//!   no push ever lands before the cursor. The bucket width is
+//!   *calibrated* per run from the live length distribution (the mean,
+//!   clamped below by `max/256`): the old `width = max` choice collapsed
+//!   the whole frontier into a couple of giant bucket-heaps, which is why
+//!   `csr_dial` used to lose to the binary heap on every BENCH_routing
+//!   scenario.
+//! * [`QueueKind::Auto`] — resolves to Dial or Binary per run from the
+//!   same length statistics: Dial when the dynamic range `max/mean` is
+//!   bounded (the engine's scaled-length regime), Binary otherwise. The
+//!   choice is made once in [`DijkstraQueue::prepare`], so the inner loop
+//!   still dispatches monomorphically.
+//!
+//! Queues are generic over the payload `P` (defaulting to [`NodeId`]):
+//! the single-source workspace queues bare nodes, while the batched
+//! multi-source path ([`crate::BatchDijkstra`]) queues `(lane, node)`
+//! packed into a `u64` so one shared queue orders all K frontiers by
+//! `(dist, lane, node)`.
 //!
 //! See `docs/PERF.md` for selection guidance and measured numbers.
 
@@ -38,11 +54,17 @@ pub enum QueueKind {
     Quaternary,
     /// Bucket/Dial queue for bounded-length regimes.
     Dial,
+    /// Picks Dial or Binary per run from the length distribution.
+    Auto,
 }
 
 impl QueueKind {
     /// Every queue kind, in presentation order.
-    pub const ALL: [QueueKind; 3] = [QueueKind::Binary, QueueKind::Quaternary, QueueKind::Dial];
+    pub const ALL: [QueueKind; 4] =
+        [QueueKind::Binary, QueueKind::Quaternary, QueueKind::Dial, QueueKind::Auto];
+
+    /// The accepted spellings, for CLI error messages.
+    pub const VOCABULARY: &'static str = "`binary`, `quaternary`, `dial`, or `auto`";
 
     /// Stable lowercase name (used in the bench schemas).
     #[must_use]
@@ -51,6 +73,7 @@ impl QueueKind {
             Self::Binary => "binary",
             Self::Quaternary => "quaternary",
             Self::Dial => "dial",
+            Self::Auto => "auto",
         }
     }
 
@@ -60,53 +83,83 @@ impl QueueKind {
     pub fn parse(s: &str) -> Option<Self> {
         Self::ALL.iter().copied().find(|k| k.name().eq_ignore_ascii_case(s.trim()))
     }
-}
 
-/// Heap entry: `(tentative distance, node)`. Public only because the
-/// [`DijkstraQueue::Binary`] variant exposes its `BinaryHeap`; construct
-/// through [`DijkstraQueue::push`].
-#[derive(Debug, PartialEq)]
-pub struct HeapItem {
-    dist: f64,
-    node: NodeId,
-}
+    /// Pins the process-wide default discipline consumed by
+    /// [`Self::default_kind`] — the hook behind `repro --queue`. Only the
+    /// first call wins (returns `false` once a default is already pinned);
+    /// drivers should call it before constructing any oracle. Results are
+    /// discipline-independent, so this only changes constant factors.
+    pub fn set_process_default(kind: QueueKind) -> bool {
+        PROCESS_DEFAULT.set(kind).is_ok()
+    }
 
-impl Eq for HeapItem {}
-
-impl Ord for HeapItem {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Min-heap on distance, then on node id for determinism.
-        other
-            .dist
-            .partial_cmp(&self.dist)
-            .expect("no NaN lengths")
-            .then_with(|| other.node.0.cmp(&self.node.0))
+    /// The discipline components use when none is configured explicitly:
+    /// the pinned process default, or [`QueueKind::Binary`].
+    #[must_use]
+    pub fn default_kind() -> QueueKind {
+        PROCESS_DEFAULT.get().copied().unwrap_or(QueueKind::Binary)
     }
 }
 
-impl PartialOrd for HeapItem {
+/// See [`QueueKind::set_process_default`].
+static PROCESS_DEFAULT: std::sync::OnceLock<QueueKind> = std::sync::OnceLock::new();
+
+/// Heap entry: `(tentative distance, payload)`, with the distance stored
+/// as its raw IEEE-754 bits. Dijkstra distances are always non-negative
+/// finite sums of non-negative lengths (`0.0 + x` never produces `-0.0`),
+/// and for non-negative floats the bit pattern orders exactly like the
+/// value — so `(bits, payload)` lexicographic integer comparison realizes
+/// the same `(dist, payload)` total order as float comparison, one branch
+/// cheaper per sift step in every discipline. Equal values have equal
+/// bits in this range, so even tie-breaking is unchanged and pop order is
+/// bit-identical. Public only because the [`DijkstraQueue::Binary`]
+/// variant exposes its `BinaryHeap`; construct through
+/// [`DijkstraQueue::push`].
+#[derive(Debug, PartialEq)]
+pub struct HeapItem<P = NodeId> {
+    bits: u64,
+    node: P,
+}
+
+impl<P: Copy + Ord> Eq for HeapItem<P> {}
+
+impl<P: Copy + Ord> Ord for HeapItem<P> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on distance bits, then on payload for determinism.
+        other.bits.cmp(&self.bits).then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl<P: Copy + Ord> PartialOrd for HeapItem<P> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
 
-/// `(dist, node)` strict-weak-order "less" shared by the array-based
-/// queues: distance ascending, node id breaking ties.
+/// `(dist bits, payload)` strict-weak-order "less" shared by the
+/// array-based queues: distance ascending, payload breaking ties (see
+/// [`HeapItem`] for why integer bit comparison is order-exact here).
 #[inline]
-fn less(a: (f64, u32), b: (f64, u32)) -> bool {
+fn less<P: Copy + Ord>(a: (u64, P), b: (u64, P)) -> bool {
     a.0 < b.0 || (a.0 == b.0 && a.1 < b.1)
 }
 
-/// 4-ary min-heap over `(dist, node)` pairs in one flat array.
-#[derive(Debug, Default)]
-pub struct QuaternaryHeap {
-    items: Vec<(f64, u32)>,
+/// 4-ary min-heap over `(dist, payload)` pairs in one flat array.
+#[derive(Debug)]
+pub struct QuaternaryHeap<P = NodeId> {
+    items: Vec<(u64, P)>,
 }
 
-impl QuaternaryHeap {
+impl<P> Default for QuaternaryHeap<P> {
+    fn default() -> Self {
+        Self { items: Vec::new() }
+    }
+}
+
+impl<P: Copy + Ord> QuaternaryHeap<P> {
     const ARITY: usize = 4;
 
-    fn push(&mut self, item: (f64, u32)) {
+    fn push(&mut self, item: (u64, P)) {
         self.items.push(item);
         let mut i = self.items.len() - 1;
         while i > 0 {
@@ -120,7 +173,7 @@ impl QuaternaryHeap {
         }
     }
 
-    fn pop(&mut self) -> Option<(f64, u32)> {
+    fn pop(&mut self) -> Option<(u64, P)> {
         let last = self.items.len().checked_sub(1)?;
         self.items.swap(0, last);
         let top = self.items.pop().expect("nonempty");
@@ -156,9 +209,9 @@ impl QuaternaryHeap {
     }
 }
 
-/// Binary sift-up/down over a bucket's `(dist, node)` vector (the Dial
+/// Binary sift-up/down over a bucket's `(dist, payload)` vector (the Dial
 /// queue's per-bucket heap).
-fn bucket_push(bucket: &mut Vec<(f64, u32)>, item: (f64, u32)) {
+fn bucket_push<P: Copy + Ord>(bucket: &mut Vec<(u64, P)>, item: (u64, P)) {
     bucket.push(item);
     let mut i = bucket.len() - 1;
     while i > 0 {
@@ -172,7 +225,7 @@ fn bucket_push(bucket: &mut Vec<(f64, u32)>, item: (f64, u32)) {
     }
 }
 
-fn bucket_pop(bucket: &mut Vec<(f64, u32)>) -> Option<(f64, u32)> {
+fn bucket_pop<P: Copy + Ord>(bucket: &mut Vec<(u64, P)>) -> Option<(u64, P)> {
     let last = bucket.len().checked_sub(1)?;
     bucket.swap(0, last);
     let top = bucket.pop().expect("nonempty");
@@ -195,30 +248,31 @@ fn bucket_pop(bucket: &mut Vec<(f64, u32)>) -> Option<(f64, u32)> {
 }
 
 /// Forward-only bucket queue: bucket `⌊dist/width⌋`, cursor advancing
-/// monotonically, exact `(dist, node)` order within a bucket via a small
-/// binary heap. `width` is the run's maximum edge length (set by
-/// [`DijkstraQueue::prepare`]), which bounds the live bucket count by the
-/// hop diameter and guarantees pushes never land behind the cursor.
+/// monotonically, exact `(dist, payload)` order within a bucket via a
+/// small binary heap. Any positive width is order-correct (the bucket
+/// index is clamped to the cursor, so monotone pushes never land behind
+/// it); [`DijkstraQueue::prepare`] calibrates it from the run's length
+/// distribution so the buckets stay small.
 #[derive(Debug)]
-pub struct DialQueue {
+pub struct DialQueue<P = NodeId> {
     width_inv: f64,
-    buckets: Vec<Vec<(f64, u32)>>,
+    buckets: Vec<Vec<(u64, P)>>,
     cursor: usize,
     len: usize,
 }
 
-impl Default for DialQueue {
+impl<P> Default for DialQueue<P> {
     fn default() -> Self {
         Self { width_inv: 1.0, buckets: Vec::new(), cursor: 0, len: 0 }
     }
 }
 
-impl DialQueue {
-    /// Sets the bucket width for the coming run (the run's maximum edge
-    /// length; falls back to 1 when all lengths are zero) and resets.
-    fn prepare(&mut self, max_len: f64) {
-        debug_assert!(max_len.is_finite() && max_len >= 0.0);
-        self.width_inv = if max_len > 0.0 { max_len.recip() } else { 1.0 };
+impl<P: Copy + Ord> DialQueue<P> {
+    /// Sets the bucket width for the coming run (falls back to 1 when
+    /// the width is zero, i.e. all lengths are zero) and resets.
+    fn prepare(&mut self, width: f64) {
+        debug_assert!(width.is_finite() && width >= 0.0);
+        self.width_inv = if width > 0.0 { width.recip() } else { 1.0 };
         self.clear();
     }
 
@@ -230,8 +284,8 @@ impl DialQueue {
         idx.max(self.cursor)
     }
 
-    fn push(&mut self, item: (f64, u32)) {
-        let idx = self.bucket_index(item.0);
+    fn push(&mut self, item: (u64, P)) {
+        let idx = self.bucket_index(f64::from_bits(item.0));
         if idx >= self.buckets.len() {
             self.buckets.resize_with(idx + 1, Vec::new);
         }
@@ -239,7 +293,7 @@ impl DialQueue {
         self.len += 1;
     }
 
-    fn pop(&mut self) -> Option<(f64, u32)> {
+    fn pop(&mut self) -> Option<(u64, P)> {
         if self.len == 0 {
             return None;
         }
@@ -259,65 +313,70 @@ impl DialQueue {
     }
 }
 
-/// Monomorphic push/pop interface over the concrete queue types: the
-/// Dijkstra inner loop is generic over this, so the discipline is
-/// dispatched **once per run**, not once per heap operation (the
-/// enum-level [`DijkstraQueue::push`]/[`pop`](DijkstraQueue::pop) exist
-/// for callers outside the hot loop).
-pub(crate) trait QueueOps {
-    fn push_entry(&mut self, dist: f64, node: NodeId);
-    fn pop_entry(&mut self) -> Option<(f64, NodeId)>;
+/// The [`QueueKind::Auto`] state: both disciplines live here and
+/// [`DijkstraQueue::prepare`] flips `use_dial` per run, so the choice is
+/// made once per run and the inner loop still runs monomorphically on
+/// whichever queue was picked.
+#[derive(Debug)]
+pub struct AutoQueue<P = NodeId> {
+    pub(crate) heap: BinaryHeap<HeapItem<P>>,
+    pub(crate) dial: DialQueue<P>,
+    pub(crate) use_dial: bool,
 }
 
-impl QueueOps for BinaryHeap<HeapItem> {
-    #[inline]
-    fn push_entry(&mut self, dist: f64, node: NodeId) {
-        self.push(HeapItem { dist, node });
-    }
-
-    #[inline]
-    fn pop_entry(&mut self) -> Option<(f64, NodeId)> {
-        self.pop().map(|i| (i.dist, i.node))
+impl<P> Default for AutoQueue<P> {
+    fn default() -> Self {
+        Self { heap: BinaryHeap::new(), dial: DialQueue::default(), use_dial: false }
     }
 }
 
-impl QueueOps for QuaternaryHeap {
-    #[inline]
-    fn push_entry(&mut self, dist: f64, node: NodeId) {
-        self.push((dist, node.0));
-    }
+/// `max/mean` length ratio below which [`QueueKind::Auto`] picks the
+/// Dial queue. A bounded ratio means the calibrated bucket width keeps
+/// every bucket small (the engine's scaled-length regime); a long-tailed
+/// distribution makes the bucket walk pay more than the heap saves.
+const AUTO_DIAL_MAX_OVER_MEAN: f64 = 8.0;
 
-    #[inline]
-    fn pop_entry(&mut self) -> Option<(f64, NodeId)> {
-        self.pop().map(|(d, n)| (d, NodeId(n)))
+/// `(max, mean)` of a length array in one pass — the statistics both the
+/// Dial calibration and the Auto choice key off.
+fn length_stats(lengths: &[f64]) -> (f64, f64) {
+    let (mut max, mut sum) = (0.0f64, 0.0f64);
+    for &l in lengths {
+        max = max.max(l);
+        sum += l;
     }
+    let mean = if lengths.is_empty() { 0.0 } else { sum / lengths.len() as f64 };
+    (max, mean)
 }
 
-impl QueueOps for DialQueue {
-    #[inline]
-    fn push_entry(&mut self, dist: f64, node: NodeId) {
-        self.push((dist, node.0));
-    }
-
-    #[inline]
-    fn pop_entry(&mut self) -> Option<(f64, NodeId)> {
-        self.pop().map(|(d, n)| (d, NodeId(n)))
+/// The calibrated Dial bucket width for a run: the mean length, clamped
+/// below by `max/256` so a heavily skewed distribution cannot explode the
+/// bucket count. Purely a performance choice — any width pops the same
+/// order.
+fn dial_width(max: f64, mean: f64) -> f64 {
+    if max > 0.0 {
+        mean.max(max / 256.0)
+    } else {
+        0.0
     }
 }
 
 /// Enum-dispatched priority queue: one concrete type the workspace can
-/// hold while the discipline stays a runtime choice.
+/// hold while the discipline stays a runtime choice. Generic over the
+/// payload `P` ([`NodeId`] for single-source, a packed `(lane, node)`
+/// `u64` for the batched path).
 #[derive(Debug)]
-pub enum DijkstraQueue {
+pub enum DijkstraQueue<P = NodeId> {
     /// `std` binary heap.
-    Binary(BinaryHeap<HeapItem>),
+    Binary(BinaryHeap<HeapItem<P>>),
     /// 4-ary array heap.
-    Quaternary(QuaternaryHeap),
+    Quaternary(QuaternaryHeap<P>),
     /// Bucket/Dial queue.
-    Dial(DialQueue),
+    Dial(DialQueue<P>),
+    /// Per-run choice between Dial and Binary.
+    Auto(AutoQueue<P>),
 }
 
-impl DijkstraQueue {
+impl<P: Copy + Ord> DijkstraQueue<P> {
     /// An empty queue of the given discipline.
     #[must_use]
     pub fn new(kind: QueueKind) -> Self {
@@ -325,6 +384,7 @@ impl DijkstraQueue {
             QueueKind::Binary => Self::Binary(BinaryHeap::new()),
             QueueKind::Quaternary => Self::Quaternary(QuaternaryHeap::default()),
             QueueKind::Dial => Self::Dial(DialQueue::default()),
+            QueueKind::Auto => Self::Auto(AutoQueue::default()),
         }
     }
 
@@ -335,40 +395,54 @@ impl DijkstraQueue {
             Self::Binary(_) => QueueKind::Binary,
             Self::Quaternary(_) => QueueKind::Quaternary,
             Self::Dial(_) => QueueKind::Dial,
+            Self::Auto(_) => QueueKind::Auto,
         }
     }
 
-    /// Per-run setup: the Dial queue derives its bucket width from the
-    /// run's maximum edge length (one `O(E)` scan, done lazily here so
-    /// the heap disciplines never pay it); the heaps just clear.
+    /// Per-run setup: the Dial queue calibrates its bucket width from
+    /// the run's length distribution and the Auto queue additionally
+    /// picks its discipline (one `O(E)` scan, done lazily here so the
+    /// pure heap disciplines never pay it); the heaps just clear.
     pub fn prepare(&mut self, lengths: &[f64]) {
         match self {
             Self::Binary(h) => h.clear(),
             Self::Quaternary(h) => h.clear(),
             Self::Dial(d) => {
-                let max_len = lengths.iter().fold(0.0f64, |a, &b| a.max(b));
-                d.prepare(max_len);
+                let (max, mean) = length_stats(lengths);
+                d.prepare(dial_width(max, mean));
+            }
+            Self::Auto(a) => {
+                let (max, mean) = length_stats(lengths);
+                a.use_dial = max > 0.0 && max <= AUTO_DIAL_MAX_OVER_MEAN * mean;
+                a.heap.clear();
+                a.dial.prepare(dial_width(max, mean));
             }
         }
     }
 
-    /// Inserts a `(dist, node)` entry.
-    pub fn push(&mut self, dist: f64, node: NodeId) {
+    /// Inserts a `(dist, payload)` entry.
+    pub fn push(&mut self, dist: f64, node: P) {
+        let bits = dist.to_bits();
         match self {
-            Self::Binary(h) => h.push(HeapItem { dist, node }),
-            Self::Quaternary(h) => h.push((dist, node.0)),
-            Self::Dial(d) => d.push((dist, node.0)),
+            Self::Binary(h) => h.push(HeapItem { bits, node }),
+            Self::Quaternary(h) => h.push((bits, node)),
+            Self::Dial(d) => d.push((bits, node)),
+            Self::Auto(a) if a.use_dial => a.dial.push((bits, node)),
+            Self::Auto(a) => a.heap.push(HeapItem { bits, node }),
         }
     }
 
-    /// Removes and returns the minimum `(dist, node)` entry — the same
-    /// entry for every discipline.
-    pub fn pop(&mut self) -> Option<(f64, NodeId)> {
-        match self {
-            Self::Binary(h) => h.pop().map(|i| (i.dist, i.node)),
-            Self::Quaternary(h) => h.pop().map(|(d, n)| (d, NodeId(n))),
-            Self::Dial(d) => d.pop().map(|(d2, n)| (d2, NodeId(n))),
-        }
+    /// Removes and returns the minimum `(dist, payload)` entry — the
+    /// same entry for every discipline.
+    pub fn pop(&mut self) -> Option<(f64, P)> {
+        let raw = match self {
+            Self::Binary(h) => h.pop().map(|i| (i.bits, i.node)),
+            Self::Quaternary(h) => h.pop(),
+            Self::Dial(d) => d.pop(),
+            Self::Auto(a) if a.use_dial => a.dial.pop(),
+            Self::Auto(a) => a.heap.pop().map(|i| (i.bits, i.node)),
+        };
+        raw.map(|(bits, node)| (f64::from_bits(bits), node))
     }
 
     /// Number of queued entries.
@@ -378,6 +452,8 @@ impl DijkstraQueue {
             Self::Binary(h) => h.len(),
             Self::Quaternary(h) => h.len(),
             Self::Dial(d) => d.len,
+            Self::Auto(a) if a.use_dial => a.dial.len,
+            Self::Auto(a) => a.heap.len(),
         }
     }
 
@@ -385,6 +461,52 @@ impl DijkstraQueue {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Monomorphic push/pop interface over the concrete queue types: the
+/// Dijkstra inner loops are generic over this, so the discipline is
+/// dispatched **once per run**, not once per heap operation (the
+/// enum-level [`DijkstraQueue::push`]/[`pop`](DijkstraQueue::pop) exist
+/// for callers outside the hot loop).
+pub(crate) trait QueueOps<P> {
+    fn push_entry(&mut self, dist: f64, node: P);
+    fn pop_entry(&mut self) -> Option<(f64, P)>;
+}
+
+impl<P: Copy + Ord> QueueOps<P> for BinaryHeap<HeapItem<P>> {
+    #[inline]
+    fn push_entry(&mut self, dist: f64, node: P) {
+        self.push(HeapItem { bits: dist.to_bits(), node });
+    }
+
+    #[inline]
+    fn pop_entry(&mut self) -> Option<(f64, P)> {
+        self.pop().map(|i| (f64::from_bits(i.bits), i.node))
+    }
+}
+
+impl<P: Copy + Ord> QueueOps<P> for QuaternaryHeap<P> {
+    #[inline]
+    fn push_entry(&mut self, dist: f64, node: P) {
+        self.push((dist.to_bits(), node));
+    }
+
+    #[inline]
+    fn pop_entry(&mut self) -> Option<(f64, P)> {
+        self.pop().map(|(bits, node)| (f64::from_bits(bits), node))
+    }
+}
+
+impl<P: Copy + Ord> QueueOps<P> for DialQueue<P> {
+    #[inline]
+    fn push_entry(&mut self, dist: f64, node: P) {
+        self.push((dist.to_bits(), node));
+    }
+
+    #[inline]
+    fn pop_entry(&mut self) -> Option<(f64, P)> {
+        self.pop().map(|(bits, node)| (f64::from_bits(bits), node))
     }
 }
 
@@ -397,8 +519,8 @@ mod tests {
     /// Dijkstra does (every push after a pop is ≥ the popped dist).
     fn drain(kind: QueueKind, items: &[(f64, u32)]) -> Vec<(f64, u32)> {
         let mut q = DijkstraQueue::new(kind);
-        let max = items.iter().fold(0.0f64, |a, &(d, _)| a.max(d));
-        q.prepare(&[max]);
+        let lengths: Vec<f64> = items.iter().map(|&(d, _)| d).collect();
+        q.prepare(&lengths);
         for &(d, n) in items {
             q.push(d, NodeId(n));
         }
@@ -419,7 +541,7 @@ mod tests {
                 .map(|_| (rng.index(8) as f64 * 0.5, rng.index(12) as u32))
                 .collect();
             let reference = drain(QueueKind::Binary, &items);
-            for kind in [QueueKind::Quaternary, QueueKind::Dial] {
+            for kind in [QueueKind::Quaternary, QueueKind::Dial, QueueKind::Auto] {
                 assert_eq!(drain(kind, &items), reference, "{kind:?} diverged (round {round})");
             }
             // The reference really is sorted by (dist, node).
@@ -431,7 +553,7 @@ mod tests {
 
     #[test]
     fn dial_handles_monotone_interleaving() {
-        let mut q = DijkstraQueue::new(QueueKind::Dial);
+        let mut q: DijkstraQueue = DijkstraQueue::new(QueueKind::Dial);
         q.prepare(&[1.0, 2.0, 0.5]);
         q.push(0.0, NodeId(0));
         let (d0, n0) = q.pop().unwrap();
@@ -449,7 +571,7 @@ mod tests {
 
     #[test]
     fn zero_lengths_fall_back_to_unit_width() {
-        let mut q = DijkstraQueue::new(QueueKind::Dial);
+        let mut q: DijkstraQueue = DijkstraQueue::new(QueueKind::Dial);
         q.prepare(&[0.0, 0.0]);
         q.push(0.0, NodeId(5));
         q.push(0.0, NodeId(1));
@@ -462,8 +584,85 @@ mod tests {
         for kind in QueueKind::ALL {
             assert_eq!(QueueKind::parse(kind.name()), Some(kind));
             assert_eq!(QueueKind::parse(&kind.name().to_uppercase()), Some(kind));
+            assert!(QueueKind::VOCABULARY.contains(kind.name()), "vocabulary must list {kind:?}");
         }
         assert_eq!(QueueKind::parse("fibonacci"), None);
-        assert_eq!(DijkstraQueue::new(QueueKind::Quaternary).kind(), QueueKind::Quaternary);
+        let q: DijkstraQueue = DijkstraQueue::new(QueueKind::Quaternary);
+        assert_eq!(q.kind(), QueueKind::Quaternary);
+    }
+
+    /// Auto picks Dial exactly when the `max/mean` ratio is bounded, and
+    /// both resolutions pop the documented order.
+    #[test]
+    fn auto_resolves_per_run_from_length_stats() {
+        let mut q: DijkstraQueue = DijkstraQueue::new(QueueKind::Auto);
+        assert_eq!(q.kind(), QueueKind::Auto);
+
+        // Tight distribution: Dial territory.
+        q.prepare(&[1.0, 1.1, 0.9, 1.0]);
+        match &q {
+            DijkstraQueue::Auto(a) => assert!(a.use_dial, "bounded ratio must pick Dial"),
+            _ => unreachable!(),
+        }
+        q.push(0.5, NodeId(2));
+        q.push(0.5, NodeId(1));
+        q.push(0.1, NodeId(9));
+        assert_eq!(q.pop().unwrap().1 .0, 9);
+        assert_eq!(q.pop().unwrap().1 .0, 1);
+        assert_eq!(q.pop().unwrap().1 .0, 2);
+
+        // Long tail: one huge outlier over many tiny lengths — Binary.
+        let mut skewed = vec![1e-6; 1000];
+        skewed.push(1.0);
+        q.prepare(&skewed);
+        match &q {
+            DijkstraQueue::Auto(a) => assert!(!a.use_dial, "long tail must pick Binary"),
+            _ => unreachable!(),
+        }
+        q.push(0.5, NodeId(2));
+        q.push(0.1, NodeId(9));
+        assert_eq!(q.pop().unwrap().1 .0, 9);
+        assert_eq!(q.pop().unwrap().1 .0, 2);
+    }
+
+    /// The calibrated width keeps skewed distributions order-correct:
+    /// the clamp `mean.max(max/256)` only changes bucket shape, never
+    /// the pop order.
+    #[test]
+    fn calibrated_width_preserves_order_on_skewed_lengths() {
+        let mut rng = Xoshiro256pp::new(7);
+        let mut items = Vec::new();
+        for _ in 0..200 {
+            // Mostly tiny distances with occasional huge outliers.
+            let d = if rng.index(10) == 0 {
+                rng.index(1000) as f64
+            } else {
+                rng.index(50) as f64 * 1e-3
+            };
+            items.push((d, rng.index(64) as u32));
+        }
+        let reference = drain(QueueKind::Binary, &items);
+        assert_eq!(drain(QueueKind::Dial, &items), reference);
+    }
+
+    /// `u64` payloads (the batched path's packed `(lane, node)` key)
+    /// order by distance then payload — lane-major, node within lane.
+    #[test]
+    fn u64_payloads_order_by_dist_then_lane_then_node() {
+        for kind in QueueKind::ALL {
+            let mut q: DijkstraQueue<u64> = DijkstraQueue::new(kind);
+            q.prepare(&[1.0]);
+            let pack = |lane: u64, node: u64| (lane << 32) | node;
+            q.push(0.5, pack(1, 0));
+            q.push(0.5, pack(0, 7));
+            q.push(0.5, pack(0, 3));
+            q.push(0.2, pack(2, 9));
+            let order: Vec<(f64, u64)> = std::iter::from_fn(|| q.pop()).collect();
+            assert_eq!(
+                order,
+                vec![(0.2, pack(2, 9)), (0.5, pack(0, 3)), (0.5, pack(0, 7)), (0.5, pack(1, 0)),],
+                "{kind:?}"
+            );
+        }
     }
 }

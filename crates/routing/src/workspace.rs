@@ -193,11 +193,17 @@ impl DijkstraWorkspace {
             DijkstraQueue::Binary(q) => self.run_loop(g, src, lengths, targets, q),
             DijkstraQueue::Quaternary(q) => self.run_loop(g, src, lengths, targets, q),
             DijkstraQueue::Dial(q) => self.run_loop(g, src, lengths, targets, q),
+            // Auto resolved its discipline in `prepare`; dispatch to the
+            // chosen inner queue so the loop stays monomorphic.
+            DijkstraQueue::Auto(a) if a.use_dial => {
+                self.run_loop(g, src, lengths, targets, &mut a.dial);
+            }
+            DijkstraQueue::Auto(a) => self.run_loop(g, src, lengths, targets, &mut a.heap),
         }
         self.queue = queue;
     }
 
-    fn run_loop<Q: QueueOps>(
+    fn run_loop<Q: QueueOps<NodeId>>(
         &mut self,
         g: &Graph,
         src: NodeId,
@@ -405,6 +411,9 @@ impl ShortestPath for DijkstraWorkspace {
 #[derive(Debug, Default)]
 pub struct WorkspacePool {
     free: std::sync::Mutex<Vec<DijkstraWorkspace>>,
+    /// Batched multi-source engines, pooled separately (their lane
+    /// storage is K× a single workspace, worth recycling on its own).
+    free_batches: std::sync::Mutex<Vec<crate::batch::BatchDijkstra>>,
     parallelism: omcf_numerics::Parallelism,
 }
 
@@ -457,15 +466,43 @@ impl WorkspacePool {
         self.free.lock().expect("workspace pool poisoned").push(ws);
     }
 
+    /// Leases a batched multi-source engine sized for `n` nodes with the
+    /// given queue discipline: recycles a pooled one of the exact size
+    /// if available (retargeting its discipline in place), otherwise
+    /// allocates fresh. Lane storage adapts to each run's source count.
+    #[must_use]
+    pub fn lease_batch(&self, n: usize, kind: QueueKind) -> crate::batch::BatchDijkstra {
+        let mut free = self.free_batches.lock().expect("workspace pool poisoned");
+        if let Some(pos) = free.iter().position(|b| b.node_count() == n) {
+            let mut b = free.swap_remove(pos);
+            b.set_queue_kind(kind);
+            b
+        } else {
+            crate::batch::BatchDijkstra::with_queue(n, kind)
+        }
+    }
+
+    /// Returns a batched engine to the pool for future leases.
+    pub fn give_back_batch(&self, b: crate::batch::BatchDijkstra) {
+        self.free_batches.lock().expect("workspace pool poisoned").push(b);
+    }
+
+    /// Number of idle pooled batched engines.
+    #[must_use]
+    pub fn idle_batches(&self) -> usize {
+        self.free_batches.lock().expect("workspace pool poisoned").len()
+    }
+
     /// Number of idle pooled workspaces.
     #[must_use]
     pub fn idle(&self) -> usize {
         self.free.lock().expect("workspace pool poisoned").len()
     }
 
-    /// Drops all pooled workspaces.
+    /// Drops all pooled workspaces and batched engines.
     pub fn clear(&self) {
         self.free.lock().expect("workspace pool poisoned").clear();
+        self.free_batches.lock().expect("workspace pool poisoned").clear();
     }
 }
 

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers LIST]
-//!       [--threads N|serial|auto] <artifact>...
+//!       [--threads N|serial|auto] [--queue binary|quaternary|dial|auto]
+//!       <artifact>...
 //!
 //! artifacts: fig1 table2 fig2 table4 fig3 fig4 fig5 fig6
 //!            table7 table8 fig7 fig8 fig9 fig10 fig11
@@ -31,9 +32,17 @@
 //! `OMCF_THREADS` environment variable, which beats the `auto` default.
 //! Every artifact is byte-identical under every policy — threads change
 //! wall-clock time only (see docs/PERF.md).
+//!
+//! `--queue` pins the priority-queue discipline of every oracle Dijkstra
+//! (default `binary`; `auto` calibrates Dial vs. binary per run from the
+//! live length distribution). Like `--threads`, it can never change a
+//! byte of any artifact — all disciplines compute bit-identical trees —
+//! so it exists purely to measure and exploit constant-factor differences
+//! (see docs/PERF.md).
 
 use omcf_core::solver::SolverKind;
 use omcf_core::Parallelism;
+use omcf_routing::QueueKind;
 use omcf_runtime::{replay_churn, ReplayConfig};
 use omcf_sim::experiments::{evaluation, fig1, part_one, sensitivity, Config};
 use omcf_sim::figures::Figure;
@@ -50,6 +59,7 @@ struct Cli {
     artifacts: Vec<String>,
     solvers: Vec<SolverKind>,
     parallelism: Parallelism,
+    queue: QueueKind,
 }
 
 /// Every artifact name `repro` accepts, in presentation order.
@@ -91,6 +101,7 @@ fn parse_args() -> Cli {
     let mut artifacts = Vec::new();
     let mut solvers = SolverKind::ALL.to_vec();
     let mut threads_flag: Option<Parallelism> = None;
+    let mut queue = QueueKind::Binary;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -99,6 +110,14 @@ fn parse_args() -> Cli {
                     die(&format!("--threads needs a value: {}", Parallelism::VOCABULARY))
                 });
                 threads_flag = Some(Parallelism::parse(&value).unwrap_or_else(|e| die(&e)));
+            }
+            "--queue" => {
+                let value = args.next().unwrap_or_else(|| {
+                    die(&format!("--queue needs a value: {}", QueueKind::VOCABULARY))
+                });
+                queue = QueueKind::parse(&value).unwrap_or_else(|| {
+                    die(&format!("unknown queue `{value}`; valid kinds: {}", QueueKind::VOCABULARY))
+                });
             }
             "--paper" => cfg.scale = Scale::Paper,
             "--micro" => cfg.scale = Scale::Micro,
@@ -149,17 +168,19 @@ fn parse_args() -> Cli {
     // so typos in CI configs fail loudly).
     let env_policy = Parallelism::from_env().unwrap_or_else(|e| die(&e));
     let parallelism = threads_flag.unwrap_or(env_policy);
-    Cli { cfg, out, artifacts, solvers, parallelism }
+    Cli { cfg, out, artifacts, solvers, parallelism, queue }
 }
 
 const HELP: &str = "repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers LIST] \
-     [--threads N|serial|auto] <artifact>...\n\
+     [--threads N|serial|auto] [--queue binary|quaternary|dial|auto] <artifact>...\n\
   artifacts: fig1 table2 fig2 table4 fig3 fig4 fig5 fig6 table7 table8\n\
              fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16\n\
              fig17 fig18 fig19 part-one evaluation sensitivity sweep replay all\n\
   --solvers: comma-separated subset of the sweep solvers (case-insensitive)\n\
   --threads: execution policy for parallel regions (default auto; flag beats\n\
-             the OMCF_THREADS env var). Output bytes never depend on it.";
+             the OMCF_THREADS env var). Output bytes never depend on it.\n\
+  --queue:   priority-queue discipline for oracle Dijkstras (default binary).\n\
+             Output bytes never depend on it either.";
 
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}\n{HELP}");
@@ -201,12 +222,16 @@ fn main() {
     let _ = rayon::ThreadPoolBuilder::new()
         .num_threads(cli.parallelism.effective_threads().get())
         .build_global();
+    // Pin the oracle queue discipline before any oracle is constructed
+    // (first set wins process-wide).
+    let _ = QueueKind::set_process_default(cli.queue);
     let t0 = std::time::Instant::now();
     println!(
-        "# repro scale={:?} seed={} threads={} out={}\n",
+        "# repro scale={:?} seed={} threads={} queue={} out={}\n",
         cfg.scale,
         cfg.seed,
         cli.parallelism.label(),
+        cli.queue.name(),
         out.display()
     );
 

@@ -315,6 +315,51 @@ impl<T: Send> IntoParallelIterator for Vec<T> {
     }
 }
 
+/// The trait providing `.par_chunks()` on slices
+/// (`rayon::slice::ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over non-overlapping chunks of `chunk_size`
+    /// items (the last chunk may be shorter), in slice order.
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ChunksIter<'_, T> {
+        assert!(chunk_size != 0, "chunk_size must be non-zero");
+        ChunksIter { slice: self, chunk_size }
+    }
+}
+
+/// Parallel iterator over slice chunks (`rayon::slice::Chunks`). Splits
+/// happen only on chunk boundaries, so every chunk a worker sees is
+/// exactly the chunk the sequential `slice.chunks()` would produce.
+pub struct ChunksIter<'data, T> {
+    slice: &'data [T],
+    chunk_size: usize,
+}
+
+impl<'data, T: Sync> ParallelIterator for ChunksIter<'data, T> {
+    type Item = &'data [T];
+    type SeqIter = std::slice::Chunks<'data, T>;
+
+    fn pi_len(&self) -> usize {
+        self.slice.len().div_ceil(self.chunk_size)
+    }
+
+    fn pi_split_at(self, index: usize) -> (Self, Self) {
+        let mid = (index * self.chunk_size).min(self.slice.len());
+        let (left, right) = self.slice.split_at(mid);
+        (
+            ChunksIter { slice: left, chunk_size: self.chunk_size },
+            ChunksIter { slice: right, chunk_size: self.chunk_size },
+        )
+    }
+
+    fn pi_seq(self) -> Self::SeqIter {
+        self.slice.chunks(self.chunk_size)
+    }
+}
+
 /// Parallel iterator over an integer range.
 pub struct RangeIter<T> {
     range: Range<T>,

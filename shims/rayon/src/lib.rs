@@ -40,6 +40,7 @@ use registry::{current_worker, Registry};
 pub mod prelude {
     pub use crate::iter::{
         FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSlice,
     };
 }
 
@@ -232,6 +233,16 @@ mod tests {
         let v = vec![1, 2, 3, 4];
         let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
         assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_chunks_matches_sequential_chunks() {
+        let v: Vec<usize> = (0..103).collect();
+        let p = pool(4);
+        let sums: Vec<usize> =
+            p.install(|| v.par_chunks(10).map(|c| c.iter().sum::<usize>()).collect());
+        let expected: Vec<usize> = v.chunks(10).map(|c| c.iter().sum()).collect();
+        assert_eq!(sums, expected, "chunk boundaries must match the sequential chunks");
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! repo's engine perf trajectory.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use omcf_core::{max_flow, ApproxParams, MaxFlowOutcome};
+use omcf_core::{max_flow, ApproxParams, AugmentMode, MaxFlowOutcome};
 use omcf_numerics::{jsonfmt, Xoshiro256pp};
 use omcf_overlay::SessionSet;
 use omcf_overlay::{random_sessions, CacheStats, DynamicOracle, FixedIpOracle, TreeOracle};
@@ -146,6 +146,33 @@ fn ab_json<O: TreeOracle + ?Sized, U: TreeOracle + ?Sized>(
         .pretty(1)
 }
 
+/// Per-edge vs batched augment application on the uncached multi-session
+/// point, as a rendered JSON object. The process default is flipped per
+/// leg (engines read it at construction), and the two legs' outcomes are
+/// asserted bit-identical first — the augment mode is a pure
+/// when-to-write choice, never a what.
+fn augment_ab_json(g: &Graph, sessions: &SessionSet, ratio: f64, runs: usize) -> String {
+    let oracle = DynamicOracle::uncached(g, sessions);
+    AugmentMode::set_process_default(AugmentMode::PerEdge);
+    let reference = run_m1(g, &oracle, ratio);
+    AugmentMode::set_process_default(AugmentMode::Batched);
+    let batched_out = run_m1(g, &oracle, ratio);
+    assert_eq!(reference.mst_ops, batched_out.mst_ops, "augment mode must not change the schedule");
+    for (a, b) in reference.summary.session_rates.iter().zip(&batched_out.summary.session_rates) {
+        assert_eq!(a.to_bits(), b.to_bits(), "augment mode must be bit-invisible");
+    }
+    AugmentMode::set_process_default(AugmentMode::PerEdge);
+    let (p_ms, p_ops, _) = measure(g, &oracle, ratio, runs, || oracle.cache_stats());
+    AugmentMode::set_process_default(AugmentMode::Batched);
+    let (b_ms, b_ops, _) = measure(g, &oracle, ratio, runs, || oracle.cache_stats());
+    assert_eq!(p_ops, b_ops, "augment mode must not change the oracle call count");
+    jsonfmt::JsonObject::new()
+        .field("per_edge_wall_ms_median", jsonfmt::fixed(p_ms, 3))
+        .field("batched_wall_ms_median", jsonfmt::fixed(b_ms, 3))
+        .field("augment_speedup", jsonfmt::fixed(p_ms / b_ms, 3))
+        .inline()
+}
+
 /// Not a throughput bench: measures once and writes `BENCH_engine.json`.
 fn emit_bench_json(_c: &mut Criterion) {
     let runs = 5;
@@ -162,6 +189,7 @@ fn emit_bench_json(_c: &mut Criterion) {
     let mu = DynamicOracle::uncached(&gm, &sm);
     let multi_dyn =
         ab_json(&gm, &mc, || mc.cache_stats(), &mu, || mu.cache_stats(), MULTI_RATIO, runs);
+    let multi_augment = augment_ab_json(&gm, &sm, MULTI_RATIO, runs);
 
     let mut json = jsonfmt::JsonObject::new()
         .text("bench", "solver_engine")
@@ -173,6 +201,7 @@ fn emit_bench_json(_c: &mut Criterion) {
         .field("scenario_a_fast_dynamic", scen_dyn)
         .field("scenario_a_fast_fixed", scen_fix)
         .field("multi_session_dynamic", multi_dyn)
+        .field("multi_session_augment", multi_augment)
         .pretty(0);
     json.push('\n');
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

@@ -56,8 +56,9 @@
 use crate::dijkstra::ShortestPathTree;
 use crate::path::Path;
 use crate::queue::{DijkstraQueue, QueueKind, QueueOps};
+use crate::slots::{ArcMirror, ArcWeights, EdgeIndexed, NodeSlot, NO_PARENT};
 use crate::workspace::ShortestPath;
-use omcf_topology::{EdgeId, Graph, NodeId};
+use omcf_topology::{Graph, NodeId};
 use std::collections::BinaryHeap;
 
 /// Default lane-chunk width for batched fan-outs: sources are grouped
@@ -133,8 +134,9 @@ impl LaneTargets<'_> {
     }
 }
 
-/// Pre-allocated K-source shortest-path state: K lanes of
-/// dist/parent/stamp, node-major (`slot = node * k + lane`), one shared
+/// Pre-allocated K-source shortest-path state: K lanes of packed
+/// `NodeSlot` records (distance, parent link and state word in one
+/// 24-byte struct), node-major (`slot = node * k + lane`), one shared
 /// queue. Reusable across runs like [`DijkstraWorkspace`] — generation
 /// stamps make resets O(1) — and across lane counts (changing K between
 /// runs just re-shapes the lanes).
@@ -146,9 +148,10 @@ pub struct BatchDijkstra {
     /// Lane count of the last run (0 before any run).
     k: usize,
     sources: Vec<NodeId>,
-    dist: Vec<f64>,
-    parent: Vec<Option<(EdgeId, NodeId)>>,
-    state: Vec<u32>,
+    /// `n * k` packed relaxation records (see `NodeSlot`): one
+    /// location per relaxation where three parallel lane arrays used to
+    /// cost three cache lines.
+    slots: Vec<NodeSlot>,
     gen: u32,
     queue: DijkstraQueue<u64>,
     /// Per-lane early-exit bookkeeping, kept allocated across runs.
@@ -172,9 +175,7 @@ impl BatchDijkstra {
             n,
             k: 0,
             sources: Vec::new(),
-            dist: Vec::new(),
-            parent: Vec::new(),
-            state: Vec::new(),
+            slots: Vec::new(),
             gen: 0,
             queue: DijkstraQueue::new(kind),
             pending: Vec::new(),
@@ -223,26 +224,24 @@ impl BatchDijkstra {
             // stamps land at arbitrary slots — harmless, they are all
             // `< gen` after the bump below and read as untouched.
             self.k = k;
-            self.dist.clear();
-            self.dist.resize(self.n * k, f64::INFINITY);
-            self.parent.clear();
-            self.parent.resize(self.n * k, None);
-            self.state.clear();
-            self.state.resize(self.n * k, 0);
+            self.slots.clear();
+            self.slots.resize(self.n * k, NodeSlot::UNREACHED);
         }
         if self.gen > u32::MAX - GEN_STRIDE {
             // Stamp wrap: hard-reset so stale stamps can never alias.
-            self.state.fill(0);
+            for s in &mut self.slots {
+                s.state = 0;
+            }
             self.gen = 0;
         }
         self.gen += GEN_STRIDE;
         self.sources.clear();
         self.sources.extend_from_slice(sources);
         for (lane, &s) in sources.iter().enumerate() {
-            let i = s.idx() * k + lane;
-            self.dist[i] = 0.0;
-            self.parent[i] = None;
-            self.state[i] = self.gen;
+            let slot = &mut self.slots[s.idx() * k + lane];
+            slot.dist = 0.0;
+            slot.clear_parent();
+            slot.state = self.gen;
         }
         self.pending.clear();
         self.pending.resize(k, 0);
@@ -252,9 +251,9 @@ impl BatchDijkstra {
 
     #[inline]
     fn tentative(&self, lane: usize, v: usize) -> f64 {
-        let i = v * self.k + lane;
-        if self.state[i] >= self.gen {
-            self.dist[i]
+        let s = &self.slots[v * self.k + lane];
+        if s.state >= self.gen {
+            s.dist
         } else {
             f64::INFINITY
         }
@@ -264,7 +263,22 @@ impl BatchDijkstra {
     /// every reachable node in every lane. Lane `i`'s results are
     /// bit-identical to a single-source run from `sources[i]`.
     pub fn run(&mut self, g: &Graph, sources: &[NodeId], lengths: &[f64]) {
-        self.run_inner(g, sources, lengths, &LaneTargets::None);
+        self.run_inner(g, sources, lengths, EdgeIndexed(lengths), &LaneTargets::None);
+    }
+
+    /// [`Self::run`] with a pre-gathered arc-order weight mirror (see
+    /// [`Self::run_lane_targets_arcs`]). Same weights, bit-identical
+    /// results; the mirror is worth building only when several runs
+    /// share one length assignment.
+    pub(crate) fn run_arcs(
+        &mut self,
+        g: &Graph,
+        sources: &[NodeId],
+        lengths: &[f64],
+        arcs: &[f64],
+    ) {
+        debug_assert_eq!(arcs.len(), g.csr().arc_count(), "arc mirror size mismatch");
+        self.run_inner(g, sources, lengths, ArcMirror(arcs), &LaneTargets::None);
     }
 
     /// Like [`Self::run`] but every lane stops as soon as all of
@@ -278,7 +292,7 @@ impl BatchDijkstra {
         targets: &[NodeId],
     ) {
         debug_assert!(!targets.is_empty(), "run_targets needs at least one target");
-        self.run_inner(g, sources, lengths, &LaneTargets::Shared(targets));
+        self.run_inner(g, sources, lengths, EdgeIndexed(lengths), &LaneTargets::Shared(targets));
     }
 
     /// Like [`Self::run_targets`] but lane `i` stops on its own set
@@ -293,14 +307,37 @@ impl BatchDijkstra {
         targets: &[&[NodeId]],
     ) {
         assert_eq!(targets.len(), sources.len(), "one target set per lane");
-        self.run_inner(g, sources, lengths, &LaneTargets::PerLane(targets));
+        self.run_inner(g, sources, lengths, EdgeIndexed(lengths), &LaneTargets::PerLane(targets));
     }
 
-    fn run_inner(
+    /// [`Self::run_lane_targets`] with a pre-gathered arc-order weight
+    /// mirror (`arcs[a] = lengths[arc_edges[a]]`, see
+    /// [`CsrGraph::fill_arc_lengths`]): the relax loop streams the
+    /// contiguous mirror instead of gathering through the edge-id
+    /// table. Same weights, so results stay bit-identical — the fan
+    /// driver builds the mirror once per length assignment and shares
+    /// it across every chunk.
+    ///
+    /// [`CsrGraph::fill_arc_lengths`]: omcf_topology::CsrGraph::fill_arc_lengths
+    pub(crate) fn run_lane_targets_arcs(
         &mut self,
         g: &Graph,
         sources: &[NodeId],
         lengths: &[f64],
+        arcs: &[f64],
+        targets: &[&[NodeId]],
+    ) {
+        assert_eq!(targets.len(), sources.len(), "one target set per lane");
+        debug_assert_eq!(arcs.len(), g.csr().arc_count(), "arc mirror size mismatch");
+        self.run_inner(g, sources, lengths, ArcMirror(arcs), &LaneTargets::PerLane(targets));
+    }
+
+    fn run_inner<W: ArcWeights>(
+        &mut self,
+        g: &Graph,
+        sources: &[NodeId],
+        lengths: &[f64],
+        weights: W,
         targets: &LaneTargets<'_>,
     ) {
         assert_eq!(lengths.len(), g.edge_count(), "length table size mismatch");
@@ -320,23 +357,23 @@ impl BatchDijkstra {
             // specialized loop instead (identical results, ~15% less
             // constant factor; see the module docs).
             match &mut queue {
-                DijkstraQueue::Binary(q) => self.run_loop_single(g, lengths, targets, q),
-                DijkstraQueue::Quaternary(q) => self.run_loop_single(g, lengths, targets, q),
-                DijkstraQueue::Dial(q) => self.run_loop_single(g, lengths, targets, q),
+                DijkstraQueue::Binary(q) => self.run_loop_single(g, weights, targets, q),
+                DijkstraQueue::Quaternary(q) => self.run_loop_single(g, weights, targets, q),
+                DijkstraQueue::Dial(q) => self.run_loop_single(g, weights, targets, q),
                 DijkstraQueue::Auto(a) if a.use_dial => {
-                    self.run_loop_single(g, lengths, targets, &mut a.dial);
+                    self.run_loop_single(g, weights, targets, &mut a.dial);
                 }
-                DijkstraQueue::Auto(a) => self.run_loop_single(g, lengths, targets, &mut a.heap),
+                DijkstraQueue::Auto(a) => self.run_loop_single(g, weights, targets, &mut a.heap),
             }
         } else {
             match &mut queue {
-                DijkstraQueue::Binary(q) => self.run_loop(g, lengths, targets, q),
-                DijkstraQueue::Quaternary(q) => self.run_loop(g, lengths, targets, q),
-                DijkstraQueue::Dial(q) => self.run_loop(g, lengths, targets, q),
+                DijkstraQueue::Binary(q) => self.run_loop(g, weights, targets, q),
+                DijkstraQueue::Quaternary(q) => self.run_loop(g, weights, targets, q),
+                DijkstraQueue::Dial(q) => self.run_loop(g, weights, targets, q),
                 DijkstraQueue::Auto(a) if a.use_dial => {
-                    self.run_loop(g, lengths, targets, &mut a.dial);
+                    self.run_loop(g, weights, targets, &mut a.dial);
                 }
-                DijkstraQueue::Auto(a) => self.run_loop(g, lengths, targets, &mut a.heap),
+                DijkstraQueue::Auto(a) => self.run_loop(g, weights, targets, &mut a.heap),
             }
         }
         self.queue = queue;
@@ -348,10 +385,10 @@ impl BatchDijkstra {
     /// relaxation order and the early-exit point are exactly the
     /// generic loop's lane-0 behaviour, so results stay bit-identical —
     /// this only removes the lane indirection from the hot loop.
-    fn run_loop_single<Q: QueueOps<u64>>(
+    fn run_loop_single<W: ArcWeights, Q: QueueOps<u64>>(
         &mut self,
         g: &Graph,
-        lengths: &[f64],
+        weights: W,
         targets: &LaneTargets<'_>,
         queue: &mut Q,
     ) {
@@ -359,15 +396,15 @@ impl BatchDijkstra {
         let has_targets = !targets.is_none();
         let mut pending = 0usize;
         for &t in targets.for_lane(0) {
-            let i = t.idx();
-            let s = self.state[i];
+            let slot = &mut self.slots[t.idx()];
+            let s = slot.state;
             if s < gen {
-                self.state[i] = gen | STATE_TARGET;
-                self.dist[i] = f64::INFINITY;
-                self.parent[i] = None;
+                slot.state = gen | STATE_TARGET;
+                slot.dist = f64::INFINITY;
+                slot.clear_parent();
                 pending += 1;
             } else if s & STATE_TARGET == 0 {
-                self.state[i] = s | STATE_TARGET;
+                slot.state = s | STATE_TARGET;
                 pending += 1;
             }
         }
@@ -375,12 +412,11 @@ impl BatchDijkstra {
         let csr = g.csr();
         while let Some((d, payload)) = queue.pop_entry() {
             let u = NodeId(payload as u32);
-            let iu = u.idx();
-            let su = self.state[iu];
+            let su = self.slots[u.idx()].state;
             if su >= gen + STATE_DONE {
                 continue;
             }
-            self.state[iu] = su | STATE_DONE;
+            self.slots[u.idx()].state = su | STATE_DONE;
             if has_targets && su & STATE_TARGET != 0 {
                 pending -= 1;
                 if pending == 0 {
@@ -390,22 +426,25 @@ impl BatchDijkstra {
                 }
             }
             let (arc_edges, heads) = csr.arc_slices(u);
-            for (&e, &v) in arc_edges.iter().zip(heads) {
-                let iv = v.idx();
-                let sv = self.state[iv];
+            let base = csr.arc_range(u).start;
+            for (k, (&e, &v)) in arc_edges.iter().zip(heads).enumerate() {
+                let nd = d + weights.weight(base + k, e);
+                let slot = &mut self.slots[v.idx()];
+                let sv = slot.state;
                 if sv >= gen + STATE_DONE {
                     continue;
                 }
-                let nd = d + lengths[e.idx()];
-                let cur = if sv >= gen { self.dist[iv] } else { f64::INFINITY };
+                let cur = if sv >= gen { slot.dist } else { f64::INFINITY };
                 let better = nd < cur
-                    // Same deterministic tie-break as every other loop.
-                    || (nd == cur && self.parent[iv].is_some_and(|(_, p)| u.0 < p.0));
+                    // Same deterministic tie-break as every other loop
+                    // (the sentinel check keeps "no parent" out of it).
+                    || (nd == cur && slot.parent_node != NO_PARENT && u.0 < slot.parent_node);
                 if better {
-                    self.dist[iv] = nd;
-                    self.parent[iv] = Some((e, u));
+                    slot.dist = nd;
+                    slot.parent_edge = e.0;
+                    slot.parent_node = u.0;
                     if sv < gen {
-                        self.state[iv] = gen;
+                        slot.state = gen;
                     }
                     queue.push_entry(nd, u64::from(v.0));
                 }
@@ -413,10 +452,10 @@ impl BatchDijkstra {
         }
     }
 
-    fn run_loop<Q: QueueOps<u64>>(
+    fn run_loop<W: ArcWeights, Q: QueueOps<u64>>(
         &mut self,
         g: &Graph,
-        lengths: &[f64],
+        weights: W,
         targets: &LaneTargets<'_>,
         queue: &mut Q,
     ) {
@@ -428,18 +467,18 @@ impl BatchDijkstra {
         let mut active = k;
         for lane in 0..k {
             for &t in targets.for_lane(lane) {
-                let i = t.idx() * k + lane;
-                let s = self.state[i];
+                let slot = &mut self.slots[t.idx() * k + lane];
+                let s = slot.state;
                 if s < gen {
                     // Stamp as target; pre-set the unreached defaults so
                     // the stamp alone makes dist/parent readable.
-                    self.state[i] = gen | STATE_TARGET;
-                    self.dist[i] = f64::INFINITY;
-                    self.parent[i] = None;
+                    slot.state = gen | STATE_TARGET;
+                    slot.dist = f64::INFINITY;
+                    slot.clear_parent();
                     self.pending[lane] += 1;
                 } else if s & STATE_TARGET == 0 {
                     // Already seen this run (the lane's source): flag only.
-                    self.state[i] = s | STATE_TARGET;
+                    slot.state = s | STATE_TARGET;
                     self.pending[lane] += 1;
                 }
             }
@@ -462,11 +501,11 @@ impl BatchDijkstra {
                 continue;
             }
             let iu = u.idx() * k + lane;
-            let su = self.state[iu];
+            let su = self.slots[iu].state;
             if su >= gen + STATE_DONE {
                 continue;
             }
-            self.state[iu] = su | STATE_DONE;
+            self.slots[iu].state = su | STATE_DONE;
             if has_targets && su & STATE_TARGET != 0 {
                 self.pending[lane] -= 1;
                 if self.pending[lane] == 0 {
@@ -481,24 +520,27 @@ impl BatchDijkstra {
                 }
             }
             let (arc_edges, heads) = csr.arc_slices(u);
-            for (&e, &v) in arc_edges.iter().zip(heads) {
-                let iv = v.idx() * k + lane;
-                let sv = self.state[iv];
+            let base = csr.arc_range(u).start;
+            for (a, (&e, &v)) in arc_edges.iter().zip(heads).enumerate() {
+                let nd = d + weights.weight(base + a, e);
+                let slot = &mut self.slots[v.idx() * k + lane];
+                let sv = slot.state;
                 if sv >= gen + STATE_DONE {
                     continue;
                 }
-                let nd = d + lengths[e.idx()];
-                let cur = if sv >= gen { self.dist[iv] } else { f64::INFINITY };
+                let cur = if sv >= gen { slot.dist } else { f64::INFINITY };
                 let better = nd < cur
                     // Deterministic tie-break: prefer the lower-id
                     // predecessor (identical rule to the single-source
-                    // loop and the adjacency reference).
-                    || (nd == cur && self.parent[iv].is_some_and(|(_, p)| u.0 < p.0));
+                    // loop and the adjacency reference; the sentinel
+                    // check keeps "no parent" out of it).
+                    || (nd == cur && slot.parent_node != NO_PARENT && u.0 < slot.parent_node);
                 if better {
-                    self.dist[iv] = nd;
-                    self.parent[iv] = Some((e, u));
+                    slot.dist = nd;
+                    slot.parent_edge = e.0;
+                    slot.parent_node = u.0;
                     if sv < gen {
-                        self.state[iv] = gen;
+                        slot.state = gen;
                     }
                     queue.push_entry(nd, pack(lane, v));
                 }
@@ -530,8 +572,9 @@ impl BatchDijkstra {
         }
         let mut cur = dst;
         while cur != self.sources[lane] {
-            let (e, prev) =
-                self.parent[self.slot(cur.idx(), lane)].expect("reachable non-source has a parent");
+            let (e, prev) = self.slots[self.slot(cur.idx(), lane)]
+                .parent()
+                .expect("reachable non-source has a parent");
             out.push(e.0);
             cur = prev;
         }
@@ -549,8 +592,9 @@ impl BatchDijkstra {
         let mut edges = Vec::new();
         let mut cur = dst;
         while cur != src {
-            let (e, prev) =
-                self.parent[self.slot(cur.idx(), lane)].expect("reachable non-source has a parent");
+            let (e, prev) = self.slots[self.slot(cur.idx(), lane)]
+                .parent()
+                .expect("reachable non-source has a parent");
             edges.push(e);
             cur = prev;
         }
@@ -567,9 +611,9 @@ impl BatchDijkstra {
         let dist = (0..self.n).map(|v| self.tentative(lane, v)).collect();
         let parent = (0..self.n)
             .map(|v| {
-                let i = v * self.k + lane;
-                if self.state[i] >= self.gen {
-                    self.parent[i]
+                let s = &self.slots[v * self.k + lane];
+                if s.state >= self.gen {
+                    s.parent()
                 } else {
                     None
                 }

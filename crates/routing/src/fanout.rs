@@ -54,21 +54,30 @@ pub fn fanout_trees_with(
     kind: QueueKind,
     parallelism: Parallelism,
 ) -> Vec<ShortestPathTree> {
-    if parallelism.is_serial() {
+    if parallelism.is_serial() || sources.len() <= 1 {
         return fanout_trees_serial(g, sources, lengths, pool, kind);
     }
-    parallelism.install(|| {
+    // Gather the lengths into arc order once for the whole fan: every
+    // worker's relax loop then streams one contiguous array instead of
+    // gathering per arc through the edge-id table. Same weight values,
+    // so the trees stay bit-identical to the per-edge path.
+    let mut mirror = pool.lease_mirror();
+    g.csr().fill_arc_lengths(lengths, &mut mirror);
+    let mirror = mirror;
+    let trees = parallelism.install(|| {
         sources
             .par_iter()
             .map(|&src| {
                 let mut ws = pool.lease_with(g.node_count(), kind);
-                ws.run(g, src, lengths);
+                ws.run_arcs(g, src, lengths, &mirror);
                 let tree = ws.to_tree();
                 pool.give_back(ws);
                 tree
             })
             .collect()
-    })
+    });
+    pool.give_back_mirror(mirror);
+    trees
 }
 
 /// Batched member fan-out: the same trees as [`fanout_trees`], computed
@@ -108,9 +117,14 @@ pub fn fanout_trees_batched_with(
         return fanout_trees_serial(g, sources, lengths, pool, kind);
     }
     let width = crate::batch::fan_width(g.node_count());
+    // One arc-order gather serves every chunk of the fan (shared by
+    // reference across workers); see `fanout_trees_with`.
+    let mut mirror = pool.lease_mirror();
+    g.csr().fill_arc_lengths(lengths, &mut mirror);
+    let mirror = mirror;
     let run_chunk = |chunk: &[NodeId]| -> Vec<ShortestPathTree> {
         let mut batch = pool.lease_batch(g.node_count(), kind);
-        batch.run(g, chunk, lengths);
+        batch.run_arcs(g, chunk, lengths, &mirror);
         let trees = (0..chunk.len()).map(|lane| batch.to_tree(lane)).collect();
         pool.give_back_batch(batch);
         trees
@@ -129,7 +143,9 @@ pub fn fanout_trees_batched_with(
         });
         per_task.into_iter().flatten().collect()
     };
-    per_chunk.into_iter().flatten().collect()
+    let trees = per_chunk.into_iter().flatten().collect();
+    pool.give_back_mirror(mirror);
+    trees
 }
 
 /// Early-exit fan engines for arbitrary `(source, targets)` jobs: a
@@ -155,6 +171,9 @@ pub fn run_fan_chunks_with(
     kind: QueueKind,
     parallelism: Parallelism,
 ) -> Vec<crate::batch::BatchDijkstra> {
+    if jobs.is_empty() {
+        return Vec::new();
+    }
     let width = crate::batch::fan_width(g.node_count());
     debug_assert!(width <= crate::batch::LANE_CHUNK, "fan width capped by the tested lane count");
     // The parallel leg slices jobs at LANE_CHUNK boundaries and
@@ -162,6 +181,13 @@ pub fn run_fan_chunks_with(
     // equals the serial `jobs.chunks(width)` order only when slice
     // boundaries fall on width boundaries.
     debug_assert_eq!(crate::batch::LANE_CHUNK % width, 0, "parallel split must align with width");
+    // One arc-order gather of the live lengths serves every engine run
+    // of the fan; workers share it by reference. Same weight values per
+    // arc, so all settled state stays bit-identical to the per-edge
+    // lookup path.
+    let mut mirror = pool.lease_mirror();
+    g.csr().fill_arc_lengths(lengths, &mut mirror);
+    let mirror = mirror;
     let run_chunk = |chunk: &[(NodeId, &[NodeId])]| -> crate::batch::BatchDijkstra {
         let mut batch = pool.lease_batch(g.node_count(), kind);
         // Gather on the stack: chunks never exceed LANE_CHUNK lanes.
@@ -171,10 +197,16 @@ pub fn run_fan_chunks_with(
             sources[slot] = src;
             targets[slot] = tgts;
         }
-        batch.run_lane_targets(g, &sources[..chunk.len()], lengths, &targets[..chunk.len()]);
+        batch.run_lane_targets_arcs(
+            g,
+            &sources[..chunk.len()],
+            lengths,
+            &mirror,
+            &targets[..chunk.len()],
+        );
         batch
     };
-    if parallelism.is_serial() || jobs.len() <= crate::batch::LANE_CHUNK {
+    let engines = if parallelism.is_serial() || jobs.len() <= crate::batch::LANE_CHUNK {
         jobs.chunks(width).map(run_chunk).collect()
     } else {
         let per_task: Vec<Vec<crate::batch::BatchDijkstra>> = parallelism.install(|| {
@@ -183,7 +215,9 @@ pub fn run_fan_chunks_with(
                 .collect()
         });
         per_task.into_iter().flatten().collect()
-    }
+    };
+    pool.give_back_mirror(mirror);
+    engines
 }
 
 /// The serial twin of [`fanout_trees`]: one worker, same workspaces,

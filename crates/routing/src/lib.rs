@@ -33,6 +33,7 @@ pub mod fixed;
 pub mod path;
 pub mod queue;
 pub mod reference;
+pub(crate) mod slots;
 pub mod workspace;
 
 pub use batch::{fan_width, BatchDijkstra, LANE_CHUNK};

@@ -1,0 +1,119 @@
+//! Packed per-node relaxation state shared by the Dijkstra engines.
+//!
+//! The relax loop's critical sequence — *read the state word, compare
+//! the tentative distance, consult the tie-break parent, write all
+//! three back* — used to touch three separate arrays (`dist`,
+//! `parent: Option<(EdgeId, NodeId)>`, `state`), i.e. three cache
+//! lines per visited node. [`NodeSlot`] packs the whole record into
+//! one 24-byte struct (8-aligned: an `f64` distance, two `u32` parent
+//! halves with [`NO_PARENT`] as the `None` sentinel, and the `u32`
+//! generation/flag word), so both [`crate::DijkstraWorkspace`] and the
+//! lane slots of [`crate::BatchDijkstra`] read and write one location
+//! per relaxation.
+//!
+//! The packing is pure layout: the stored values, the relaxation
+//! order and the deterministic tie-break are unchanged (the tie-break
+//! must test `parent_node != NO_PARENT` explicitly — comparing a node
+//! id against the sentinel alone would always succeed and flip tie
+//! decisions), so results remain bit-identical to the frozen
+//! adjacency-list reference (`tests/prop.rs`, `tests/packed_prop.rs`).
+
+use omcf_topology::{EdgeId, NodeId};
+
+/// Parent sentinel: "no parent" (a source, or a not-yet-relaxed slot).
+/// Valid node ids are always `< u32::MAX` (graphs index nodes densely),
+/// so the sentinel can never collide with a real predecessor.
+pub(crate) const NO_PARENT: u32 = u32::MAX;
+
+/// One node's (or one lane-slot's) complete relaxation record.
+#[derive(Clone, Copy, Debug)]
+#[repr(C)]
+pub(crate) struct NodeSlot {
+    /// Tentative distance; valid only when `state` stamps the current run.
+    pub dist: f64,
+    /// Edge of the parent link ([`NO_PARENT`] = none).
+    pub parent_edge: u32,
+    /// Predecessor node of the parent link ([`NO_PARENT`] = none).
+    pub parent_node: u32,
+    /// Generation stamp plus the target/done flag bits (see the state
+    /// machine documented on [`crate::DijkstraWorkspace`]).
+    pub state: u32,
+}
+
+impl NodeSlot {
+    /// The untouched slot: unreached, parentless, generation 0.
+    pub const UNREACHED: NodeSlot =
+        NodeSlot { dist: f64::INFINITY, parent_edge: NO_PARENT, parent_node: NO_PARENT, state: 0 };
+
+    /// The parent link in the `Option` shape the owned tree types use.
+    #[inline]
+    pub fn parent(&self) -> Option<(EdgeId, NodeId)> {
+        (self.parent_node != NO_PARENT)
+            .then_some((EdgeId(self.parent_edge), NodeId(self.parent_node)))
+    }
+
+    /// Clears the parent link back to the sentinel.
+    #[inline]
+    pub fn clear_parent(&mut self) {
+        self.parent_edge = NO_PARENT;
+        self.parent_node = NO_PARENT;
+    }
+}
+
+/// Weight lookup for the relax loops, monomorphized like the queue
+/// disciplines: the generic loop compiles once per source, so the plain
+/// edge-indexed path and the contiguous arc-mirror path differ by a
+/// single load with no branch in between.
+pub(crate) trait ArcWeights: Copy {
+    /// Length of the edge behind arc slot `arc` (whose edge id is `e`).
+    fn weight(&self, arc: usize, e: EdgeId) -> f64;
+}
+
+/// Per-edge lengths indexed by `EdgeId` — the public single-run entry
+/// points, which must not pay an O(arcs) gather for one Dijkstra.
+#[derive(Clone, Copy)]
+pub(crate) struct EdgeIndexed<'a>(pub &'a [f64]);
+
+impl ArcWeights for EdgeIndexed<'_> {
+    #[inline]
+    fn weight(&self, _arc: usize, e: EdgeId) -> f64 {
+        self.0[e.idx()]
+    }
+}
+
+/// Arc-ordered mirror of the live lengths
+/// (`mirror[a] = lengths[arc_edges[a]]`, built by
+/// [`CsrGraph::fill_arc_lengths`](omcf_topology::CsrGraph::fill_arc_lengths)
+/// once per fan and shared by every run in it): the inner loop streams
+/// one contiguous array instead of gathering through the edge-id table.
+#[derive(Clone, Copy)]
+pub(crate) struct ArcMirror<'a>(pub &'a [f64]);
+
+impl ArcWeights for ArcMirror<'_> {
+    #[inline]
+    fn weight(&self, arc: usize, _e: EdgeId) -> f64 {
+        self.0[arc]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_is_one_cache_line_friendly_record() {
+        assert_eq!(std::mem::size_of::<NodeSlot>(), 24);
+        assert_eq!(std::mem::align_of::<NodeSlot>(), 8);
+    }
+
+    #[test]
+    fn parent_round_trips_through_the_sentinel() {
+        let mut s = NodeSlot::UNREACHED;
+        assert_eq!(s.parent(), None);
+        s.parent_edge = 7;
+        s.parent_node = 3;
+        assert_eq!(s.parent(), Some((EdgeId(7), NodeId(3))));
+        s.clear_parent();
+        assert_eq!(s.parent(), None);
+    }
+}

@@ -28,7 +28,8 @@
 use crate::dijkstra::ShortestPathTree;
 use crate::path::Path;
 use crate::queue::{DijkstraQueue, QueueKind, QueueOps};
-use omcf_topology::{EdgeId, Graph, NodeId};
+use crate::slots::{ArcMirror, ArcWeights, EdgeIndexed, NodeSlot, NO_PARENT};
+use omcf_topology::{Graph, NodeId};
 use std::collections::BinaryHeap;
 
 /// Single-source shortest-path engine abstraction — the extension seam
@@ -65,21 +66,21 @@ pub trait ShortestPath {
 #[derive(Debug)]
 pub struct DijkstraWorkspace {
     src: NodeId,
-    dist: Vec<f64>,
-    parent: Vec<Option<(EdgeId, NodeId)>>,
-    /// Per-node run state, one `u32` holding the generation stamp and two
-    /// flag bits — a single load in the relax loop where three separate
-    /// stamp arrays (`seen`/`done`/`target`) used to cost three:
+    /// Per-node packed relaxation record (`NodeSlot`): distance,
+    /// parent link and the state word in one 24-byte struct, so the
+    /// relax loop touches one location per node where three parallel
+    /// arrays (`dist`/`parent`/`state`) used to cost three cache lines.
+    /// The state word holds the generation stamp and two flag bits:
     ///
     /// ```text
-    /// state[v] <  gen        untouched this run (O(1) reset: gen += 4)
-    /// state[v] == gen | 1    marked as an early-exit target (bit 0);
-    ///                        dist/parent pre-set to the unreached
-    ///                        defaults so `tentative` stays uniform
-    /// state[v] >= gen        seen: dist/parent are valid
-    /// state[v] >= gen + 2    settled (bit 1)
+    /// state <  gen        untouched this run (O(1) reset: gen += 4)
+    /// state == gen | 1    marked as an early-exit target (bit 0);
+    ///                     dist/parent pre-set to the unreached
+    ///                     defaults so `tentative` stays uniform
+    /// state >= gen        seen: dist/parent are valid
+    /// state >= gen + 2    settled (bit 1)
     /// ```
-    state: Vec<u32>,
+    slots: Vec<NodeSlot>,
     /// Always a multiple of 4, advancing by 4 per run so the two flag
     /// bits can never collide with a stamp comparison.
     gen: u32,
@@ -108,9 +109,7 @@ impl DijkstraWorkspace {
     pub fn with_queue(n: usize, kind: QueueKind) -> Self {
         Self {
             src: NodeId(0),
-            dist: vec![f64::INFINITY; n],
-            parent: vec![None; n],
-            state: vec![0; n],
+            slots: vec![NodeSlot::UNREACHED; n],
             gen: 0,
             queue: DijkstraQueue::new(kind),
         }
@@ -119,7 +118,7 @@ impl DijkstraWorkspace {
     /// Number of nodes the workspace is sized for.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.dist.len()
+        self.slots.len()
     }
 
     /// The priority-queue discipline this workspace runs with.
@@ -138,25 +137,29 @@ impl DijkstraWorkspace {
     }
 
     fn begin(&mut self, src: NodeId) {
-        debug_assert!(src.idx() < self.dist.len(), "source outside workspace");
+        debug_assert!(src.idx() < self.slots.len(), "source outside workspace");
         if self.gen > u32::MAX - GEN_STRIDE {
             // Stamp wrap: hard-reset so stale stamps can never alias.
-            self.state.fill(0);
+            for s in &mut self.slots {
+                s.state = 0;
+            }
             self.gen = 0;
         }
         self.gen += GEN_STRIDE;
         self.src = src;
-        self.dist[src.idx()] = 0.0;
-        self.parent[src.idx()] = None;
-        self.state[src.idx()] = self.gen;
+        let s = &mut self.slots[src.idx()];
+        s.dist = 0.0;
+        s.clear_parent();
+        s.state = self.gen;
     }
 
     #[inline]
     fn tentative(&self, v: usize) -> f64 {
         // Target-marked nodes pre-set dist to ∞, so "state stamped this
-        // run" always means "dist[v] is the tentative distance".
-        if self.state[v] >= self.gen {
-            self.dist[v]
+        // run" always means "slot.dist is the tentative distance".
+        let s = &self.slots[v];
+        if s.state >= self.gen {
+            s.dist
         } else {
             f64::INFINITY
         }
@@ -166,7 +169,7 @@ impl DijkstraWorkspace {
     /// node. Equivalent to [`crate::dijkstra::dijkstra`] with the state
     /// left in the workspace.
     pub fn run(&mut self, g: &Graph, src: NodeId, lengths: &[f64]) {
-        self.run_inner(g, src, lengths, &[]);
+        self.run_inner(g, src, lengths, EdgeIndexed(lengths), &[]);
     }
 
     /// Runs Dijkstra from `src` but stops as soon as every node in
@@ -174,12 +177,33 @@ impl DijkstraWorkspace {
     /// are identical to a full run; unlisted nodes may be left unsettled.
     pub fn run_targets(&mut self, g: &Graph, src: NodeId, lengths: &[f64], targets: &[NodeId]) {
         debug_assert!(!targets.is_empty(), "run_targets needs at least one target");
-        self.run_inner(g, src, lengths, targets);
+        self.run_inner(g, src, lengths, EdgeIndexed(lengths), targets);
     }
 
-    fn run_inner(&mut self, g: &Graph, src: NodeId, lengths: &[f64], targets: &[NodeId]) {
+    /// Full run reading lengths through a prebuilt arc-ordered mirror
+    /// (`arc_lengths[a] = lengths[arc_edges[a]]`, see
+    /// [`CsrGraph::fill_arc_lengths`](omcf_topology::CsrGraph::fill_arc_lengths)):
+    /// the inner loop streams one contiguous array instead of gathering
+    /// per arc. Results are bit-identical to [`Self::run`] — the same
+    /// values are read, from a different layout. The fan drivers build
+    /// the mirror once per length assignment and amortize it over every
+    /// member run; single-run callers should stay on [`Self::run`], which
+    /// skips the O(arcs) gather.
+    pub(crate) fn run_arcs(&mut self, g: &Graph, src: NodeId, lengths: &[f64], arcs: &[f64]) {
+        debug_assert_eq!(arcs.len(), g.csr().arc_count(), "arc mirror sized for g");
+        self.run_inner(g, src, lengths, ArcMirror(arcs), &[]);
+    }
+
+    fn run_inner<W: ArcWeights>(
+        &mut self,
+        g: &Graph,
+        src: NodeId,
+        lengths: &[f64],
+        weights: W,
+        targets: &[NodeId],
+    ) {
         assert_eq!(lengths.len(), g.edge_count(), "length table size mismatch");
-        assert_eq!(self.dist.len(), g.node_count(), "workspace sized for a different graph");
+        assert_eq!(self.slots.len(), g.node_count(), "workspace sized for a different graph");
         debug_assert!(lengths.iter().all(|l| *l >= 0.0 && l.is_finite()));
         self.begin(src);
         // Swap the queue into a local and dispatch the discipline ONCE:
@@ -190,59 +214,62 @@ impl DijkstraWorkspace {
             std::mem::replace(&mut self.queue, DijkstraQueue::Binary(BinaryHeap::new()));
         queue.prepare(lengths);
         match &mut queue {
-            DijkstraQueue::Binary(q) => self.run_loop(g, src, lengths, targets, q),
-            DijkstraQueue::Quaternary(q) => self.run_loop(g, src, lengths, targets, q),
-            DijkstraQueue::Dial(q) => self.run_loop(g, src, lengths, targets, q),
+            DijkstraQueue::Binary(q) => self.run_loop(g, src, weights, targets, q),
+            DijkstraQueue::Quaternary(q) => self.run_loop(g, src, weights, targets, q),
+            DijkstraQueue::Dial(q) => self.run_loop(g, src, weights, targets, q),
             // Auto resolved its discipline in `prepare`; dispatch to the
             // chosen inner queue so the loop stays monomorphic.
             DijkstraQueue::Auto(a) if a.use_dial => {
-                self.run_loop(g, src, lengths, targets, &mut a.dial);
+                self.run_loop(g, src, weights, targets, &mut a.dial);
             }
-            DijkstraQueue::Auto(a) => self.run_loop(g, src, lengths, targets, &mut a.heap),
+            DijkstraQueue::Auto(a) => self.run_loop(g, src, weights, targets, &mut a.heap),
         }
         self.queue = queue;
     }
 
-    fn run_loop<Q: QueueOps<NodeId>>(
+    fn run_loop<W: ArcWeights, Q: QueueOps<NodeId>>(
         &mut self,
         g: &Graph,
         src: NodeId,
-        lengths: &[f64],
+        weights: W,
         targets: &[NodeId],
         queue: &mut Q,
     ) {
         let gen = self.gen;
         let mut pending = 0usize;
         for &t in targets {
-            let s = self.state[t.idx()];
+            let slot = &mut self.slots[t.idx()];
+            let s = slot.state;
             if s < gen {
                 // Stamp as target; pre-set the unreached defaults so the
                 // stamp alone makes dist/parent readable (identical
                 // relaxation outcomes to an unstamped node).
-                self.state[t.idx()] = gen | STATE_TARGET;
-                self.dist[t.idx()] = f64::INFINITY;
-                self.parent[t.idx()] = None;
+                slot.state = gen | STATE_TARGET;
+                slot.dist = f64::INFINITY;
+                slot.clear_parent();
                 pending += 1;
             } else if s & STATE_TARGET == 0 {
                 // Already seen this run (the source): flag only.
-                self.state[t.idx()] = s | STATE_TARGET;
+                slot.state = s | STATE_TARGET;
                 pending += 1;
             }
         }
         queue.push_entry(0.0, src);
         // Hot loop over the struct-of-arrays CSR: per arc, one contiguous
         // read of (edge id, head) instead of the edge-record pointer
-        // chase. Arc order equals `neighbors()` order and every queue
-        // discipline realizes the same pop order, so relaxations — and
-        // therefore results — are bit-identical to the adjacency-list
-        // reference (`crate::reference`, pinned by `tests/prop.rs`).
+        // chase, and one packed slot holding the target node's whole
+        // relaxation record. Arc order equals `neighbors()` order and
+        // every queue discipline realizes the same pop order, so
+        // relaxations — and therefore results — are bit-identical to the
+        // adjacency-list reference (`crate::reference`, pinned by
+        // `tests/prop.rs`).
         let csr = g.csr();
         while let Some((d, u)) = queue.pop_entry() {
-            let su = self.state[u.idx()];
+            let su = self.slots[u.idx()].state;
             if su >= gen + STATE_DONE {
                 continue;
             }
-            self.state[u.idx()] = su | STATE_DONE;
+            self.slots[u.idx()].state = su | STATE_DONE;
             if !targets.is_empty() && su & STATE_TARGET != 0 {
                 pending -= 1;
                 if pending == 0 {
@@ -250,27 +277,30 @@ impl DijkstraWorkspace {
                 }
             }
             let (arc_edges, heads) = csr.arc_slices(u);
-            for (&e, &v) in arc_edges.iter().zip(heads) {
-                // One state load answers both "already settled?" and
-                // "is dist[v] valid?".
-                let sv = self.state[v.idx()];
+            let base = csr.arc_range(u).start;
+            for (k, (&e, &v)) in arc_edges.iter().zip(heads).enumerate() {
+                let nd = d + weights.weight(base + k, e);
+                // One slot load answers "already settled?", "is dist
+                // valid?" and the tie-break parent in a single line fill.
+                let slot = &mut self.slots[v.idx()];
+                let sv = slot.state;
                 if sv >= gen + STATE_DONE {
                     continue;
                 }
-                let nd = d + lengths[e.idx()];
-                let cur = if sv >= gen { self.dist[v.idx()] } else { f64::INFINITY };
+                let cur = if sv >= gen { slot.dist } else { f64::INFINITY };
                 let better = nd < cur
                     // Deterministic tie-break: prefer the lower-id
-                    // predecessor (identical rule to `dijkstra`).
-                    || (nd == cur
-                        && self.parent[v.idx()].is_some_and(|(_, p)| u.0 < p.0));
+                    // predecessor (identical rule to `dijkstra`; the
+                    // sentinel check keeps "no parent yet" a non-tie).
+                    || (nd == cur && slot.parent_node != NO_PARENT && u.0 < slot.parent_node);
                 if better {
-                    self.dist[v.idx()] = nd;
-                    self.parent[v.idx()] = Some((e, u));
+                    slot.dist = nd;
+                    slot.parent_edge = e.0;
+                    slot.parent_node = u.0;
                     if sv < gen {
                         // First touch this run; preserves the target bit
                         // on re-touches.
-                        self.state[v.idx()] = gen;
+                        slot.state = gen;
                     }
                     queue.push_entry(nd, v);
                 }
@@ -303,7 +333,8 @@ impl DijkstraWorkspace {
         }
         let mut cur = dst;
         while cur != self.src {
-            let (e, prev) = self.parent[cur.idx()].expect("reachable non-source has a parent");
+            let (e, prev) =
+                self.slots[cur.idx()].parent().expect("reachable non-source has a parent");
             out.push(e.0);
             cur = prev;
         }
@@ -320,7 +351,8 @@ impl DijkstraWorkspace {
         let mut edges = Vec::new();
         let mut cur = dst;
         while cur != self.src {
-            let (e, prev) = self.parent[cur.idx()].expect("reachable non-source has a parent");
+            let (e, prev) =
+                self.slots[cur.idx()].parent().expect("reachable non-source has a parent");
             edges.push(e);
             cur = prev;
         }
@@ -328,34 +360,31 @@ impl DijkstraWorkspace {
         Some(Path { src: self.src, dst, edges: edges.into_boxed_slice() })
     }
 
-    /// Materializes the full run as an owned [`ShortestPathTree`]. Only
-    /// meaningful after [`Self::run`] (a full run); an early-exited run
-    /// holds tentative values for unsettled nodes.
+    /// Materializes the full run as an owned [`ShortestPathTree`],
+    /// unpacking the slot array into the tree's `dist`/`parent` columns
+    /// (stale slots from earlier runs read as unreached). Only meaningful
+    /// after [`Self::run`] (a full run); an early-exited run holds
+    /// tentative values for unsettled nodes.
     #[must_use]
     pub fn to_tree(&self) -> ShortestPathTree {
-        let n = self.dist.len();
+        let n = self.slots.len();
         let dist = (0..n).map(|v| self.tentative(v)).collect();
-        let parent =
-            (0..n).map(|v| if self.state[v] >= self.gen { self.parent[v] } else { None }).collect();
+        let parent = self
+            .slots
+            .iter()
+            .map(|s| if s.state >= self.gen { s.parent() } else { None })
+            .collect();
         ShortestPathTree::from_parts(self.src, dist, parent)
     }
 
-    /// Like [`Self::to_tree`] but consumes the workspace, handing its
-    /// `dist`/`parent` buffers over without copying (the one-shot
-    /// [`crate::dijkstra::dijkstra`] path). Slots untouched since the last
-    /// run are scrubbed back to unreached first — a no-op after the first
-    /// run, whose unseen slots still hold their initial values.
+    /// [`Self::to_tree`] for the one-shot [`crate::dijkstra::dijkstra`]
+    /// path, consuming the workspace. (With the packed slot layout the
+    /// owned tree's columnar `dist`/`parent` arrays are built fresh
+    /// either way; the generation stamps already scrub slots untouched
+    /// since the last run.)
     #[must_use]
-    pub fn into_tree(mut self) -> ShortestPathTree {
-        if self.gen > GEN_STRIDE {
-            for v in 0..self.dist.len() {
-                if self.state[v] < self.gen {
-                    self.dist[v] = f64::INFINITY;
-                    self.parent[v] = None;
-                }
-            }
-        }
-        ShortestPathTree::from_parts(self.src, self.dist, self.parent)
+    pub fn into_tree(self) -> ShortestPathTree {
+        self.to_tree()
     }
 }
 
@@ -414,6 +443,9 @@ pub struct WorkspacePool {
     /// Batched multi-source engines, pooled separately (their lane
     /// storage is K× a single workspace, worth recycling on its own).
     free_batches: std::sync::Mutex<Vec<crate::batch::BatchDijkstra>>,
+    /// Arc-ordered length mirrors (one `f64` per arc), recycled across
+    /// fan calls so the once-per-fan gather never reallocates.
+    free_mirrors: std::sync::Mutex<Vec<Vec<f64>>>,
     parallelism: omcf_numerics::Parallelism,
 }
 
@@ -487,6 +519,20 @@ impl WorkspacePool {
         self.free_batches.lock().expect("workspace pool poisoned").push(b);
     }
 
+    /// Leases a scratch buffer for an arc-ordered length mirror (any
+    /// capacity; the gather resizes it). Fan drivers fill it via
+    /// [`CsrGraph::fill_arc_lengths`](omcf_topology::CsrGraph::fill_arc_lengths)
+    /// once per length assignment and share it across every member run.
+    #[must_use]
+    pub fn lease_mirror(&self) -> Vec<f64> {
+        self.free_mirrors.lock().expect("workspace pool poisoned").pop().unwrap_or_default()
+    }
+
+    /// Returns a mirror buffer to the pool for future leases.
+    pub fn give_back_mirror(&self, m: Vec<f64>) {
+        self.free_mirrors.lock().expect("workspace pool poisoned").push(m);
+    }
+
     /// Number of idle pooled batched engines.
     #[must_use]
     pub fn idle_batches(&self) -> usize {
@@ -499,10 +545,11 @@ impl WorkspacePool {
         self.free.lock().expect("workspace pool poisoned").len()
     }
 
-    /// Drops all pooled workspaces and batched engines.
+    /// Drops all pooled workspaces, batched engines and mirror buffers.
     pub fn clear(&self) {
         self.free.lock().expect("workspace pool poisoned").clear();
         self.free_batches.lock().expect("workspace pool poisoned").clear();
+        self.free_mirrors.lock().expect("workspace pool poisoned").clear();
     }
 }
 

@@ -3,7 +3,7 @@
 //! ```text
 //! repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers LIST]
 //!       [--threads N|serial|auto] [--queue binary|quaternary|dial|auto]
-//!       <artifact>...
+//!       [--augment batched|per-edge] <artifact>...
 //!
 //! artifacts: fig1 table2 fig2 table4 fig3 fig4 fig5 fig6
 //!            table7 table8 fig7 fig8 fig9 fig10 fig11
@@ -39,9 +39,17 @@
 //! byte of any artifact — all disciplines compute bit-identical trees —
 //! so it exists purely to measure and exploit constant-factor differences
 //! (see docs/PERF.md).
+//!
+//! `--augment` picks how the solver engine applies length growth
+//! (default `batched`: a phase's updates are deferred and applied in one
+//! CSR sweep at the next length read; `per-edge` writes each update
+//! immediately, the pre-batching behaviour). The per-edge float-op
+//! sequence is preserved verbatim either way, so — like `--threads` and
+//! `--queue` — the choice can never change a byte of any artifact (see
+//! docs/ENGINE.md).
 
 use omcf_core::solver::SolverKind;
-use omcf_core::Parallelism;
+use omcf_core::{AugmentMode, Parallelism};
 use omcf_routing::QueueKind;
 use omcf_runtime::{replay_churn, ReplayConfig};
 use omcf_sim::experiments::{evaluation, fig1, part_one, sensitivity, Config};
@@ -60,6 +68,7 @@ struct Cli {
     solvers: Vec<SolverKind>,
     parallelism: Parallelism,
     queue: QueueKind,
+    augment: AugmentMode,
 }
 
 /// Every artifact name `repro` accepts, in presentation order.
@@ -102,6 +111,7 @@ fn parse_args() -> Cli {
     let mut solvers = SolverKind::ALL.to_vec();
     let mut threads_flag: Option<Parallelism> = None;
     let mut queue = QueueKind::Binary;
+    let mut augment = AugmentMode::Batched;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -117,6 +127,17 @@ fn parse_args() -> Cli {
                 });
                 queue = QueueKind::parse(&value).unwrap_or_else(|| {
                     die(&format!("unknown queue `{value}`; valid kinds: {}", QueueKind::VOCABULARY))
+                });
+            }
+            "--augment" => {
+                let value = args.next().unwrap_or_else(|| {
+                    die(&format!("--augment needs a value: {}", AugmentMode::VOCABULARY))
+                });
+                augment = AugmentMode::parse(&value).unwrap_or_else(|| {
+                    die(&format!(
+                        "unknown augment `{value}`; valid kinds: {}",
+                        AugmentMode::VOCABULARY
+                    ))
                 });
             }
             "--paper" => cfg.scale = Scale::Paper,
@@ -168,11 +189,12 @@ fn parse_args() -> Cli {
     // so typos in CI configs fail loudly).
     let env_policy = Parallelism::from_env().unwrap_or_else(|e| die(&e));
     let parallelism = threads_flag.unwrap_or(env_policy);
-    Cli { cfg, out, artifacts, solvers, parallelism, queue }
+    Cli { cfg, out, artifacts, solvers, parallelism, queue, augment }
 }
 
 const HELP: &str = "repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers LIST] \
-     [--threads N|serial|auto] [--queue binary|quaternary|dial|auto] <artifact>...\n\
+     [--threads N|serial|auto] [--queue binary|quaternary|dial|auto] \
+     [--augment batched|per-edge] <artifact>...\n\
   artifacts: fig1 table2 fig2 table4 fig3 fig4 fig5 fig6 table7 table8\n\
              fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16\n\
              fig17 fig18 fig19 part-one evaluation sensitivity sweep replay all\n\
@@ -180,7 +202,9 @@ const HELP: &str = "repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers 
   --threads: execution policy for parallel regions (default auto; flag beats\n\
              the OMCF_THREADS env var). Output bytes never depend on it.\n\
   --queue:   priority-queue discipline for oracle Dijkstras (default binary).\n\
-             Output bytes never depend on it either.";
+             Output bytes never depend on it either.\n\
+  --augment: length-update application in the solver engine (default\n\
+             batched). Bit-invisible too: per-edge float ops are identical.";
 
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}\n{HELP}");
@@ -225,13 +249,17 @@ fn main() {
     // Pin the oracle queue discipline before any oracle is constructed
     // (first set wins process-wide).
     let _ = QueueKind::set_process_default(cli.queue);
+    // Pin the engine's augment-application mode before any solve. Every
+    // engine reads the default at construction.
+    AugmentMode::set_process_default(cli.augment);
     let t0 = std::time::Instant::now();
     println!(
-        "# repro scale={:?} seed={} threads={} queue={} out={}\n",
+        "# repro scale={:?} seed={} threads={} queue={} augment={} out={}\n",
         cfg.scale,
         cfg.seed,
         cli.parallelism.label(),
         cli.queue.name(),
+        cli.augment.name(),
         out.display()
     );
 

@@ -173,6 +173,28 @@ fn augment_ab_json(g: &Graph, sessions: &SessionSet, ratio: f64, runs: usize) ->
         .inline()
 }
 
+/// Telemetry-collection overhead on the cached multi-session point —
+/// the off-leg is the shipped default (one relaxed atomic load per
+/// site); the on-leg collects every engine/oracle/routing counter. The
+/// ratio is the acceptance gate of the observability work:
+/// `scripts/bench_check` bounds `telemetry_overhead`.
+fn telemetry_ab_json(g: &Graph, sessions: &SessionSet, ratio: f64, runs: usize) -> String {
+    let oracle = DynamicOracle::new(g, sessions);
+    omcf_telemetry::set_enabled(false);
+    let (off_ms, off_ops, _) = measure(g, &oracle, ratio, runs, || oracle.cache_stats());
+    omcf_telemetry::set_enabled(true);
+    omcf_telemetry::reset();
+    let (on_ms, on_ops, _) = measure(g, &oracle, ratio, runs, || oracle.cache_stats());
+    omcf_telemetry::set_enabled(false);
+    omcf_telemetry::reset();
+    assert_eq!(off_ops, on_ops, "telemetry must not change the oracle call count");
+    jsonfmt::JsonObject::new()
+        .field("disabled_wall_ms_median", jsonfmt::fixed(off_ms, 3))
+        .field("enabled_wall_ms_median", jsonfmt::fixed(on_ms, 3))
+        .field("telemetry_overhead", jsonfmt::fixed(on_ms / off_ms, 3))
+        .inline()
+}
+
 /// Not a throughput bench: measures once and writes `BENCH_engine.json`.
 fn emit_bench_json(_c: &mut Criterion) {
     let runs = 5;
@@ -190,6 +212,7 @@ fn emit_bench_json(_c: &mut Criterion) {
     let multi_dyn =
         ab_json(&gm, &mc, || mc.cache_stats(), &mu, || mu.cache_stats(), MULTI_RATIO, runs);
     let multi_augment = augment_ab_json(&gm, &sm, MULTI_RATIO, runs);
+    let multi_telemetry = telemetry_ab_json(&gm, &sm, MULTI_RATIO, runs);
 
     let mut json = jsonfmt::JsonObject::new()
         .text("bench", "solver_engine")
@@ -202,6 +225,7 @@ fn emit_bench_json(_c: &mut Criterion) {
         .field("scenario_a_fast_fixed", scen_fix)
         .field("multi_session_dynamic", multi_dyn)
         .field("multi_session_augment", multi_augment)
+        .field("multi_session_telemetry", multi_telemetry)
         .pretty(0);
     json.push('\n');
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_engine.json");

@@ -44,6 +44,7 @@
 
 use crate::lengths::ScaledLengths;
 use omcf_overlay::{EdgeEpochs, LengthView, OverlayTree, SessionSet, TreeOracle, TreeStore};
+use omcf_telemetry::stats;
 use omcf_topology::{EdgeId, Graph};
 
 /// One admitted participant's routed contribution: the deduplicated
@@ -399,7 +400,10 @@ impl<'a, O: TreeOracle + ?Sized> Engine<'a, O> {
         if self.pending.is_empty() {
             return;
         }
+        stats::ENGINE_FLUSHES.inc();
+        stats::ENGINE_FLUSH_EDGES.add(self.pending.len() as u64);
         if self.pending.windows(2).all(|w| w[0].0 < w[1].0) {
+            stats::ENGINE_FLUSH_SWEEPS.inc();
             self.state.lengths.scale_edges(&self.pending, &mut self.slab);
         } else {
             for &(e, f) in &self.pending {
@@ -439,6 +443,7 @@ impl<'a, O: TreeOracle + ?Sized> Engine<'a, O> {
     pub fn min_tree(&mut self, i: usize) -> OverlayTree {
         self.flush_pending();
         self.state.mst_ops += 1;
+        stats::ENGINE_ORACLE_CALLS.inc();
         self.advance_pending = true;
         self.oracle.min_tree_view(
             i,
@@ -455,6 +460,7 @@ impl<'a, O: TreeOracle + ?Sized> Engine<'a, O> {
     pub fn min_trees(&mut self, session_ids: &[usize]) -> Vec<OverlayTree> {
         self.flush_pending();
         self.state.mst_ops += session_ids.len() as u64;
+        stats::ENGINE_ORACLE_CALLS.add(session_ids.len() as u64);
         self.advance_pending = true;
         self.oracle.min_trees_view(
             session_ids,
@@ -490,13 +496,16 @@ impl<'a, O: TreeOracle + ?Sized> Engine<'a, O> {
     /// (the online post-pass).
     pub fn augment(&mut self, tree: OverlayTree, amount: f64) -> Vec<(EdgeId, u32)> {
         self.state.iterations += 1;
+        stats::ENGINE_AUGMENTS.inc();
         // Phase batching: advance the touch clock only on the first
         // augmentation since the last oracle query (see `advance_pending`).
         if self.advance_pending {
             self.state.epochs.advance();
             self.advance_pending = false;
+            stats::ENGINE_EPOCH_ADVANCES.inc();
         }
         let mults = tree.edge_multiplicities();
+        stats::ENGINE_AUGMENT_EDGES.add(mults.len() as u64);
         self.state.store.add(tree, amount);
         let batched = matches!(self.mode, AugmentMode::Batched);
         for &(e, n) in &mults {

@@ -292,6 +292,7 @@ impl Solver for M1Solver {
     }
 
     fn solve(&self, inst: &Instance, oracle: &dyn TreeOracle) -> SolverOutcome {
+        let _span = omcf_telemetry::span("solve.m1");
         let out = max_flow(&inst.graph, oracle, inst.params());
         SolverOutcome {
             solver: self.kind(),
@@ -315,6 +316,7 @@ impl Solver for FleischerSolver {
     }
 
     fn solve(&self, inst: &Instance, oracle: &dyn TreeOracle) -> SolverOutcome {
+        let _span = omcf_telemetry::span("solve.fleischer");
         let out = max_flow_fleischer(&inst.graph, oracle, inst.params());
         SolverOutcome {
             solver: self.kind(),
@@ -338,6 +340,7 @@ impl Solver for M2Solver {
     }
 
     fn solve(&self, inst: &Instance, oracle: &dyn TreeOracle) -> SolverOutcome {
+        let _span = omcf_telemetry::span("solve.m2");
         let out = max_concurrent_flow_maxmin(&inst.graph, oracle, inst.params());
         SolverOutcome {
             solver: self.kind(),
@@ -377,6 +380,7 @@ impl Solver for OnlineSolver {
         if let Some(churn) = &inst.churn {
             return solve_churn(inst, churn);
         }
+        let _span = omcf_telemetry::span("solve.online");
         let out = online_min_congestion(&inst.graph, oracle, inst.rho);
         let summary = summarize(&out.store, &inst.sessions, &inst.graph);
         let objective = summary

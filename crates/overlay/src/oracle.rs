@@ -24,6 +24,7 @@ use crate::epoch::LengthView;
 use crate::session::SessionSet;
 use crate::tree::{OverlayHop, OverlayTree};
 use omcf_routing::{fan_width, run_fan_chunks_with, FixedRoutes, Path, QueueKind, WorkspacePool};
+use omcf_telemetry::{stats, OwnedCounter};
 use omcf_topology::{Graph, NodeId};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -197,8 +198,8 @@ pub struct FixedIpOracle {
     covered: Vec<Vec<u32>>,
     caching: bool,
     state: Mutex<FixedState>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: OwnedCounter,
+    misses: OwnedCounter,
     bypass: BypassGauge,
 }
 
@@ -212,8 +213,8 @@ impl Clone for FixedIpOracle {
             state: Mutex::new(FixedState {
                 entries: (0..self.sessions.len()).map(|_| None).collect(),
             }),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: OwnedCounter::new(&stats::ORACLE_FIXED_HITS),
+            misses: OwnedCounter::new(&stats::ORACLE_FIXED_MISSES),
             bypass: BypassGauge::sized_for(self.sessions.len()),
         }
     }
@@ -234,8 +235,8 @@ impl FixedIpOracle {
             covered,
             caching: true,
             state,
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: OwnedCounter::new(&stats::ORACLE_FIXED_HITS),
+            misses: OwnedCounter::new(&stats::ORACLE_FIXED_MISSES),
             bypass: BypassGauge::sized_for(sessions.len()),
         }
     }
@@ -265,13 +266,13 @@ impl FixedIpOracle {
         all
     }
 
-    /// Cache hit/miss counts since construction.
+    /// Cache hit/miss counts since construction. Thin forwarding shim:
+    /// the counts live in telemetry [`OwnedCounter`]s, which also mirror
+    /// into the process-wide `oracle.fixed.cache.*` aggregates whenever
+    /// telemetry is enabled.
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
+        CacheStats { hits: self.hits.get(), misses: self.misses.get() }
     }
 
     /// True once the auto-bypass tripped: epoch-backed queries skip the
@@ -308,12 +309,15 @@ impl FixedIpOracle {
 
 impl TreeOracle for FixedIpOracle {
     fn min_tree(&self, session_idx: usize, lengths: &[f64]) -> OverlayTree {
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         self.compute_tree(session_idx, lengths)
     }
 
     fn min_tree_view(&self, session_idx: usize, view: LengthView<'_>) -> OverlayTree {
         let Some(epochs) = view.epochs.filter(|_| self.caching && !self.bypass.tripped()) else {
+            if view.epochs.is_some() && self.caching {
+                stats::ORACLE_BYPASSED.inc();
+            }
             return self.min_tree(session_idx, view.lengths);
         };
         // Contended (another solver run shares this oracle, e.g. a rayon
@@ -327,11 +331,11 @@ impl TreeOracle for FixedIpOracle {
                 && epochs.none_touched_since(&self.covered[session_idx], c.epoch)
         });
         if valid {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.hits.inc();
             self.bypass.on_hit();
             return st.entries[session_idx].as_ref().expect("validated above").tree.clone();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.misses.inc();
         self.bypass.on_miss();
         let tree = self.compute_tree(session_idx, view.lengths);
         st.entries[session_idx] = Some(FixedCache {
@@ -412,8 +416,8 @@ pub struct DynamicOracle {
     sessions: SessionSet,
     caching: bool,
     state: Mutex<DynState>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    hits: OwnedCounter,
+    misses: OwnedCounter,
     bypass: BypassGauge,
     /// Batch fan engines are leased from here around every query. Oracles
     /// built via [`Self::with_pool`] share the sweep driver's
@@ -432,8 +436,8 @@ impl Clone for DynamicOracle {
             sessions: self.sessions.clone(),
             caching: self.caching,
             state: Mutex::new(DynState::new(&self.sessions)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: OwnedCounter::new(&stats::ORACLE_DYNAMIC_HITS),
+            misses: OwnedCounter::new(&stats::ORACLE_DYNAMIC_MISSES),
             bypass: BypassGauge::sized_for(total_fans(&self.sessions)),
             pool: Arc::clone(&self.pool),
             queue: self.queue,
@@ -453,8 +457,8 @@ impl DynamicOracle {
             sessions: sessions.clone(),
             caching,
             state: Mutex::new(DynState::new(sessions)),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: OwnedCounter::new(&stats::ORACLE_DYNAMIC_HITS),
+            misses: OwnedCounter::new(&stats::ORACLE_DYNAMIC_MISSES),
             bypass: BypassGauge::sized_for(total_fans(sessions)),
             pool: pool.unwrap_or_else(|| Arc::new(WorkspacePool::new())),
             queue: QueueKind::default_kind(),
@@ -505,13 +509,13 @@ impl DynamicOracle {
     }
 
     /// Cache hit/miss counts (per member-level Dijkstra) since
-    /// construction. Plain-interface queries count as misses.
+    /// construction. Plain-interface queries count as misses. Thin
+    /// forwarding shim: the counts live in telemetry [`OwnedCounter`]s,
+    /// which also mirror into the process-wide `oracle.dynamic.cache.*`
+    /// aggregates whenever telemetry is enabled.
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-        }
+        CacheStats { hits: self.hits.get(), misses: self.misses.get() }
     }
 
     /// True once the auto-bypass tripped (see [`FixedIpOracle::cache_bypassed`]).
@@ -535,7 +539,7 @@ impl DynamicOracle {
         let mut jobs: Vec<(NodeId, &[NodeId])> = Vec::new();
         for &s in session_ids {
             let members = &self.sessions.session(s).members;
-            self.misses.fetch_add(members.len() as u64, Ordering::Relaxed);
+            self.misses.add(members.len() as u64);
             // A single-member (or empty) overlay has an empty spanning
             // tree; no fan to compute.
             if members.len() >= 2 {
@@ -604,6 +608,9 @@ impl TreeOracle for DynamicOracle {
 
     fn min_trees_view(&self, session_ids: &[usize], view: LengthView<'_>) -> Vec<OverlayTree> {
         let Some(epochs) = view.epochs.filter(|_| self.caching && !self.bypass.tripped()) else {
+            if view.epochs.is_some() && self.caching {
+                stats::ORACLE_BYPASSED.add(session_ids.len() as u64);
+            }
             return self.min_trees_batched(session_ids, view.lengths);
         };
         // Contended (another solver run shares this oracle, e.g. a rayon
@@ -626,10 +633,10 @@ impl TreeOracle for DynamicOracle {
                     c.run_id == epochs.run_id() && epochs.none_touched_since(&c.fan_edges, c.epoch)
                 }) || scheduled.contains(&(s, a));
                 if valid {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     self.bypass.on_hit();
                 } else {
-                    self.misses.fetch_add(1, Ordering::Relaxed);
+                    self.misses.inc();
                     self.bypass.on_miss();
                     scheduled.insert((s, a));
                     stale.push((s, a));

@@ -58,6 +58,7 @@ use crate::path::Path;
 use crate::queue::{DijkstraQueue, QueueKind, QueueOps};
 use crate::slots::{ArcMirror, ArcWeights, EdgeIndexed, NodeSlot, NO_PARENT};
 use crate::workspace::ShortestPath;
+use omcf_telemetry::stats;
 use omcf_topology::{Graph, NodeId};
 use std::collections::BinaryHeap;
 
@@ -392,6 +393,12 @@ impl BatchDijkstra {
         targets: &LaneTargets<'_>,
         queue: &mut Q,
     ) {
+        // Same batching as the workspace loop: events in locals, one
+        // flush, one relaxed load when disabled.
+        let telemetry = omcf_telemetry::enabled();
+        let mut pops = 0u64;
+        let mut pushes = 0u64;
+        let mut scans = 0u64;
         let gen = self.gen;
         let has_targets = !targets.is_none();
         let mut pending = 0usize;
@@ -409,8 +416,10 @@ impl BatchDijkstra {
             }
         }
         queue.push_entry(0.0, u64::from(self.sources[0].0));
+        pushes += 1;
         let csr = g.csr();
         while let Some((d, payload)) = queue.pop_entry() {
+            pops += 1;
             let u = NodeId(payload as u32);
             let su = self.slots[u.idx()].state;
             if su >= gen + STATE_DONE {
@@ -422,10 +431,11 @@ impl BatchDijkstra {
                 if pending == 0 {
                     // Last target settles but its arcs are NOT relaxed —
                     // the same early exit as the generic loop's lane 0.
-                    return;
+                    break;
                 }
             }
             let (arc_edges, heads) = csr.arc_slices(u);
+            scans += arc_edges.len() as u64;
             let base = csr.arc_range(u).start;
             for (k, (&e, &v)) in arc_edges.iter().zip(heads).enumerate() {
                 let nd = d + weights.weight(base + k, e);
@@ -447,8 +457,15 @@ impl BatchDijkstra {
                         slot.state = gen;
                     }
                     queue.push_entry(nd, u64::from(v.0));
+                    pushes += 1;
                 }
             }
+        }
+        if telemetry {
+            stats::ROUTING_DIJKSTRA_RUNS.record(1);
+            stats::ROUTING_HEAP_PUSHES.record(pushes);
+            stats::ROUTING_HEAP_POPS.record(pops);
+            stats::ROUTING_RELAXATIONS.record(scans);
         }
     }
 
@@ -459,6 +476,10 @@ impl BatchDijkstra {
         targets: &LaneTargets<'_>,
         queue: &mut Q,
     ) {
+        let telemetry = omcf_telemetry::enabled();
+        let mut pops = 0u64;
+        let mut pushes = 0u64;
+        let mut scans = 0u64;
         let gen = self.gen;
         let k = self.k;
         let has_targets = !targets.is_none();
@@ -485,6 +506,7 @@ impl BatchDijkstra {
         }
         for (lane, &src) in self.sources.iter().enumerate() {
             queue.push_entry(0.0, pack(lane, src));
+            pushes += 1;
         }
         // One CSR stream serves all K frontiers: each pop carries its
         // lane, the arc scan relaxes that lane's slots only. The
@@ -494,6 +516,7 @@ impl BatchDijkstra {
         // single-source run.
         let csr = g.csr();
         while let Some((d, payload)) = queue.pop_entry() {
+            pops += 1;
             let (lane, u) = unpack(payload);
             if has_targets && self.lane_done[lane] {
                 // The lane early-exited; drain its leftovers unrelaxed
@@ -514,12 +537,13 @@ impl BatchDijkstra {
                     self.lane_done[lane] = true;
                     active -= 1;
                     if active == 0 {
-                        return;
+                        break;
                     }
                     continue;
                 }
             }
             let (arc_edges, heads) = csr.arc_slices(u);
+            scans += arc_edges.len() as u64;
             let base = csr.arc_range(u).start;
             for (a, (&e, &v)) in arc_edges.iter().zip(heads).enumerate() {
                 let nd = d + weights.weight(base + a, e);
@@ -543,8 +567,17 @@ impl BatchDijkstra {
                         slot.state = gen;
                     }
                     queue.push_entry(nd, pack(lane, v));
+                    pushes += 1;
                 }
             }
+        }
+        if telemetry {
+            // One "run" per lane: totals line up with the equivalent
+            // single-source runs the batch replaces.
+            stats::ROUTING_DIJKSTRA_RUNS.record(k as u64);
+            stats::ROUTING_HEAP_PUSHES.record(pushes);
+            stats::ROUTING_HEAP_POPS.record(pops);
+            stats::ROUTING_RELAXATIONS.record(scans);
         }
     }
 

@@ -22,6 +22,7 @@ use crate::dijkstra::ShortestPathTree;
 use crate::queue::QueueKind;
 use crate::workspace::WorkspacePool;
 use omcf_numerics::Parallelism;
+use omcf_telemetry::stats;
 use omcf_topology::{Graph, NodeId};
 use rayon::prelude::*;
 
@@ -63,6 +64,8 @@ pub fn fanout_trees_with(
     // so the trees stay bit-identical to the per-edge path.
     let mut mirror = pool.lease_mirror();
     g.csr().fill_arc_lengths(lengths, &mut mirror);
+    stats::ROUTING_MIRROR_GATHERS.inc();
+    stats::ROUTING_MIRROR_ARCS.add(mirror.len() as u64);
     let mirror = mirror;
     let trees = parallelism.install(|| {
         sources
@@ -121,6 +124,8 @@ pub fn fanout_trees_batched_with(
     // reference across workers); see `fanout_trees_with`.
     let mut mirror = pool.lease_mirror();
     g.csr().fill_arc_lengths(lengths, &mut mirror);
+    stats::ROUTING_MIRROR_GATHERS.inc();
+    stats::ROUTING_MIRROR_ARCS.add(mirror.len() as u64);
     let mirror = mirror;
     let run_chunk = |chunk: &[NodeId]| -> Vec<ShortestPathTree> {
         let mut batch = pool.lease_batch(g.node_count(), kind);
@@ -187,6 +192,8 @@ pub fn run_fan_chunks_with(
     // lookup path.
     let mut mirror = pool.lease_mirror();
     g.csr().fill_arc_lengths(lengths, &mut mirror);
+    stats::ROUTING_MIRROR_GATHERS.inc();
+    stats::ROUTING_MIRROR_ARCS.add(mirror.len() as u64);
     let mirror = mirror;
     let run_chunk = |chunk: &[(NodeId, &[NodeId])]| -> crate::batch::BatchDijkstra {
         let mut batch = pool.lease_batch(g.node_count(), kind);

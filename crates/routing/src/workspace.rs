@@ -29,6 +29,7 @@ use crate::dijkstra::ShortestPathTree;
 use crate::path::Path;
 use crate::queue::{DijkstraQueue, QueueKind, QueueOps};
 use crate::slots::{ArcMirror, ArcWeights, EdgeIndexed, NodeSlot, NO_PARENT};
+use omcf_telemetry::stats;
 use omcf_topology::{Graph, NodeId};
 use std::collections::BinaryHeap;
 
@@ -235,6 +236,13 @@ impl DijkstraWorkspace {
         targets: &[NodeId],
         queue: &mut Q,
     ) {
+        // Captured once per run: queue/relaxation events are batched in
+        // locals and flushed after the loop, so the inner loop carries no
+        // atomics and the disabled cost is this one load.
+        let telemetry = omcf_telemetry::enabled();
+        let mut pops = 0u64;
+        let mut pushes = 0u64;
+        let mut scans = 0u64;
         let gen = self.gen;
         let mut pending = 0usize;
         for &t in targets {
@@ -255,6 +263,7 @@ impl DijkstraWorkspace {
             }
         }
         queue.push_entry(0.0, src);
+        pushes += 1;
         // Hot loop over the struct-of-arrays CSR: per arc, one contiguous
         // read of (edge id, head) instead of the edge-record pointer
         // chase, and one packed slot holding the target node's whole
@@ -265,6 +274,7 @@ impl DijkstraWorkspace {
         // `tests/prop.rs`).
         let csr = g.csr();
         while let Some((d, u)) = queue.pop_entry() {
+            pops += 1;
             let su = self.slots[u.idx()].state;
             if su >= gen + STATE_DONE {
                 continue;
@@ -273,10 +283,11 @@ impl DijkstraWorkspace {
             if !targets.is_empty() && su & STATE_TARGET != 0 {
                 pending -= 1;
                 if pending == 0 {
-                    return;
+                    break;
                 }
             }
             let (arc_edges, heads) = csr.arc_slices(u);
+            scans += arc_edges.len() as u64;
             let base = csr.arc_range(u).start;
             for (k, (&e, &v)) in arc_edges.iter().zip(heads).enumerate() {
                 let nd = d + weights.weight(base + k, e);
@@ -303,8 +314,15 @@ impl DijkstraWorkspace {
                         slot.state = gen;
                     }
                     queue.push_entry(nd, v);
+                    pushes += 1;
                 }
             }
+        }
+        if telemetry {
+            stats::ROUTING_DIJKSTRA_RUNS.record(1);
+            stats::ROUTING_HEAP_PUSHES.record(pushes);
+            stats::ROUTING_HEAP_POPS.record(pops);
+            stats::ROUTING_RELAXATIONS.record(scans);
         }
     }
 
@@ -481,12 +499,16 @@ impl WorkspacePool {
     /// (results are discipline-independent, so this is always safe).
     #[must_use]
     pub fn lease_with(&self, n: usize, kind: QueueKind) -> DijkstraWorkspace {
+        stats::ROUTING_POOL_LEASES.inc();
         let mut free = self.free.lock().expect("workspace pool poisoned");
         if let Some(pos) = free.iter().position(|ws| ws.node_count() == n) {
             let mut ws = free.swap_remove(pos);
             ws.set_queue_kind(kind);
             ws
         } else {
+            // Cache-miss allocation: whether the free list was empty here
+            // depends on thread interleaving, hence the Wall-class counter.
+            stats::ROUTING_POOL_ALLOCS.inc();
             DijkstraWorkspace::with_queue(n, kind)
         }
     }
@@ -504,12 +526,14 @@ impl WorkspacePool {
     /// allocates fresh. Lane storage adapts to each run's source count.
     #[must_use]
     pub fn lease_batch(&self, n: usize, kind: QueueKind) -> crate::batch::BatchDijkstra {
+        stats::ROUTING_POOL_LEASES.inc();
         let mut free = self.free_batches.lock().expect("workspace pool poisoned");
         if let Some(pos) = free.iter().position(|b| b.node_count() == n) {
             let mut b = free.swap_remove(pos);
             b.set_queue_kind(kind);
             b
         } else {
+            stats::ROUTING_POOL_ALLOCS.inc();
             crate::batch::BatchDijkstra::with_queue(n, kind)
         }
     }
@@ -525,7 +549,12 @@ impl WorkspacePool {
     /// once per length assignment and share it across every member run.
     #[must_use]
     pub fn lease_mirror(&self) -> Vec<f64> {
-        self.free_mirrors.lock().expect("workspace pool poisoned").pop().unwrap_or_default()
+        stats::ROUTING_POOL_LEASES.inc();
+        let leased = self.free_mirrors.lock().expect("workspace pool poisoned").pop();
+        leased.unwrap_or_else(|| {
+            stats::ROUTING_POOL_ALLOCS.inc();
+            Vec::new()
+        })
     }
 
     /// Returns a mirror buffer to the pool for future leases.

@@ -32,6 +32,7 @@ use omcf_core::ScaledLengths;
 use omcf_overlay::{
     DynamicOracle, FixedIpOracle, OverlayTree, Session, SessionSet, TreeOracle, TreeStore,
 };
+use omcf_telemetry::stats;
 use omcf_topology::{EdgeId, Graph, GraphBuilder};
 use std::sync::Arc;
 
@@ -117,7 +118,37 @@ impl Runtime {
     /// input, not user data.
     pub fn apply(&mut self, ev: &Event) -> Option<Checkpoint> {
         self.events_processed += 1;
-        match ev {
+        // Per-kind telemetry: one span + counter, and the apply latency
+        // into that kind's wall-clock histogram. Timing is gated so the
+        // disabled cost stays one relaxed load.
+        let (span_name, counter, latency): (
+            _,
+            &'static omcf_telemetry::Counter,
+            &'static omcf_telemetry::Histogram,
+        ) = match ev {
+            Event::Join(_) => {
+                ("runtime.event.join", &stats::RUNTIME_EVENTS_JOIN, &stats::RUNTIME_EVENT_JOIN_US)
+            }
+            Event::Leave(_) => (
+                "runtime.event.leave",
+                &stats::RUNTIME_EVENTS_LEAVE,
+                &stats::RUNTIME_EVENT_LEAVE_US,
+            ),
+            Event::CapacityChange(_) => (
+                "runtime.event.capacity",
+                &stats::RUNTIME_EVENTS_CAPACITY,
+                &stats::RUNTIME_EVENT_CAPACITY_US,
+            ),
+            Event::Reoptimize => (
+                "runtime.event.reopt",
+                &stats::RUNTIME_EVENTS_REOPT,
+                &stats::RUNTIME_EVENT_REOPT_US,
+            ),
+        };
+        let _span = omcf_telemetry::span(span_name);
+        counter.inc();
+        let t0 = omcf_telemetry::enabled().then(std::time::Instant::now);
+        let out = match ev {
             Event::Join(s) => {
                 self.join(s.clone());
                 None
@@ -131,7 +162,11 @@ impl Runtime {
                 None
             }
             Event::Reoptimize => Some(self.checkpoint()),
+        };
+        if let Some(t0) = t0 {
+            latency.observe_duration(t0.elapsed());
         }
+        out
     }
 
     /// Admits a session: one oracle query under the live lengths, one
@@ -172,6 +207,7 @@ impl Runtime {
         let departed = self.admitted[join_idx].contribution.clone();
         let survivors: Vec<&Contribution> =
             self.admitted.iter().filter(|a| a.alive).map(|a| &a.contribution).collect();
+        stats::RUNTIME_ROLLBACK_EDGES.add(departed.edges.len() as u64);
         self.state.rollback(&self.graph, self.rho, join_idx, &departed, &survivors);
         true
     }
@@ -207,6 +243,7 @@ impl Runtime {
         edges.dedup();
         let live: Vec<&Contribution> =
             self.admitted.iter().filter(|a| a.alive).map(|a| &a.contribution).collect();
+        stats::RUNTIME_ROLLBACK_EDGES.add(edges.len() as u64);
         self.state.replay_edges(&self.graph, self.rho, &edges, &live);
         self.state.epochs.invalidate_all();
     }

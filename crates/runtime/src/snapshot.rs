@@ -45,6 +45,7 @@ use omcf_core::engine::{Contribution, EngineState};
 use omcf_core::solver::RoutingMode;
 use omcf_overlay::{OverlayHop, OverlayTree, Session};
 use omcf_routing::Path;
+use omcf_telemetry::stats;
 use omcf_topology::{EdgeId, GraphBuilder, NodeId};
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -85,6 +86,8 @@ impl Runtime {
     /// Serializes the full runtime state to the versioned text format.
     #[must_use]
     pub fn snapshot(&self) -> String {
+        let _span = omcf_telemetry::span("runtime.snapshot");
+        let t0 = omcf_telemetry::enabled().then(std::time::Instant::now);
         let g = &self.graph;
         let mut out = String::new();
         let _ = writeln!(out, "{HEADER}");
@@ -143,6 +146,10 @@ impl Runtime {
             }
         }
         out.push_str("end\n");
+        if let Some(t0) = t0 {
+            stats::RUNTIME_SNAPSHOT_BYTES.observe(out.len() as u64);
+            stats::RUNTIME_SNAPSHOT_US.observe_duration(t0.elapsed());
+        }
         out
     }
 

@@ -69,6 +69,11 @@ struct Cli {
     parallelism: Parallelism,
     queue: QueueKind,
     augment: AugmentMode,
+    /// `Some(path)` turns telemetry collection on and writes the profile
+    /// JSON there at exit (bare `--profile` defaults to
+    /// `<out>/profile.json`).
+    profile: Option<PathBuf>,
+    log_level: omcf_telemetry::LogLevel,
 }
 
 /// Every artifact name `repro` accepts, in presentation order.
@@ -112,9 +117,17 @@ fn parse_args() -> Cli {
     let mut threads_flag: Option<Parallelism> = None;
     let mut queue = QueueKind::Binary;
     let mut augment = AugmentMode::Batched;
+    // Inner Option is the explicit `--profile=PATH` target; outer Some
+    // means profiling was requested at all (bare `--profile` resolves to
+    // `<out>/profile.json` once `--out` is known).
+    let mut profile: Option<Option<PathBuf>> = None;
+    let mut log_level = omcf_telemetry::LogLevel::Info;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "--profile" => profile = Some(None),
+            "--verbose" => log_level = omcf_telemetry::LogLevel::Verbose,
+            "--quiet" => log_level = omcf_telemetry::LogLevel::Quiet,
             "--threads" => {
                 let value = args.next().unwrap_or_else(|| {
                     die(&format!("--threads needs a value: {}", Parallelism::VOCABULARY))
@@ -172,6 +185,9 @@ fn parse_args() -> Cli {
                 println!("{}", HELP);
                 std::process::exit(0);
             }
+            other if other.starts_with("--profile=") => {
+                profile = Some(Some(PathBuf::from(&other["--profile=".len()..])));
+            }
             other if other.starts_with('-') => die(&format!("unknown flag {other}")),
             other => artifacts.push(other.to_string()),
         }
@@ -189,12 +205,14 @@ fn parse_args() -> Cli {
     // so typos in CI configs fail loudly).
     let env_policy = Parallelism::from_env().unwrap_or_else(|e| die(&e));
     let parallelism = threads_flag.unwrap_or(env_policy);
-    Cli { cfg, out, artifacts, solvers, parallelism, queue, augment }
+    let profile = profile.map(|p| p.unwrap_or_else(|| out.join("profile.json")));
+    Cli { cfg, out, artifacts, solvers, parallelism, queue, augment, profile, log_level }
 }
 
 const HELP: &str = "repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers LIST] \
      [--threads N|serial|auto] [--queue binary|quaternary|dial|auto] \
-     [--augment batched|per-edge] <artifact>...\n\
+     [--augment batched|per-edge] [--profile[=PATH]] [--verbose|--quiet] \
+     <artifact>...\n\
   artifacts: fig1 table2 fig2 table4 fig3 fig4 fig5 fig6 table7 table8\n\
              fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16\n\
              fig17 fig18 fig19 part-one evaluation sensitivity sweep replay all\n\
@@ -204,7 +222,12 @@ const HELP: &str = "repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers 
   --queue:   priority-queue discipline for oracle Dijkstras (default binary).\n\
              Output bytes never depend on it either.\n\
   --augment: length-update application in the solver engine (default\n\
-             batched). Bit-invisible too: per-edge float ops are identical.";
+             batched). Bit-invisible too: per-edge float ops are identical.\n\
+  --profile: enable telemetry, print the TELEMETRY section, and write the\n\
+             profile JSON (default <out>/profile.json). Collection never\n\
+             changes artifact bytes; see docs/OBSERVABILITY.md.\n\
+  --verbose: extra per-artifact diagnostics on stderr.\n\
+  --quiet:   suppress informational lines; artifact payloads still print.";
 
 fn die(msg: &str) -> ! {
     eprintln!("repro: {msg}\n{HELP}");
@@ -216,14 +239,14 @@ fn emit_table(out: &Path, name: &str, t: &RatioTable) {
     std::fs::create_dir_all(out).expect("create out dir");
     let path = out.join(format!("{name}.csv"));
     std::fs::write(&path, t.to_csv()).expect("write table csv");
-    println!("  -> {}", path.display());
+    omcf_telemetry::info!("  -> {}", path.display());
 }
 
 fn emit_figures(out: &Path, figs: &[Figure]) {
     for f in figs {
         println!("{}", f.sketch(6));
         let path = f.write_csv(out).expect("write figure csv");
-        println!("  -> {}", path.display());
+        omcf_telemetry::info!("  -> {}", path.display());
     }
 }
 
@@ -232,13 +255,20 @@ fn emit_surface(out: &Path, name: &str, s: &GridSurface) {
     std::fs::create_dir_all(out).expect("create out dir");
     let path = out.join(format!("{name}.csv"));
     std::fs::write(&path, s.to_csv()).expect("write surface csv");
-    println!("  -> {}", path.display());
+    omcf_telemetry::info!("  -> {}", path.display());
 }
 
 fn main() {
     let cli = parse_args();
     let cfg = &cli.cfg;
     let out = &cli.out;
+    omcf_telemetry::set_log_level(cli.log_level);
+    if cli.profile.is_some() {
+        // Enable + clear before any instrumented work so the profile
+        // covers exactly this invocation.
+        omcf_telemetry::set_enabled(true);
+        omcf_telemetry::reset();
+    }
     // Size the shim's lazily-built global pool to the chosen policy so
     // the experiments modules' bare `par_iter` calls follow it too (the
     // sweep/fan-out/replay paths carry the policy explicitly). First
@@ -253,7 +283,7 @@ fn main() {
     // engine reads the default at construction.
     AugmentMode::set_process_default(cli.augment);
     let t0 = std::time::Instant::now();
-    println!(
+    omcf_telemetry::info!(
         "# repro scale={:?} seed={} threads={} queue={} augment={} out={}\n",
         cfg.scale,
         cfg.seed,
@@ -261,6 +291,12 @@ fn main() {
         cli.queue.name(),
         cli.augment.name(),
         out.display()
+    );
+    omcf_telemetry::verbose!(
+        "repro: artifacts=[{}] solvers=[{}] profile={}",
+        cli.artifacts.join(" "),
+        cli.solvers.iter().map(|s| s.name()).collect::<Vec<_>>().join(","),
+        cli.profile.as_deref().map_or_else(|| "off".to_string(), |p| p.display().to_string())
     );
 
     let mut eval_cache: Option<evaluation::EvalResults> = None;
@@ -400,21 +436,46 @@ fn main() {
             SweepConfig::full(cfg.scale, vec![cfg.seed]).with_parallelism(cli.parallelism);
         sweep_cfg.solvers = cli.solvers.clone();
         let res = run_sweep(&sweep_cfg);
-        println!("== Scenario sweep ({} cells) ==", res.records.len());
+        omcf_telemetry::info!("== Scenario sweep ({} cells) ==", res.records.len());
         println!("{}", res.render());
         std::fs::create_dir_all(out).expect("create out dir");
         let csv_path = out.join("sweep.csv");
         std::fs::write(&csv_path, res.to_csv()).expect("write sweep csv");
-        println!("  -> {}", csv_path.display());
+        omcf_telemetry::info!("  -> {}", csv_path.display());
         let json_path = out.join("sweep.json");
         std::fs::write(&json_path, res.to_json()).expect("write sweep json");
-        println!("  -> {}", json_path.display());
+        omcf_telemetry::info!("  -> {}", json_path.display());
     }
     if cli.artifacts.iter().any(|a| a == "replay" || a == "all") {
         emit_replay(cfg, out, cli.parallelism);
     }
 
-    println!("\n# done in {:.1}s", t0.elapsed().as_secs_f64());
+    if let Some(profile_path) = &cli.profile {
+        emit_profile(out, profile_path);
+    }
+    omcf_telemetry::info!("\n# done in {:.1}s", t0.elapsed().as_secs_f64());
+}
+
+/// The `--profile` epilogue: snapshot the run's telemetry, print the
+/// TELEMETRY section (the deterministic, `Class::Count` view — what CI
+/// can diff), and write the full profile JSON (wall-clock metrics and
+/// span timings included) through the sorted-key writer.
+fn emit_profile(out: &Path, profile_path: &Path) {
+    let snap = omcf_telemetry::snapshot();
+    println!("== TELEMETRY (count-class metrics; see docs/OBSERVABILITY.md) ==");
+    print!("{}", snap.deterministic_view());
+    if let Some(dir) = profile_path.parent() {
+        // The default target lives under --out, which may not exist yet
+        // when only stdout artifacts were requested.
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir).expect("create profile dir");
+        }
+    } else {
+        std::fs::create_dir_all(out).expect("create out dir");
+    }
+    let json = omcf_telemetry::render_profile_json(&snap);
+    std::fs::write(profile_path, json).expect("write profile json");
+    omcf_telemetry::info!("  -> {}", profile_path.display());
 }
 
 /// The `replay` artifact: every churn-bearing registry scenario through
@@ -430,12 +491,13 @@ fn emit_replay(cfg: &Config, out: &Path, parallelism: Parallelism) {
     let mut drift = String::from(
         "scenario,seed,event_index,live_sessions,runtime_congestion,batch_congestion,drift\n",
     );
-    println!("== Runtime replay (churn-bearing scenarios) ==");
+    omcf_telemetry::info!("== Runtime replay (churn-bearing scenarios) ==");
     println!(
         "{:<16} {:>6} {:>7} {:>10} {:>9} {:>10} {:>10}",
         "scenario", "seed", "events", "survivors", "min_rate", "max_drift", "batch"
     );
     for spec in registry::churn_bearing() {
+        omcf_telemetry::verbose!("replay: scenario {} seed {}", spec.name, cfg.seed);
         let inst = spec.instance(cfg.seed, cfg.scale);
         let churn = inst.churn.as_ref().expect("churn-bearing scenario carries a trace");
         let replay_cfg = ReplayConfig::new(inst.rho, inst.routing)
@@ -497,8 +559,8 @@ fn emit_replay(cfg: &Config, out: &Path, parallelism: Parallelism) {
     std::fs::create_dir_all(out).expect("create out dir");
     let summary_path = out.join("replay.csv");
     std::fs::write(&summary_path, summary).expect("write replay csv");
-    println!("  -> {}", summary_path.display());
+    omcf_telemetry::info!("  -> {}", summary_path.display());
     let drift_path = out.join("replay_drift.csv");
     std::fs::write(&drift_path, drift).expect("write replay drift csv");
-    println!("  -> {}", drift_path.display());
+    omcf_telemetry::info!("  -> {}", drift_path.display());
 }

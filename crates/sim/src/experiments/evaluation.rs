@@ -87,6 +87,12 @@ pub fn evaluation(cfg: &Config) -> EvalResults {
     let points: Vec<(usize, usize)> = (0..scenario.session_counts.len())
         .flat_map(|ci| (0..scenario.session_sizes.len()).map(move |si| (ci, si)))
         .collect();
+    omcf_telemetry::verbose!(
+        "evaluation: {} grid points, tree budgets {:?}, {} arrival orders each",
+        points.len(),
+        budgets,
+        orders
+    );
 
     let results: Vec<PointResult> = points
         .par_iter()

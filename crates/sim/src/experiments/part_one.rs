@@ -38,6 +38,13 @@ pub fn solver_ratio_sweep(
     kind: SolverKind,
 ) -> (ScenarioA, Vec<SolverOutcome>) {
     let scenario = ScenarioA::build(cfg.seed, cfg.scale);
+    omcf_telemetry::verbose!(
+        "part-one: {} ratio sweep, {} under {:?} routing ({} ratios)",
+        kind.name(),
+        scenario.graph.node_count(),
+        mode,
+        cfg.ratios().len()
+    );
     let base = instance_for(&scenario, mode);
     let oracle = base.oracle();
     let outs: Vec<SolverOutcome> = cfg

@@ -92,6 +92,11 @@ pub fn topology_sensitivity(cfg: &Config) -> Vec<FamilyResult> {
         ("transit-stub".into(), transit_stub(&TransitStubParams::default(), cfg.seed ^ 0xD)),
     ];
     let params = experiment_params(cfg.surface_ratio());
+    omcf_telemetry::verbose!(
+        "sensitivity: {} topology families: {}",
+        families.len(),
+        families.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(", ")
+    );
 
     families
         .into_par_iter()

@@ -24,6 +24,7 @@ use omcf_core::solver::{Instance, SolverKind, SolverOutcome};
 use omcf_core::Parallelism;
 use omcf_numerics::jsonfmt;
 use omcf_routing::WorkspacePool;
+use omcf_telemetry::stats;
 use rayon::prelude::*;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -298,6 +299,12 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
     let par = cfg.effective_parallelism();
     let pool = Arc::new(WorkspacePool::new().with_parallelism(par));
     let solve_cell = |&(ii, kind): &(usize, SolverKind)| -> SweepRecord {
+        let _span = omcf_telemetry::span("sweep.cell");
+        let telemetry = omcf_telemetry::enabled();
+        if telemetry {
+            stats::SWEEP_CELLS.record(1);
+            stats::SWEEP_CELLS_IN_FLIGHT.add(1);
+        }
         let (seed, inst) = &instances[ii];
         let start = Instant::now();
         // Churn + online replays the trace through its own per-join
@@ -309,6 +316,12 @@ pub fn run_sweep(cfg: &SweepConfig) -> SweepResults {
             kind.solver().solve(inst, oracle.as_ref())
         };
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        if telemetry {
+            stats::SWEEP_CELL_MST_OPS.observe(out.mst_ops + out.mst_ops_prepass);
+            stats::SWEEP_CELL_ITERATIONS.observe(out.iterations);
+            stats::SWEEP_CELL_SOLVE_US.observe_duration(start.elapsed());
+            stats::SWEEP_CELLS_IN_FLIGHT.add(-1);
+        }
         SweepRecord::from_outcome(inst, *seed, &out, wall_ms)
     };
 

@@ -1,0 +1,141 @@
+//! Integration contract of the telemetry subsystem against real
+//! workloads — the acceptance tests of `docs/OBSERVABILITY.md`:
+//!
+//! 1. **Count-class bit-identity.** The deterministic view of a sweep's
+//!    telemetry (every `Class::Count` counter/histogram plus span call
+//!    counts) is byte-identical across `Parallelism::Serial` and
+//!    `Threads{1,2,4}`, and across repeated runs at the same count.
+//!    Wall-clock metrics are excluded by construction — `deterministic_view`
+//!    never renders them.
+//! 2. **Schema round-trip.** The profile JSON renders through the
+//!    sorted-key writer, passes the strict JSON/sorted-keys linter, and
+//!    carries every metric family the wired subsystems emit.
+//! 3. **Collection is invisible to artifacts.** Sweep CSV bytes are
+//!    identical with telemetry enabled and disabled.
+//!
+//! All tests share process-global telemetry state, so they serialize on
+//! one mutex and reset the registry around every run.
+
+use omcf_core::solver::SolverKind;
+use omcf_core::Parallelism;
+use omcf_runtime::{replay_churn, ReplayConfig};
+use omcf_sim::registry;
+use omcf_sim::sweep::{run_sweep, SweepConfig};
+use omcf_sim::Scale;
+use std::sync::{Arc, Mutex};
+
+/// Serializes the tests (telemetry state is process-global).
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// A small but subsystem-spanning grid: one fixed-IP and one
+/// dynamic-routing scenario (the latter exercises the Dijkstra workspace
+/// pool and arc mirrors) × all four solvers.
+fn micro_cfg(par: Parallelism) -> SweepConfig {
+    SweepConfig::full(Scale::Micro, vec![7])
+        .with_scenarios(&["ring-lattice", "scenario-a-dynamic"])
+        .with_parallelism(par)
+}
+
+/// Runs `f` with telemetry freshly enabled, returning the deterministic
+/// view of everything it recorded.
+fn collect(f: impl FnOnce()) -> String {
+    omcf_telemetry::set_enabled(true);
+    omcf_telemetry::reset();
+    f();
+    let view = omcf_telemetry::snapshot().deterministic_view();
+    omcf_telemetry::set_enabled(false);
+    omcf_telemetry::reset();
+    view
+}
+
+#[test]
+fn count_metrics_bit_identical_across_thread_counts_and_repeats() {
+    let _guard = LOCK.lock().unwrap();
+    let baseline = collect(|| {
+        let _ = run_sweep(&micro_cfg(Parallelism::Serial));
+    });
+    // The baseline must actually have metrics in it, from every layer the
+    // sweep exercises.
+    for needle in [
+        "counter engine.augment.count ",
+        "counter engine.oracle.calls ",
+        "counter routing.dijkstra.runs ",
+        "counter routing.heap.pushes ",
+        "counter routing.heap.pops ",
+        "counter routing.relaxations ",
+        "counter routing.pool.leases ",
+        "counter sweep.cells 8",
+        "histogram sweep.cell.mst_ops ",
+        "span sweep.cell 8",
+    ] {
+        assert!(baseline.contains(needle), "baseline view missing `{needle}`:\n{baseline}");
+    }
+    // Wall-class metrics must NOT leak into the deterministic view.
+    for forbidden in ["pool.allocs", "solve.us", "in_flight", "cache.hits", "cache.misses"] {
+        assert!(!baseline.contains(forbidden), "wall-class `{forbidden}` leaked:\n{baseline}");
+    }
+    for threads in [1usize, 2, 4] {
+        let view = collect(|| {
+            let _ = run_sweep(&micro_cfg(Parallelism::Threads(
+                std::num::NonZeroUsize::new(threads).unwrap(),
+            )));
+        });
+        assert_eq!(baseline, view, "Threads({threads}) diverged from Serial");
+    }
+    let repeat = collect(|| {
+        let _ =
+            run_sweep(&micro_cfg(Parallelism::Threads(std::num::NonZeroUsize::new(4).unwrap())));
+    });
+    assert_eq!(baseline, repeat, "repeated Threads(4) run diverged");
+}
+
+#[test]
+fn profile_json_round_trips_with_all_families() {
+    let _guard = LOCK.lock().unwrap();
+    omcf_telemetry::set_enabled(true);
+    omcf_telemetry::reset();
+    let _ = run_sweep(&micro_cfg(Parallelism::Serial));
+    // One churn replay so the runtime family is populated too.
+    let spec = registry::churn_bearing()[0];
+    let inst = spec.instance(7, Scale::Micro);
+    let churn = inst.churn.as_ref().expect("churn-bearing instance");
+    let replay_cfg = ReplayConfig::new(inst.rho, inst.routing).with_reopt_every(4);
+    let _ = replay_churn(Arc::clone(&inst.graph), churn, &replay_cfg);
+
+    let snap = omcf_telemetry::snapshot();
+    omcf_telemetry::set_enabled(false);
+    for family in ["engine", "oracle", "routing", "runtime", "sweep"] {
+        assert!(snap.has_family(family), "family `{family}` missing from snapshot");
+    }
+    let json = omcf_telemetry::render_profile_json(&snap);
+    let objects = omcf_telemetry::lint_sorted_json(&json)
+        .unwrap_or_else(|e| panic!("profile JSON failed lint: {e}\n{json}"));
+    assert!(objects > 10, "suspiciously small profile ({objects} objects)");
+    assert!(json.contains("\"schema\": \"omcf-telemetry-v1\""));
+    // Wall metrics are exported — but marked.
+    assert!(json.contains("\"class\": \"wall\""));
+    assert!(json.contains("\"class\": \"count\""));
+    omcf_telemetry::reset();
+}
+
+#[test]
+fn collection_never_changes_artifact_bytes() {
+    let _guard = LOCK.lock().unwrap();
+    let cfg = micro_cfg(Parallelism::Serial);
+    omcf_telemetry::set_enabled(false);
+    let off = run_sweep(&cfg).to_csv();
+    omcf_telemetry::set_enabled(true);
+    omcf_telemetry::reset();
+    let on = run_sweep(&cfg).to_csv();
+    omcf_telemetry::set_enabled(false);
+    omcf_telemetry::reset();
+    assert_eq!(off, on, "telemetry collection changed sweep CSV bytes");
+    // And the per-instance oracle stats solvers report are unchanged:
+    // mst_ops columns come from OwnedCounter locals that count regardless
+    // of the global switch.
+    let kind = SolverKind::M1;
+    let inst = registry::find("ring-lattice").unwrap().instance(7, Scale::Micro);
+    let oracle = inst.oracle();
+    let out = kind.solver().solve(&inst, oracle.as_ref());
+    assert!(out.mst_ops > 0, "per-instance mst_ops still counted while disabled");
+}

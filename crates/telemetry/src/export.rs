@@ -1,0 +1,228 @@
+//! Profile export: a [`Snapshot`] rendered as sorted-key JSON via
+//! `omcf_numerics::jsonfmt`, plus a structural linter used by the schema
+//! round-trip test and the CI profile smoke.
+//!
+//! Schema (`omcf-telemetry-v1`):
+//!
+//! ```json
+//! {
+//!   "counters":   { "<name>": {"class": "count|wall", "value": N}, ... },
+//!   "gauges":     { "<name>": {"class": ..., "high_water": N, "value": N}, ... },
+//!   "histograms": { "<name>": {"buckets": {"b<kk>": N, ...}, "class": ...,
+//!                              "count": N, "max": N, "min": N, "sum": N}, ... },
+//!   "spans":      { "<path>": {"count": N, "total_ms": X}, ... },
+//!   "schema": "omcf-telemetry-v1"
+//! }
+//! ```
+//!
+//! Bucket key `b<kk>` (two digits, zero-padded so lexicographic order is
+//! numeric order) counts observations in `[2^k, 2^(k+1))`. `class`
+//! "count" values are bit-identical across thread counts; "wall" values
+//! are wall-clock or scheduling-dependent (see docs/OBSERVABILITY.md).
+
+use crate::registry::Snapshot;
+use omcf_numerics::jsonfmt;
+
+/// Render a snapshot as the sorted-key profile JSON artifact.
+pub fn render_profile_json(snap: &Snapshot) -> String {
+    let mut counters = jsonfmt::JsonObject::new();
+    for c in &snap.counters {
+        let entry = jsonfmt::JsonObject::new()
+            .text("class", c.class.label())
+            .field("value", c.value.to_string())
+            .inline();
+        counters = counters.field(c.name, entry);
+    }
+    let mut gauges = jsonfmt::JsonObject::new();
+    for g in &snap.gauges {
+        let entry = jsonfmt::JsonObject::new()
+            .text("class", g.class.label())
+            .field("high_water", g.high_water.to_string())
+            .field("value", g.value.to_string())
+            .inline();
+        gauges = gauges.field(g.name, entry);
+    }
+    let mut histograms = jsonfmt::JsonObject::new();
+    for h in &snap.histograms {
+        let mut buckets = jsonfmt::JsonObject::new();
+        for (k, n) in &h.buckets {
+            buckets = buckets.field(&format!("b{k:02}"), n.to_string());
+        }
+        let entry = jsonfmt::JsonObject::new()
+            .field("buckets", buckets.inline())
+            .text("class", h.class.label())
+            .field("count", h.count.to_string())
+            .field("max", h.max.to_string())
+            .field("min", h.min.to_string())
+            .field("sum", h.sum.to_string())
+            .inline();
+        histograms = histograms.field(h.name, entry);
+    }
+    let mut spans = jsonfmt::JsonObject::new();
+    for sp in &snap.spans {
+        let entry = jsonfmt::JsonObject::new()
+            .field("count", sp.count.to_string())
+            .field("total_ms", jsonfmt::fixed(sp.total_ns as f64 / 1e6, 3))
+            .inline();
+        spans = spans.field(&sp.path, entry);
+    }
+    let mut out = jsonfmt::JsonObject::new()
+        .field("counters", counters.pretty(1))
+        .field("gauges", gauges.pretty(1))
+        .field("histograms", histograms.pretty(1))
+        .text("schema", "omcf-telemetry-v1")
+        .field("spans", spans.pretty(1))
+        .pretty(0);
+    out.push('\n');
+    out
+}
+
+/// Structurally lint a JSON document: balanced syntax, and every object's
+/// keys in strictly ascending (duplicate-free) order. Returns the number
+/// of objects seen. This is the "parse" half of the schema round-trip
+/// test — it accepts exactly the dialect `jsonfmt` emits.
+pub fn lint_sorted_json(text: &str) -> Result<usize, String> {
+    let mut lint = Linter { bytes: text.as_bytes(), pos: 0, objects: 0 };
+    lint.skip_ws();
+    lint.value()?;
+    lint.skip_ws();
+    if lint.pos != lint.bytes.len() {
+        return Err(format!("trailing content at byte {}", lint.pos));
+    }
+    Ok(lint.objects)
+}
+
+struct Linter<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    objects: usize,
+}
+
+impl Linter<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<(), String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(|_| ()),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn object(&mut self) -> Result<(), String> {
+        self.expect(b'{')?;
+        self.objects += 1;
+        self.skip_ws();
+        let mut prev: Option<String> = None;
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            if let Some(p) = &prev {
+                if *p >= key {
+                    return Err(format!("keys out of order: `{p}` before `{key}`"));
+                }
+            }
+            prev = Some(key);
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => {
+                    return Err(format!("unexpected {other:?} in object at byte {}", self.pos))
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<(), String> {
+        self.expect(b'[')?;
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(());
+        }
+        loop {
+            self.skip_ws();
+            self.value()?;
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(());
+                }
+                other => return Err(format!("unexpected {other:?} in array at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    let s = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => self.pos += 2,
+                Some(_) => self.pos += 1,
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')) {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err(format!("empty number at byte {start}"));
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+}

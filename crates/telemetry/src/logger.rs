@@ -1,0 +1,65 @@
+//! A leveled logger for the experiment binaries.
+//!
+//! Three levels: `Quiet` (artifact data only), `Info` (the default —
+//! exactly the lines `repro` has always printed, so smoke greps keep
+//! passing), `Verbose` (extra progress diagnostics, written to stderr so
+//! they can never perturb stdout artifacts). The level is a process
+//! global read with one relaxed load per call site.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum LogLevel {
+    /// Suppress informational chatter; artifact data still prints.
+    Quiet = 0,
+    /// Default: the historical output, unchanged.
+    Info = 1,
+    /// Extra progress diagnostics on stderr.
+    Verbose = 2,
+}
+
+static LEVEL: AtomicU8 = AtomicU8::new(LogLevel::Info as u8);
+
+pub fn set_log_level(level: LogLevel) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+pub fn log_level() -> LogLevel {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => LogLevel::Quiet,
+        2 => LogLevel::Verbose,
+        _ => LogLevel::Info,
+    }
+}
+
+/// Backing fn for [`crate::info!`]: stdout, shown at Info and Verbose.
+pub fn log_info(args: fmt::Arguments<'_>) {
+    if log_level() >= LogLevel::Info {
+        println!("{args}");
+    }
+}
+
+/// Backing fn for [`crate::verbose!`]: stderr, shown only at Verbose.
+pub fn log_verbose(args: fmt::Arguments<'_>) {
+    if log_level() >= LogLevel::Verbose {
+        eprintln!("{args}");
+    }
+}
+
+/// Print an informational line (stdout; suppressed by `--quiet`).
+#[macro_export]
+macro_rules! info {
+    ($($t:tt)*) => {
+        $crate::logger::log_info(::core::format_args!($($t)*))
+    };
+}
+
+/// Print a progress diagnostic (stderr; shown only with `--verbose`).
+#[macro_export]
+macro_rules! verbose {
+    ($($t:tt)*) => {
+        $crate::logger::log_verbose(::core::format_args!($($t)*))
+    };
+}

@@ -1,0 +1,356 @@
+//! Metric handles: sharded counters, gauges, and log₂-bucketed
+//! histograms.
+//!
+//! Handles are `const`-constructible so they can live in `static`s (see
+//! [`crate::stats`]) and cost nothing at program start. A handle
+//! registers itself with the global registry on its *first enabled*
+//! record — while telemetry is disabled a handle is never registered and
+//! never allocates, which is what lets the off-mode test pin "zero
+//! registrations, zero allocations".
+
+use crate::registry;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+
+/// Determinism class of a metric. See the crate docs: `Count` values are
+/// bit-identical across thread counts and repeated runs; `Wall` values
+/// (times, high-water marks, scheduling-dependent allocation counts) are
+/// not, and every export marks them so.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Class {
+    /// Scheduling-independent event count: covered by the bit-identity
+    /// contract.
+    Count,
+    /// Wall-clock or scheduling-dependent: explicitly outside it.
+    Wall,
+}
+
+impl Class {
+    pub fn label(self) -> &'static str {
+        match self {
+            Class::Count => "count",
+            Class::Wall => "wall",
+        }
+    }
+}
+
+/// Shard count for counter cells. Worker threads map onto shards by
+/// index (mod this), so contended hot sites mostly touch distinct cache
+/// lines; sums are shard-order independent, so wrapping never affects a
+/// reported value.
+const SHARDS: usize = 16;
+
+/// One cache line per shard cell so concurrent workers don't false-share.
+#[repr(align(64))]
+struct Cell(AtomicU64);
+
+impl Cell {
+    // Purely an array-repeat initializer for const construction — each
+    // array element gets its own copy, so the "shared mutable const"
+    // hazard the lint guards against cannot arise.
+    #[allow(clippy::declare_interior_mutable_const)]
+    const ZERO: Cell = Cell(AtomicU64::new(0));
+}
+
+/// Which shard the calling thread writes: pool worker `i` gets cell
+/// `(i + 1) % SHARDS`, every non-pool thread (main, test harness) shares
+/// cell 0.
+#[inline]
+fn shard() -> usize {
+    match rayon::current_thread_index() {
+        Some(i) => (i + 1) & (SHARDS - 1),
+        None => 0,
+    }
+}
+
+/// A named monotone counter, sharded per worker.
+pub struct Counter {
+    name: &'static str,
+    class: Class,
+    cells: [Cell; SHARDS],
+    registered: AtomicBool,
+}
+
+impl Counter {
+    pub const fn new(name: &'static str, class: Class) -> Self {
+        Counter { name, class, cells: [Cell::ZERO; SHARDS], registered: AtomicBool::new(false) }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn class(&self) -> Class {
+        self.class
+    }
+
+    /// Add `n` if telemetry is enabled; one relaxed load otherwise.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if crate::enabled() {
+            self.record(n);
+        }
+    }
+
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Unconditional add, for sites that captured `enabled()` once and
+    /// batched events into a local (the Dijkstra inner loops).
+    #[inline]
+    pub fn record(&'static self, n: u64) {
+        self.ensure_registered();
+        self.cells[shard()].0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Sum of all shards, shard-index order (the order is irrelevant to
+    /// the sum; it is fixed anyway so snapshots are reproducible).
+    pub fn value(&self) -> u64 {
+        self.cells.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
+    }
+
+    pub(crate) fn clear(&self) {
+        for c in &self.cells {
+            c.0.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry::register_counter(self);
+        }
+    }
+}
+
+/// A named gauge: last-set value plus a high-water mark. Gauges describe
+/// instantaneous state (live leases, bypass engagement), which under
+/// threads depends on scheduling — so most gauges are [`Class::Wall`].
+pub struct Gauge {
+    name: &'static str,
+    class: Class,
+    value: AtomicI64,
+    max: AtomicI64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    pub const fn new(name: &'static str, class: Class) -> Self {
+        Gauge {
+            name,
+            class,
+            value: AtomicI64::new(0),
+            max: AtomicI64::new(i64::MIN),
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn class(&self) -> Class {
+        self.class
+    }
+
+    #[inline]
+    pub fn set(&'static self, v: i64) {
+        if crate::enabled() {
+            self.ensure_registered();
+            self.value.store(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn add(&'static self, delta: i64) {
+        if crate::enabled() {
+            self.ensure_registered();
+            let v = self.value.fetch_add(delta, Ordering::Relaxed) + delta;
+            self.max.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark since the last reset (`0` if never set).
+    pub fn high_water(&self) -> i64 {
+        self.max.load(Ordering::Relaxed).max(0)
+    }
+
+    pub(crate) fn clear(&self) {
+        self.value.store(0, Ordering::Relaxed);
+        self.max.store(i64::MIN, Ordering::Relaxed);
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry::register_gauge(self);
+        }
+    }
+}
+
+/// Number of log₂ buckets: one per possible floor(log₂ v) of a u64.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// A named histogram over u64 observations with power-of-two buckets:
+/// bucket `k` counts observations in `[2^k, 2^(k+1))` (`0` lands in
+/// bucket 0). Unsharded — histograms record at coarse sites (per event,
+/// per flush, per sweep cell), never inside inner loops.
+pub struct Histogram {
+    name: &'static str,
+    class: Class,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    registered: AtomicBool,
+}
+
+impl Histogram {
+    pub const fn new(name: &'static str, class: Class) -> Self {
+        // Array-repeat initializer only (see `Cell::ZERO`).
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: AtomicU64 = AtomicU64::new(0);
+        Histogram {
+            name,
+            class,
+            count: ZERO,
+            sum: ZERO,
+            min: AtomicU64::new(u64::MAX),
+            max: ZERO,
+            buckets: [ZERO; HISTOGRAM_BUCKETS],
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    pub fn class(&self) -> Class {
+        self.class
+    }
+
+    /// Floor(log₂ v), with 0 mapped to bucket 0.
+    #[inline]
+    pub fn bucket_of(v: u64) -> usize {
+        (63 - (v | 1).leading_zeros()) as usize
+    }
+
+    #[inline]
+    pub fn observe(&'static self, v: u64) {
+        if crate::enabled() {
+            self.ensure_registered();
+            self.count.fetch_add(1, Ordering::Relaxed);
+            self.sum.fetch_add(v, Ordering::Relaxed);
+            self.min.fetch_min(v, Ordering::Relaxed);
+            self.max.fetch_max(v, Ordering::Relaxed);
+            self.buckets[Self::bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Observe a duration in microseconds (time histograms use a `.us`
+    /// name suffix and are always [`Class::Wall`]).
+    #[inline]
+    pub fn observe_duration(&'static self, d: std::time::Duration) {
+        self.observe(d.as_micros() as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn min(&self) -> u64 {
+        let m = self.min.load(Ordering::Relaxed);
+        if m == u64::MAX {
+            0
+        } else {
+            m
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Non-empty buckets as `(log2, count)`, ascending.
+    pub fn buckets(&self) -> Vec<(u8, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(k, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then_some((k as u8, n))
+            })
+            .collect()
+    }
+
+    pub(crate) fn clear(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.min.store(u64::MAX, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            registry::register_histogram(self);
+        }
+    }
+}
+
+/// A per-instance counter that mirrors into a global [`Counter`].
+///
+/// The oracle caches need *per-oracle* hit/miss numbers (their tests
+/// assert exact per-instance values, and `cargo test` runs many oracles
+/// concurrently in one process), while the profile wants one process
+/// aggregate. An `OwnedCounter` is the bridge: the local cell is always
+/// maintained (it replaces the hand-rolled `AtomicU64`s the oracles used
+/// to carry, at identical cost), and each increment is additionally
+/// forwarded to the named global counter when telemetry is enabled.
+pub struct OwnedCounter {
+    local: AtomicU64,
+    global: &'static Counter,
+}
+
+impl OwnedCounter {
+    pub fn new(global: &'static Counter) -> Self {
+        OwnedCounter { local: AtomicU64::new(0), global }
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.local.fetch_add(n, Ordering::Relaxed);
+        self.global.add(n);
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// This instance's count (not the global aggregate).
+    pub fn get(&self) -> u64 {
+        self.local.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for OwnedCounter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("OwnedCounter")
+            .field("local", &self.get())
+            .field("global", &self.global.name())
+            .finish()
+    }
+}

@@ -1,0 +1,180 @@
+//! The global metric registry and deterministic snapshots.
+//!
+//! Handles register themselves lazily on first enabled record (see
+//! [`crate::metrics`]); the registry is therefore empty — and has never
+//! allocated — in a process that never enabled telemetry. Snapshots
+//! merge per-worker cells (shard-index order) and sort every section by
+//! name, so equal counts render to equal bytes regardless of thread
+//! count or registration order.
+
+use crate::metrics::{Class, Counter, Gauge, Histogram};
+use crate::spans::{self, SpanSample};
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+struct Registry {
+    counters: Mutex<Vec<&'static Counter>>,
+    gauges: Mutex<Vec<&'static Gauge>>,
+    histograms: Mutex<Vec<&'static Histogram>>,
+}
+
+static REGISTRY: Registry = Registry {
+    counters: Mutex::new(Vec::new()),
+    gauges: Mutex::new(Vec::new()),
+    histograms: Mutex::new(Vec::new()),
+};
+
+pub(crate) fn register_counter(c: &'static Counter) {
+    REGISTRY.counters.lock().unwrap().push(c);
+}
+
+pub(crate) fn register_gauge(g: &'static Gauge) {
+    REGISTRY.gauges.lock().unwrap().push(g);
+}
+
+pub(crate) fn register_histogram(h: &'static Histogram) {
+    REGISTRY.histograms.lock().unwrap().push(h);
+}
+
+/// Total number of registered metric handles. Stays 0 while telemetry
+/// has never been enabled (pinned by `tests/off.rs`).
+pub fn registered_len() -> usize {
+    REGISTRY.counters.lock().unwrap().len()
+        + REGISTRY.gauges.lock().unwrap().len()
+        + REGISTRY.histograms.lock().unwrap().len()
+}
+
+#[derive(Clone, Debug)]
+pub struct CounterSample {
+    pub name: &'static str,
+    pub class: Class,
+    pub value: u64,
+}
+
+#[derive(Clone, Debug)]
+pub struct GaugeSample {
+    pub name: &'static str,
+    pub class: Class,
+    pub value: i64,
+    pub high_water: i64,
+}
+
+#[derive(Clone, Debug)]
+pub struct HistogramSample {
+    pub name: &'static str,
+    pub class: Class,
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    /// Non-empty `(log2, count)` buckets, ascending.
+    pub buckets: Vec<(u8, u64)>,
+}
+
+/// A point-in-time, name-sorted view of every registered metric plus the
+/// merged span tree.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    pub counters: Vec<CounterSample>,
+    pub gauges: Vec<GaugeSample>,
+    pub histograms: Vec<HistogramSample>,
+    pub spans: Vec<SpanSample>,
+}
+
+impl Snapshot {
+    /// Render only the deterministic (Count-class) content — counter
+    /// values, size-histogram shapes, span call counts — as one sorted
+    /// text blob. Two runs with the same schedule-independent behaviour
+    /// produce byte-identical views at any thread count; the property
+    /// test compares these directly.
+    pub fn deterministic_view(&self) -> String {
+        let mut s = String::new();
+        for c in self.counters.iter().filter(|c| c.class == Class::Count) {
+            let _ = writeln!(s, "counter {} {}", c.name, c.value);
+        }
+        for g in self.gauges.iter().filter(|g| g.class == Class::Count) {
+            let _ = writeln!(s, "gauge {} {} {}", g.name, g.value, g.high_water);
+        }
+        for h in self.histograms.iter().filter(|h| h.class == Class::Count) {
+            let _ = write!(
+                s,
+                "histogram {} n={} sum={} min={} max={}",
+                h.name, h.count, h.sum, h.min, h.max
+            );
+            for (k, n) in &h.buckets {
+                let _ = write!(s, " b{k:02}={n}");
+            }
+            let _ = writeln!(s);
+        }
+        for sp in &self.spans {
+            let _ = writeln!(s, "span {} {}", sp.path, sp.count);
+        }
+        s
+    }
+
+    /// Does any metric name start with `prefix.`? (Family presence check
+    /// for the profile smoke.)
+    pub fn has_family(&self, prefix: &str) -> bool {
+        let starts = |n: &str| n.starts_with(prefix) && n[prefix.len()..].starts_with('.');
+        self.counters.iter().any(|c| starts(c.name))
+            || self.gauges.iter().any(|g| starts(g.name))
+            || self.histograms.iter().any(|h| starts(h.name))
+    }
+}
+
+/// Take a deterministic snapshot of everything registered so far.
+pub fn snapshot() -> Snapshot {
+    let mut counters: Vec<CounterSample> = REGISTRY
+        .counters
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|c| CounterSample { name: c.name(), class: c.class(), value: c.value() })
+        .collect();
+    counters.sort_by_key(|c| c.name);
+    let mut gauges: Vec<GaugeSample> = REGISTRY
+        .gauges
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|g| GaugeSample {
+            name: g.name(),
+            class: g.class(),
+            value: g.value(),
+            high_water: g.high_water(),
+        })
+        .collect();
+    gauges.sort_by_key(|g| g.name);
+    let mut histograms: Vec<HistogramSample> = REGISTRY
+        .histograms
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|h| HistogramSample {
+            name: h.name(),
+            class: h.class(),
+            count: h.count(),
+            sum: h.sum(),
+            min: h.min(),
+            max: h.max(),
+            buckets: h.buckets(),
+        })
+        .collect();
+    histograms.sort_by_key(|h| h.name);
+    Snapshot { counters, gauges, histograms, spans: spans::merged() }
+}
+
+/// Zero every registered metric and drop the span tree. Registration is
+/// kept (handles stay registered); only values reset.
+pub fn reset() {
+    for c in REGISTRY.counters.lock().unwrap().iter() {
+        c.clear();
+    }
+    for g in REGISTRY.gauges.lock().unwrap().iter() {
+        g.clear();
+    }
+    for h in REGISTRY.histograms.lock().unwrap().iter() {
+        h.clear();
+    }
+    spans::clear();
+}

@@ -1,0 +1,110 @@
+//! Every metric handle in the workspace, declared once.
+//!
+//! Centralising the statics guarantees each metric name exists exactly
+//! once process-wide (the sorted-key JSON writer panics on duplicate
+//! keys) and gives one place to read the whole vocabulary. Naming:
+//! `<family>.<subsystem>.<event>[.<unit>]`, families `engine`, `oracle`,
+//! `routing`, `runtime`, `sweep`; time histograms end in `.us`
+//! (microseconds). Classes per the crate contract: `Count` is
+//! bit-identical across thread counts, `Wall` is not.
+
+use crate::metrics::{Class, Counter, Gauge, Histogram};
+
+// --- engine (Garg–Könemann length-update engine, omcf-core) ----------
+
+/// Oracle calls made by the engine (`min_tree`/`min_trees`); equals the
+/// solvers' `mst_ops`.
+pub static ENGINE_ORACLE_CALLS: Counter = Counter::new("engine.oracle.calls", Class::Count);
+/// Augmentations applied (one per accepted tree).
+pub static ENGINE_AUGMENTS: Counter = Counter::new("engine.augment.count", Class::Count);
+/// Edge length multipliers written by augmentations.
+pub static ENGINE_AUGMENT_EDGES: Counter = Counter::new("engine.augment.edges", Class::Count);
+/// Pending length-update flushes (batched mode read barriers).
+pub static ENGINE_FLUSHES: Counter = Counter::new("engine.flush.count", Class::Count);
+/// Edges whose length was materialised by flushes.
+pub static ENGINE_FLUSH_EDGES: Counter = Counter::new("engine.flush.edges", Class::Count);
+/// Flushes that took the CSR sweep path (vs. the pointwise fallback).
+pub static ENGINE_FLUSH_SWEEPS: Counter = Counter::new("engine.flush.sweeps", Class::Count);
+/// Lazy epoch advances latched by augments and applied at the next read.
+pub static ENGINE_EPOCH_ADVANCES: Counter = Counter::new("engine.epoch.advances", Class::Count);
+
+// --- oracle (epoch-cached tree oracles, omcf-overlay) -----------------
+//
+// All five cache counters are Wall class, not Count: an oracle shared
+// across parallel solver runs (e.g. a rayon ratio sweep) resolves cache
+// contention with `try_lock`, and a contended query falls back to the
+// uncached path — counted as misses — so hit/miss totals depend on lock
+// interleaving. (Under the sweep driver every cell owns its oracle and
+// probes serially, so there the totals happen to be reproducible, but the
+// class records the universal guarantee, not the best case.)
+
+/// Dynamic-oracle member Dijkstras answered from the epoch cache.
+pub static ORACLE_DYNAMIC_HITS: Counter = Counter::new("oracle.dynamic.cache.hits", Class::Wall);
+/// Dynamic-oracle member Dijkstras actually recomputed.
+pub static ORACLE_DYNAMIC_MISSES: Counter =
+    Counter::new("oracle.dynamic.cache.misses", Class::Wall);
+/// Fixed-IP-oracle session trees answered from the epoch cache.
+pub static ORACLE_FIXED_HITS: Counter = Counter::new("oracle.fixed.cache.hits", Class::Wall);
+/// Fixed-IP-oracle session trees actually recomputed.
+pub static ORACLE_FIXED_MISSES: Counter = Counter::new("oracle.fixed.cache.misses", Class::Wall);
+/// Queries that skipped cache probing because auto-bypass engaged (the
+/// bypass gauge trips on miss streaks, themselves contention-dependent).
+pub static ORACLE_BYPASSED: Counter = Counter::new("oracle.cache.bypassed", Class::Wall);
+
+// --- routing (CSR Dijkstra + workspace pool, omcf-routing) ------------
+
+/// Dijkstra runs (single-source workspace runs and batched lanes).
+pub static ROUTING_DIJKSTRA_RUNS: Counter = Counter::new("routing.dijkstra.runs", Class::Count);
+/// Priority-queue pushes across all disciplines.
+pub static ROUTING_HEAP_PUSHES: Counter = Counter::new("routing.heap.pushes", Class::Count);
+/// Priority-queue pops (stale pops included).
+pub static ROUTING_HEAP_POPS: Counter = Counter::new("routing.heap.pops", Class::Count);
+/// Arcs examined by settled-node relaxation scans.
+pub static ROUTING_RELAXATIONS: Counter = Counter::new("routing.relaxations", Class::Count);
+/// Workspace-pool leases (workspaces + batches + mirrors). Lease counts
+/// are schedule-independent; *allocation* counts below are not.
+pub static ROUTING_POOL_LEASES: Counter = Counter::new("routing.pool.leases", Class::Count);
+/// Pool leases that had to allocate because the free list was empty —
+/// depends on thread interleaving, hence Wall class.
+pub static ROUTING_POOL_ALLOCS: Counter = Counter::new("routing.pool.allocs", Class::Wall);
+/// Arc-mirror gathers (`fill_arc_lengths` sweeps feeding batched runs).
+pub static ROUTING_MIRROR_GATHERS: Counter = Counter::new("routing.mirror.gathers", Class::Count);
+/// Arcs copied by those gathers.
+pub static ROUTING_MIRROR_ARCS: Counter = Counter::new("routing.mirror.arcs", Class::Count);
+
+// --- runtime (event loop, omcf-runtime) -------------------------------
+
+/// Events applied, by kind.
+pub static RUNTIME_EVENTS_JOIN: Counter = Counter::new("runtime.event.join.count", Class::Count);
+pub static RUNTIME_EVENTS_LEAVE: Counter = Counter::new("runtime.event.leave.count", Class::Count);
+pub static RUNTIME_EVENTS_CAPACITY: Counter =
+    Counter::new("runtime.event.capacity.count", Class::Count);
+pub static RUNTIME_EVENTS_REOPT: Counter = Counter::new("runtime.event.reopt.count", Class::Count);
+/// Per-event-kind apply latency (µs), wall-clock.
+pub static RUNTIME_EVENT_JOIN_US: Histogram = Histogram::new("runtime.event.join.us", Class::Wall);
+pub static RUNTIME_EVENT_LEAVE_US: Histogram =
+    Histogram::new("runtime.event.leave.us", Class::Wall);
+pub static RUNTIME_EVENT_CAPACITY_US: Histogram =
+    Histogram::new("runtime.event.capacity.us", Class::Wall);
+pub static RUNTIME_EVENT_REOPT_US: Histogram =
+    Histogram::new("runtime.event.reopt.us", Class::Wall);
+/// Edges replayed by exact rollbacks (leaves + capacity rescales).
+pub static RUNTIME_ROLLBACK_EDGES: Counter = Counter::new("runtime.rollback.edges", Class::Count);
+/// Snapshot sizes in bytes (deterministic: the text is bit-pinned).
+pub static RUNTIME_SNAPSHOT_BYTES: Histogram =
+    Histogram::new("runtime.snapshot.bytes", Class::Count);
+/// Snapshot render latency (µs), wall-clock.
+pub static RUNTIME_SNAPSHOT_US: Histogram = Histogram::new("runtime.snapshot.us", Class::Wall);
+
+// --- sweep (scenario sweep driver, omcf-sim) --------------------------
+
+/// Sweep cells solved.
+pub static SWEEP_CELLS: Counter = Counter::new("sweep.cells", Class::Count);
+/// Oracle calls per cell (size histogram; deterministic).
+pub static SWEEP_CELL_MST_OPS: Histogram = Histogram::new("sweep.cell.mst_ops", Class::Count);
+/// Iterations per cell (size histogram; deterministic).
+pub static SWEEP_CELL_ITERATIONS: Histogram = Histogram::new("sweep.cell.iterations", Class::Count);
+/// Per-cell solve latency (µs), wall-clock.
+pub static SWEEP_CELL_SOLVE_US: Histogram = Histogram::new("sweep.cell.solve.us", Class::Wall);
+/// Live sweep-cell solves in flight (high-water ≈ effective parallelism).
+pub static SWEEP_CELLS_IN_FLIGHT: Gauge = Gauge::new("sweep.cells.in_flight", Class::Wall);

@@ -1,0 +1,207 @@
+//! Fleet churn bench: sustained multi-overlay ingestion throughput
+//! (events/sec) at N shards × M sessions on the churn scenario, with
+//! serial and threaded drive policies. Also emits `BENCH_fleet.json` at
+//! the workspace root and asserts the two policies end bit-identically —
+//! plus a crash-recovery round trip (snapshot v2 + WAL replay) that must
+//! reproduce the uninterrupted run exactly.
+//!
+//! No `_speedup` key is emitted: shard drives are oracle-bound and the
+//! fleet's contract is *determinism under* parallelism, not a promised
+//! multiplier on every runner. The gate watches the `wall_ms_*` keys.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use omcf_core::solver::Instance;
+use omcf_core::Parallelism;
+use omcf_numerics::jsonfmt;
+use omcf_runtime::{Event, Fleet, FleetConfig, ShardId};
+use omcf_sim::registry;
+use omcf_sim::Scale;
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SEEDS: [u64; 2] = [2004, 7];
+const SHARD_COUNTS: [usize; 2] = [2, 4];
+/// Submissions between drives: small enough that drives interleave with
+/// ingestion (the service shape), large enough to amortise scheduling.
+const DRIVE_EVERY: usize = 8;
+
+fn threads4() -> Parallelism {
+    Parallelism::Threads(NonZeroUsize::new(4).expect("4 > 0"))
+}
+
+/// Shard `s` = the scenario instanced at `seed + s` (own topology, own
+/// trace), exactly like the `repro fleet` artifact.
+fn shard_instances(spec: &registry::ScenarioSpec, shards: usize, seed: u64) -> Vec<Instance> {
+    (0..shards).map(|s| spec.instance(seed + s as u64, Scale::Micro)).collect()
+}
+
+/// Round-robin interleaved submission order across the shard streams.
+fn interleave(streams: &[Vec<Event>]) -> Vec<(ShardId, Event)> {
+    let longest = streams.iter().map(Vec::len).max().unwrap_or(0);
+    (0..longest)
+        .flat_map(|step| {
+            streams.iter().enumerate().filter_map(move |(s, stream)| {
+                stream.get(step).map(|ev| (ShardId(s as u32), ev.clone()))
+            })
+        })
+        .collect()
+}
+
+fn event_streams(instances: &[Instance]) -> Vec<Vec<Event>> {
+    instances
+        .iter()
+        .map(|inst| {
+            let churn = inst.churn.as_ref().expect("churn scenario carries a trace");
+            Event::schedule(churn, 6)
+        })
+        .collect()
+}
+
+/// Ingests the interleaved stream with periodic drives and returns the
+/// settled fleet. Queues are sized so nothing defers: this bench times
+/// throughput, not the backpressure path (`repro fleet` covers that).
+fn ingest(instances: &[Instance], stream: &[(ShardId, Event)], par: Parallelism) -> Fleet {
+    let base = &instances[0];
+    let cfg = FleetConfig::new(base.rho, base.routing)
+        .with_queue_capacity(stream.len().max(1))
+        .with_parallelism(par);
+    let mut fleet = Fleet::new(cfg);
+    for inst in instances {
+        fleet.add_shard(Arc::clone(&inst.graph));
+    }
+    for (i, (shard, ev)) in stream.iter().enumerate() {
+        assert!(fleet.submit(*shard, ev.clone()).is_accepted(), "unexpected backpressure");
+        if i % DRIVE_EVERY == DRIVE_EVERY - 1 {
+            fleet.drive();
+        }
+    }
+    fleet.drive();
+    fleet
+}
+
+fn assert_fleets_bit_eq(a: &Fleet, b: &Fleet, what: &str) {
+    assert_eq!(a.shard_count(), b.shard_count(), "{what}: shard counts");
+    for id in a.shard_ids() {
+        let (x, y) = (a.shard(id).expect("shard"), b.shard(id).expect("shard"));
+        assert_eq!(x.live_joins(), y.live_joins(), "{what}: {id} populations");
+        for (p, q) in x.lengths().iter().zip(y.lengths()) {
+            assert_eq!(p.to_bits(), q.to_bits(), "{what}: {id} lengths diverged ({p} vs {q})");
+        }
+        for (p, q) in x.load().iter().zip(y.load()) {
+            assert_eq!(p.to_bits(), q.to_bits(), "{what}: {id} loads diverged");
+        }
+    }
+}
+
+fn bench_fleet_ingest(c: &mut Criterion) {
+    let spec = registry::find("churn").expect("churn scenario registered");
+    let instances = shard_instances(spec, 4, SEEDS[0]);
+    let stream = interleave(&event_streams(&instances));
+    let mut grp = c.benchmark_group("fleet_churn/churn_micro_4shards");
+    grp.sample_size(10);
+    grp.bench_function("serial_drive", |b| {
+        b.iter(|| black_box(ingest(&instances, &stream, Parallelism::Serial)));
+    });
+    grp.bench_function("threads4_drive", |b| {
+        b.iter(|| black_box(ingest(&instances, &stream, threads4())));
+    });
+    grp.finish();
+}
+
+/// Not a throughput bench: runs shard-count × seed cells once per drive
+/// policy, checks serial and threaded end states agree bit-for-bit, runs
+/// a crash-recovery round trip per cell, and writes `BENCH_fleet.json`.
+fn emit_bench_json(_c: &mut Criterion) {
+    let spec = registry::find("churn").expect("churn scenario registered");
+    let mut records: Vec<String> = Vec::new();
+    for shards in SHARD_COUNTS {
+        for seed in SEEDS {
+            let instances = shard_instances(spec, shards, seed);
+            let sessions: usize =
+                instances.iter().map(|i| i.churn.as_ref().expect("trace").join_count()).sum();
+            let stream = interleave(&event_streams(&instances));
+
+            let start = Instant::now();
+            let serial = ingest(&instances, &stream, Parallelism::Serial);
+            let serial_ms = start.elapsed().as_secs_f64() * 1e3;
+            let start = Instant::now();
+            let threaded = ingest(&instances, &stream, threads4());
+            let threaded_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_fleets_bit_eq(&serial, &threaded, "serial vs threads(4)");
+
+            // Crash-recovery round trip: snapshot at 1/4, crash at 1/2
+            // (keeping only snapshot + WAL), recover threaded, finish —
+            // must equal the uninterrupted serial run bit-for-bit.
+            let base = &instances[0];
+            let cfg =
+                FleetConfig::new(base.rho, base.routing).with_queue_capacity(stream.len().max(1));
+            let mut doomed = Fleet::new(cfg);
+            for inst in &instances {
+                doomed.add_shard(Arc::clone(&inst.graph));
+            }
+            let mut snap = doomed.snapshot();
+            let crash_at = stream.len() / 2;
+            for (i, (shard, ev)) in stream[..crash_at].iter().enumerate() {
+                assert!(doomed.submit(*shard, ev.clone()).is_accepted());
+                if i % DRIVE_EVERY == DRIVE_EVERY - 1 {
+                    doomed.drive();
+                }
+                if i + 1 == stream.len() / 4 {
+                    snap = doomed.snapshot();
+                }
+            }
+            let wal = doomed.wal_bytes().to_vec();
+            drop(doomed); // the crash
+            let (mut recovered, report) =
+                Fleet::recover(&snap, &wal, cfg.with_parallelism(threads4()))
+                    .expect("crash recovery");
+            assert!(report.torn_tail.is_none(), "clean log read as torn");
+            for (shard, ev) in &stream[crash_at..] {
+                assert!(recovered.submit(*shard, ev.clone()).is_accepted());
+            }
+            recovered.drive();
+            assert_fleets_bit_eq(&serial, &recovered, "post-recovery");
+
+            let events = stream.len();
+            let events_per_sec = events as f64 / (serial_ms / 1e3);
+            records.push(
+                jsonfmt::JsonObject::new()
+                    .text("scenario", spec.name)
+                    .field("seed", seed.to_string())
+                    .field("shards", shards.to_string())
+                    .field("sessions", sessions.to_string())
+                    .field("events", events.to_string())
+                    .field("wall_ms_ingest", jsonfmt::fixed(serial_ms, 3))
+                    .field("wall_ms_ingest_threads4", jsonfmt::fixed(threaded_ms, 3))
+                    .field("events_per_sec", jsonfmt::fixed(events_per_sec, 1))
+                    .field("policies_match", "true")
+                    .field("recovery_match", "true")
+                    .inline(),
+            );
+            println!(
+                "bench fleet_churn: {}/{seed} x{shards} shards: {events} events in \
+                 {serial_ms:.1} ms ({events_per_sec:.0} ev/s), threads4 {threaded_ms:.1} ms",
+                spec.name
+            );
+        }
+    }
+    let mut json = jsonfmt::JsonObject::new()
+        .text("bench", "fleet_churn")
+        .text("scale", "micro")
+        .field("seeds", format!("{SEEDS:?}"))
+        .field("shard_counts", format!("{SHARD_COUNTS:?}"))
+        .field("drive_every", DRIVE_EVERY.to_string())
+        .text("policy_serial", "Parallelism::Serial fleet drives")
+        .text("policy_threads4", "Parallelism::Threads(4) fleet drives")
+        .field("records", jsonfmt::array(&records, 1))
+        .pretty(0);
+    json.push('\n');
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    std::fs::write(path, &json).expect("write BENCH_fleet.json");
+    println!("bench fleet_churn: wrote {path}");
+}
+
+criterion_group!(benches, bench_fleet_ingest, emit_bench_json);
+criterion_main!(benches);

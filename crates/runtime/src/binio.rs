@@ -1,0 +1,207 @@
+//! Little-endian binary encode/decode helpers shared by the snapshot v2
+//! format ([`crate::snapshot_v2`]), the event WAL ([`crate::wal`]) and
+//! the fleet container ([`crate::fleet`]).
+//!
+//! Everything on the wire is little-endian; every `f64` travels as its
+//! raw IEEE-754 bit pattern (`to_bits`/`from_bits`), so encode → decode
+//! is bit-exact by construction. The reader never panics on short or
+//! garbage input: every accessor returns a `Result` whose error carries
+//! the byte offset at which decoding failed, so the caller can render a
+//! descriptive "snapshot byte N: …" diagnostic.
+
+/// Append-only little-endian byte sink.
+#[derive(Debug, Default)]
+pub(crate) struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    pub(crate) fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    pub(crate) fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub(crate) fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub(crate) fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// The f64 as its raw bit pattern — bit-exact round-trip.
+    pub(crate) fn put_f64_bits(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub(crate) fn put_bytes(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    pub(crate) fn as_slice(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub(crate) fn into_vec(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A decode failure: what went wrong and at which byte offset.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) struct DecodeError {
+    pub(crate) offset: usize,
+    pub(crate) what: String,
+}
+
+/// Cursor over an untrusted byte slice. Short reads are `Err`, never a
+/// panic, and the reported offset is where the read *started* (the first
+/// byte the failed field occupies).
+#[derive(Debug)]
+pub(crate) struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Current cursor position (for error reporting and section framing).
+    pub(crate) fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn err(&self, what: impl Into<String>) -> DecodeError {
+        DecodeError { offset: self.pos, what: what.into() }
+    }
+
+    pub(crate) fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(
+                self.err(format!("truncated: {what} needs {n} bytes, {} remain", self.remaining()))
+            );
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self, what: &str) -> Result<u8, DecodeError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    pub(crate) fn u32(&mut self, what: &str) -> Result<u32, DecodeError> {
+        let b = self.take(4, what)?;
+        Ok(u32::from_le_bytes(b.try_into().expect("4-byte slice")))
+    }
+
+    pub(crate) fn u64(&mut self, what: &str) -> Result<u64, DecodeError> {
+        let b = self.take(8, what)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    pub(crate) fn f64_bits(&mut self, what: &str) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// A `u32` count that must be coverable by the remaining bytes at
+    /// `min_bytes_each` per element — rejects counts a flipped bit could
+    /// inflate *before* any `Vec::with_capacity` trusts them.
+    pub(crate) fn counted(
+        &mut self,
+        what: &str,
+        min_bytes_each: usize,
+    ) -> Result<usize, DecodeError> {
+        let start = self.pos;
+        let n = self.u32(what)? as usize;
+        if n.saturating_mul(min_bytes_each) > self.remaining() {
+            return Err(DecodeError {
+                offset: start,
+                what: format!(
+                    "implausible {what} count {n} (needs ≥{} bytes, {} remain)",
+                    n.saturating_mul(min_bytes_each),
+                    self.remaining()
+                ),
+            });
+        }
+        Ok(n)
+    }
+}
+
+/// FNV-1a 64-bit hash — the WAL record checksum. Not cryptographic;
+/// guards against torn writes and bit rot, like a CRC.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_is_bit_exact() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xdead_beef);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64_bits(-0.0);
+        w.put_f64_bits(f64::NAN);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8("a").unwrap(), 7);
+        assert_eq!(r.u32("b").unwrap(), 0xdead_beef);
+        assert_eq!(r.u64("c").unwrap(), u64::MAX - 1);
+        assert_eq!(r.f64_bits("d").unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(r.f64_bits("e").unwrap().to_bits(), f64::NAN.to_bits());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn short_reads_error_with_offset() {
+        let bytes = [1u8, 2, 3];
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.u8("lead").unwrap(), 1);
+        let err = r.u32("word").unwrap_err();
+        assert_eq!(err.offset, 1);
+        assert!(err.what.contains("truncated"), "{}", err.what);
+        assert!(err.what.contains("word"), "{}", err.what);
+    }
+
+    #[test]
+    fn counted_rejects_inflated_counts() {
+        let mut w = ByteWriter::new();
+        w.put_u32(1_000_000);
+        let bytes = w.into_vec();
+        let mut r = ByteReader::new(&bytes);
+        let err = r.counted("session", 8).unwrap_err();
+        assert_eq!(err.offset, 0);
+        assert!(err.what.contains("implausible"), "{}", err.what);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

@@ -1,0 +1,693 @@
+//! The sharded multi-overlay service layer.
+//!
+//! A [`Runtime`] serves exactly one overlay's event stream. The ROADMAP
+//! north star — thousands of independent overlays, millions of sessions
+//! — needs a layer above it, and [`Fleet`] is that layer: it owns many
+//! independent `Runtime` *shards* (one overlay system each, possibly
+//! over different physical graphs), ingests a batched multi-overlay
+//! event stream, and drives the shards concurrently under any
+//! [`Parallelism`] policy.
+//!
+//! The contracts, in decreasing order of importance:
+//!
+//! * **Per-shard ordering.** Events admitted to one shard apply in
+//!   submission order, always. Cross-shard order is unconstrained — the
+//!   shards are independent overlay systems and share no state — which
+//!   is exactly what makes concurrent drive safe.
+//! * **Per-shard determinism.** A shard's replay is bit-identical to a
+//!   solo `Runtime` fed the same events, and bit-identical across
+//!   [`Parallelism::Serial`] and any thread count (pinned by
+//!   `crates/runtime/tests/fleet.rs`). The fleet adds scheduling, never
+//!   arithmetic.
+//! * **Admission control.** Every shard queue is bounded
+//!   ([`FleetConfig::queue_capacity`]); a submission to a full queue
+//!   comes back [`Admission::Deferred`] — retry after [`Fleet::drive`]
+//!   — instead of buffering without bound, and a submission to a shard
+//!   that does not exist is [`Admission::Rejected`]. No silent drops:
+//!   the caller always learns the outcome, typed.
+//! * **Durability.** Every *accepted* event is appended to an in-memory
+//!   [`Wal`] before it is queued (write-ahead: admission order *is* log
+//!   order *is* apply order). [`Fleet::snapshot`] quiesces the fleet and
+//!   renders a binary container of per-shard
+//!   [snapshot v2](crate::snapshot_v2) images, resetting the WAL;
+//!   [`Fleet::recover`] rebuilds the exact pre-crash state from the last
+//!   snapshot plus the WAL tail — bit-identical (`to_bits`) at any crash
+//!   point, including a torn final record. See `docs/FLEET.md`.
+//!
+//! ```
+//! use omcf_core::solver::RoutingMode;
+//! use omcf_core::Parallelism;
+//! use omcf_overlay::Session;
+//! use omcf_runtime::{Event, Fleet, FleetConfig, ShardId};
+//! use omcf_topology::{canned, NodeId};
+//!
+//! let cfg = FleetConfig::new(25.0, RoutingMode::FixedIp)
+//!     .with_parallelism(Parallelism::Auto);
+//! let mut fleet = Fleet::new(cfg);
+//! let a = fleet.add_shard(canned::grid(4, 4, 10.0));
+//! let b = fleet.add_shard(canned::path(6, 5.0));
+//! let join = |u, v| Event::Join(Session::new(vec![NodeId(u), NodeId(v)], 1.0));
+//! assert!(fleet.submit(a, join(0, 15)).is_accepted());
+//! assert!(fleet.submit(b, join(0, 5)).is_accepted());
+//! let report = fleet.drive();
+//! assert_eq!(report.events_applied, 2);
+//! assert_eq!(fleet.shard(a).unwrap().live_count(), 1);
+//! ```
+
+use crate::binio::{ByteReader, ByteWriter};
+use crate::event::Event;
+use crate::runtime::{Checkpoint, Runtime, RuntimeConfig};
+use crate::snapshot::{SnapshotError, SnapshotImage};
+use crate::wal::{read_wal, TornTail, Wal, WalError};
+use omcf_core::solver::RoutingMode;
+use omcf_core::Parallelism;
+use omcf_telemetry::stats;
+use omcf_topology::Graph;
+use rayon::prelude::*;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// The 8-byte magic leading a fleet snapshot container.
+pub const FLEET_SNAPSHOT_MAGIC: &[u8; 8] = b"OMCFFLT1";
+
+/// Container format version.
+pub const FLEET_SNAPSHOT_VERSION: u32 = 1;
+
+/// Identifies one shard (one independent overlay system) within a fleet.
+/// Dense: shards are numbered `0..shard_count` in [`Fleet::add_shard`]
+/// order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ShardId(pub u32);
+
+impl std::fmt::Display for ShardId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard{}", self.0)
+    }
+}
+
+impl ShardId {
+    fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Construction parameters of a [`Fleet`].
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Per-shard runtime parameters (step size ρ, routing regime).
+    pub runtime: RuntimeConfig,
+    /// Bound on each shard's pending-event queue. A submission past this
+    /// depth is [`Admission::Deferred`].
+    pub queue_capacity: usize,
+    /// Execution policy for [`Fleet::drive`]. Output bytes are identical
+    /// at every policy; only wall clock changes.
+    pub parallelism: Parallelism,
+}
+
+impl FleetConfig {
+    /// Defaults: queue capacity 1024, serial drive.
+    #[must_use]
+    pub fn new(rho: f64, routing: RoutingMode) -> Self {
+        Self {
+            runtime: RuntimeConfig::new(rho, routing),
+            queue_capacity: 1024,
+            parallelism: Parallelism::Serial,
+        }
+    }
+
+    /// Sets the per-shard queue bound (must be positive).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        assert!(capacity > 0, "a zero-capacity queue could never accept");
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Sets the drive execution policy.
+    #[must_use]
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
+    }
+}
+
+/// The typed outcome of a submission — admission control instead of
+/// unbounded buffering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Queued (and WAL-logged). `depth` is the shard queue's depth after
+    /// this event.
+    Accepted {
+        /// The shard that queued the event.
+        shard: ShardId,
+        /// Pending events on that shard, this one included.
+        depth: usize,
+    },
+    /// Backpressure: the shard's queue is at capacity. Nothing was
+    /// logged or queued; retry after a [`Fleet::drive`].
+    Deferred {
+        /// The shard whose queue is full.
+        shard: ShardId,
+        /// The configured queue bound that was hit.
+        capacity: usize,
+    },
+    /// The shard does not exist. Nothing was logged or queued.
+    Rejected {
+        /// The shard id that failed to resolve.
+        shard: ShardId,
+        /// Number of shards the fleet actually has.
+        shard_count: usize,
+    },
+}
+
+impl Admission {
+    /// Whether the event was durably queued.
+    #[must_use]
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Admission::Accepted { .. })
+    }
+}
+
+/// What one [`Fleet::drive`] round did.
+#[derive(Clone, Debug, Default)]
+pub struct DriveReport {
+    /// Events drained from queues and applied to shard runtimes.
+    pub events_applied: u64,
+    /// Checkpoints produced by [`Event::Reoptimize`] events, tagged with
+    /// their shard, in (shard, per-shard stream) order.
+    pub checkpoints: Vec<(ShardId, Checkpoint)>,
+}
+
+/// What [`Fleet::recover`] rebuilt.
+#[derive(Clone, Debug)]
+pub struct RecoveryReport {
+    /// Shards restored from the snapshot container.
+    pub shards: usize,
+    /// WAL records replayed on top of the snapshot.
+    pub replayed_events: usize,
+    /// Present when the WAL ended in a torn (crash-interrupted) record;
+    /// holds the byte offset of the incomplete tail that was discarded.
+    pub torn_tail: Option<usize>,
+}
+
+/// Why a crash recovery failed. Torn WAL tails are *not* failures — see
+/// [`crate::wal::read_wal`].
+#[derive(Clone, Debug)]
+pub enum RecoverError {
+    /// The snapshot container failed to decode.
+    Snapshot(SnapshotError),
+    /// The WAL failed to decode (mid-log corruption or bad magic).
+    Wal(WalError),
+    /// A WAL record referenced a shard the snapshot does not contain.
+    UnknownShard {
+        /// The dangling shard id.
+        shard: ShardId,
+        /// Shards in the snapshot container.
+        shard_count: usize,
+    },
+}
+
+impl std::fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Snapshot(e) => write!(f, "fleet snapshot: {e}"),
+            Self::Wal(e) => write!(f, "fleet {e}"),
+            Self::UnknownShard { shard, shard_count } => write!(
+                f,
+                "wal record addresses {shard} but the snapshot holds {shard_count} shard(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
+
+impl From<SnapshotError> for RecoverError {
+    fn from(e: SnapshotError) -> Self {
+        Self::Snapshot(e)
+    }
+}
+
+impl From<WalError> for RecoverError {
+    fn from(e: WalError) -> Self {
+        Self::Wal(e)
+    }
+}
+
+/// A sharded service of independent overlay runtimes. See the module
+/// docs for the ordering/determinism/backpressure/durability contracts.
+#[derive(Debug)]
+pub struct Fleet {
+    shards: Vec<Runtime>,
+    queues: Vec<VecDeque<Event>>,
+    queue_capacity: usize,
+    parallelism: Parallelism,
+    runtime_cfg: RuntimeConfig,
+    wal: Wal,
+}
+
+impl Fleet {
+    /// An empty fleet; populate with [`Self::add_shard`].
+    #[must_use]
+    pub fn new(cfg: FleetConfig) -> Self {
+        assert!(cfg.queue_capacity > 0, "a zero-capacity queue could never accept");
+        Self {
+            shards: Vec::new(),
+            queues: Vec::new(),
+            queue_capacity: cfg.queue_capacity,
+            parallelism: cfg.parallelism,
+            runtime_cfg: cfg.runtime,
+            wal: Wal::new(),
+        }
+    }
+
+    /// A fleet of `n` shards over clones of one physical topology.
+    #[must_use]
+    pub fn homogeneous(g: impl Into<Arc<Graph>>, n: usize, cfg: FleetConfig) -> Self {
+        let g = g.into();
+        let mut fleet = Self::new(cfg);
+        for _ in 0..n {
+            fleet.add_shard(Arc::clone(&g));
+        }
+        fleet
+    }
+
+    /// Adds an empty shard over `g` and returns its id (dense, in call
+    /// order).
+    pub fn add_shard(&mut self, g: impl Into<Arc<Graph>>) -> ShardId {
+        let id = ShardId(u32::try_from(self.shards.len()).expect("shard count fits u32"));
+        self.shards.push(Runtime::new(g, self.runtime_cfg));
+        self.queues.push(VecDeque::new());
+        id
+    }
+
+    /// Submits one event to one shard: admission control, then
+    /// write-ahead log, then queue. The WAL append happens here — at
+    /// ingest, on the caller's thread — so log order equals submission
+    /// order regardless of how many threads later drive the shards.
+    pub fn submit(&mut self, shard: ShardId, event: Event) -> Admission {
+        let Some(queue) = self.queues.get_mut(shard.idx()) else {
+            stats::FLEET_EVENTS_REJECTED.inc();
+            return Admission::Rejected { shard, shard_count: self.shards.len() };
+        };
+        if queue.len() >= self.queue_capacity {
+            stats::FLEET_EVENTS_DEFERRED.inc();
+            return Admission::Deferred { shard, capacity: self.queue_capacity };
+        }
+        let before = self.wal.bytes().len();
+        self.wal.append(shard, &event);
+        stats::FLEET_WAL_BYTES.add((self.wal.bytes().len() - before) as u64);
+        stats::FLEET_EVENTS_ACCEPTED.inc();
+        queue.push_back(event);
+        Admission::Accepted { shard, depth: queue.len() }
+    }
+
+    /// Submits a batch, preserving the batch's order per shard. Returns
+    /// one [`Admission`] per event, in batch order — deferred and
+    /// rejected entries are reported, not retried.
+    pub fn submit_batch(
+        &mut self,
+        batch: impl IntoIterator<Item = (ShardId, Event)>,
+    ) -> Vec<Admission> {
+        batch.into_iter().map(|(shard, ev)| self.submit(shard, ev)).collect()
+    }
+
+    /// Drains every shard queue, applying each shard's pending events in
+    /// submission order. Shards are driven concurrently under the
+    /// configured [`Parallelism`]; because they share no mutable state,
+    /// per-shard results are bit-identical at every policy.
+    pub fn drive(&mut self) -> DriveReport {
+        let _span = omcf_telemetry::span("fleet.drive");
+        stats::FLEET_DRIVES.inc();
+        let t0 = omcf_telemetry::enabled().then(std::time::Instant::now);
+
+        // The rayon shim parallelizes owned `into_par_iter` only, so
+        // lend each shard (runtime + queue) to the pool by value and
+        // take it back afterwards; `collect` merges in index order, so
+        // shard ids are stable.
+        let shards = std::mem::take(&mut self.shards);
+        let queues = std::mem::take(&mut self.queues);
+        let work: Vec<(Runtime, VecDeque<Event>)> = shards.into_iter().zip(queues).collect();
+        let done: Vec<(Runtime, VecDeque<Event>, u64, Vec<Checkpoint>)> =
+            self.parallelism.install(|| {
+                work.into_par_iter()
+                    .map(|(mut rt, mut queue)| {
+                        let mut applied = 0u64;
+                        let mut checkpoints = Vec::new();
+                        while let Some(ev) = queue.pop_front() {
+                            if let Some(cp) = rt.apply(&ev) {
+                                checkpoints.push(cp);
+                            }
+                            applied += 1;
+                        }
+                        (rt, queue, applied, checkpoints)
+                    })
+                    .collect()
+            });
+
+        let mut report = DriveReport::default();
+        for (i, (rt, queue, applied, checkpoints)) in done.into_iter().enumerate() {
+            self.shards.push(rt);
+            self.queues.push(queue);
+            report.events_applied += applied;
+            let shard = ShardId(i as u32);
+            report.checkpoints.extend(checkpoints.into_iter().map(|cp| (shard, cp)));
+        }
+        stats::FLEET_EVENTS_APPLIED.add(report.events_applied);
+        stats::FLEET_DRIVE_EVENTS.observe(report.events_applied);
+        if let Some(t0) = t0 {
+            stats::FLEET_DRIVE_US.observe_duration(t0.elapsed());
+        }
+        report
+    }
+
+    /// Quiesces the fleet (drives all pending events) and renders the
+    /// binary snapshot container: magic, version, shard count, then one
+    /// length-prefixed [snapshot v2](crate::snapshot_v2) image per shard.
+    /// The WAL resets — the snapshot supersedes it, and subsequent
+    /// accepted events log against this snapshot as the new base.
+    pub fn snapshot(&mut self) -> Vec<u8> {
+        let _ = self.drive();
+        let _span = omcf_telemetry::span("fleet.snapshot");
+        let mut w = ByteWriter::new();
+        w.put_bytes(FLEET_SNAPSHOT_MAGIC);
+        w.put_u32(FLEET_SNAPSHOT_VERSION);
+        w.put_u32(self.shards.len() as u32);
+        for rt in &self.shards {
+            let image = crate::snapshot_v2::encode(&SnapshotImage::capture(rt));
+            w.put_u64(image.len() as u64);
+            w.put_bytes(&image);
+        }
+        self.wal.clear();
+        stats::FLEET_SNAPSHOT_BYTES.observe(w.len() as u64);
+        w.into_vec()
+    }
+
+    /// Rebuilds a fleet from the last [`Self::snapshot`] container plus
+    /// the WAL bytes accepted since it ([`Self::wal_bytes`] as persisted
+    /// by the caller). Every complete WAL record is re-applied in log
+    /// order — bypassing admission control, since each was already
+    /// admitted pre-crash — and re-logged, so the recovered fleet can
+    /// itself crash and recover against the same snapshot. A torn final
+    /// record (crash mid-append) is discarded and reported, not an
+    /// error. The result is bit-identical to the pre-crash fleet at the
+    /// last complete record.
+    pub fn recover(
+        snapshot: &[u8],
+        wal_bytes: &[u8],
+        cfg: FleetConfig,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        let _span = omcf_telemetry::span("fleet.recover");
+        let mut fleet = Self::new(cfg);
+        fleet.shards = decode_container(snapshot)?;
+        fleet.queues = (0..fleet.shards.len()).map(|_| VecDeque::new()).collect();
+
+        let (records, tail) = read_wal(wal_bytes)?;
+        let replayed = records.len();
+        for rec in records {
+            let shard_count = fleet.shards.len();
+            let Some(rt) = fleet.shards.get_mut(rec.shard.idx()) else {
+                return Err(RecoverError::UnknownShard { shard: rec.shard, shard_count });
+            };
+            // Checkpoints are pure observers; the pre-crash consumer saw
+            // them already, so recovery drops them.
+            let _ = rt.apply(&rec.event);
+            fleet.wal.append(rec.shard, &rec.event);
+        }
+        stats::FLEET_RECOVERED_EVENTS.add(replayed as u64);
+        let report = RecoveryReport {
+            shards: fleet.shards.len(),
+            replayed_events: replayed,
+            torn_tail: tail.map(|TornTail { offset }| offset),
+        };
+        Ok((fleet, report))
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// All shard ids, in order.
+    pub fn shard_ids(&self) -> impl Iterator<Item = ShardId> + '_ {
+        (0..self.shards.len() as u32).map(ShardId)
+    }
+
+    /// The shard's runtime, if the id resolves.
+    #[must_use]
+    pub fn shard(&self, shard: ShardId) -> Option<&Runtime> {
+        self.shards.get(shard.idx())
+    }
+
+    /// Pending (accepted, not yet driven) events on one shard.
+    #[must_use]
+    pub fn queue_depth(&self, shard: ShardId) -> Option<usize> {
+        self.queues.get(shard.idx()).map(VecDeque::len)
+    }
+
+    /// Pending events across all shards.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// The configured per-shard queue bound.
+    #[must_use]
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// The drive execution policy.
+    #[must_use]
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// The WAL wire bytes accepted since the last [`Self::snapshot`].
+    /// Persist these (plus the snapshot) to make the fleet crash-proof.
+    #[must_use]
+    pub fn wal_bytes(&self) -> &[u8] {
+        self.wal.bytes()
+    }
+
+    /// WAL records since the last [`Self::snapshot`].
+    #[must_use]
+    pub fn wal_record_count(&self) -> usize {
+        self.wal.record_count()
+    }
+}
+
+fn decode_container(bytes: &[u8]) -> Result<Vec<Runtime>, SnapshotError> {
+    let mut r = ByteReader::new(bytes);
+    let corrupt = |e: crate::binio::DecodeError| SnapshotError::CorruptBinary {
+        offset: e.offset,
+        what: e.what,
+    };
+    let magic = r.take(FLEET_SNAPSHOT_MAGIC.len(), "fleet magic").map_err(corrupt)?;
+    if magic != FLEET_SNAPSHOT_MAGIC {
+        return Err(SnapshotError::UnsupportedVersion(format!(
+            "<{} leading bytes do not spell {}>",
+            FLEET_SNAPSHOT_MAGIC.len(),
+            String::from_utf8_lossy(FLEET_SNAPSHOT_MAGIC),
+        )));
+    }
+    let version = r.u32("fleet container version").map_err(corrupt)?;
+    if version != FLEET_SNAPSHOT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(format!(
+            "fleet container v{version} (this build reads v{FLEET_SNAPSHOT_VERSION})"
+        )));
+    }
+    let n = r.counted("shard", 8).map_err(corrupt)?;
+    let mut shards = Vec::with_capacity(n);
+    for i in 0..n {
+        let len = r.u64(&format!("shard {i} image length")).map_err(corrupt)? as usize;
+        let image = r.take(len, &format!("shard {i} image")).map_err(corrupt)?;
+        shards.push(Runtime::restore_v2(image)?);
+    }
+    if r.remaining() != 0 {
+        return Err(SnapshotError::CorruptBinary {
+            offset: r.pos(),
+            what: format!("{} trailing bytes after the last shard image", r.remaining()),
+        });
+    }
+    Ok(shards)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omcf_overlay::Session;
+    use omcf_topology::{canned, NodeId};
+
+    fn join(u: u32, v: u32) -> Event {
+        Event::Join(Session::new(vec![NodeId(u), NodeId(v)], 1.0))
+    }
+
+    fn cfg() -> FleetConfig {
+        FleetConfig::new(25.0, RoutingMode::FixedIp)
+    }
+
+    #[test]
+    fn per_shard_state_matches_a_solo_runtime() {
+        let g = canned::grid(4, 4, 10.0);
+        let mut fleet = Fleet::homogeneous(g.clone(), 3, cfg());
+        // Interleave submissions across shards; shard 1's stream is
+        // join/join/leave.
+        assert!(fleet.submit(ShardId(1), join(0, 15)).is_accepted());
+        assert!(fleet.submit(ShardId(0), join(1, 2)).is_accepted());
+        assert!(fleet.submit(ShardId(1), join(3, 12)).is_accepted());
+        assert!(fleet.submit(ShardId(2), join(5, 10)).is_accepted());
+        assert!(fleet.submit(ShardId(1), Event::Leave(0)).is_accepted());
+        let report = fleet.drive();
+        assert_eq!(report.events_applied, 5);
+        assert_eq!(fleet.pending(), 0);
+
+        let mut solo = Runtime::new(g, RuntimeConfig::new(25.0, RoutingMode::FixedIp));
+        solo.apply(&join(0, 15));
+        solo.apply(&join(3, 12));
+        solo.apply(&Event::Leave(0));
+        let shard = fleet.shard(ShardId(1)).unwrap();
+        assert_eq!(shard.live_joins(), solo.live_joins());
+        for (a, b) in shard.lengths().iter().zip(solo.lengths()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        for (a, b) in shard.load().iter().zip(solo.load()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn backpressure_defers_and_unknown_shard_rejects() {
+        let g = canned::path(4, 10.0);
+        let mut fleet = Fleet::homogeneous(g, 1, cfg().with_queue_capacity(2));
+        assert!(fleet.submit(ShardId(0), join(0, 3)).is_accepted());
+        assert!(fleet.submit(ShardId(0), join(1, 2)).is_accepted());
+        let deferred = fleet.submit(ShardId(0), join(0, 2));
+        assert_eq!(deferred, Admission::Deferred { shard: ShardId(0), capacity: 2 });
+        let rejected = fleet.submit(ShardId(9), join(0, 1));
+        assert_eq!(rejected, Admission::Rejected { shard: ShardId(9), shard_count: 1 });
+        // Deferred/rejected events are not logged: exactly 2 WAL records.
+        assert_eq!(fleet.wal_record_count(), 2);
+        fleet.drive();
+        // Queue drained; the retry now lands.
+        assert!(fleet.submit(ShardId(0), join(0, 2)).is_accepted());
+        assert_eq!(fleet.queue_depth(ShardId(0)), Some(1));
+    }
+
+    #[test]
+    fn serial_and_threaded_drives_are_bit_identical() {
+        let g = canned::grid(5, 5, 8.0);
+        let run = |par: Parallelism| {
+            let mut fleet = Fleet::homogeneous(g.clone(), 4, cfg().with_parallelism(par));
+            for round in 0..12u32 {
+                let shard = ShardId(round % 4);
+                fleet.submit(shard, join(round % 25, (round * 7 + 3) % 25));
+                if round % 5 == 4 {
+                    fleet.submit(shard, Event::Leave(0));
+                }
+            }
+            fleet.drive();
+            fleet
+        };
+        let serial = run(Parallelism::Serial);
+        let threaded = run(Parallelism::Threads(std::num::NonZeroUsize::new(4).unwrap()));
+        for id in serial.shard_ids() {
+            let (a, b) = (serial.shard(id).unwrap(), threaded.shard(id).unwrap());
+            assert_eq!(a.events_processed(), b.events_processed());
+            for (x, y) in a.lengths().iter().zip(b.lengths()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{id} lengths diverge");
+            }
+            for (x, y) in a.load().iter().zip(b.load()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{id} loads diverge");
+            }
+        }
+    }
+
+    #[test]
+    fn drive_collects_checkpoints_with_shard_tags() {
+        let g = canned::grid(4, 4, 10.0);
+        let mut fleet = Fleet::homogeneous(g, 2, cfg());
+        fleet.submit(ShardId(0), join(0, 15));
+        fleet.submit(ShardId(1), join(3, 12));
+        fleet.submit(ShardId(1), Event::Reoptimize);
+        fleet.submit(ShardId(0), Event::Reoptimize);
+        let report = fleet.drive();
+        assert_eq!(report.events_applied, 4);
+        assert_eq!(report.checkpoints.len(), 2);
+        // Checkpoints arrive in shard order (index-ordered merge).
+        assert_eq!(report.checkpoints[0].0, ShardId(0));
+        assert_eq!(report.checkpoints[1].0, ShardId(1));
+        assert_eq!(report.checkpoints[0].1.population.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_recover_roundtrip_with_wal_tail() {
+        let g = canned::grid(4, 4, 10.0);
+        let mut fleet = Fleet::homogeneous(g, 2, cfg());
+        fleet.submit(ShardId(0), join(0, 15));
+        fleet.submit(ShardId(1), join(3, 12));
+        let snap = fleet.snapshot();
+        assert_eq!(fleet.wal_record_count(), 0, "snapshot resets the wal");
+        // Post-snapshot traffic lives only in the WAL.
+        fleet.submit(ShardId(1), join(5, 10));
+        fleet.submit(ShardId(0), Event::Leave(0));
+        fleet.drive();
+
+        let (recovered, report) = Fleet::recover(&snap, fleet.wal_bytes(), cfg()).expect("recover");
+        assert_eq!(report.shards, 2);
+        assert_eq!(report.replayed_events, 2);
+        assert_eq!(report.torn_tail, None);
+        for id in fleet.shard_ids() {
+            let (a, b) = (fleet.shard(id).unwrap(), recovered.shard(id).unwrap());
+            assert_eq!(a.live_joins(), b.live_joins());
+            for (x, y) in a.lengths().iter().zip(b.lengths()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{id} diverges after recovery");
+            }
+        }
+        // The recovered fleet re-logged the replayed records: crash it
+        // again against the same snapshot and it recovers again.
+        assert_eq!(recovered.wal_record_count(), 2);
+        let (again, _) = Fleet::recover(&snap, recovered.wal_bytes(), cfg()).expect("re-recover");
+        for id in fleet.shard_ids() {
+            let (x, y) = (fleet.shard(id).unwrap(), again.shard(id).unwrap());
+            assert_eq!(x.max_load().to_bits(), y.max_load().to_bits());
+        }
+    }
+
+    #[test]
+    fn recover_rejects_garbage_and_dangling_shards() {
+        let g = canned::path(3, 10.0);
+        let mut fleet = Fleet::homogeneous(g, 1, cfg());
+        let snap = fleet.snapshot();
+
+        let err = Fleet::recover(b"NOTFLEET", fleet.wal_bytes(), cfg()).unwrap_err();
+        assert!(matches!(err, RecoverError::Snapshot(_)), "{err}");
+
+        let mut wrong_version = snap.clone();
+        wrong_version[8] = 42;
+        let err = Fleet::recover(&wrong_version, fleet.wal_bytes(), cfg()).unwrap_err();
+        assert!(err.to_string().contains("v42"), "{err}");
+
+        // A WAL addressing shard 5 of a 1-shard snapshot.
+        let mut wal = Wal::new();
+        wal.append(ShardId(5), &Event::Reoptimize);
+        let err = Fleet::recover(&snap, wal.bytes(), cfg()).unwrap_err();
+        assert!(matches!(err, RecoverError::UnknownShard { shard: ShardId(5), .. }), "{err}");
+        assert!(err.to_string().contains("shard5"), "{err}");
+    }
+
+    #[test]
+    fn heterogeneous_shards_keep_their_graphs_through_recovery() {
+        let mut fleet = Fleet::new(cfg());
+        let a = fleet.add_shard(canned::grid(4, 4, 10.0));
+        let b = fleet.add_shard(canned::path(6, 5.0));
+        fleet.submit(a, join(0, 15));
+        fleet.submit(b, join(0, 5));
+        let snap = fleet.snapshot();
+        let (recovered, _) = Fleet::recover(&snap, fleet.wal_bytes(), cfg()).expect("recover");
+        assert_eq!(recovered.shard(a).unwrap().graph().edge_count(), 24);
+        assert_eq!(recovered.shard(b).unwrap().graph().edge_count(), 5);
+        assert_eq!(recovered.shard(b).unwrap().live_count(), 1);
+    }
+}

@@ -18,9 +18,21 @@
 //!   `Solver` trait) and reports the congestion **drift** — runtime
 //!   congestion over batch-optimal congestion — as a time series
 //!   ([`DriftSample`], [`drift_csv`]).
-//! * [`Runtime::snapshot`] / [`Runtime::restore`] serialize the whole
-//!   state to a versioned text blob with bit-exact floats, so replays
-//!   resume across processes without changing one output byte.
+//! * [`Runtime::snapshot_v2`](runtime::Runtime::snapshot_v2) /
+//!   [`Runtime::restore_v2`](runtime::Runtime::restore_v2) serialize the
+//!   whole state to a compact versioned binary blob with bit-exact
+//!   floats (`OMCFSNAP` v2), so replays resume across processes without
+//!   changing one output byte. The original v1 text format stays
+//!   readable and writable ([`Runtime::snapshot`] / [`Runtime::restore`]),
+//!   and [`Runtime::restore_bytes`](runtime::Runtime::restore_bytes)
+//!   sniffs the generation automatically.
+//! * [`Fleet`] scales the runtime to many independent overlays: sharded
+//!   event ingestion with per-shard ordering and bounded-queue
+//!   backpressure ([`Admission`]), concurrent drives under
+//!   [`Parallelism`](omcf_core::Parallelism) (bit-identical at every
+//!   thread count), and crash recovery — a binary snapshot container
+//!   plus an append-only event [`Wal`] replayed by [`Fleet::recover`]
+//!   reproduce the pre-crash state exactly, torn tail tolerated.
 //! * [`replay_churn`] drives a full [`ChurnSchedule`](omcf_overlay::ChurnSchedule)
 //!   through the runtime; its final rates are bit-identical to the batch
 //!   `OnlineSolver` run on the same trace (pinned by
@@ -28,7 +40,8 @@
 //!   join instead of a from-scratch re-solve per event.
 //!
 //! See `docs/RUNTIME.md` for the event model, the rollback contract and
-//! the snapshot format.
+//! the snapshot formats, and `docs/FLEET.md` for the fleet's wire
+//! formats and recovery procedure.
 //!
 //! ```
 //! use omcf_core::solver::RoutingMode;
@@ -48,14 +61,24 @@
 //! assert_eq!(rt.live_joins(), vec![a]);
 //! ```
 
+mod binio;
 pub mod event;
+pub mod fleet;
 pub mod reopt;
 pub mod replay;
 pub mod runtime;
 pub mod snapshot;
+pub mod snapshot_v2;
+pub mod wal;
 
 pub use event::Event;
+pub use fleet::{
+    Admission, DriveReport, Fleet, FleetConfig, RecoverError, RecoveryReport, ShardId,
+    FLEET_SNAPSHOT_MAGIC, FLEET_SNAPSHOT_VERSION,
+};
 pub use reopt::{drift_csv, DriftSample, Reoptimizer};
 pub use replay::{replay, replay_churn, resume_replay, ReplayConfig, ReplayReport};
 pub use runtime::{Checkpoint, Runtime, RuntimeConfig};
-pub use snapshot::{SnapshotError, SNAPSHOT_VERSION};
+pub use snapshot::{SnapshotError, SNAPSHOT_V1_VERSION, SNAPSHOT_VERSION};
+pub use snapshot_v2::SNAPSHOT_V2_MAGIC;
+pub use wal::{read_wal, TornTail, Wal, WalError, WalRecord, WAL_MAGIC};

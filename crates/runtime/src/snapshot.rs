@@ -3,11 +3,23 @@
 //! A snapshot captures everything a resumed replay needs — topology
 //! (capacities included, since [`Event::CapacityChange`] mutates them),
 //! exponential lengths, load table, the admission log with live trees,
-//! and the counters — in a line-based text format. Every `f64` is
-//! serialized as its IEEE-754 bit pattern (16 hex digits), so
-//! `save → restore` is **bit-identical**: a replay resumed from a
-//! snapshot produces exactly the bytes an uninterrupted run would
-//! (pinned by `tests/snapshot.rs`).
+//! and the counters. Every `f64` is serialized as its IEEE-754 bit
+//! pattern, so `save → restore` is **bit-identical**: a replay resumed
+//! from a snapshot produces exactly the bytes an uninterrupted run would.
+//!
+//! Two formats exist:
+//!
+//! * **v2 (current)** — a compact binary layout with a versioned header
+//!   and length-prefixed sections; see [`crate::snapshot_v2`] and
+//!   `docs/FLEET.md`. Produced by [`Runtime::snapshot_v2`].
+//! * **v1 (legacy)** — the line-based hex text format below, kept
+//!   readable for already-persisted blobs. Produced by
+//!   [`Runtime::snapshot`]; see `docs/RUNTIME.md` for the migration
+//!   note.
+//!
+//! [`Runtime::restore_bytes`] accepts either (it sniffs the v2 magic and
+//! falls back to the v1 text parser), so a service upgrading to v2 can
+//! still restore its pre-upgrade state.
 //!
 //! Format `v1` (the leading header line is the version gate; restoring a
 //! snapshot written by a future incompatible version fails loudly rather
@@ -31,6 +43,11 @@
 //! end
 //! ```
 //!
+//! Both formats decode into one `SnapshotImage`, and a single
+//! `SnapshotImage::assemble` performs every semantic check and the
+//! engine-state reassembly — the formats differ only in framing, never
+//! in what is validated or how state is rebuilt.
+//!
 //! Not serialized (reconstructed on restore): the
 //! [`TreeStore`](omcf_overlay::TreeStore) (rebuilt
 //! from the live trees at their demands — bit-identical, flows were never
@@ -50,20 +67,31 @@ use omcf_topology::{EdgeId, GraphBuilder, NodeId};
 use std::fmt::Write as _;
 use std::sync::Arc;
 
-/// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version ([`Runtime::snapshot_v2`]).
+pub const SNAPSHOT_VERSION: u32 = 2;
+
+/// The legacy text format version ([`Runtime::snapshot`]).
+pub const SNAPSHOT_V1_VERSION: u32 = 1;
 
 const HEADER: &str = "omcf-runtime-snapshot v1";
 
 /// Why a snapshot failed to restore.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SnapshotError {
-    /// The header line names an unknown format version.
+    /// The header names an unknown format version (or the blob starts
+    /// with neither the v2 magic nor the v1 header line).
     UnsupportedVersion(String),
-    /// A line failed to parse.
+    /// A v1 text line failed to parse or validate.
     Malformed {
         /// 1-based line number.
         line: usize,
+        /// What was wrong.
+        what: String,
+    },
+    /// A v2 binary snapshot failed to decode or validate.
+    CorruptBinary {
+        /// Byte offset at which decoding failed.
+        offset: usize,
         /// What was wrong.
         what: String,
     },
@@ -73,17 +101,217 @@ impl std::fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::UnsupportedVersion(h) => {
-                write!(f, "unsupported snapshot header `{h}` (expected `{HEADER}`)")
+                write!(f, "unsupported snapshot header `{h}` (expected the v2 binary magic or `{HEADER}`)")
             }
             Self::Malformed { line, what } => write!(f, "snapshot line {line}: {what}"),
+            Self::CorruptBinary { offset, what } => write!(f, "snapshot byte {offset}: {what}"),
         }
     }
 }
 
 impl std::error::Error for SnapshotError {}
 
+/// One hop of a serialized overlay tree.
+#[derive(Clone, Debug)]
+pub(crate) struct HopImage {
+    pub(crate) a: u32,
+    pub(crate) b: u32,
+    pub(crate) src: u32,
+    pub(crate) dst: u32,
+    pub(crate) edges: Vec<u32>,
+}
+
+/// One admission-log entry of a serialized runtime.
+#[derive(Clone, Debug)]
+pub(crate) struct SessionImage {
+    pub(crate) alive: bool,
+    pub(crate) demand: f64,
+    pub(crate) members: Vec<u32>,
+    pub(crate) hops: Vec<HopImage>,
+}
+
+/// The format-independent content of a snapshot: what both the v1 text
+/// and v2 binary layouts carry, decoded but not yet validated. One
+/// [`Self::assemble`] owns every semantic check and the engine-state
+/// reassembly for both formats.
+#[derive(Clone, Debug)]
+pub(crate) struct SnapshotImage {
+    pub(crate) rho: f64,
+    pub(crate) routing: RoutingMode,
+    pub(crate) events: u64,
+    pub(crate) mst_ops: u64,
+    pub(crate) iterations: u64,
+    /// Node positions, indexed by `NodeId`.
+    pub(crate) nodes: Vec<(f64, f64)>,
+    /// `(u, v, capacity)` per edge, in `EdgeId` order.
+    pub(crate) edges: Vec<(u32, u32, f64)>,
+    pub(crate) lengths: Vec<f64>,
+    pub(crate) loads: Vec<f64>,
+    pub(crate) sessions: Vec<SessionImage>,
+}
+
+impl SnapshotImage {
+    /// Captures the full state of a live runtime.
+    pub(crate) fn capture(rt: &Runtime) -> Self {
+        let g = &rt.graph;
+        Self {
+            rho: rt.rho,
+            routing: rt.routing,
+            events: rt.events_processed,
+            mst_ops: rt.state.mst_ops,
+            iterations: rt.state.iterations,
+            nodes: g.nodes().map(|n| g.position(n)).collect(),
+            edges: g
+                .edge_ids()
+                .map(|e| {
+                    let edge = g.edge(e);
+                    (edge.u.0, edge.v.0, edge.capacity)
+                })
+                .collect(),
+            lengths: rt.state.lengths.stored().to_vec(),
+            loads: rt.state.load.clone(),
+            sessions: rt
+                .admitted
+                .iter()
+                .map(|a| SessionImage {
+                    alive: a.alive,
+                    demand: a.session.demand,
+                    members: a.session.members.iter().map(|m| m.0).collect(),
+                    hops: a
+                        .tree
+                        .hops
+                        .iter()
+                        .map(|h| HopImage {
+                            a: h.a as u32,
+                            b: h.b as u32,
+                            src: h.path.src.0,
+                            dst: h.path.dst.0,
+                            edges: h.path.edges.iter().map(|e| e.0).collect(),
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Validates every semantic invariant a flipped bit could violate —
+    /// positive finite capacities/lengths/demands/ρ, in-range node/edge/
+    /// member indices, distinct session members, trees that actually span
+    /// and embed — and reassembles the runtime bit-identically. Errors
+    /// are plain strings; the format decoders wrap them with their
+    /// line/offset context.
+    pub(crate) fn assemble(self) -> Result<Runtime, String> {
+        if !(self.rho > 0.0 && self.rho.is_finite()) {
+            return Err(format!("step size must be positive and finite, got {}", self.rho));
+        }
+        let n = self.nodes.len();
+        let m = self.edges.len();
+        let mut b = GraphBuilder::new(n);
+        for (idx, &(x, y)) in self.nodes.iter().enumerate() {
+            b.set_position(NodeId(idx as u32), x, y);
+        }
+        for &(u, v, cap) in &self.edges {
+            if u as usize >= n || v as usize >= n || u == v {
+                return Err(format!("bad edge endpoints {u}-{v}"));
+            }
+            if !(cap > 0.0 && cap.is_finite()) {
+                return Err(format!("capacity must be positive and finite, got {cap}"));
+            }
+            b.add_edge(NodeId(u), NodeId(v), cap);
+        }
+        let graph = Arc::new(b.finish());
+
+        if self.lengths.len() != m {
+            return Err(format!("expected {m} length words, got {}", self.lengths.len()));
+        }
+        if let Some(bad) = self.lengths.iter().find(|l| !(**l > 0.0 && l.is_finite())) {
+            return Err(format!("length must be positive and finite, got {bad}"));
+        }
+        if self.loads.len() != m {
+            return Err(format!("expected {m} load words, got {}", self.loads.len()));
+        }
+        if let Some(bad) = self.loads.iter().find(|l| !(**l >= 0.0 && l.is_finite())) {
+            return Err(format!("load must be nonnegative and finite, got {bad}"));
+        }
+
+        let mut admitted = Vec::with_capacity(self.sessions.len());
+        for (i, s) in self.sessions.into_iter().enumerate() {
+            if !(s.demand > 0.0 && s.demand.is_finite()) {
+                return Err(format!(
+                    "session {i}: demand must be positive and finite, got {}",
+                    s.demand
+                ));
+            }
+            let k = s.members.len();
+            if k < 2 {
+                return Err(format!("session {i}: needs at least 2 members, got {k}"));
+            }
+            if s.members.iter().any(|node| *node as usize >= n) {
+                return Err(format!("session {i}: member out of range"));
+            }
+            let mut dedup = s.members.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            if dedup.len() != k {
+                return Err(format!("session {i}: duplicate session members"));
+            }
+            let session =
+                Session::new(s.members.iter().map(|&mm| NodeId(mm)).collect::<Vec<_>>(), s.demand);
+
+            let mut hops = Vec::with_capacity(s.hops.len());
+            for h in &s.hops {
+                if h.edges.iter().any(|e| *e as usize >= m) {
+                    return Err(format!("session {i}: hop path edge out of range"));
+                }
+                hops.push(OverlayHop {
+                    a: h.a as usize,
+                    b: h.b as usize,
+                    path: Path {
+                        src: NodeId(h.src),
+                        dst: NodeId(h.dst),
+                        edges: h.edges.iter().map(|&e| EdgeId(e)).collect(),
+                    },
+                });
+            }
+            let tree = OverlayTree { session: i, hops };
+            if let Err(what) = check_tree(&session, &tree, &graph) {
+                return Err(format!("session {i}: {what}"));
+            }
+            let contribution =
+                Contribution { edges: tree.edge_multiplicities(), amount: session.demand };
+            admitted.push(Admitted { session, tree, contribution, alive: s.alive });
+        }
+
+        // Reassemble the engine state: bit-exact lengths/loads, a fresh
+        // epoch clock, and the store rebuilt from the live admission log.
+        let mut state = EngineState::online(&graph);
+        for (e, bits) in self.lengths.iter().enumerate() {
+            state.lengths.set_edge(e, *bits);
+        }
+        state.load = self.loads;
+        state.mst_ops = self.mst_ops;
+        state.iterations = self.iterations;
+        for a in &admitted {
+            let slot = state.store.push_session();
+            if a.alive {
+                debug_assert_eq!(slot, a.tree.session);
+                state.store.add(a.tree.clone(), a.session.demand);
+            }
+        }
+
+        let mut rt = Runtime::new(Arc::clone(&graph), RuntimeConfig::new(self.rho, self.routing));
+        rt.state = state;
+        rt.admitted = admitted;
+        rt.events_processed = self.events;
+        Ok(rt)
+    }
+}
+
 impl Runtime {
-    /// Serializes the full runtime state to the versioned text format.
+    /// Serializes the full runtime state to the **legacy v1 text
+    /// format**. New persistence should prefer the compact binary
+    /// [`Self::snapshot_v2`]; this stays for debuggability (the blob is
+    /// line-oriented and greppable) and for tools still speaking v1.
     #[must_use]
     pub fn snapshot(&self) -> String {
         let _span = omcf_telemetry::span("runtime.snapshot");
@@ -153,17 +381,29 @@ impl Runtime {
         out
     }
 
-    /// Restores a runtime from [`Self::snapshot`] output. The restored
-    /// state is bit-identical: lengths, loads, counters, admission log
-    /// and the reconstructed flow store all match the snapshotted
-    /// runtime exactly.
+    /// Restores a runtime from either snapshot format: the v2 binary
+    /// magic is sniffed first, anything else is handed to the v1 text
+    /// parser. This is the restore entry point a service should use — a
+    /// fleet upgraded to v2 can still load its pre-upgrade v1 blobs.
+    pub fn restore_bytes(bytes: &[u8]) -> Result<Runtime, SnapshotError> {
+        if crate::snapshot_v2::is_v2(bytes) {
+            return Runtime::restore_v2(bytes);
+        }
+        match std::str::from_utf8(bytes) {
+            Ok(text) => Runtime::restore(text),
+            Err(_) => Err(SnapshotError::UnsupportedVersion("<non-UTF-8 binary data>".into())),
+        }
+    }
+
+    /// Restores a runtime from [`Self::snapshot`] (v1 text) output. The
+    /// restored state is bit-identical: lengths, loads, counters,
+    /// admission log and the reconstructed flow store all match the
+    /// snapshotted runtime exactly.
     ///
     /// Corruption is an `Err`, never a panic: beyond line-shape parsing,
-    /// every semantic invariant a flipped bit could violate — positive
-    /// finite capacities/lengths/demands/ρ, in-range node/edge/member
-    /// indices, distinct session members, trees that actually span and
-    /// embed — is checked here, so a service restoring a persisted blob
-    /// can handle a bad one instead of aborting.
+    /// every semantic invariant a flipped bit could violate is checked by
+    /// the shared `SnapshotImage::assemble`, so a service restoring a
+    /// persisted blob can handle a bad one instead of aborting.
     pub fn restore(text: &str) -> Result<Runtime, SnapshotError> {
         // Every node/edge/session record occupies at least one line, so
         // the line count bounds any declared count a corrupt header could
@@ -175,15 +415,12 @@ impl Runtime {
             return Err(SnapshotError::UnsupportedVersion(header.to_string()));
         }
         let rho = f64::from_bits(p.tagged_u64_hex("rho")?);
-        if !(rho > 0.0 && rho.is_finite()) {
-            return Err(p.err(format!("step size must be positive and finite, got {rho}")));
-        }
         let routing = match p.tagged_str("routing")?.as_str() {
             "fixed-ip" => RoutingMode::FixedIp,
             "arbitrary" => RoutingMode::Arbitrary,
             other => return Err(p.err(format!("unknown routing `{other}`"))),
         };
-        let events_processed = p.tagged_u64("events")?;
+        let events = p.tagged_u64("events")?;
         let (mst_ops, iterations) = {
             let toks = p.tagged_tokens("counters", 2)?;
             (p.parse_u64(&toks[0])?, p.parse_u64(&toks[1])?)
@@ -195,7 +432,7 @@ impl Runtime {
         if n > total_lines || m > total_lines {
             return Err(p.err(format!("implausible graph dimensions {n}x{m}")));
         }
-        let mut b = GraphBuilder::new(n);
+        let mut nodes = vec![(0.0, 0.0); n];
         for _ in 0..n {
             let toks = p.tagged_tokens("node", 3)?;
             let idx = p.parse_usize(&toks[0])?;
@@ -204,37 +441,25 @@ impl Runtime {
             }
             let x = f64::from_bits(p.parse_u64_hex(&toks[1])?);
             let y = f64::from_bits(p.parse_u64_hex(&toks[2])?);
-            b.set_position(NodeId(idx as u32), x, y);
+            nodes[idx] = (x, y);
         }
+        let mut edges = Vec::with_capacity(m);
         for _ in 0..m {
             let toks = p.tagged_tokens("edge", 3)?;
             let u = p.parse_usize(&toks[0])?;
             let v = p.parse_usize(&toks[1])?;
             let cap = f64::from_bits(p.parse_u64_hex(&toks[2])?);
-            if u >= n || v >= n || u == v {
-                return Err(p.err(format!("bad edge endpoints {u}-{v}")));
-            }
-            if !(cap > 0.0 && cap.is_finite()) {
-                return Err(p.err(format!("capacity must be positive and finite, got {cap}")));
-            }
-            b.add_edge(NodeId(u as u32), NodeId(v as u32), cap);
+            edges.push((u as u32, v as u32, cap));
         }
-        let graph = Arc::new(b.finish());
 
         let lengths = p.tagged_f64_bits("lengths", m)?;
-        if let Some(bad) = lengths.iter().find(|l| !(**l > 0.0 && l.is_finite())) {
-            return Err(p.err(format!("length must be positive and finite, got {bad}")));
-        }
         let loads = p.tagged_f64_bits("loads", m)?;
-        if let Some(bad) = loads.iter().find(|l| !(**l >= 0.0 && l.is_finite())) {
-            return Err(p.err(format!("load must be nonnegative and finite, got {bad}")));
-        }
 
         let admitted_count = p.tagged_u64("admitted")? as usize;
         if admitted_count > total_lines {
             return Err(p.err(format!("implausible admission count {admitted_count}")));
         }
-        let mut admitted = Vec::with_capacity(admitted_count);
+        let mut sessions = Vec::with_capacity(admitted_count);
         for i in 0..admitted_count {
             let toks = p.line_tokens("session")?;
             if toks.len() < 4 {
@@ -249,36 +474,23 @@ impl Runtime {
                 other => return Err(p.err(format!("bad alive flag `{other}`"))),
             };
             let demand = f64::from_bits(p.parse_u64_hex(&toks[2])?);
-            if !(demand > 0.0 && demand.is_finite()) {
-                return Err(p.err(format!("demand must be positive and finite, got {demand}")));
-            }
             let k = p.parse_usize(&toks[3])?;
-            if k < 2 {
-                return Err(p.err(format!("a session needs at least 2 members, got {k}")));
-            }
             if toks.len() != 4 + k {
                 return Err(p.err(format!("expected {k} members, got {}", toks.len() - 4)));
             }
-            let members: Vec<NodeId> = toks[4..]
+            let members: Vec<u32> = toks[4..]
                 .iter()
-                .map(|t| p.parse_usize(t).map(|v| NodeId(v as u32)))
+                .map(|t| p.parse_usize(t).map(|v| v as u32))
                 .collect::<Result<_, _>>()?;
-            if members.iter().any(|node| node.idx() >= n) {
-                return Err(p.err("session member out of range".to_string()));
-            }
-            let mut dedup: Vec<NodeId> = members.clone();
-            dedup.sort_unstable();
-            dedup.dedup();
-            if dedup.len() != members.len() {
-                return Err(p.err("duplicate session members".to_string()));
-            }
-            let session = Session::new(members, demand);
 
             let hop_toks = p.tagged_tokens("hops", 2)?;
             if p.parse_usize(&hop_toks[0])? != i {
                 return Err(p.err(format!("hops index mismatch (expected {i})")));
             }
             let hop_count = p.parse_usize(&hop_toks[1])?;
+            if hop_count > total_lines {
+                return Err(p.err(format!("implausible hop count {hop_count}")));
+            }
             let mut hops = Vec::with_capacity(hop_count);
             for _ in 0..hop_count {
                 let t = p.line_tokens("hop")?;
@@ -287,55 +499,37 @@ impl Runtime {
                 }
                 let a = p.parse_usize(&t[0])?;
                 let hb = p.parse_usize(&t[1])?;
-                let src = NodeId(p.parse_usize(&t[2])? as u32);
-                let dst = NodeId(p.parse_usize(&t[3])? as u32);
+                let src = p.parse_usize(&t[2])? as u32;
+                let dst = p.parse_usize(&t[3])? as u32;
                 let ne = p.parse_usize(&t[4])?;
                 if t.len() != 5 + ne {
                     return Err(p.err(format!("expected {ne} path edges, got {}", t.len() - 5)));
                 }
-                let edges: Vec<EdgeId> = t[5..]
+                let hop_edges: Vec<u32> = t[5..]
                     .iter()
-                    .map(|tok| p.parse_usize(tok).map(|v| EdgeId(v as u32)))
+                    .map(|tok| p.parse_usize(tok).map(|v| v as u32))
                     .collect::<Result<_, _>>()?;
-                if edges.iter().any(|e| e.idx() >= m) {
-                    return Err(p.err("hop path edge out of range".to_string()));
-                }
-                hops.push(OverlayHop { a, b: hb, path: Path { src, dst, edges: edges.into() } });
+                hops.push(HopImage { a: a as u32, b: hb as u32, src, dst, edges: hop_edges });
             }
-            let tree = OverlayTree { session: i, hops };
-            if let Err(what) = check_tree(&session, &tree, &graph) {
-                return Err(p.err(what));
-            }
-            let contribution =
-                Contribution { edges: tree.edge_multiplicities(), amount: session.demand };
-            admitted.push(Admitted { session, tree, contribution, alive });
+            sessions.push(SessionImage { alive, demand, members, hops });
         }
         if p.next_line()? != "end" {
             return Err(p.err("missing `end` terminator".to_string()));
         }
 
-        // Reassemble the engine state: bit-exact lengths/loads, a fresh
-        // epoch clock, and the store rebuilt from the live admission log.
-        let mut state = EngineState::online(&graph);
-        for (e, bits) in lengths.iter().enumerate() {
-            state.lengths.set_edge(e, *bits);
-        }
-        state.load = loads;
-        state.mst_ops = mst_ops;
-        state.iterations = iterations;
-        for a in &admitted {
-            let slot = state.store.push_session();
-            if a.alive {
-                debug_assert_eq!(slot, a.tree.session);
-                state.store.add(a.tree.clone(), a.session.demand);
-            }
-        }
-
-        let mut rt = Runtime::new(Arc::clone(&graph), RuntimeConfig::new(rho, routing));
-        rt.state = state;
-        rt.admitted = admitted;
-        rt.events_processed = events_processed;
-        Ok(rt)
+        let image = SnapshotImage {
+            rho,
+            routing,
+            events,
+            mst_ops,
+            iterations,
+            nodes,
+            edges,
+            lengths,
+            loads,
+            sessions,
+        };
+        image.assemble().map_err(|what| p.err(what))
     }
 }
 
@@ -520,6 +714,16 @@ mod tests {
         let corrupted = snap.replace("routing fixed-ip", "routing pigeon");
         let err = Runtime::restore(&corrupted).unwrap_err();
         assert!(err.to_string().contains("pigeon"), "{err}");
+    }
+
+    #[test]
+    fn restore_bytes_accepts_v1_text() {
+        let rt = populated_runtime();
+        let snap = rt.snapshot();
+        let restored = Runtime::restore_bytes(snap.as_bytes()).expect("restore v1 via bytes");
+        assert_eq!(restored.snapshot(), snap);
+        let err = Runtime::restore_bytes(&[0xff, 0xfe, 0x00, 0x01]).unwrap_err();
+        assert!(matches!(err, SnapshotError::UnsupportedVersion(_)), "{err}");
     }
 
     /// Corruption that still parses as hex/integers must come back as a

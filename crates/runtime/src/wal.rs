@@ -1,0 +1,349 @@
+//! The append-only event write-ahead log.
+//!
+//! A fleet persists two artifacts: a [snapshot](crate::snapshot_v2) of
+//! every shard (rare, heavy) and this WAL (per accepted event, tiny).
+//! Crash recovery is `restore(snapshot)` + replay of every WAL record
+//! appended since that snapshot — see [`crate::fleet`] and
+//! `docs/FLEET.md` for the full procedure and the exactness proof
+//! obligations (property-tested in `crates/runtime/tests/fleet.rs`).
+//!
+//! Layout: an 8-byte magic (`OMCFWAL1`) followed by self-delimiting
+//! records. Each record frames one `(shard, event)` pair:
+//!
+//! ```text
+//! len      u32   bytes in payload (shard + event encoding)
+//! checksum u64   FNV-1a 64 over the payload bytes
+//! payload  len bytes:
+//!   shard  u32
+//!   event  tag u8 + fields (see `docs/FLEET.md`)
+//! ```
+//!
+//! Reading tolerates a **torn tail**: a crash mid-append leaves a final
+//! record whose frame is incomplete or whose checksum disagrees, and
+//! [`read_wal`] returns every complete record before it plus a
+//! [`TornTail`] marker instead of an error — exactly the durability
+//! contract of a real log (an fsync'd prefix is never lost; the tail
+//! that was in flight is). Corruption *before* the last record — a
+//! checksum mismatch followed by more valid data — cannot be
+//! distinguished from flipped bits at rest and is a hard
+//! [`WalError`].
+
+use crate::binio::{fnv1a64, ByteReader, ByteWriter, DecodeError};
+use crate::event::Event;
+use crate::fleet::ShardId;
+use omcf_overlay::Session;
+use omcf_topology::{EdgeId, NodeId};
+
+/// The 8-byte magic leading every WAL.
+pub const WAL_MAGIC: &[u8; 8] = b"OMCFWAL1";
+
+const EV_JOIN: u8 = 0;
+const EV_LEAVE: u8 = 1;
+const EV_CAPACITY: u8 = 2;
+const EV_REOPT: u8 = 3;
+
+/// A WAL that failed to decode (magic mismatch or mid-log corruption; a
+/// torn *tail* is not an error).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WalError {
+    /// Byte offset at which decoding failed.
+    pub offset: usize,
+    /// What was wrong.
+    pub what: String,
+}
+
+impl std::fmt::Display for WalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wal byte {}: {}", self.offset, self.what)
+    }
+}
+
+impl std::error::Error for WalError {}
+
+/// One recovered `(shard, event)` record.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalRecord {
+    /// The shard the event was admitted to.
+    pub shard: ShardId,
+    /// The event itself.
+    pub event: Event,
+}
+
+/// Marker for an incomplete final record (crash mid-append).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TornTail {
+    /// Offset of the first byte of the incomplete record.
+    pub offset: usize,
+}
+
+/// The in-memory append side of the log. The buffer is the exact wire
+/// format; a service persists it with one write (or appends the suffix
+/// since its last flush — records are self-delimiting, so any
+/// record-aligned prefix is a valid log).
+#[derive(Clone, Debug)]
+pub struct Wal {
+    buf: Vec<u8>,
+    records: usize,
+}
+
+impl Default for Wal {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Wal {
+    /// An empty log (magic only).
+    #[must_use]
+    pub fn new() -> Self {
+        Self { buf: WAL_MAGIC.to_vec(), records: 0 }
+    }
+
+    /// Appends one record.
+    pub fn append(&mut self, shard: ShardId, event: &Event) {
+        let mut payload = ByteWriter::new();
+        payload.put_u32(shard.0);
+        encode_event(&mut payload, event);
+        let payload = payload.into_vec();
+        let mut frame = ByteWriter::new();
+        frame.put_u32(payload.len() as u32);
+        frame.put_u64(fnv1a64(&payload));
+        frame.put_bytes(&payload);
+        self.buf.extend_from_slice(frame.as_slice());
+        self.records += 1;
+    }
+
+    /// The wire bytes (magic + records).
+    #[must_use]
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Records appended since construction or the last [`Self::clear`].
+    #[must_use]
+    pub fn record_count(&self) -> usize {
+        self.records
+    }
+
+    /// Drops every record (a fresh snapshot supersedes the log).
+    pub fn clear(&mut self) {
+        self.buf.truncate(WAL_MAGIC.len());
+        self.records = 0;
+    }
+}
+
+fn encode_event(w: &mut ByteWriter, event: &Event) {
+    match event {
+        Event::Join(s) => {
+            w.put_u8(EV_JOIN);
+            w.put_f64_bits(s.demand);
+            w.put_u32(s.members.len() as u32);
+            for m in &s.members {
+                w.put_u32(m.0);
+            }
+        }
+        Event::Leave(i) => {
+            w.put_u8(EV_LEAVE);
+            w.put_u64(*i as u64);
+        }
+        Event::CapacityChange(factors) => {
+            w.put_u8(EV_CAPACITY);
+            w.put_u32(factors.len() as u32);
+            for &(e, f) in factors {
+                w.put_u32(e.0);
+                w.put_f64_bits(f);
+            }
+        }
+        Event::Reoptimize => w.put_u8(EV_REOPT),
+    }
+}
+
+fn decode_event(r: &mut ByteReader<'_>) -> Result<Event, DecodeError> {
+    match r.u8("event tag")? {
+        EV_JOIN => {
+            let demand = r.f64_bits("demand")?;
+            let k = r.counted("member", 4)?;
+            if k < 2 {
+                return Err(r.err(format!("a session needs at least 2 members, got {k}")));
+            }
+            let mut members = Vec::with_capacity(k);
+            let mut seen = Vec::with_capacity(k);
+            for _ in 0..k {
+                members.push(NodeId(r.u32("member")?));
+            }
+            seen.extend_from_slice(&members);
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() != members.len() {
+                return Err(r.err("duplicate session members".to_string()));
+            }
+            if !(demand > 0.0 && demand.is_finite()) {
+                return Err(r.err(format!("demand must be positive and finite, got {demand}")));
+            }
+            Ok(Event::Join(Session::new(members, demand)))
+        }
+        EV_LEAVE => Ok(Event::Leave(r.u64("join index")? as usize)),
+        EV_CAPACITY => {
+            let n = r.counted("capacity factor", 12)?;
+            let mut factors = Vec::with_capacity(n);
+            for _ in 0..n {
+                let e = EdgeId(r.u32("edge")?);
+                let f = r.f64_bits("factor")?;
+                if !(f > 0.0 && f.is_finite()) {
+                    return Err(r.err(format!("capacity factor must be positive, got {f}")));
+                }
+                factors.push((e, f));
+            }
+            Ok(Event::CapacityChange(factors))
+        }
+        EV_REOPT => Ok(Event::Reoptimize),
+        other => Err(r.err(format!("unknown event tag {other}"))),
+    }
+}
+
+/// Decodes a WAL byte stream. Returns every complete record in append
+/// order, plus `Some(TornTail)` when the final record was cut mid-write
+/// (shorter than its declared frame, or a frame header itself cut
+/// short). A checksum mismatch or garbage *with more data after it* is a
+/// hard error — that is at-rest corruption, not a crash artifact.
+pub fn read_wal(bytes: &[u8]) -> Result<(Vec<WalRecord>, Option<TornTail>), WalError> {
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(WalError {
+            offset: 0,
+            what: format!("bad magic (expected {:?})", std::str::from_utf8(WAL_MAGIC).unwrap()),
+        });
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    while pos < bytes.len() {
+        let frame_start = pos;
+        // Frame header: len u32 + checksum u64. Cut short → torn tail.
+        if bytes.len() - pos < 12 {
+            return Ok((records, Some(TornTail { offset: frame_start })));
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes")) as usize;
+        let checksum = u64::from_le_bytes(bytes[pos + 4..pos + 12].try_into().expect("8 bytes"));
+        pos += 12;
+        if bytes.len() - pos < len {
+            // Payload cut short: torn tail.
+            return Ok((records, Some(TornTail { offset: frame_start })));
+        }
+        let payload = &bytes[pos..pos + len];
+        pos += len;
+        if fnv1a64(payload) != checksum {
+            if pos == bytes.len() {
+                // Bad checksum on the *final* record: the crash hit
+                // mid-overwrite of the tail; recover the prefix.
+                return Ok((records, Some(TornTail { offset: frame_start })));
+            }
+            return Err(WalError {
+                offset: frame_start,
+                what: "checksum mismatch before end of log".to_string(),
+            });
+        }
+        let mut r = ByteReader::new(payload);
+        let shard = ShardId(
+            r.u32("shard")
+                .map_err(|e| WalError { offset: frame_start + 12 + e.offset, what: e.what })?,
+        );
+        let event = decode_event(&mut r)
+            .map_err(|e| WalError { offset: frame_start + 12 + e.offset, what: e.what })?;
+        if r.remaining() != 0 {
+            return Err(WalError {
+                offset: frame_start + 12 + r.pos(),
+                what: format!("{} trailing bytes in record payload", r.remaining()),
+            });
+        }
+        records.push(WalRecord { shard, event });
+    }
+    Ok((records, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Join(Session::new(vec![NodeId(0), NodeId(5)], 1.5)),
+            Event::Join(Session::new(vec![NodeId(1), NodeId(2), NodeId(3)], 2.0)),
+            Event::Leave(0),
+            Event::CapacityChange(vec![(EdgeId(3), 2.0), (EdgeId(0), 0.5)]),
+            Event::Reoptimize,
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_order_shards_and_payloads() {
+        let mut wal = Wal::new();
+        for (i, ev) in sample_events().iter().enumerate() {
+            wal.append(ShardId(i as u32 % 3), ev);
+        }
+        assert_eq!(wal.record_count(), 5);
+        let (records, tail) = read_wal(wal.bytes()).expect("read");
+        assert_eq!(tail, None);
+        assert_eq!(records.len(), 5);
+        for (i, (rec, ev)) in records.iter().zip(&sample_events()).enumerate() {
+            assert_eq!(rec.shard, ShardId(i as u32 % 3));
+            assert_eq!(&rec.event, ev, "record {i}");
+        }
+        // Join demand must survive bit-exactly.
+        let Event::Join(s) = &records[0].event else { panic!("join") };
+        assert_eq!(s.demand.to_bits(), 1.5f64.to_bits());
+    }
+
+    #[test]
+    fn truncation_at_any_byte_recovers_the_complete_prefix() {
+        let mut wal = Wal::new();
+        let mut boundaries = vec![wal.bytes().len()];
+        for (i, ev) in sample_events().iter().enumerate() {
+            wal.append(ShardId(i as u32), ev);
+            boundaries.push(wal.bytes().len());
+        }
+        let bytes = wal.bytes();
+        for cut in WAL_MAGIC.len()..bytes.len() {
+            let (records, tail) = read_wal(&bytes[..cut])
+                .unwrap_or_else(|e| panic!("cut at {cut} must not be a hard error: {e}"));
+            // Every recovered record is an exact prefix of the appended
+            // sequence, and a cut off a record boundary is torn — while
+            // a record-aligned cut is a clean (shorter) log.
+            for (i, rec) in records.iter().enumerate() {
+                assert_eq!(rec.event, sample_events()[i], "cut {cut}");
+            }
+            assert!(records.len() < 5, "cut {cut} strictly shortens");
+            assert_eq!(tail.is_some(), !boundaries.contains(&cut), "cut {cut}");
+            assert_eq!(records.len(), boundaries.iter().filter(|&&b| b <= cut).count() - 1);
+        }
+        // Untruncated: all five, no tail.
+        let (records, tail) = read_wal(bytes).unwrap();
+        assert_eq!((records.len(), tail), (5, None));
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_hard_error() {
+        let mut wal = Wal::new();
+        for ev in &sample_events() {
+            wal.append(ShardId(0), ev);
+        }
+        let mut bytes = wal.bytes().to_vec();
+        // Flip a payload byte of the first record (offset: magic + frame
+        // header + a couple bytes in).
+        let target = WAL_MAGIC.len() + 12 + 2;
+        bytes[target] ^= 0xFF;
+        let err = read_wal(&bytes).expect_err("corruption before the tail");
+        assert!(err.what.contains("checksum"), "{err}");
+    }
+
+    #[test]
+    fn bad_magic_and_clear() {
+        assert!(read_wal(b"NOTAWAL!rest").is_err());
+        let mut wal = Wal::new();
+        wal.append(ShardId(0), &Event::Reoptimize);
+        assert_eq!(wal.record_count(), 1);
+        wal.clear();
+        assert_eq!(wal.record_count(), 0);
+        let (records, tail) = read_wal(wal.bytes()).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(tail, None);
+    }
+}

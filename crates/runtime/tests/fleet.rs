@@ -1,0 +1,212 @@
+//! Fleet contract tests: per-shard output equals a solo [`Runtime`],
+//! serial and threaded drives are bit-identical, and crash recovery
+//! (snapshot v2 container + WAL replay) restores the exact pre-crash
+//! state at an arbitrary crash index — including a torn final record.
+
+use omcf_core::solver::RoutingMode;
+use omcf_core::Parallelism;
+use omcf_numerics::Xoshiro256pp;
+use omcf_overlay::random_churn;
+use omcf_runtime::{read_wal, Event, Fleet, FleetConfig, Runtime, RuntimeConfig, ShardId};
+use omcf_topology::{canned, Graph};
+use proptest::prelude::*;
+use std::num::NonZeroUsize;
+
+fn grid() -> Graph {
+    canned::grid(5, 5, 10.0)
+}
+
+fn cfg() -> FleetConfig {
+    FleetConfig::new(25.0, RoutingMode::FixedIp)
+}
+
+fn threads4() -> Parallelism {
+    Parallelism::Threads(NonZeroUsize::new(4).expect("4 > 0"))
+}
+
+/// Independent per-shard event streams (distinct churn seeds), plus the
+/// round-robin interleaved submission order — the shape a multi-overlay
+/// ingest frontend produces.
+fn shard_streams(n_shards: usize, joins: usize, seed: u64) -> Vec<(ShardId, Event)> {
+    let g = grid();
+    let per_shard: Vec<Vec<Event>> = (0..n_shards)
+        .map(|s| {
+            let churn =
+                random_churn(&g, joins, 3, 1.0, 0.35, &mut Xoshiro256pp::new(seed ^ (s as u64)));
+            Event::schedule(&churn, 5)
+        })
+        .collect();
+    let longest = per_shard.iter().map(Vec::len).max().unwrap_or(0);
+    let mut interleaved = Vec::new();
+    for step in 0..longest {
+        for (s, stream) in per_shard.iter().enumerate() {
+            if let Some(ev) = stream.get(step) {
+                interleaved.push((ShardId(s as u32), ev.clone()));
+            }
+        }
+    }
+    interleaved
+}
+
+fn assert_shards_eq(a: &Fleet, b: &Fleet, what: &str) {
+    assert_eq!(a.shard_count(), b.shard_count(), "{what}: shard counts");
+    for id in a.shard_ids() {
+        let (x, y) = (a.shard(id).unwrap(), b.shard(id).unwrap());
+        assert_eq!(x.live_joins(), y.live_joins(), "{what}: {id} populations");
+        assert_eq!(x.events_processed(), y.events_processed(), "{what}: {id} event counts");
+        for (i, (p, q)) in x.lengths().iter().zip(y.lengths()).enumerate() {
+            assert_eq!(p.to_bits(), q.to_bits(), "{what}: {id} length[{i}]: {p} vs {q}");
+        }
+        for (i, (p, q)) in x.load().iter().zip(y.load()).enumerate() {
+            assert_eq!(p.to_bits(), q.to_bits(), "{what}: {id} load[{i}]: {p} vs {q}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Crash at an arbitrary event index: snapshot at a random earlier
+    /// point, lose the process, recover from snapshot + WAL, feed the
+    /// rest of the stream. Final state must equal the run that never
+    /// crashed, bit for bit — and the recovered run drives under
+    /// `Threads(4)` while the reference drives serially, so the same
+    /// property also pins thread-count independence.
+    #[test]
+    fn crash_at_any_event_recovers_bit_identically(
+        seed in any::<u64>(),
+        joins in 3usize..7,
+        crash_pick in 0usize..97,
+        snap_pick in 0usize..97,
+        drive_every in 2usize..6,
+    ) {
+        let stream = shard_streams(3, joins, seed);
+        let crash_at = crash_pick % (stream.len() + 1);
+        let snap_at = snap_pick % (crash_at + 1);
+
+        // Reference: the run that never crashes, serial drives.
+        let mut reference = Fleet::homogeneous(grid(), 3, cfg());
+        for (i, (shard, ev)) in stream.iter().enumerate() {
+            prop_assert!(reference.submit(*shard, ev.clone()).is_accepted());
+            if i % drive_every == 0 {
+                reference.drive();
+            }
+        }
+        reference.drive();
+
+        // Crashing run: snapshot at `snap_at`, keep going to `crash_at`,
+        // then the process dies — only `snap` and the WAL bytes survive.
+        let mut doomed = Fleet::homogeneous(grid(), 3, cfg());
+        let mut snap = doomed.snapshot();
+        for (i, (shard, ev)) in stream[..crash_at].iter().enumerate() {
+            prop_assert!(doomed.submit(*shard, ev.clone()).is_accepted());
+            if i % drive_every == 0 {
+                doomed.drive();
+            }
+            if i + 1 == snap_at {
+                snap = doomed.snapshot();
+            }
+        }
+        let wal = doomed.wal_bytes().to_vec();
+        drop(doomed); // the crash — queues and runtimes are gone
+
+        let (mut recovered, report) =
+            Fleet::recover(&snap, &wal, cfg().with_parallelism(threads4()))
+                .expect("recovery");
+        prop_assert_eq!(report.shards, 3);
+        prop_assert_eq!(report.replayed_events, crash_at - snap_at);
+        prop_assert_eq!(report.torn_tail, None);
+        for (shard, ev) in &stream[crash_at..] {
+            prop_assert!(recovered.submit(*shard, ev.clone()).is_accepted());
+        }
+        recovered.drive();
+
+        assert_shards_eq(&reference, &recovered, "post-recovery");
+        // And each shard equals a solo runtime fed its own stream.
+        for id in reference.shard_ids() {
+            let mut solo = Runtime::new(grid(), RuntimeConfig::new(25.0, RoutingMode::FixedIp));
+            for (shard, ev) in &stream {
+                if *shard == id {
+                    solo.apply(ev);
+                }
+            }
+            let shard = recovered.shard(id).unwrap();
+            prop_assert_eq!(shard.live_joins(), solo.live_joins());
+            for (p, q) in shard.lengths().iter().zip(solo.lengths()) {
+                prop_assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+
+    /// Cutting the WAL at an arbitrary byte (a torn tail) recovers
+    /// exactly the logged prefix: the recovered fleet equals solo
+    /// runtimes fed the events of the surviving records, applied in log
+    /// order.
+    #[test]
+    fn torn_wal_tail_recovers_the_logged_prefix(
+        seed in any::<u64>(),
+        joins in 3usize..6,
+        cut_pick in 0usize..4096,
+    ) {
+        let stream = shard_streams(2, joins, seed);
+        let mut fleet = Fleet::homogeneous(grid(), 2, cfg());
+        let snap = fleet.snapshot();
+        for (shard, ev) in &stream {
+            prop_assert!(fleet.submit(*shard, ev.clone()).is_accepted());
+        }
+        let wal = fleet.wal_bytes().to_vec();
+        let cut = 8 + cut_pick % (wal.len() - 8 + 1); // keep the magic
+        let torn = &wal[..cut];
+
+        let (recovered, report) = Fleet::recover(&snap, torn, cfg()).expect("torn recovery");
+        let (records, tail) = read_wal(torn).expect("prefix reads");
+        prop_assert_eq!(report.replayed_events, records.len());
+        prop_assert_eq!(report.torn_tail.is_some(), tail.is_some());
+
+        let mut solos: Vec<Runtime> = (0..2)
+            .map(|_| Runtime::new(grid(), RuntimeConfig::new(25.0, RoutingMode::FixedIp)))
+            .collect();
+        for rec in &records {
+            solos[rec.shard.0 as usize].apply(&rec.event);
+        }
+        for (s, solo) in solos.iter().enumerate() {
+            let shard = recovered.shard(ShardId(s as u32)).unwrap();
+            prop_assert_eq!(shard.live_joins(), solo.live_joins());
+            for (p, q) in shard.lengths().iter().zip(solo.lengths()) {
+                prop_assert_eq!(p.to_bits(), q.to_bits());
+            }
+            for (p, q) in shard.load().iter().zip(solo.load()) {
+                prop_assert_eq!(p.to_bits(), q.to_bits());
+            }
+        }
+    }
+
+    /// Serial vs `Threads(4)` drives over identical submissions are
+    /// bit-identical shard by shard — the fleet adds scheduling, never
+    /// arithmetic.
+    #[test]
+    fn serial_and_threaded_fleets_agree(
+        seed in any::<u64>(),
+        joins in 3usize..7,
+        drive_every in 1usize..5,
+    ) {
+        let stream = shard_streams(4, joins, seed);
+        let run = |par: Parallelism| {
+            let mut fleet = Fleet::homogeneous(grid(), 4, cfg().with_parallelism(par));
+            for (i, (shard, ev)) in stream.iter().enumerate() {
+                assert!(fleet.submit(*shard, ev.clone()).is_accepted());
+                if i % drive_every == 0 {
+                    fleet.drive();
+                }
+            }
+            fleet.drive();
+            fleet
+        };
+        let serial = run(Parallelism::Serial);
+        let threaded = run(threads4());
+        assert_shards_eq(&serial, &threaded, "serial vs threads(4)");
+        // The WALs are byte-identical too: log order is submission
+        // order, independent of drive scheduling.
+        prop_assert_eq!(serial.wal_bytes(), threaded.wal_bytes());
+    }
+}

@@ -3,12 +3,12 @@
 //! ```text
 //! repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers LIST]
 //!       [--threads N|serial|auto] [--queue binary|quaternary|dial|auto]
-//!       [--augment batched|per-edge] <artifact>...
+//!       [--augment batched|per-edge] [--shards N] <artifact>...
 //!
 //! artifacts: fig1 table2 fig2 table4 fig3 fig4 fig5 fig6
 //!            table7 table8 fig7 fig8 fig9 fig10 fig11
 //!            fig12 fig13 fig14 fig15 fig16 fig17 fig18 fig19
-//!            part-one evaluation sensitivity sweep replay all
+//!            part-one evaluation sensitivity sweep replay fleet all
 //! ```
 //!
 //! Tables print to stdout and are written as CSV; figures are written as
@@ -22,9 +22,12 @@
 //! `replay` artifact drives every churn-bearing scenario through the
 //! `omcf-runtime` event loop, self-checks the final rates bit-for-bit
 //! against the batch online solver, and writes `replay.csv` /
-//! `replay_drift.csv` (see `docs/RUNTIME.md`). Unknown artifact names are
-//! rejected up front — a typo aborts the run instead of silently
-//! no-opping it.
+//! `replay_drift.csv` (see `docs/RUNTIME.md`). The `fleet` artifact runs
+//! every churn-bearing scenario as a sharded multi-overlay fleet
+//! (`--shards` per scenario) with crash-recovery and solo-equality
+//! self-checks, writing `fleet.csv` (see `docs/FLEET.md`). Unknown
+//! artifact names are rejected up front — a typo aborts the run instead
+//! of silently no-opping it.
 //!
 //! `--threads` picks the execution policy for every parallel region
 //! (sweep cells, member fan-outs, drift evaluation): a positive count,
@@ -74,6 +77,8 @@ struct Cli {
     /// `<out>/profile.json`).
     profile: Option<PathBuf>,
     log_level: omcf_telemetry::LogLevel,
+    /// Shards per scenario for the `fleet` artifact.
+    shards: usize,
 }
 
 /// Every artifact name `repro` accepts, in presentation order.
@@ -106,6 +111,7 @@ const ARTIFACTS: &[&str] = &[
     "sensitivity",
     "sweep",
     "replay",
+    "fleet",
     "all",
 ];
 
@@ -122,6 +128,7 @@ fn parse_args() -> Cli {
     // `<out>/profile.json` once `--out` is known).
     let mut profile: Option<Option<PathBuf>> = None;
     let mut log_level = omcf_telemetry::LogLevel::Info;
+    let mut shards = 4usize;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -152,6 +159,12 @@ fn parse_args() -> Cli {
                         AugmentMode::VOCABULARY
                     ))
                 });
+            }
+            "--shards" => {
+                shards =
+                    args.next().and_then(|s| s.parse().ok()).filter(|&n| n > 0).unwrap_or_else(
+                        || die("--shards needs a positive shard count such as `4`"),
+                    );
             }
             "--paper" => cfg.scale = Scale::Paper,
             "--micro" => cfg.scale = Scale::Micro,
@@ -206,16 +219,17 @@ fn parse_args() -> Cli {
     let env_policy = Parallelism::from_env().unwrap_or_else(|e| die(&e));
     let parallelism = threads_flag.unwrap_or(env_policy);
     let profile = profile.map(|p| p.unwrap_or_else(|| out.join("profile.json")));
-    Cli { cfg, out, artifacts, solvers, parallelism, queue, augment, profile, log_level }
+    Cli { cfg, out, artifacts, solvers, parallelism, queue, augment, profile, log_level, shards }
 }
 
 const HELP: &str = "repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers LIST] \
      [--threads N|serial|auto] [--queue binary|quaternary|dial|auto] \
-     [--augment batched|per-edge] [--profile[=PATH]] [--verbose|--quiet] \
-     <artifact>...\n\
+     [--augment batched|per-edge] [--shards N] [--profile[=PATH]] \
+     [--verbose|--quiet] <artifact>...\n\
   artifacts: fig1 table2 fig2 table4 fig3 fig4 fig5 fig6 table7 table8\n\
              fig7 fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 fig16\n\
-             fig17 fig18 fig19 part-one evaluation sensitivity sweep replay all\n\
+             fig17 fig18 fig19 part-one evaluation sensitivity sweep replay\n\
+             fleet all\n\
   --solvers: comma-separated subset of the sweep solvers (case-insensitive)\n\
   --threads: execution policy for parallel regions (default auto; flag beats\n\
              the OMCF_THREADS env var). Output bytes never depend on it.\n\
@@ -223,6 +237,9 @@ const HELP: &str = "repro [--paper] [--micro] [--seed N] [--out DIR] [--solvers 
              Output bytes never depend on it either.\n\
   --augment: length-update application in the solver engine (default\n\
              batched). Bit-invisible too: per-edge float ops are identical.\n\
+  --shards:  shards per scenario for the fleet artifact (default 4). Like\n\
+             --threads, it is echoed in the run header; unlike --threads,\n\
+             it changes the artifact (more shards = more overlays).\n\
   --profile: enable telemetry, print the TELEMETRY section, and write the\n\
              profile JSON (default <out>/profile.json). Collection never\n\
              changes artifact bytes; see docs/OBSERVABILITY.md.\n\
@@ -284,12 +301,13 @@ fn main() {
     AugmentMode::set_process_default(cli.augment);
     let t0 = std::time::Instant::now();
     omcf_telemetry::info!(
-        "# repro scale={:?} seed={} threads={} queue={} augment={} out={}\n",
+        "# repro scale={:?} seed={} threads={} queue={} augment={} shards={} out={}\n",
         cfg.scale,
         cfg.seed,
         cli.parallelism.label(),
         cli.queue.name(),
         cli.augment.name(),
+        cli.shards,
         out.display()
     );
     omcf_telemetry::verbose!(
@@ -449,6 +467,9 @@ fn main() {
     if cli.artifacts.iter().any(|a| a == "replay" || a == "all") {
         emit_replay(cfg, out, cli.parallelism);
     }
+    if cli.artifacts.iter().any(|a| a == "fleet" || a == "all") {
+        emit_fleet(cfg, out, cli.shards, cli.parallelism);
+    }
 
     if let Some(profile_path) = &cli.profile {
         emit_profile(out, profile_path);
@@ -484,6 +505,27 @@ fn emit_profile(out: &Path, profile_path: &Path) {
 /// batch online solver on the same trace. Writes a per-scenario summary
 /// (`replay.csv`) and the combined drift time series
 /// (`replay_drift.csv`).
+/// The `fleet` artifact: every churn-bearing scenario as a fleet of
+/// `shards` independent overlay shards with interleaved ingestion,
+/// backpressure, and built-in crash-recovery + determinism self-checks
+/// (see `omcf_sim::fleet` and `docs/FLEET.md`). Writes the per-shard
+/// summary (`fleet.csv`), byte-identical under every `--threads` policy.
+fn emit_fleet(cfg: &Config, out: &Path, shards: usize, parallelism: Parallelism) {
+    omcf_telemetry::info!(
+        "== Fleet ({} shards per scenario, drive policy {}) ==",
+        shards,
+        parallelism.label()
+    );
+    let run_cfg =
+        omcf_sim::FleetRunConfig { shards, seed: cfg.seed, scale: cfg.scale, parallelism };
+    let res = omcf_sim::run_fleet(&run_cfg);
+    println!("{}", res.render());
+    std::fs::create_dir_all(out).expect("create out dir");
+    let csv_path = out.join("fleet.csv");
+    std::fs::write(&csv_path, res.to_csv()).expect("write fleet csv");
+    omcf_telemetry::info!("  -> {}", csv_path.display());
+}
+
 fn emit_replay(cfg: &Config, out: &Path, parallelism: Parallelism) {
     let mut summary = String::from(
         "scenario,seed,events,joins,leaves,survivors,min_rate,total_rate,max_drift,mst_ops\n",

@@ -1,0 +1,333 @@
+//! The `repro fleet` driver: a sharded multi-overlay service run over
+//! the registry's churn-bearing scenarios, with built-in crash-recovery
+//! and determinism self-checks.
+//!
+//! For every churn-bearing [`ScenarioSpec`](crate::registry), the driver
+//! builds a [`Fleet`] of `shards` independent overlay systems — shard
+//! `s` is the scenario instanced at `seed + s`, so each shard gets its
+//! own topology and churn trace — and ingests the shards' event streams
+//! round-robin interleaved, the shape a multi-overlay frontend produces.
+//! Backpressure is part of the run: queues are deliberately small, and a
+//! deferred submission drives the fleet and retries, so the admission
+//! path is exercised, not just tested.
+//!
+//! Three self-checks run per scenario, all `to_bits`-exact:
+//!
+//! 1. **Solo equality** — each shard's final saturating rates equal a
+//!    solo [`Runtime`] fed the same per-shard stream.
+//! 2. **Crash recovery** — a second fleet takes a snapshot partway,
+//!    continues, crashes at the midpoint (losing everything but
+//!    snapshot + WAL), recovers, finishes the stream, and must match the
+//!    uninterrupted fleet exactly.
+//! 3. **Policy independence** — the recovered run drives under the
+//!    configured [`Parallelism`] while the reference drives serially, so
+//!    a match also pins thread-count independence; the CSV is
+//!    byte-identical whatever `--threads` says (diffed in CI).
+//!
+//! See `docs/FLEET.md` for the formats and contracts.
+
+use crate::registry;
+use crate::scenarios::Scale;
+use omcf_core::Parallelism;
+use omcf_runtime::{Event, Fleet, FleetConfig, Runtime, RuntimeConfig, ShardId};
+use std::fmt::Write as _;
+
+/// What to run and how to drive it.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetRunConfig {
+    /// Shards per scenario (each gets its own seed-offset instance).
+    pub shards: usize,
+    /// Master seed; shard `s` uses `seed + s`.
+    pub seed: u64,
+    /// Instance scale.
+    pub scale: Scale,
+    /// Drive policy for the *checked* run (the reference runs serial).
+    pub parallelism: Parallelism,
+}
+
+/// Per-shard bound on pending events. Small on purpose: the driver must
+/// hit [`Admission::Deferred`](omcf_runtime::Admission) and take the
+/// drive-and-retry path under any realistically long stream.
+pub const FLEET_QUEUE_CAPACITY: usize = 32;
+
+/// One shard's final state, one CSV row.
+#[derive(Clone, Debug)]
+pub struct ShardOutcome {
+    /// Scenario registry key.
+    pub scenario: &'static str,
+    /// Shard index within the scenario's fleet.
+    pub shard: u32,
+    /// Events the shard processed.
+    pub events: u64,
+    /// Surviving sessions.
+    pub survivors: usize,
+    /// Smallest surviving saturating rate (0 when no survivors).
+    pub min_rate: f64,
+    /// Sum of surviving saturating rates.
+    pub total_rate: f64,
+    /// Final congestion `max_e load_e`.
+    pub max_load: f64,
+}
+
+/// Everything one `repro fleet` run produced.
+#[derive(Clone, Debug)]
+pub struct FleetRunResults {
+    /// Master seed (echoed into the CSV).
+    pub seed: u64,
+    /// Shards per scenario.
+    pub shards: usize,
+    /// Per-shard outcomes, scenario-major, shard-minor.
+    pub outcomes: Vec<ShardOutcome>,
+    /// Events ingested across all scenarios and shards.
+    pub events_total: u64,
+    /// Submissions that came back `Deferred` and were retried after a
+    /// drive (backpressure working as specified).
+    pub deferrals: u64,
+    /// Crash-recovery self-checks that ran (one per scenario); each
+    /// passed or the run panicked.
+    pub recovery_checks: usize,
+}
+
+impl FleetRunResults {
+    /// Deterministic per-shard CSV — byte-identical at every
+    /// [`Parallelism`] policy (diffed serial-vs-threaded in CI).
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut csv = String::from(
+            "scenario,seed,shards,shard,events,survivors,min_rate,total_rate,max_load\n",
+        );
+        for o in &self.outcomes {
+            let _ = writeln!(
+                csv,
+                "{},{},{},{},{},{},{},{},{}",
+                o.scenario,
+                self.seed,
+                self.shards,
+                o.shard,
+                o.events,
+                o.survivors,
+                o.min_rate,
+                o.total_rate,
+                o.max_load
+            );
+        }
+        csv
+    }
+
+    /// Terminal table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = format!(
+            "{:<16} {:>5} {:>7} {:>9} {:>10} {:>11} {:>10}\n",
+            "scenario", "shard", "events", "survivors", "min_rate", "total_rate", "recovery"
+        );
+        for o in &self.outcomes {
+            let _ = writeln!(
+                s,
+                "{:<16} {:>5} {:>7} {:>9} {:>10.3} {:>11.3} {:>10}",
+                o.scenario, o.shard, o.events, o.survivors, o.min_rate, o.total_rate, "ok(bit=)"
+            );
+        }
+        let _ = write!(
+            s,
+            "{} events, {} deferrals retried, {} crash-recovery checks passed",
+            self.events_total, self.deferrals, self.recovery_checks
+        );
+        s
+    }
+}
+
+/// Submits with the documented backpressure protocol: a `Deferred`
+/// outcome drives the fleet (draining every queue) and retries once,
+/// which must succeed against a drained queue. Returns deferral count
+/// (0 or 1).
+fn submit_or_drive(fleet: &mut Fleet, shard: ShardId, ev: Event) -> u64 {
+    if fleet.submit(shard, ev.clone()).is_accepted() {
+        return 0;
+    }
+    fleet.drive();
+    assert!(
+        fleet.submit(shard, ev).is_accepted(),
+        "submission to {shard} deferred even after a drive"
+    );
+    1
+}
+
+/// Runs the fleet artifact. Panics if any self-check fails — like the
+/// `replay` artifact, a bit-level divergence aborts the run rather than
+/// writing a wrong artifact.
+#[must_use]
+pub fn run_fleet(cfg: &FleetRunConfig) -> FleetRunResults {
+    assert!(cfg.shards > 0, "a fleet needs at least one shard");
+    let mut results = FleetRunResults {
+        seed: cfg.seed,
+        shards: cfg.shards,
+        outcomes: Vec::new(),
+        events_total: 0,
+        deferrals: 0,
+        recovery_checks: 0,
+    };
+    for spec in registry::churn_bearing() {
+        let _span = omcf_telemetry::span("fleet.scenario");
+        run_scenario(spec, cfg, &mut results);
+    }
+    results
+}
+
+fn run_scenario(
+    spec: &'static registry::ScenarioSpec,
+    cfg: &FleetRunConfig,
+    results: &mut FleetRunResults,
+) {
+    // Shard s = the scenario instanced at seed + s: its own graph, its
+    // own trace, same ρ/routing family.
+    let instances: Vec<_> =
+        (0..cfg.shards).map(|s| spec.instance(cfg.seed + s as u64, cfg.scale)).collect();
+    let base = &instances[0];
+    let fleet_cfg = FleetConfig::new(base.rho, base.routing)
+        .with_queue_capacity(FLEET_QUEUE_CAPACITY)
+        .with_parallelism(Parallelism::Serial);
+
+    let streams: Vec<Vec<Event>> = instances
+        .iter()
+        .map(|inst| {
+            let churn = inst.churn.as_ref().expect("churn-bearing scenario carries a trace");
+            Event::schedule(churn, 6)
+        })
+        .collect();
+    let longest = streams.iter().map(Vec::len).max().unwrap_or(0);
+    let interleaved: Vec<(ShardId, &Event)> = (0..longest)
+        .flat_map(|step| {
+            streams
+                .iter()
+                .enumerate()
+                .filter_map(move |(s, stream)| stream.get(step).map(|ev| (ShardId(s as u32), ev)))
+        })
+        .collect();
+
+    // Reference run: serial drives, no interruption.
+    let mut reference = Fleet::new(fleet_cfg);
+    for inst in &instances {
+        reference.add_shard(std::sync::Arc::clone(&inst.graph));
+    }
+    for (shard, ev) in &interleaved {
+        results.deferrals += submit_or_drive(&mut reference, *shard, (*ev).clone());
+    }
+    reference.drive();
+
+    // Self-check 1: each shard equals a solo runtime on its own stream.
+    for (s, stream) in streams.iter().enumerate() {
+        let mut solo = Runtime::new(
+            std::sync::Arc::clone(&instances[s].graph),
+            RuntimeConfig::new(base.rho, base.routing),
+        );
+        for ev in stream {
+            solo.apply(ev);
+        }
+        let shard = reference.shard(ShardId(s as u32)).expect("shard exists");
+        let (a, b) = (shard.saturating_rates(), solo.saturating_rates());
+        assert_eq!(a.len(), b.len(), "{}: shard {s} population diverged from solo", spec.name);
+        for ((ia, ra), (ib, rb)) in a.iter().zip(&b) {
+            assert_eq!(ia, ib, "{}: shard {s} join indices diverged", spec.name);
+            assert_eq!(
+                ra.to_bits(),
+                rb.to_bits(),
+                "{}: shard {s} diverged from a solo runtime ({ra} vs {rb})",
+                spec.name
+            );
+        }
+    }
+
+    // Self-check 2+3: crash at the midpoint, recover from snapshot +
+    // WAL, finish under the configured (possibly threaded) policy; the
+    // result must match the serial uninterrupted reference bit-for-bit.
+    let crash_at = interleaved.len() / 2;
+    let snap_at = interleaved.len() / 4;
+    let mut doomed = Fleet::new(fleet_cfg);
+    for inst in &instances {
+        doomed.add_shard(std::sync::Arc::clone(&inst.graph));
+    }
+    let mut snap = doomed.snapshot();
+    for (i, (shard, ev)) in interleaved[..crash_at].iter().enumerate() {
+        results.deferrals += submit_or_drive(&mut doomed, *shard, (*ev).clone());
+        if i + 1 == snap_at {
+            snap = doomed.snapshot();
+        }
+    }
+    let wal = doomed.wal_bytes().to_vec();
+    drop(doomed); // the crash
+    let (mut recovered, report) =
+        Fleet::recover(&snap, &wal, fleet_cfg.with_parallelism(cfg.parallelism))
+            .unwrap_or_else(|e| panic!("{}: crash recovery failed: {e}", spec.name));
+    assert!(report.torn_tail.is_none(), "{}: clean log read as torn", spec.name);
+    for (shard, ev) in &interleaved[crash_at..] {
+        results.deferrals += submit_or_drive(&mut recovered, *shard, (*ev).clone());
+    }
+    recovered.drive();
+    for s in 0..cfg.shards {
+        let id = ShardId(s as u32);
+        let (a, b) = (reference.shard(id).expect("ref"), recovered.shard(id).expect("rec"));
+        assert_eq!(a.live_joins(), b.live_joins(), "{}: {id} recovery diverged", spec.name);
+        for (x, y) in a.lengths().iter().zip(b.lengths()) {
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{}: {id} lengths diverged after crash recovery ({x} vs {y})",
+                spec.name
+            );
+        }
+        for (x, y) in a.load().iter().zip(b.load()) {
+            assert_eq!(x.to_bits(), y.to_bits(), "{}: {id} loads diverged", spec.name);
+        }
+    }
+    results.recovery_checks += 1;
+
+    for (s, _) in instances.iter().enumerate() {
+        let shard = reference.shard(ShardId(s as u32)).expect("shard exists");
+        let rates = shard.saturating_rates();
+        results.events_total += shard.events_processed();
+        results.outcomes.push(ShardOutcome {
+            scenario: spec.name,
+            shard: s as u32,
+            events: shard.events_processed(),
+            survivors: rates.len(),
+            min_rate: if rates.is_empty() {
+                0.0
+            } else {
+                rates.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min)
+            },
+            total_rate: rates.iter().map(|&(_, r)| r).sum(),
+            max_load: shard.max_load(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::num::NonZeroUsize;
+
+    fn micro(parallelism: Parallelism) -> FleetRunConfig {
+        FleetRunConfig { shards: 2, seed: 42, scale: Scale::Micro, parallelism }
+    }
+
+    #[test]
+    fn fleet_run_covers_every_churn_scenario() {
+        let res = run_fleet(&micro(Parallelism::Serial));
+        let scenarios = registry::churn_bearing().len();
+        assert_eq!(res.outcomes.len(), scenarios * 2);
+        assert_eq!(res.recovery_checks, scenarios);
+        assert!(res.events_total > 0);
+        let csv = res.to_csv();
+        assert_eq!(csv.lines().count(), res.outcomes.len() + 1);
+        assert!(csv.starts_with("scenario,seed,shards,shard,"));
+    }
+
+    #[test]
+    fn csv_is_byte_identical_across_parallelism() {
+        let serial = run_fleet(&micro(Parallelism::Serial));
+        let threaded =
+            run_fleet(&micro(Parallelism::Threads(NonZeroUsize::new(4).expect("4 > 0"))));
+        assert_eq!(serial.to_csv(), threaded.to_csv());
+    }
+}

@@ -29,12 +29,14 @@
 
 pub mod experiments;
 pub mod figures;
+pub mod fleet;
 pub mod metrics;
 pub mod registry;
 pub mod scenarios;
 pub mod sweep;
 pub mod tables;
 
+pub use fleet::{run_fleet, FleetRunConfig, FleetRunResults, ShardOutcome};
 pub use registry::ScenarioSpec;
 pub use scenarios::{Scale, ScaleDims, ScenarioA, ScenarioB};
 pub use sweep::{run_sweep, SweepConfig, SweepRecord, SweepResults};

@@ -4,7 +4,7 @@
 //! once process-wide (the sorted-key JSON writer panics on duplicate
 //! keys) and gives one place to read the whole vocabulary. Naming:
 //! `<family>.<subsystem>.<event>[.<unit>]`, families `engine`, `oracle`,
-//! `routing`, `runtime`, `sweep`; time histograms end in `.us`
+//! `routing`, `runtime`, `fleet`, `sweep`; time histograms end in `.us`
 //! (microseconds). Classes per the crate contract: `Count` is
 //! bit-identical across thread counts, `Wall` is not.
 
@@ -95,6 +95,29 @@ pub static RUNTIME_SNAPSHOT_BYTES: Histogram =
     Histogram::new("runtime.snapshot.bytes", Class::Count);
 /// Snapshot render latency (µs), wall-clock.
 pub static RUNTIME_SNAPSHOT_US: Histogram = Histogram::new("runtime.snapshot.us", Class::Wall);
+
+// --- fleet (sharded multi-overlay service, omcf-runtime::fleet) -------
+
+/// Events admitted into shard queues.
+pub static FLEET_EVENTS_ACCEPTED: Counter = Counter::new("fleet.events.accepted", Class::Count);
+/// Submissions deferred by backpressure (shard queue at capacity).
+pub static FLEET_EVENTS_DEFERRED: Counter = Counter::new("fleet.events.deferred", Class::Count);
+/// Submissions rejected outright (unknown shard).
+pub static FLEET_EVENTS_REJECTED: Counter = Counter::new("fleet.events.rejected", Class::Count);
+/// Events applied to shard runtimes by drive rounds.
+pub static FLEET_EVENTS_APPLIED: Counter = Counter::new("fleet.events.applied", Class::Count);
+/// Drive rounds executed.
+pub static FLEET_DRIVES: Counter = Counter::new("fleet.drives", Class::Count);
+/// Events drained per drive round (size histogram; deterministic).
+pub static FLEET_DRIVE_EVENTS: Histogram = Histogram::new("fleet.drive.events", Class::Count);
+/// Drive round latency (µs), wall-clock.
+pub static FLEET_DRIVE_US: Histogram = Histogram::new("fleet.drive.us", Class::Wall);
+/// Fleet snapshot container sizes (bytes; deterministic).
+pub static FLEET_SNAPSHOT_BYTES: Histogram = Histogram::new("fleet.snapshot.bytes", Class::Count);
+/// Bytes appended to the event WAL (framing included).
+pub static FLEET_WAL_BYTES: Counter = Counter::new("fleet.wal.bytes", Class::Count);
+/// WAL records replayed by crash recovery.
+pub static FLEET_RECOVERED_EVENTS: Counter = Counter::new("fleet.recover.events", Class::Count);
 
 // --- sweep (scenario sweep driver, omcf-sim) --------------------------
 

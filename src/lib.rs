@@ -12,7 +12,7 @@
 //! | [`overlay`] | `omcf-overlay` | sessions, overlay trees, MST oracles |
 //! | [`treepack`] | `omcf-treepack` | spanning-tree packing, network strength |
 //! | [`solver`] | `omcf-core` | M1/M2 FPTAS, rounding, online algorithm |
-//! | [`runtime`] | `omcf-runtime` | event-driven session runtime, snapshots, replay |
+//! | [`runtime`] | `omcf-runtime` | event-driven session runtime, the sharded `Fleet`, snapshots, WAL, replay |
 //! | [`sim`] | `omcf-sim` | the paper's scenarios, tables and figures |
 //!
 //! The [`prelude`] pulls in the names a typical program needs:
@@ -60,6 +60,7 @@ pub mod prelude {
     pub use omcf_core::{Instance, RoutingMode, Solver, SolverKind, SolverOutcome};
 
     pub use omcf_runtime::{
-        replay_churn, Event, Reoptimizer, ReplayConfig, Runtime, RuntimeConfig,
+        replay_churn, Admission, Event, Fleet, FleetConfig, Reoptimizer, ReplayConfig, Runtime,
+        RuntimeConfig, ShardId,
     };
 }
